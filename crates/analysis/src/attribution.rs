@@ -1,0 +1,168 @@
+//! Block attribution: match a new block's Merkle root against the blob
+//! cluster observed for its previous-block pointer.
+
+use minedig_chain::block::Block;
+use minedig_primitives::Hash32;
+use std::collections::BTreeSet;
+
+/// A block attributed to the observed pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttributedBlock {
+    /// Chain height.
+    pub height: u64,
+    /// Block id.
+    pub block_id: Hash32,
+    /// Block timestamp (template time).
+    pub timestamp: u64,
+    /// Time the block was accepted (driver-supplied, for calendars).
+    pub found_at: u64,
+    /// Coinbase reward in atomic units.
+    pub reward: u64,
+}
+
+/// Attribution bookkeeping.
+#[derive(Debug, Default)]
+pub struct Attributor {
+    /// Blocks proven to be pool-mined.
+    pub attributed: Vec<AttributedBlock>,
+    /// Blocks checked but not matching (other miners, or observation gaps).
+    pub unmatched: u64,
+}
+
+impl Attributor {
+    /// Creates an empty attributor.
+    pub fn new() -> Attributor {
+        Attributor::default()
+    }
+
+    /// Judges one accepted block against the cluster observed for its
+    /// prev pointer (if any). Returns true if attributed.
+    pub fn judge(
+        &mut self,
+        block: &Block,
+        found_at: u64,
+        cluster: Option<&BTreeSet<Hash32>>,
+    ) -> bool {
+        let matched = cluster
+            .map(|roots| roots.contains(&block.merkle_root()))
+            .unwrap_or(false);
+        if matched {
+            self.attributed.push(AttributedBlock {
+                height: block
+                    .miner_tx
+                    .kind
+                    .clone()
+                    .coinbase_height()
+                    .unwrap_or_default(),
+                block_id: block.id(),
+                timestamp: block.header.timestamp,
+                found_at,
+                reward: block.miner_tx.coinbase_reward().unwrap_or(0),
+            });
+        } else {
+            self.unmatched += 1;
+        }
+        matched
+    }
+
+    /// Total XMR-equivalent atomic units earned by attributed blocks.
+    pub fn total_reward(&self) -> u64 {
+        self.attributed.iter().map(|b| b.reward).sum()
+    }
+
+    /// Share of judged blocks attributed to the pool.
+    pub fn attribution_share(&self) -> f64 {
+        let total = self.attributed.len() as u64 + self.unmatched;
+        if total == 0 {
+            return 0.0;
+        }
+        self.attributed.len() as f64 / total as f64
+    }
+}
+
+/// Helper: extract the Coinbase height from a tx kind.
+trait CoinbaseHeight {
+    fn coinbase_height(self) -> Option<u64>;
+}
+
+impl CoinbaseHeight for minedig_chain::tx::TxKind {
+    fn coinbase_height(self) -> Option<u64> {
+        match self {
+            minedig_chain::tx::TxKind::Coinbase { height, .. } => Some(height),
+            minedig_chain::tx::TxKind::Transfer { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minedig_chain::block::BlockHeader;
+    use minedig_chain::tx::{MinerTag, Transaction};
+
+    fn block(extra: Vec<u8>) -> Block {
+        Block {
+            header: BlockHeader {
+                major_version: 7,
+                minor_version: 7,
+                timestamp: 1_000,
+                prev_id: Hash32::keccak(b"prev"),
+                nonce: 5,
+            },
+            miner_tx: Transaction::coinbase(42, 999, MinerTag::from_label("pool"), extra),
+            txs: vec![Transaction::transfer(Hash32::keccak(b"t"))],
+        }
+    }
+
+    #[test]
+    fn matching_root_attributes() {
+        let b = block(vec![1]);
+        let mut cluster = BTreeSet::new();
+        cluster.insert(b.merkle_root());
+        cluster.insert(Hash32::keccak(b"unrelated"));
+        let mut a = Attributor::new();
+        assert!(a.judge(&b, 1_060, Some(&cluster)));
+        assert_eq!(a.attributed.len(), 1);
+        assert_eq!(a.attributed[0].height, 42);
+        assert_eq!(a.attributed[0].reward, 999);
+        assert_eq!(a.attributed[0].found_at, 1_060);
+        assert_eq!(a.total_reward(), 999);
+    }
+
+    #[test]
+    fn non_matching_root_does_not_attribute() {
+        // A block whose Coinbase extra differs from every observed
+        // template — i.e. another miner's block.
+        let other = block(vec![2]);
+        let mut cluster = BTreeSet::new();
+        cluster.insert(block(vec![1]).merkle_root());
+        let mut a = Attributor::new();
+        assert!(!a.judge(&other, 1_060, Some(&cluster)));
+        assert_eq!(a.unmatched, 1);
+        assert!(a.attributed.is_empty());
+    }
+
+    #[test]
+    fn missing_cluster_counts_unmatched() {
+        let mut a = Attributor::new();
+        assert!(!a.judge(&block(vec![1]), 1_060, None));
+        assert_eq!(a.unmatched, 1);
+    }
+
+    #[test]
+    fn attribution_share() {
+        let b = block(vec![1]);
+        let mut cluster = BTreeSet::new();
+        cluster.insert(b.merkle_root());
+        let mut a = Attributor::new();
+        a.judge(&b, 0, Some(&cluster));
+        a.judge(&block(vec![9]), 0, Some(&cluster));
+        a.judge(&block(vec![8]), 0, None);
+        assert!((a.attribution_share() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_share_is_zero() {
+        assert_eq!(Attributor::new().attribution_share(), 0.0);
+    }
+}

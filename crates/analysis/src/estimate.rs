@@ -1,0 +1,210 @@
+//! Hashrate, user-count and revenue estimators (§4.2's arithmetic).
+
+use crate::attribution::AttributedBlock;
+use minedig_chain::emission::atomic_to_xmr;
+use minedig_chain::{BLOCKS_PER_DAY, TARGET_BLOCK_TIME};
+use minedig_pow::hashrate::ClientClass;
+use minedig_primitives::stats::median_u64;
+
+/// Network-level estimates derived from observed difficulty.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkEstimate {
+    /// Median difficulty over the observation window.
+    pub median_difficulty: u64,
+    /// Implied network hash rate, H/s.
+    pub network_hashrate: f64,
+}
+
+/// Computes the network estimate from per-block difficulties.
+pub fn network_estimate(difficulties: &mut [u64]) -> NetworkEstimate {
+    let median_difficulty = median_u64(difficulties) as u64;
+    NetworkEstimate {
+        median_difficulty,
+        network_hashrate: median_difficulty as f64 / TARGET_BLOCK_TIME as f64,
+    }
+}
+
+/// Pool-level estimates from attributed blocks.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolEstimate {
+    /// Median attributed blocks per day.
+    pub median_blocks_per_day: f64,
+    /// Average attributed blocks per day.
+    pub avg_blocks_per_day: f64,
+    /// Share of all blocks (720/day at target rate).
+    pub block_share: f64,
+    /// Implied pool hash rate, H/s.
+    pub pool_hashrate: f64,
+    /// Constantly-mining-user bounds (at 100 and 20 H/s per client).
+    pub users_lower: f64,
+    /// Upper bound (clients at 20 H/s).
+    pub users_upper: f64,
+    /// XMR earned by the attributed blocks.
+    pub xmr_earned: f64,
+}
+
+/// Derives pool estimates from attributed blocks over `[start, end)`.
+pub fn pool_estimate(
+    blocks: &[AttributedBlock],
+    start: u64,
+    end: u64,
+    network: &NetworkEstimate,
+) -> PoolEstimate {
+    assert!(end > start);
+    let days = ((end - start) / 86_400).max(1);
+    let mut per_day = vec![0u64; days as usize];
+    let mut reward_total = 0u64;
+    for b in blocks {
+        if b.found_at < start || b.found_at >= end {
+            continue;
+        }
+        per_day[((b.found_at - start) / 86_400) as usize] += 1;
+        reward_total += b.reward;
+    }
+    let total: u64 = per_day.iter().sum();
+    let avg = total as f64 / days as f64;
+    let median = median_u64(&mut per_day);
+    let block_share = avg / BLOCKS_PER_DAY as f64;
+    let pool_hashrate = block_share * network.network_hashrate;
+    PoolEstimate {
+        median_blocks_per_day: median,
+        avg_blocks_per_day: avg,
+        block_share,
+        pool_hashrate,
+        users_lower: pool_hashrate / ClientClass::BrowserDesktop.hashes_per_second(),
+        users_upper: pool_hashrate / ClientClass::BrowserLaptop.hashes_per_second(),
+        xmr_earned: atomic_to_xmr(reward_total),
+    }
+}
+
+/// One row of Table 6.
+#[derive(Clone, Debug)]
+pub struct MonthlyRow {
+    /// Month label (e.g. "May").
+    pub label: String,
+    /// Median blocks/day.
+    pub median: f64,
+    /// Average blocks/day.
+    pub avg: f64,
+    /// Pool hash rate in MH/s.
+    pub mhs: f64,
+    /// XMR earned.
+    pub xmr: f64,
+}
+
+/// Builds a Table 6 row for a month window.
+pub fn monthly_row(
+    label: &str,
+    blocks: &[AttributedBlock],
+    start: u64,
+    end: u64,
+    network: &NetworkEstimate,
+) -> MonthlyRow {
+    let est = pool_estimate(blocks, start, end, network);
+    MonthlyRow {
+        label: label.to_string(),
+        median: est.median_blocks_per_day,
+        avg: est.avg_blocks_per_day,
+        mhs: est.pool_hashrate / 1e6,
+        xmr: est.xmr_earned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minedig_primitives::Hash32;
+
+    fn block_at(found_at: u64, reward: u64) -> AttributedBlock {
+        AttributedBlock {
+            height: 0,
+            block_id: Hash32::keccak(&found_at.to_le_bytes()),
+            timestamp: found_at,
+            found_at,
+            reward,
+        }
+    }
+
+    #[test]
+    fn network_estimate_matches_paper() {
+        // Median difficulty 55.4 G ⇒ 462 MH/s.
+        let mut d = vec![55_400_000_000u64; 100];
+        let e = network_estimate(&mut d);
+        assert_eq!(e.median_difficulty, 55_400_000_000);
+        assert!((e.network_hashrate - 461.7e6).abs() < 1e6);
+    }
+
+    #[test]
+    fn pool_estimate_core_numbers() {
+        // 8.5 blocks/day for 4 weeks at ~4.8 XMR each.
+        let start = 0u64;
+        let end = 28 * 86_400;
+        let reward = 5_000_000_000_000u64; // 5 XMR
+        let mut blocks = Vec::new();
+        let mut t = 5_000u64;
+        while t < end {
+            blocks.push(block_at(t, reward));
+            t += 86_400 * 2 / 17; // 8.5/day
+        }
+        let net = NetworkEstimate {
+            median_difficulty: 55_400_000_000,
+            network_hashrate: 461.7e6,
+        };
+        let est = pool_estimate(&blocks, start, end, &net);
+        assert!((8.0..9.0).contains(&est.avg_blocks_per_day));
+        assert!((0.011..0.013).contains(&est.block_share), "{}", est.block_share);
+        assert!((5.0e6..6.3e6).contains(&est.pool_hashrate));
+        // 58K–292K users, as in the paper.
+        assert!(est.users_lower > 50_000.0 && est.users_lower < 70_000.0);
+        assert!(est.users_upper > 250_000.0 && est.users_upper < 330_000.0);
+        // 28 days × 8.5 × 5 XMR ≈ 1190.
+        assert!((1_100.0..1_300.0).contains(&est.xmr_earned));
+    }
+
+    #[test]
+    fn out_of_window_blocks_ignored() {
+        let net = NetworkEstimate {
+            median_difficulty: 1,
+            network_hashrate: 1.0,
+        };
+        let blocks = vec![block_at(10, 5), block_at(86_500, 5), block_at(200_000, 5)];
+        let est = pool_estimate(&blocks, 0, 86_400, &net);
+        assert_eq!(est.xmr_earned, atomic_to_xmr(5));
+        assert_eq!(est.avg_blocks_per_day, 1.0);
+    }
+
+    #[test]
+    fn monthly_row_scales_to_mhs() {
+        let net = NetworkEstimate {
+            median_difficulty: 55_400_000_000,
+            network_hashrate: 461.7e6,
+        };
+        let blocks: Vec<AttributedBlock> =
+            (0..280).map(|i| block_at(i * 9_257, 4_480_000_000_000)).collect();
+        let row = monthly_row("May", &blocks, 0, 30 * 86_400, &net);
+        assert_eq!(row.label, "May");
+        assert!(row.mhs > 1.0, "mhs {}", row.mhs);
+        assert!(row.xmr > 1_000.0);
+    }
+
+    #[test]
+    fn median_differs_from_average_with_bursts() {
+        let net = NetworkEstimate {
+            median_difficulty: 1,
+            network_hashrate: 1.0,
+        };
+        // 6 days of 2 blocks, one day of 30 (holiday burst).
+        let mut blocks = Vec::new();
+        for day in 0..6u64 {
+            for i in 0..2u64 {
+                blocks.push(block_at(day * 86_400 + i * 100, 1));
+            }
+        }
+        for i in 0..30u64 {
+            blocks.push(block_at(6 * 86_400 + i * 100, 1));
+        }
+        let est = pool_estimate(&blocks, 0, 7 * 86_400, &net);
+        assert_eq!(est.median_blocks_per_day, 2.0);
+        assert!(est.avg_blocks_per_day > 5.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The endpoint observer.
+//!
+//! The paper requests a new PoW input from every Coinhive endpoint every
+//! 500 ms. Our pool's blobs change only when a backend refreshes its
+//! template (every `template_refresh_secs`), so the default poll interval
+//! matches that granularity — polling faster only re-reads identical
+//! blobs. The observer reverts the XOR obfuscation (which the paper had
+//! to discover first) before parsing.
+
+use minedig_chain::blob::HashingBlob;
+use minedig_pool::obfuscation;
+use minedig_pool::pool::{JobError, Pool};
+use minedig_primitives::Hash32;
+use std::collections::BTreeSet;
+
+/// One observed, de-obfuscated PoW input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlobObservation {
+    /// Virtual time of observation.
+    pub seen_at: u64,
+    /// Endpoint index it came from.
+    pub endpoint: usize,
+    /// Parsed blob.
+    pub blob: HashingBlob,
+}
+
+/// Statistics the observer keeps.
+#[derive(Clone, Debug, Default)]
+pub struct PollStats {
+    /// Total poll requests issued.
+    pub polls: u64,
+    /// Polls answered with a job.
+    pub answered: u64,
+    /// Polls refused because the pool was offline (outages).
+    pub offline: u64,
+    /// Blobs that failed to parse after de-obfuscation.
+    pub parse_failures: u64,
+    /// Maximum distinct blobs observed for a single prev pointer.
+    pub max_blobs_per_prev: usize,
+}
+
+/// The observer: polls all endpoints and maintains the *current* cluster
+/// of distinct Merkle roots per previous-block pointer.
+pub struct Observer {
+    pool: Pool,
+    deobfuscate: bool,
+    /// Roots collected for the currently-observed prev pointer.
+    current_prev: Option<Hash32>,
+    current_roots: BTreeSet<Hash32>,
+    /// Distinct serialized blobs for the current prev (diagnostics — the
+    /// paper's "at most 128 different PoW inputs per block").
+    current_blobs: BTreeSet<Vec<u8>>,
+    stats: PollStats,
+}
+
+impl Observer {
+    /// Creates an observer for a pool. `deobfuscate` should be true once
+    /// the XOR countermeasure is known (the paper's final tooling).
+    pub fn new(pool: Pool, deobfuscate: bool) -> Observer {
+        Observer {
+            pool,
+            deobfuscate,
+            current_prev: None,
+            current_roots: BTreeSet::new(),
+            current_blobs: BTreeSet::new(),
+            stats: PollStats::default(),
+        }
+    }
+
+    /// Polls every endpoint once at virtual time `now`.
+    pub fn poll_all(&mut self, now: u64) {
+        for endpoint in 0..self.pool.endpoint_count() {
+            self.stats.polls += 1;
+            match self.pool.peek_job(endpoint, now) {
+                Err(JobError::Offline) => self.stats.offline += 1,
+                Err(_) => {}
+                Ok(job) => {
+                    self.stats.answered += 1;
+                    let Ok(mut bytes) = job.blob_bytes() else {
+                        self.stats.parse_failures += 1;
+                        continue;
+                    };
+                    if self.deobfuscate {
+                        obfuscation::xor_blob(&mut bytes);
+                    }
+                    let Ok(blob) = HashingBlob::parse(&bytes) else {
+                        self.stats.parse_failures += 1;
+                        continue;
+                    };
+                    self.record(bytes, blob);
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, bytes: Vec<u8>, blob: HashingBlob) {
+        if self.current_prev != Some(blob.prev_id) {
+            // New height: the driver is expected to have consumed the old
+            // cluster via `take_cluster` when the block appeared; if not
+            // (e.g. missed block), reset.
+            self.current_prev = Some(blob.prev_id);
+            self.current_roots.clear();
+            self.current_blobs.clear();
+        }
+        self.current_roots.insert(blob.merkle_root);
+        self.current_blobs.insert(bytes);
+        self.stats.max_blobs_per_prev =
+            self.stats.max_blobs_per_prev.max(self.current_blobs.len());
+    }
+
+    /// The prev pointer currently being observed.
+    pub fn current_prev(&self) -> Option<Hash32> {
+        self.current_prev
+    }
+
+    /// Number of distinct blobs observed for the current prev.
+    pub fn current_blob_count(&self) -> usize {
+        self.current_blobs.len()
+    }
+
+    /// Takes the cluster for `prev` if it is the one being observed —
+    /// called by the attribution driver when a block referencing `prev`
+    /// is accepted.
+    pub fn take_cluster(&mut self, prev: &Hash32) -> Option<BTreeSet<Hash32>> {
+        if self.current_prev == Some(*prev) {
+            self.current_prev = None;
+            self.current_blobs.clear();
+            Some(std::mem::take(&mut self.current_roots))
+        } else {
+            None
+        }
+    }
+
+    /// Poll statistics.
+    pub fn stats(&self) -> &PollStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minedig_chain::netsim::TipInfo;
+    use minedig_chain::tx::Transaction;
+    use minedig_pool::pool::PoolConfig;
+
+    fn pool_with_tip() -> Pool {
+        let pool = Pool::new(PoolConfig::default());
+        pool.announce_tip(&TipInfo {
+            height: 10,
+            prev_id: Hash32::keccak(b"prev-10"),
+            prev_timestamp: 1_000,
+            reward: 1_000_000,
+            difficulty: 100,
+            mempool: vec![Transaction::transfer(Hash32::keccak(b"m"))],
+        });
+        pool
+    }
+
+    #[test]
+    fn observes_at_most_128_blobs_per_height() {
+        let pool = pool_with_tip();
+        let mut obs = Observer::new(pool, true);
+        // Poll across the whole template-version window.
+        for t in (1_000..1_150).step_by(5) {
+            obs.poll_all(t);
+        }
+        assert_eq!(obs.stats().max_blobs_per_prev, 128);
+        assert_eq!(obs.current_blob_count(), 128);
+        // 16 backends × 8 versions = 128 distinct roots as well.
+        assert_eq!(obs.current_roots.len(), 128);
+    }
+
+    #[test]
+    fn single_poll_sees_one_blob_per_backend() {
+        let pool = pool_with_tip();
+        let mut obs = Observer::new(pool, true);
+        obs.poll_all(1_000);
+        // 32 endpoints share 16 backends → 16 distinct blobs.
+        assert_eq!(obs.current_blob_count(), 16);
+    }
+
+    #[test]
+    fn deobfuscation_recovers_true_prev() {
+        let pool = pool_with_tip();
+        let mut obs = Observer::new(pool, true);
+        obs.poll_all(1_000);
+        assert_eq!(obs.current_prev(), Some(Hash32::keccak(b"prev-10")));
+    }
+
+    #[test]
+    fn without_deobfuscation_prev_is_garbage() {
+        // The naive observer (before discovering the XOR) clusters on a
+        // corrupted prev pointer.
+        let pool = pool_with_tip();
+        let mut obs = Observer::new(pool, false);
+        obs.poll_all(1_000);
+        assert_ne!(obs.current_prev(), Some(Hash32::keccak(b"prev-10")));
+    }
+
+    #[test]
+    fn outage_is_counted() {
+        let pool = pool_with_tip();
+        pool.set_online(false);
+        let mut obs = Observer::new(pool.clone(), true);
+        obs.poll_all(1_000);
+        assert_eq!(obs.stats().offline, 32);
+        assert_eq!(obs.stats().answered, 0);
+        pool.set_online(true);
+        obs.poll_all(1_020);
+        assert_eq!(obs.stats().answered, 32);
+    }
+
+    #[test]
+    fn take_cluster_resets_state() {
+        let pool = pool_with_tip();
+        let mut obs = Observer::new(pool, true);
+        obs.poll_all(1_000);
+        let prev = Hash32::keccak(b"prev-10");
+        let cluster = obs.take_cluster(&prev).unwrap();
+        assert_eq!(cluster.len(), 16);
+        assert_eq!(obs.current_prev(), None);
+        assert!(obs.take_cluster(&prev).is_none());
+    }
+
+    #[test]
+    fn new_height_resets_cluster() {
+        let pool = pool_with_tip();
+        let mut obs = Observer::new(pool.clone(), true);
+        obs.poll_all(1_000);
+        pool.announce_tip(&TipInfo {
+            height: 11,
+            prev_id: Hash32::keccak(b"prev-11"),
+            prev_timestamp: 1_120,
+            reward: 1_000_000,
+            difficulty: 100,
+            mempool: vec![],
+        });
+        obs.poll_all(1_120);
+        assert_eq!(obs.current_prev(), Some(Hash32::keccak(b"prev-11")));
+        assert_eq!(obs.current_blob_count(), 16);
+    }
+}

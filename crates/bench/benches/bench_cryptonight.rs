@@ -1,0 +1,41 @@
+//! Hash-rate characterization of the CryptoNight-style PoW.
+//!
+//! Anchors the short-link duration axis (Fig 4 assumes 20 H/s in a
+//! browser) and the pool's share validation cost. `Full` matches the
+//! 2 MiB/2^19-iteration CryptoNight v0 profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minedig_pow::{slow_hash, Variant};
+use std::hint::black_box;
+
+fn bench_slow_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cryptonight");
+    group.sample_size(10);
+    for (label, variant) in [
+        ("test", Variant::Test),
+        ("lite", Variant::Lite),
+        ("full", Variant::Full),
+    ] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("slow_hash", label), &variant, |b, &v| {
+            let mut nonce = 0u64;
+            b.iter(|| {
+                nonce += 1;
+                let mut input = *b"bench-blob-____________";
+                input[11..19].copy_from_slice(&nonce.to_le_bytes());
+                black_box(slow_hash(&input, v))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_hash(c: &mut Criterion) {
+    let data = vec![0xa5u8; 76]; // hashing-blob sized input
+    c.bench_function("keccak256_76B_blob", |b| {
+        b.iter(|| black_box(minedig_primitives::keccak256(black_box(&data))))
+    });
+}
+
+criterion_group!(benches, bench_slow_hash, bench_fast_hash);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! NoCoin filter-engine throughput: pages scanned per second — the cost
+//! that bounds how fast the §3.1 pipeline can cover 138 M domains.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use minedig_nocoin::NoCoinEngine;
+use minedig_web::page::zgrab_fetch;
+use minedig_web::universe::Population;
+use minedig_web::zone::Zone;
+use std::hint::black_box;
+
+fn bench_scan_pages(c: &mut Criterion) {
+    let engine = NoCoinEngine::new();
+    let pop = Population::generate(Zone::Org, 7, 64);
+    let pages: Vec<(String, String)> = pop
+        .scanned_domains()
+        .filter_map(|d| zgrab_fetch(d, 7).map(|html| (d.name.clone(), html)))
+        .take(256)
+        .collect();
+    assert!(!pages.is_empty());
+
+    let mut group = c.benchmark_group("nocoin");
+    group.throughput(Throughput::Elements(pages.len() as u64));
+    group.bench_function("scan_pages", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (domain, html) in &pages {
+                hits += engine.scan_page(black_box(domain), black_box(html)).len();
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_single_rule(c: &mut Criterion) {
+    let rule = minedig_nocoin::Rule::parse("||coinhive.com^").unwrap();
+    let url = "https://www.coinhive.com/lib/coinhive.min.js";
+    c.bench_function("host_anchor_match", |b| {
+        b.iter(|| black_box(rule.matches(black_box(url))))
+    });
+}
+
+criterion_group!(benches, bench_scan_pages, bench_single_rule);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Wasm parse + fingerprint + classify throughput (the per-module cost of
+//! the §3.2 signature approach).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use minedig_core::scan::build_reference_db;
+use minedig_wasm::corpus::generate_corpus;
+use minedig_wasm::fingerprint::fingerprint;
+use minedig_wasm::module::Module;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = generate_corpus(0x1660);
+    let binaries: Vec<Vec<u8>> = corpus.iter().map(|e| e.module.encode()).collect();
+    let db = build_reference_db(0.7);
+
+    let mut group = c.benchmark_group("fingerprint");
+    group.throughput(Throughput::Elements(binaries.len() as u64));
+    group.bench_function("parse", |b| {
+        b.iter(|| {
+            for bytes in &binaries {
+                black_box(Module::parse(black_box(bytes)).unwrap());
+            }
+        })
+    });
+    let modules: Vec<Module> = binaries.iter().map(|b| Module::parse(b).unwrap()).collect();
+    group.bench_function("fingerprint", |b| {
+        b.iter(|| {
+            for m in &modules {
+                black_box(fingerprint(black_box(m)));
+            }
+        })
+    });
+    let fps: Vec<_> = modules.iter().map(fingerprint).collect();
+    group.bench_function("classify", |b| {
+        b.iter(|| {
+            let mut miners = 0usize;
+            for fp in &fps {
+                if db.classify(black_box(fp)).map(|m| m.class.is_miner()).unwrap_or(false) {
+                    miners += 1;
+                }
+            }
+            black_box(miners)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

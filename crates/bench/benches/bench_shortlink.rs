@@ -1,0 +1,49 @@
+//! Short-link tooling throughput: enumeration and accounted resolution
+//! (§4.1's two bulk operations).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use minedig_shortlink::enumerate::enumerate_links;
+use minedig_shortlink::ids::index_to_code;
+use minedig_shortlink::model::{LinkPopulation, ModelConfig};
+use minedig_shortlink::resolve::resolve_accounted;
+use minedig_shortlink::service::ShortlinkService;
+use std::hint::black_box;
+
+const LINKS: u64 = 20_000;
+
+fn config() -> ModelConfig {
+    ModelConfig {
+        total_links: LINKS,
+        users: 2_000,
+        seed: 3,
+    }
+}
+
+fn bench_enumerate(c: &mut Criterion) {
+    let service = ShortlinkService::new(LinkPopulation::generate(&config()));
+    let mut group = c.benchmark_group("shortlink");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(LINKS));
+    group.bench_function("enumerate", |b| {
+        b.iter(|| black_box(enumerate_links(black_box(&service), 64).docs.len()))
+    });
+    group.finish();
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    let codes: Vec<String> = (0..LINKS).map(index_to_code).collect();
+    let mut group = c.benchmark_group("shortlink");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(LINKS));
+    group.bench_function("resolve_accounted", |b| {
+        b.iter_batched(
+            || ShortlinkService::new(LinkPopulation::generate(&config())),
+            |mut service| black_box(resolve_accounted(&mut service, &codes, 10_000).resolved.len()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumerate, bench_resolve);
+criterion_main!(benches);

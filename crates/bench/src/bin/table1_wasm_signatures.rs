@@ -1,0 +1,69 @@
+//! Table 1: top-5 WebAssembly signature classes on Alexa and .org, and
+//! the share of Wasm that is mining code.
+
+use minedig_bench::{run_chrome_scans, seed};
+use minedig_core::report::{comparison_table, Comparison};
+use minedig_web::zone::Zone;
+
+const PAPER_ALEXA: [(&str, f64); 5] = [
+    ("coinhive", 311.0),
+    ("skencituer", 123.0),
+    ("cryptoloot", 103.0),
+    ("UnknownWSS", 56.0),
+    ("notgiven688", 46.0),
+];
+const PAPER_ORG: [(&str, f64); 5] = [
+    ("coinhive", 711.0),
+    ("cryptoloot", 183.0),
+    ("web.stati.bid", 120.0),
+    ("freecontent.date", 108.0),
+    ("notgiven688", 92.0),
+];
+
+fn main() {
+    let seed = seed();
+    println!("Table 1 — top WebAssembly signature classes (Chrome scan)\n");
+    let (_db, scans) = run_chrome_scans(seed);
+
+    for (population, outcome) in &scans {
+        let paper: &[(&str, f64)] = match population.zone {
+            Zone::Alexa => &PAPER_ALEXA,
+            _ => &PAPER_ORG,
+        };
+        let mut rows: Vec<Comparison> = paper
+            .iter()
+            .map(|(class, expect)| {
+                let measured = outcome.class_counts.get(*class).copied().unwrap_or(0);
+                Comparison::new(class, *expect, measured as f64)
+            })
+            .collect();
+        let paper_total = if population.zone == Zone::Alexa { 796.0 } else { 1_491.0 };
+        rows.push(Comparison::new(
+            "total WebAssembly",
+            paper_total,
+            outcome.wasm_domains as f64,
+        ));
+        println!(
+            "{}",
+            comparison_table(&format!("{} Wasm classes", population.zone.label()), &rows)
+        );
+
+        let miner_share = outcome.miner_wasm_domains as f64 / outcome.wasm_domains.max(1) as f64;
+        println!(
+            "   miners among Wasm sites: {:.1}% (paper: ~96% Alexa / ~92% .org)",
+            miner_share * 100.0
+        );
+        let top5: u64 = paper
+            .iter()
+            .map(|(c, _)| outcome.class_counts.get(*c).copied().unwrap_or(0))
+            .sum();
+        println!(
+            "   top-5 classes cover {:.1}% of miner sites (paper: ~80%)",
+            top5 as f64 / outcome.miner_wasm_domains.max(1) as f64 * 100.0
+        );
+        println!(
+            "   unclassified Wasm dumps: {} (catalogue coverage 70%, similarity fallback active)\n",
+            outcome.unclassified_wasm
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Table 5: categories of the unbiased <10 K-hash destinations — the
+//! long tail is diverse, unlike the filesharing-heavy top-10 users.
+
+use minedig_bench::{env_u64, seed};
+use minedig_core::shortlink_study::{run_study, StudyConfig};
+use minedig_shortlink::model::{ModelConfig, PAPER_LINK_COUNT};
+
+const PAPER: [(&str, u64); 10] = [
+    ("Tech. & Telecomm.", 1_522),
+    ("Gaming", 737),
+    ("Dynamic Site", 727),
+    ("Business", 578),
+    ("Pornogr.", 577),
+    ("Shopping", 572),
+    ("Finance and Investing", 502),
+    ("Ent. & Music", 313),
+    ("Edu. Site", 305),
+    ("Hosting", 298),
+];
+
+fn main() {
+    let seed = seed();
+    let scale = env_u64("MINEDIG_LINK_SCALE", 10).max(1);
+    println!("Table 5 — categories of the unbiased <10k-hash dataset (scale 1:{scale})\n");
+
+    let study = run_study(
+        &StudyConfig {
+            model: ModelConfig {
+                total_links: PAPER_LINK_COUNT / scale,
+                users: 12_000,
+                seed,
+            },
+            resolve_budget: 10_000,
+            ..StudyConfig::default()
+        },
+        seed,
+    );
+
+    let mut measured: Vec<(String, u64)> = study
+        .tail_categories
+        .iter()
+        .map(|(c, n)| (c.label().to_string(), *n))
+        .collect();
+    measured.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+
+    println!("{:<26} {:>10} {:>14}", "category", "paper", "measured(1:10)");
+    for (i, (label, paper_count)) in PAPER.iter().enumerate() {
+        let m = measured
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        println!("{:<26} {:>10} {:>14}   (measured rank {})", label, paper_count, m,
+            measured.iter().position(|(l, _)| l == label).map(|p| p + 1).unwrap_or(0));
+        let _ = i;
+    }
+    println!("\nmeasured top-10:");
+    for (label, n) in measured.iter().take(10) {
+        println!("  {label:<26} {n}");
+    }
+    println!(
+        "\nRuleSpace classified {:.0}% of resolved URLs (paper: ~2/3 classified, 1/3 not)",
+        study.tail_classified_fraction * 100.0
+    );
+    println!(
+        "hash cost of the resolution run: {:.1}M hashes (paper: 61.5M at full scale)",
+        study.hashes_spent as f64 / 1e6
+    );
+}

@@ -1,0 +1,57 @@
+//! Virtual time.
+
+/// A millisecond-resolution virtual clock.
+///
+/// All browser activity is simulated against this clock, so a "15 second"
+/// page timeout costs microseconds of wall time and runs identically on
+/// every machine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now_ms: u64,
+}
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Advances the clock; time never goes backwards.
+    pub fn advance_to(&mut self, t_ms: u64) {
+        debug_assert!(t_ms >= self.now_ms, "clock moved backwards");
+        self.now_ms = self.now_ms.max(t_ms);
+    }
+
+    /// Advances by a delta.
+    pub fn advance_by(&mut self, delta_ms: u64) {
+        self.now_ms += delta_ms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance_by(100);
+        assert_eq!(c.now_ms(), 100);
+        c.advance_to(250);
+        assert_eq!(c.now_ms(), 250);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let mut c = SimClock::new();
+        c.advance_to(100);
+        c.advance_to(100); // same time is fine
+        assert_eq!(c.now_ms(), 100);
+    }
+}

@@ -1,0 +1,156 @@
+//! DevTools-style instrumentation events and the page capture.
+
+use minedig_primitives::Hash32;
+
+/// Direction of a WebSocket frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameDirection {
+    /// Page → server.
+    Sent,
+    /// Server → page.
+    Received,
+}
+
+/// Events captured while loading a page (mirrors the DevTools domains the
+/// paper subscribes to: Network.webSocket*, Debugger script events, plus
+/// Wasm module dumps).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DevtoolsEvent {
+    /// An external script finished loading.
+    ScriptLoaded {
+        /// Resolved URL.
+        url: String,
+        /// Virtual ms since navigation.
+        at_ms: u64,
+    },
+    /// A Wasm module was compiled; the module bytes are dumped to the
+    /// capture's `wasm_dumps`.
+    WasmCompiled {
+        /// Index into `Capture::wasm_dumps`.
+        dump_index: usize,
+        /// Size in bytes.
+        size: usize,
+        /// Keccak of the bytes (dump identity).
+        id: Hash32,
+        /// Virtual ms since navigation.
+        at_ms: u64,
+    },
+    /// A WebSocket connection was opened.
+    WebSocketCreated {
+        /// Endpoint URL.
+        url: String,
+        /// Virtual ms since navigation.
+        at_ms: u64,
+    },
+    /// A WebSocket text frame crossed the wire.
+    WebSocketFrame {
+        /// Endpoint URL.
+        url: String,
+        /// Direction.
+        direction: FrameDirection,
+        /// Frame payload.
+        payload: String,
+        /// Virtual ms since navigation.
+        at_ms: u64,
+    },
+    /// The DOM changed.
+    DomMutation {
+        /// Virtual ms since navigation.
+        at_ms: u64,
+    },
+    /// The page's load event fired.
+    LoadEvent {
+        /// Virtual ms since navigation.
+        at_ms: u64,
+    },
+}
+
+/// How a page load ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// Load event plus DOM-quiet (or the +5 s cap) — "loaded completely".
+    Loaded,
+    /// No load event within the 15 s budget — "timed out".
+    TimedOut,
+}
+
+/// The result of loading one page.
+#[derive(Clone, Debug)]
+pub struct Capture {
+    /// The domain that was loaded.
+    pub domain: String,
+    /// How the load ended.
+    pub outcome: LoadOutcome,
+    /// Virtual time at which the page was declared done, ms.
+    pub finished_at_ms: u64,
+    /// Ordered event log.
+    pub events: Vec<DevtoolsEvent>,
+    /// Dumped Wasm modules, in compile order.
+    pub wasm_dumps: Vec<Vec<u8>>,
+    /// First 65 kB of the final (post-execution) HTML.
+    pub final_html: String,
+}
+
+impl Capture {
+    /// All WebSocket endpoint URLs contacted.
+    pub fn websocket_urls(&self) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                DevtoolsEvent::WebSocketCreated { url, .. } => Some(url.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether any Wasm was compiled.
+    pub fn has_wasm(&self) -> bool {
+        !self.wasm_dumps.is_empty()
+    }
+
+    /// Count of frames in a given direction.
+    pub fn frame_count(&self, direction: FrameDirection) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, DevtoolsEvent::WebSocketFrame { direction: d, .. } if *d == direction))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_accessors() {
+        let cap = Capture {
+            domain: "x.org".into(),
+            outcome: LoadOutcome::Loaded,
+            finished_at_ms: 1000,
+            events: vec![
+                DevtoolsEvent::WebSocketCreated {
+                    url: "wss://p/".into(),
+                    at_ms: 10,
+                },
+                DevtoolsEvent::WebSocketFrame {
+                    url: "wss://p/".into(),
+                    direction: FrameDirection::Sent,
+                    payload: "{}".into(),
+                    at_ms: 20,
+                },
+                DevtoolsEvent::WebSocketFrame {
+                    url: "wss://p/".into(),
+                    direction: FrameDirection::Received,
+                    payload: "{}".into(),
+                    at_ms: 30,
+                },
+            ],
+            wasm_dumps: vec![vec![0, 1, 2]],
+            final_html: String::new(),
+        };
+        assert_eq!(cap.websocket_urls(), vec!["wss://p/"]);
+        assert!(cap.has_wasm());
+        assert_eq!(cap.frame_count(FrameDirection::Sent), 1);
+        assert_eq!(cap.frame_count(FrameDirection::Received), 1);
+    }
+}

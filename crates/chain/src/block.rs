@@ -1,0 +1,171 @@
+//! Blocks, block ids and PoW evaluation.
+
+use crate::blob::HashingBlob;
+use crate::merkle::block_tree_hash;
+use crate::tx::Transaction;
+use minedig_pow::{check_hash, slow_hash, Difficulty, Variant};
+use minedig_primitives::varint::write_varint;
+use minedig_primitives::Hash32;
+
+/// Block header fields (the parts that are independent of the tx set).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Major block format version.
+    pub major_version: u64,
+    /// Minor version (vote field).
+    pub minor_version: u64,
+    /// Timestamp in seconds.
+    pub timestamp: u64,
+    /// Previous block id.
+    pub prev_id: Hash32,
+    /// Miner-chosen nonce.
+    pub nonce: u32,
+}
+
+/// A full block: header, Coinbase, and the non-Coinbase transactions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Header fields.
+    pub header: BlockHeader,
+    /// The Coinbase (miner reward) transaction.
+    pub miner_tx: Transaction,
+    /// Non-Coinbase transactions included in this block.
+    pub txs: Vec<Transaction>,
+}
+
+impl Block {
+    /// Merkle root over Coinbase + transactions (Monero tree hash).
+    pub fn merkle_root(&self) -> Hash32 {
+        let tx_hashes: Vec<Hash32> = self.txs.iter().map(|t| t.hash()).collect();
+        block_tree_hash(self.miner_tx.hash(), &tx_hashes)
+    }
+
+    /// Total number of transactions including the Coinbase.
+    pub fn tx_count(&self) -> u64 {
+        1 + self.txs.len() as u64
+    }
+
+    /// Builds this block's hashing blob (the PoW input of Figure 1).
+    pub fn hashing_blob(&self) -> HashingBlob {
+        HashingBlob {
+            major_version: self.header.major_version,
+            minor_version: self.header.minor_version,
+            timestamp: self.header.timestamp,
+            prev_id: self.header.prev_id,
+            nonce: self.header.nonce,
+            merkle_root: self.merkle_root(),
+            tx_count: self.tx_count(),
+        }
+    }
+
+    /// Block id: Keccak-256 over the length-prefixed hashing blob, exactly
+    /// Monero's `get_block_hash` construction.
+    pub fn id(&self) -> Hash32 {
+        let blob = self.hashing_blob().to_bytes();
+        let mut prefixed = Vec::with_capacity(blob.len() + 4);
+        write_varint(&mut prefixed, blob.len() as u64);
+        prefixed.extend_from_slice(&blob);
+        Hash32::keccak(&prefixed)
+    }
+
+    /// Evaluates the PoW hash of this block under the given variant.
+    pub fn pow_hash(&self, variant: Variant) -> Hash32 {
+        slow_hash(&self.hashing_blob().to_bytes(), variant)
+    }
+
+    /// True if the block's PoW satisfies `difficulty`.
+    pub fn pow_valid(&self, variant: Variant, difficulty: Difficulty) -> bool {
+        check_hash(&self.pow_hash(variant), difficulty)
+    }
+
+    /// Grinds the nonce until the PoW meets `difficulty`; returns the
+    /// number of attempts. Only sensible with [`Variant::Test`] and small
+    /// difficulties — pool/miner code paths use this in integration tests.
+    pub fn mine(&mut self, variant: Variant, difficulty: Difficulty, max_attempts: u32) -> Option<u32> {
+        for attempt in 0..max_attempts {
+            self.header.nonce = attempt;
+            if self.pow_valid(variant, difficulty) {
+                return Some(attempt + 1);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::MinerTag;
+
+    fn sample_block() -> Block {
+        Block {
+            header: BlockHeader {
+                major_version: 7,
+                minor_version: 7,
+                timestamp: 1_526_342_400,
+                prev_id: Hash32::keccak(b"genesis"),
+                nonce: 0,
+            },
+            miner_tx: Transaction::coinbase(1, 4_000_000, MinerTag::from_label("pool"), vec![]),
+            txs: vec![
+                Transaction::transfer(Hash32::keccak(b"t1")),
+                Transaction::transfer(Hash32::keccak(b"t2")),
+            ],
+        }
+    }
+
+    #[test]
+    fn blob_reflects_block_fields() {
+        let b = sample_block();
+        let blob = b.hashing_blob();
+        assert_eq!(blob.prev_id, b.header.prev_id);
+        assert_eq!(blob.tx_count, 3);
+        assert_eq!(blob.merkle_root, b.merkle_root());
+    }
+
+    #[test]
+    fn id_changes_with_nonce() {
+        let mut b = sample_block();
+        let id0 = b.id();
+        b.header.nonce = 1;
+        assert_ne!(b.id(), id0);
+    }
+
+    #[test]
+    fn id_changes_with_tx_set() {
+        let mut b = sample_block();
+        let id0 = b.id();
+        b.txs.push(Transaction::transfer(Hash32::keccak(b"t3")));
+        assert_ne!(b.id(), id0);
+    }
+
+    #[test]
+    fn coinbase_extra_changes_merkle_root() {
+        // The backend-separation property §4.2 relies on.
+        let mut a = sample_block();
+        let mut b = sample_block();
+        a.miner_tx.extra = vec![1];
+        b.miner_tx.extra = vec![2];
+        assert_ne!(a.merkle_root(), b.merkle_root());
+    }
+
+    #[test]
+    fn mine_finds_nonce_at_low_difficulty() {
+        let mut b = sample_block();
+        let attempts = b.mine(Variant::Test, 4, 1_000).expect("mineable");
+        assert!(attempts >= 1);
+        assert!(b.pow_valid(Variant::Test, 4));
+    }
+
+    #[test]
+    fn mine_gives_up_at_absurd_difficulty() {
+        let mut b = sample_block();
+        assert!(b.mine(Variant::Test, u64::MAX, 4).is_none());
+    }
+
+    #[test]
+    fn pow_valid_at_difficulty_one() {
+        let b = sample_block();
+        assert!(b.pow_valid(Variant::Test, 1));
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! Monero-style blockchain substrate.
+//!
+//! The paper's §4.2 methodology ("associate blocks in a privacy-preserving
+//! blockchain to a mining pool") only works because of concrete Monero
+//! mechanics: the PoW input (the *hashing blob*) embeds the previous block
+//! id and the Merkle root of the block's transactions, the first Merkle
+//! leaf is the pool-specific Coinbase transaction, and difficulty retargets
+//! to hold a two-minute block rate. This crate implements those mechanics:
+//!
+//! * [`tx`] — transactions with Coinbase/transfer kinds and blob hashing,
+//! * [`merkle`] — Monero's exact `tree_hash` algorithm,
+//! * [`blob`] — the block-header/hashing-blob wire format (varint based),
+//! * [`block`] — blocks, block ids and PoW inputs,
+//! * [`emission`] — Monero's block-reward curve `(2^64−1 − supply) >> 19`,
+//! * [`difficulty`] — the windowed, outlier-cutting difficulty adjuster,
+//! * [`chain`] — an in-memory validated chain store,
+//! * [`netsim`] — a statistical whole-network mining simulator that builds
+//!   *real* blocks (real Merkle trees, real Coinbase ownership) while
+//!   sampling block discovery from actor hash rates, so months of chain
+//!   history can be generated in milliseconds of wall-clock time.
+
+pub mod blob;
+pub mod block;
+pub mod chain;
+pub mod difficulty;
+pub mod emission;
+pub mod merkle;
+pub mod netsim;
+pub mod tx;
+
+pub use blob::HashingBlob;
+pub use block::{Block, BlockHeader};
+pub use chain::{Chain, ChainError};
+pub use tx::{Transaction, TxKind};
+
+/// Atomic units per XMR (Monero uses 12 decimal places).
+pub const ATOMIC_PER_XMR: u64 = 1_000_000_000_000;
+
+/// Monero's target block interval in seconds.
+pub const TARGET_BLOCK_TIME: u64 = 120;
+
+/// Blocks per day at the target rate (the paper's "720 blocks/day").
+pub const BLOCKS_PER_DAY: u64 = 86_400 / TARGET_BLOCK_TIME;

@@ -1,0 +1,273 @@
+//! Transactions.
+//!
+//! We model only what the attribution methodology needs: every block
+//! contains a Coinbase transaction as its first Merkle leaf, the Coinbase
+//! names the recipient (a pool or solo miner) and may carry pool-specific
+//! `extra` bytes (Coinhive-style pools put a per-backend extra nonce here,
+//! which is exactly why different backends produce different Merkle roots
+//! for the same height — the effect the paper exploits). Transfer
+//! transactions are opaque payloads; their content is irrelevant to the
+//! methodology but their *hashes* feed the Merkle tree.
+
+use minedig_primitives::varint::{write_varint, ByteReader, VarintError};
+use minedig_primitives::Hash32;
+
+/// Identifies the economic recipient of a Coinbase output.
+///
+/// In real Monero this is a one-time output key; we use a 32-byte tag
+/// derived from the miner identity, which preserves the property the paper
+/// relies on: Coinbase contents differ per miner, so Merkle roots do too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MinerTag(pub [u8; 32]);
+
+impl MinerTag {
+    /// Derives a tag from a human-readable miner/pool identity.
+    pub fn from_label(label: &str) -> MinerTag {
+        MinerTag(Hash32::keccak(label.as_bytes()).0)
+    }
+}
+
+/// Transaction payload kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxKind {
+    /// Coinbase (miner reward) transaction — first leaf of the Merkle tree.
+    Coinbase {
+        /// Height of the block this Coinbase pays for.
+        height: u64,
+        /// Reward in atomic units (base reward + fees).
+        reward: u64,
+        /// Recipient tag.
+        miner: MinerTag,
+    },
+    /// A value transfer; contents abstracted to an opaque payload digest.
+    Transfer {
+        /// Digest standing in for inputs/outputs/signatures.
+        payload: Hash32,
+    },
+}
+
+/// A transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    /// Transaction format version (Monero uses small integers here).
+    pub version: u64,
+    /// Earliest height/time the outputs can be spent (0 = immediately;
+    /// real Coinbases use height + 60).
+    pub unlock_time: u64,
+    /// Payload.
+    pub kind: TxKind,
+    /// Free-form extra field. Pools stuff per-backend nonces in here.
+    pub extra: Vec<u8>,
+}
+
+impl Transaction {
+    /// Builds a Coinbase paying `reward` to `miner` for a block at `height`.
+    pub fn coinbase(height: u64, reward: u64, miner: MinerTag, extra: Vec<u8>) -> Transaction {
+        Transaction {
+            version: 2,
+            unlock_time: height + 60,
+            kind: TxKind::Coinbase {
+                height,
+                reward,
+                miner,
+            },
+            extra,
+        }
+    }
+
+    /// Builds an opaque transfer transaction.
+    pub fn transfer(payload: Hash32) -> Transaction {
+        Transaction {
+            version: 2,
+            unlock_time: 0,
+            kind: TxKind::Transfer { payload },
+            extra: Vec::new(),
+        }
+    }
+
+    /// Serializes the transaction to its blob form.
+    pub fn to_blob(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.extra.len());
+        write_varint(&mut out, self.version);
+        write_varint(&mut out, self.unlock_time);
+        match &self.kind {
+            TxKind::Coinbase {
+                height,
+                reward,
+                miner,
+            } => {
+                out.push(0x01); // kind discriminant: coinbase ("txin_gen")
+                write_varint(&mut out, *height);
+                write_varint(&mut out, *reward);
+                out.extend_from_slice(&miner.0);
+            }
+            TxKind::Transfer { payload } => {
+                out.push(0x02);
+                out.extend_from_slice(&payload.0);
+            }
+        }
+        write_varint(&mut out, self.extra.len() as u64);
+        out.extend_from_slice(&self.extra);
+        out
+    }
+
+    /// Parses a transaction blob.
+    pub fn from_blob(blob: &[u8]) -> Result<Transaction, VarintError> {
+        let mut r = ByteReader::new(blob);
+        let version = r.read_varint()?;
+        let unlock_time = r.read_varint()?;
+        let kind = match r.read_u8()? {
+            0x01 => {
+                let height = r.read_varint()?;
+                let reward = r.read_varint()?;
+                let miner = MinerTag(Hash32::from_slice(r.read_bytes(32)?).0);
+                TxKind::Coinbase {
+                    height,
+                    reward,
+                    miner,
+                }
+            }
+            0x02 => TxKind::Transfer {
+                payload: Hash32::from_slice(r.read_bytes(32)?),
+            },
+            _ => return Err(VarintError::Overflow),
+        };
+        let extra_len = r.read_varint()? as usize;
+        let extra = r.read_bytes(extra_len)?.to_vec();
+        Ok(Transaction {
+            version,
+            unlock_time,
+            kind,
+            extra,
+        })
+    }
+
+    /// Transaction id: Keccak-256 of the blob (Monero's `cn_fast_hash`).
+    pub fn hash(&self) -> Hash32 {
+        Hash32::keccak(&self.to_blob())
+    }
+
+    /// True for Coinbase transactions.
+    pub fn is_coinbase(&self) -> bool {
+        matches!(self.kind, TxKind::Coinbase { .. })
+    }
+
+    /// Reward carried by a Coinbase; `None` for transfers.
+    pub fn coinbase_reward(&self) -> Option<u64> {
+        match self.kind {
+            TxKind::Coinbase { reward, .. } => Some(reward),
+            TxKind::Transfer { .. } => None,
+        }
+    }
+
+    /// Miner tag of a Coinbase; `None` for transfers.
+    pub fn coinbase_miner(&self) -> Option<MinerTag> {
+        match self.kind {
+            TxKind::Coinbase { miner, .. } => Some(miner),
+            TxKind::Transfer { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_coinbase() -> Transaction {
+        Transaction::coinbase(
+            1_600_000,
+            4_480_000_000_000,
+            MinerTag::from_label("coinhive"),
+            vec![0xde, 0xad, 0xbe, 0xef],
+        )
+    }
+
+    #[test]
+    fn coinbase_roundtrip() {
+        let tx = sample_coinbase();
+        let parsed = Transaction::from_blob(&tx.to_blob()).unwrap();
+        assert_eq!(tx, parsed);
+    }
+
+    #[test]
+    fn transfer_roundtrip() {
+        let tx = Transaction::transfer(Hash32::keccak(b"payload"));
+        let parsed = Transaction::from_blob(&tx.to_blob()).unwrap();
+        assert_eq!(tx, parsed);
+    }
+
+    #[test]
+    fn coinbase_accessors() {
+        let tx = sample_coinbase();
+        assert!(tx.is_coinbase());
+        assert_eq!(tx.coinbase_reward(), Some(4_480_000_000_000));
+        assert_eq!(tx.coinbase_miner(), Some(MinerTag::from_label("coinhive")));
+        let t = Transaction::transfer(Hash32::ZERO);
+        assert!(!t.is_coinbase());
+        assert_eq!(t.coinbase_reward(), None);
+        assert_eq!(t.coinbase_miner(), None);
+    }
+
+    #[test]
+    fn extra_bytes_change_hash() {
+        // The property Coinhive-style backends rely on: a different extra
+        // nonce yields a different tx hash, hence a different Merkle root.
+        let mut a = sample_coinbase();
+        let mut b = a.clone();
+        a.extra = vec![1];
+        b.extra = vec![2];
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn miner_tag_is_stable_and_distinct() {
+        assert_eq!(
+            MinerTag::from_label("coinhive"),
+            MinerTag::from_label("coinhive")
+        );
+        assert_ne!(
+            MinerTag::from_label("coinhive"),
+            MinerTag::from_label("supportxmr")
+        );
+    }
+
+    #[test]
+    fn truncated_blob_fails() {
+        let blob = sample_coinbase().to_blob();
+        for cut in [0, 1, 3, blob.len() - 1] {
+            assert!(Transaction::from_blob(&blob[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_kind_fails() {
+        let mut blob = Vec::new();
+        write_varint(&mut blob, 2); // version
+        write_varint(&mut blob, 0); // unlock
+        blob.push(0x7f); // bogus discriminant
+        assert!(Transaction::from_blob(&blob).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_coinbase_roundtrip(
+            height in any::<u64>(),
+            reward in any::<u64>(),
+            label in "[a-z]{1,16}",
+            extra in prop::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let tx = Transaction::coinbase(height, reward, MinerTag::from_label(&label), extra);
+            let parsed = Transaction::from_blob(&tx.to_blob()).unwrap();
+            prop_assert_eq!(tx, parsed);
+        }
+
+        #[test]
+        fn hash_is_injective_on_samples(a in any::<u64>(), b in any::<u64>()) {
+            prop_assume!(a != b);
+            let ta = Transaction::coinbase(a, 1, MinerTag::from_label("x"), vec![]);
+            let tb = Transaction::coinbase(b, 1, MinerTag::from_label("x"), vec![]);
+            prop_assert_ne!(ta.hash(), tb.hash());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Paper-vs-measured reporting used by the reproduction binaries.
+
+/// One compared quantity.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// What is being compared.
+    pub label: String,
+    /// The value the paper reports.
+    pub paper: f64,
+    /// The value this reproduction measured.
+    pub measured: f64,
+}
+
+impl Comparison {
+    /// Builds a comparison row.
+    pub fn new(label: &str, paper: f64, measured: f64) -> Comparison {
+        Comparison {
+            label: label.to_string(),
+            paper,
+            measured,
+        }
+    }
+
+    /// Relative delta in percent (positive = measured higher).
+    pub fn delta_pct(&self) -> f64 {
+        if self.paper == 0.0 {
+            return if self.measured == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        (self.measured - self.paper) / self.paper * 100.0
+    }
+}
+
+/// Renders comparison rows as an aligned text table.
+pub fn comparison_table(title: &str, rows: &[Comparison]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let width = rows
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(10)
+        .max(10);
+    out.push_str(&format!(
+        "{:<width$} {:>14} {:>14} {:>9}\n",
+        "metric", "paper", "measured", "delta"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<width$} {:>14} {:>14} {:>8.1}%\n",
+            r.label,
+            format_value(r.paper),
+            format_value(r.measured),
+            r.delta_pct()
+        ));
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v.abs() >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v.abs() >= 10_000.0 {
+        format!("{:.1}k", v / 1e3)
+    } else if v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders an `(x, count)` series as a text bar chart (log-ish scaling),
+/// used to print figure panels.
+pub fn bar_chart(title: &str, series: &[(String, f64)], max_width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("-- {title} --\n"));
+    let max = series.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+    let label_w = series.iter().map(|(l, _)| l.len()).max().unwrap_or(4);
+    for (label, value) in series {
+        let bar_len = if max > 0.0 {
+            ((value / max) * max_width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} {:>12} |{}\n",
+            format_value(*value),
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_computation() {
+        let c = Comparison::new("x", 100.0, 110.0);
+        assert!((c.delta_pct() - 10.0).abs() < 1e-9);
+        let z = Comparison::new("z", 0.0, 0.0);
+        assert_eq!(z.delta_pct(), 0.0);
+        assert!(Comparison::new("w", 0.0, 1.0).delta_pct().is_infinite());
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = vec![
+            Comparison::new("alpha", 1.0, 1.1),
+            Comparison::new("beta-very-long-label", 2e9, 2.2e9),
+        ];
+        let t = comparison_table("Test", &rows);
+        assert!(t.contains("alpha"));
+        assert!(t.contains("beta-very-long-label"));
+        assert!(t.contains("2.00G"));
+        assert!(t.contains("10.0%"));
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(55_400_000_000.0), "55.40G");
+        assert_eq!(format_value(5_500_000.0), "5.50M");
+        assert_eq!(format_value(85_000.0), "85.0k");
+        assert_eq!(format_value(737.0), "737");
+        assert_eq!(format_value(1.18), "1.18");
+        assert_eq!(format_value(0.0118), "0.0118");
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let series = vec![
+            ("a".to_string(), 10.0),
+            ("bb".to_string(), 5.0),
+            ("ccc".to_string(), 0.0),
+        ];
+        let chart = bar_chart("demo", &series, 20);
+        assert!(chart.contains(&"#".repeat(20)));
+        assert!(chart.contains(&"#".repeat(10)));
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+}

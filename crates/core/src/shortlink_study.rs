@@ -1,0 +1,241 @@
+//! §4.1 as a pipeline: enumerate the link space, compute the Fig 3/4
+//! distributions, resolve the cheap links and categorize destinations.
+
+use minedig_primitives::stats::{top1_share, top_k_for_share, Ecdf, Pow2Histogram};
+use minedig_primitives::DetRng;
+use minedig_shortlink::enumerate::{enumerate_links, Enumeration};
+use minedig_shortlink::model::{LinkPopulation, ModelConfig};
+use minedig_shortlink::resolve::resolve_accounted;
+use minedig_shortlink::service::ShortlinkService;
+use minedig_web::category::Category;
+use std::collections::BTreeMap;
+
+/// Study configuration.
+#[derive(Clone, Debug)]
+pub struct StudyConfig {
+    /// Link model.
+    pub model: ModelConfig,
+    /// Per-link resolution budget (the paper resolved links < 10 K hashes
+    /// from the unbiased dataset).
+    pub resolve_budget: u64,
+    /// Sample size per top-10 user for Table 4 (paper: 1000).
+    pub per_user_sample: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            model: ModelConfig::default(),
+            resolve_budget: 10_000,
+            per_user_sample: 1_000,
+        }
+    }
+}
+
+/// The study's outputs.
+pub struct StudyResult {
+    /// The raw enumeration.
+    pub enumeration: Enumeration,
+    /// Fig 3: links per token, sorted descending.
+    pub links_per_token: Vec<u64>,
+    /// Fig 3 headline: share of links from the single top user.
+    pub top1_share: f64,
+    /// Fig 3 headline: users needed for 85 % of links.
+    pub users_for_85pct: usize,
+    /// Fig 4: histogram of all requirements (biased).
+    pub hist_biased: Pow2Histogram,
+    /// Fig 4: ECDFs over log2(requirement).
+    pub cdf_biased: Ecdf,
+    /// Fig 4: unbiased ECDF.
+    pub cdf_unbiased: Ecdf,
+    /// Fraction of unbiased requirements ≤ 1024.
+    pub unbiased_le_1024: f64,
+    /// Hashes spent resolving the unbiased < budget dataset (the paper's
+    /// 61.5 M figure, scaled).
+    pub hashes_spent: u64,
+    /// Table 4: destination-domain frequencies of the top-10 users'
+    /// samples.
+    pub top10_domains: Vec<(String, f64)>,
+    /// Table 5: category counts of the resolved unbiased set.
+    pub tail_categories: BTreeMap<Category, u64>,
+    /// Table 5: fraction of resolved tail URLs RuleSpace classified.
+    pub tail_classified_fraction: f64,
+}
+
+/// Runs the full §4.1 study.
+pub fn run_study(config: &StudyConfig, seed: u64) -> StudyResult {
+    let population = LinkPopulation::generate(&config.model);
+    let mut service = ShortlinkService::new(population);
+    let enumeration = enumerate_links(&service, 256);
+
+    let links_per_token = enumeration.links_per_token();
+    let top1 = top1_share(&links_per_token);
+    let users85 = top_k_for_share(links_per_token.clone(), 0.85);
+
+    let biased = enumeration.requirements_biased();
+    let unbiased = enumeration.requirements_unbiased();
+    let mut hist = Pow2Histogram::new(63);
+    for &h in &biased {
+        hist.add(h);
+    }
+    let log2 = |v: &u64| (*v as f64).log2();
+    let cdf_biased = Ecdf::new(biased.iter().map(log2).collect());
+    let cdf_unbiased = Ecdf::new(unbiased.iter().map(log2).collect());
+    let le1024 = unbiased.iter().filter(|&&h| h <= 1024).count() as f64 / unbiased.len() as f64;
+
+    // Resolve: (a) the unbiased < budget dataset…
+    let mut seen = std::collections::HashSet::new();
+    let unbiased_codes: Vec<String> = enumeration
+        .docs
+        .iter()
+        .filter(|d| seen.insert((d.token_id, d.required_hashes)))
+        .filter(|d| d.required_hashes < config.resolve_budget)
+        .map(|d| d.code.clone())
+        .collect();
+    let tail_report = resolve_accounted(&mut service, &unbiased_codes, config.resolve_budget);
+
+    // …and (b) a random sample of each top-10 user's links (Table 4).
+    let mut rng = DetRng::seed(seed).derive("shortlink.study.sample");
+    let top_tokens = enumeration.top_tokens(10);
+    let mut top10_codes = Vec::new();
+    for token in &top_tokens {
+        let mut codes: Vec<String> = enumeration
+            .docs
+            .iter()
+            .filter(|d| d.token_id == *token)
+            .map(|d| d.code.clone())
+            .collect();
+        rng.shuffle(&mut codes);
+        codes.truncate(config.per_user_sample);
+        top10_codes.extend(codes);
+    }
+    // Table 4 samples are resolved regardless of cost in the paper's
+    // method (they come from the top users, whose links are cheap).
+    let top10_report = resolve_accounted(&mut service, &top10_codes, u64::MAX);
+    let mut domain_counts: BTreeMap<String, u64> = BTreeMap::new();
+    for (_code, url) in &top10_report.resolved {
+        let domain = url
+            .trim_start_matches("https://")
+            .split('/')
+            .next()
+            .unwrap_or("")
+            .to_string();
+        *domain_counts.entry(domain).or_insert(0) += 1;
+    }
+    let total_top10 = top10_report.resolved.len().max(1) as f64;
+    let mut top10_domains: Vec<(String, f64)> = domain_counts
+        .into_iter()
+        .map(|(d, c)| (d, c as f64 / total_top10))
+        .collect();
+    top10_domains.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    // Table 5: categorize the resolved unbiased ("tail") destinations.
+    // RuleSpace covers roughly two thirds of destination URLs (§4.1).
+    let rulespace_rng = DetRng::seed(seed).derive("shortlink.study.rulespace");
+    let mut tail_categories: BTreeMap<Category, u64> = BTreeMap::new();
+    let mut classified = 0u64;
+    for (code, _url) in &tail_report.resolved {
+        let Some(idx) = minedig_shortlink::ids::code_to_index(code) else {
+            continue;
+        };
+        let Some(link) = service.link(idx) else {
+            continue;
+        };
+        let mut r = rulespace_rng.derive(&link.target_domain);
+        if r.chance(0.67) {
+            classified += 1;
+            for c in &link.target_categories {
+                *tail_categories.entry(*c).or_insert(0) += 1;
+            }
+        }
+    }
+    let tail_classified_fraction = classified as f64 / tail_report.resolved.len().max(1) as f64;
+
+    StudyResult {
+        enumeration,
+        links_per_token,
+        top1_share: top1,
+        users_for_85pct: users85,
+        hist_biased: hist,
+        cdf_biased,
+        cdf_unbiased,
+        unbiased_le_1024: le1024,
+        hashes_spent: tail_report.hashes_spent + top10_report.hashes_spent,
+        top10_domains,
+        tail_categories,
+        tail_classified_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_study() -> StudyResult {
+        run_study(
+            &StudyConfig {
+                model: ModelConfig {
+                    total_links: 30_000,
+                    users: 2_500,
+                    seed: 9,
+                },
+                resolve_budget: 10_000,
+                per_user_sample: 300,
+            },
+            9,
+        )
+    }
+
+    #[test]
+    fn fig3_headlines() {
+        let r = small_study();
+        assert!((0.29..0.38).contains(&r.top1_share), "top1 {}", r.top1_share);
+        assert!((9..=12).contains(&r.users_for_85pct), "users {}", r.users_for_85pct);
+    }
+
+    #[test]
+    fn fig4_shapes() {
+        let r = small_study();
+        // Majority of unbiased requirements resolvable in under a minute.
+        assert!((0.60..0.75).contains(&r.unbiased_le_1024));
+        // Biased CDF at 512 (log2 = 9) is much higher than unbiased (the
+        // heavy-user spike).
+        let b = r.cdf_biased.fraction_at_or_below(9.0);
+        let u = r.cdf_unbiased.fraction_at_or_below(9.0);
+        assert!(b > u + 0.15, "biased {b} vs unbiased {u}");
+        // The infeasible tail exists in both.
+        assert!(r.cdf_biased.max() > 60.0); // log2(1e19) ≈ 63.1
+    }
+
+    #[test]
+    fn table4_is_filesharing_heavy() {
+        let r = small_study();
+        assert!(!r.top10_domains.is_empty());
+        let top: Vec<&str> = r.top10_domains.iter().take(10).map(|(d, _)| d.as_str()).collect();
+        assert!(top.contains(&"youtu.be"), "top domains: {top:?}");
+        // youtu.be leads at ~20 %.
+        assert_eq!(r.top10_domains[0].0, "youtu.be");
+        assert!((0.12..0.28).contains(&r.top10_domains[0].1));
+    }
+
+    #[test]
+    fn table5_is_diverse_and_partially_classified() {
+        let r = small_study();
+        assert!(r.tail_categories.len() >= 10);
+        assert!((0.55..0.8).contains(&r.tail_classified_fraction));
+        // Tech leads the tail categories (Table 5).
+        let max_cat = r
+            .tail_categories
+            .iter()
+            .max_by_key(|(_, &v)| v)
+            .map(|(c, _)| *c)
+            .unwrap();
+        assert_eq!(max_cat, Category::Technology);
+    }
+
+    #[test]
+    fn hash_cost_is_accounted() {
+        let r = small_study();
+        assert!(r.hashes_spent > 100_000, "spent {}", r.hashes_spent);
+    }
+}

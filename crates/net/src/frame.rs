@@ -1,0 +1,143 @@
+//! Length-prefixed message framing over arbitrary byte streams.
+//!
+//! The simplest possible codec — a little-endian `u32` length followed by
+//! the payload — used where WebSocket semantics are not needed (e.g. the
+//! deterministic in-process transports) and as a reference implementation
+//! for the fuzz-style property tests.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Upper bound on a single frame; protects servers from hostile lengths.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Framing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Declared length exceeds [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Appends a frame containing `payload` to `out`.
+pub fn encode_frame(out: &mut BytesMut, payload: &[u8]) {
+    out.reserve(4 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(payload);
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(Some(payload))` and consumes the frame when complete,
+/// `Ok(None)` when more bytes are needed, and an error on an oversized
+/// declared length (the connection should then be dropped).
+pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Vec<u8>>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let payload = buf.split_to(len).to_vec();
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_single() {
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, b"hello");
+        assert_eq!(decode_frame(&mut buf).unwrap(), Some(b"hello".to_vec()));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn empty_payload() {
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, b"");
+        assert_eq!(decode_frame(&mut buf).unwrap(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn partial_header_needs_more() {
+        let mut buf = BytesMut::from(&[1u8, 0][..]);
+        assert_eq!(decode_frame(&mut buf).unwrap(), None);
+        assert_eq!(buf.len(), 2); // untouched
+    }
+
+    #[test]
+    fn partial_body_needs_more() {
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, b"hello");
+        let _ = buf.split_off(6); // keep header + 2 payload bytes
+        assert_eq!(decode_frame(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, b"one");
+        encode_frame(&mut buf, b"two");
+        assert_eq!(decode_frame(&mut buf).unwrap(), Some(b"one".to_vec()));
+        assert_eq!(decode_frame(&mut buf).unwrap(), Some(b"two".to_vec()));
+        assert_eq!(decode_frame(&mut buf).unwrap(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_many(payloads in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 0..256), 0..16)
+        ) {
+            let mut buf = BytesMut::new();
+            for p in &payloads {
+                encode_frame(&mut buf, p);
+            }
+            for p in &payloads {
+                prop_assert_eq!(decode_frame(&mut buf).unwrap(), Some(p.clone()));
+            }
+            prop_assert_eq!(decode_frame(&mut buf).unwrap(), None);
+        }
+
+        #[test]
+        fn byte_at_a_time_delivery(payload in prop::collection::vec(any::<u8>(), 0..128)) {
+            let mut full = BytesMut::new();
+            encode_frame(&mut full, &payload);
+            let mut buf = BytesMut::new();
+            let mut decoded = None;
+            for &b in full.iter() {
+                buf.put_u8(b);
+                if let Some(p) = decode_frame(&mut buf).unwrap() {
+                    decoded = Some(p);
+                }
+            }
+            prop_assert_eq!(decoded, Some(payload));
+        }
+    }
+}

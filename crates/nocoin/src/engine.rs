@@ -1,0 +1,235 @@
+//! The scan engine: extract script URLs from a page, resolve them against
+//! the page's origin, and match the rule list — §3.1's pipeline.
+
+use crate::extract::extract_script_tags;
+use crate::list::{nocoin_rules, LabeledRule, ServiceLabel};
+
+/// One filter hit on a page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FilterHit {
+    /// The (absolute) script URL that matched.
+    pub url: String,
+    /// The rule text.
+    pub rule: String,
+    /// The targeted service.
+    pub label: ServiceLabel,
+}
+
+/// The NoCoin engine: a rule list ready to apply to pages.
+pub struct NoCoinEngine {
+    rules: Vec<LabeledRule>,
+}
+
+impl Default for NoCoinEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NoCoinEngine {
+    /// Engine with the bundled NoCoin snapshot.
+    pub fn new() -> NoCoinEngine {
+        NoCoinEngine {
+            rules: nocoin_rules(),
+        }
+    }
+
+    /// Engine with a custom rule list (ablations, updated lists).
+    pub fn with_rules(rules: Vec<LabeledRule>) -> NoCoinEngine {
+        NoCoinEngine { rules }
+    }
+
+    /// Number of rules loaded.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Resolves a possibly-relative script URL against a page origin.
+    pub fn resolve_url(origin_domain: &str, src: &str) -> String {
+        if src.starts_with("http://") || src.starts_with("https://") {
+            src.to_string()
+        } else if let Some(rest) = src.strip_prefix("//") {
+            format!("https://{rest}")
+        } else if let Some(rest) = src.strip_prefix('/') {
+            format!("https://{origin_domain}/{rest}")
+        } else {
+            format!("https://{origin_domain}/{src}")
+        }
+    }
+
+    /// Scans one page: extracts script tags, matches external script URLs
+    /// and also inline bodies (some list entries are plain substrings that
+    /// match loader snippets — matching both is what an "apply the list to
+    /// the HTML body" pipeline sees).
+    pub fn scan_page(&self, domain: &str, html: &str) -> Vec<FilterHit> {
+        let mut hits = Vec::new();
+        for tag in extract_script_tags(html) {
+            if let Some(src) = &tag.src {
+                let url = Self::resolve_url(domain, src);
+                for lr in &self.rules {
+                    if lr.rule.matches(&url) {
+                        hits.push(FilterHit {
+                            url: url.clone(),
+                            rule: lr.rule.raw.clone(),
+                            label: lr.label,
+                        });
+                    }
+                }
+            }
+            if let Some(inline) = &tag.inline {
+                // Inline loader snippets frequently reference the miner
+                // host (`new CoinHive.Anonymous` + script URL in a string);
+                // match any URL-looking substrings.
+                for url in extract_url_like(inline) {
+                    for lr in &self.rules {
+                        if lr.rule.matches(&url) {
+                            hits.push(FilterHit {
+                                url: url.clone(),
+                                rule: lr.rule.raw.clone(),
+                                label: lr.label,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        hits.dedup_by(|a, b| a.url == b.url && a.rule == b.rule);
+        hits
+    }
+
+    /// Distinct labels that hit on a page (Figure 2 counts a page once
+    /// per script class).
+    pub fn page_labels(&self, domain: &str, html: &str) -> Vec<ServiceLabel> {
+        let mut labels: Vec<ServiceLabel> =
+            self.scan_page(domain, html).iter().map(|h| h.label).collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+}
+
+/// Pulls `http(s)://...` substrings out of inline script text.
+fn extract_url_like(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for start_pat in ["https://", "http://"] {
+        let mut from = 0;
+        while let Some(idx) = text[from..].find(start_pat) {
+            let start = from + idx;
+            let end = text[start..]
+                .find(|c: char| c == '"' || c == '\'' || c == ')' || c.is_whitespace())
+                .map(|i| start + i)
+                .unwrap_or(text.len());
+            out.push(text[start..end].to_string());
+            from = end;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> NoCoinEngine {
+        NoCoinEngine::new()
+    }
+
+    #[test]
+    fn detects_hosted_miner_script_tag() {
+        let html = r#"<html><head>
+            <script src="https://coinhive.com/lib/coinhive.min.js"></script>
+            <script>var miner = new CoinHive.Anonymous('SITE_KEY');miner.start();</script>
+        </head></html>"#;
+        let hits = engine().scan_page("example.com", html);
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.label == ServiceLabel::Coinhive));
+    }
+
+    #[test]
+    fn detects_protocol_relative_and_relative_srcs() {
+        let e = engine();
+        let html = r#"<script src="//coinhive.com/lib/coinhive.min.js"></script>"#;
+        assert!(!e.scan_page("x.org", html).is_empty());
+        // Relative path that matches a path-pattern rule.
+        let html2 = r#"<script src="/wp-content/plugins/wp-monero-miner-pro/js/w.js"></script>"#;
+        let hits = e.scan_page("blog.org", html2);
+        assert_eq!(hits[0].label, ServiceLabel::WpMonero);
+    }
+
+    #[test]
+    fn detects_loader_url_inside_inline_script() {
+        let html = r#"<script>
+            var s = document.createElement('script');
+            s.src = "https://crypto-loot.com/lib/miner.min.js";
+            document.head.appendChild(s);
+        </script>"#;
+        let hits = engine().scan_page("x.org", html);
+        assert_eq!(hits[0].label, ServiceLabel::Cryptoloot);
+    }
+
+    #[test]
+    fn clean_page_has_no_hits() {
+        let html = r#"<html><script src="/js/jquery.min.js"></script>
+            <script>console.log("hello");</script></html>"#;
+        assert!(engine().scan_page("clean.org", html).is_empty());
+    }
+
+    #[test]
+    fn selfhosted_obfuscated_miner_evades() {
+        // The false-negative mechanism behind Table 2.
+        let html = r#"<script src="https://static.example-cdn.net/vendor-bundle.js"></script>"#;
+        assert!(engine().scan_page("sneaky.org", html).is_empty());
+    }
+
+    #[test]
+    fn cpmstar_page_is_a_false_positive() {
+        let html = r#"<script src="https://server.cpmstar.com/cached/view.js"></script>"#;
+        let labels = engine().page_labels("gamesite.org", html);
+        assert_eq!(labels, vec![ServiceLabel::Cpmstar]);
+    }
+
+    #[test]
+    fn page_labels_dedupe() {
+        let html = r#"
+            <script src="https://coinhive.com/lib/coinhive.min.js"></script>
+            <script src="https://coinhive.com/lib/worker.js"></script>
+        "#;
+        let labels = engine().page_labels("x.org", html);
+        assert_eq!(labels, vec![ServiceLabel::Coinhive]);
+    }
+
+    #[test]
+    fn resolve_url_cases() {
+        assert_eq!(
+            NoCoinEngine::resolve_url("a.com", "https://b.com/x.js"),
+            "https://b.com/x.js"
+        );
+        assert_eq!(
+            NoCoinEngine::resolve_url("a.com", "//b.com/x.js"),
+            "https://b.com/x.js"
+        );
+        assert_eq!(
+            NoCoinEngine::resolve_url("a.com", "/x.js"),
+            "https://a.com/x.js"
+        );
+        assert_eq!(
+            NoCoinEngine::resolve_url("a.com", "x.js"),
+            "https://a.com/x.js"
+        );
+    }
+
+    #[test]
+    fn url_extraction_from_inline_text() {
+        let urls = extract_url_like(
+            "load('https://a.com/m.js'); fetch(\"http://b.org/x\") // https://c.io/end",
+        );
+        assert_eq!(
+            urls,
+            vec![
+                "https://a.com/m.js",
+                "https://c.io/end",
+                "http://b.org/x"
+            ]
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Tolerant HTML script-tag extraction (the paper's lxml step).
+//!
+//! Landing pages arrive truncated (the crawler cuts at 256 kB) and are
+//! frequently malformed, so the tokenizer is deliberately forgiving: it
+//! scans for tags, parses attributes with single/double/no quotes, and
+//! treats an unterminated final tag or script body as ending at EOF.
+
+/// A `<script>` tag found in a page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScriptTag {
+    /// `src` attribute, if present (external script).
+    pub src: Option<String>,
+    /// Inline body, if no `src` (or both, for malformed pages).
+    pub inline: Option<String>,
+}
+
+/// Extracts all script tags from `html`.
+pub fn extract_script_tags(html: &str) -> Vec<ScriptTag> {
+    let bytes = html.as_bytes();
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while let Some(open) = find_ci(bytes, pos, b"<script") {
+        // Make sure it's `<script` followed by whitespace, '>' or '/'.
+        let after = open + 7;
+        match bytes.get(after) {
+            Some(b) if b.is_ascii_whitespace() || *b == b'>' || *b == b'/' => {}
+            None => break,
+            Some(_) => {
+                pos = after;
+                continue;
+            }
+        }
+        // Parse attributes up to the closing '>'.
+        let tag_end = match bytes[after..].iter().position(|&b| b == b'>') {
+            Some(i) => after + i,
+            None => break, // truncated inside the tag
+        };
+        let attr_text = &html[after..tag_end];
+        let src = parse_attr(attr_text, "src");
+        let self_closing = attr_text.trim_end().ends_with('/');
+
+        if self_closing {
+            out.push(ScriptTag { src, inline: None });
+            pos = tag_end + 1;
+            continue;
+        }
+        // Body runs until </script> (case-insensitive) or EOF.
+        let body_start = tag_end + 1;
+        let (body_end, next_pos) = match find_ci(bytes, body_start, b"</script") {
+            Some(close) => {
+                let close_end = bytes[close..]
+                    .iter()
+                    .position(|&b| b == b'>')
+                    .map(|i| close + i + 1)
+                    .unwrap_or(bytes.len());
+                (close, close_end)
+            }
+            None => (bytes.len(), bytes.len()),
+        };
+        let body = html[body_start..body_end].trim();
+        out.push(ScriptTag {
+            src,
+            inline: if body.is_empty() {
+                None
+            } else {
+                Some(body.to_string())
+            },
+        });
+        pos = next_pos;
+    }
+    out
+}
+
+/// Case-insensitive substring search starting at `from`.
+fn find_ci(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w.eq_ignore_ascii_case(needle))
+        .map(|i| from + i)
+}
+
+/// Parses an attribute value out of a tag's attribute text.
+fn parse_attr(attrs: &str, name: &str) -> Option<String> {
+    let lower = attrs.to_ascii_lowercase();
+    let mut search = 0;
+    loop {
+        let idx = lower[search..].find(name)? + search;
+        // Must be a word boundary before the attr name.
+        let before_ok = idx == 0
+            || lower.as_bytes()[idx - 1].is_ascii_whitespace()
+            || lower.as_bytes()[idx - 1] == b'\'' // pathological but seen
+            || lower.as_bytes()[idx - 1] == b'"';
+        let after = idx + name.len();
+        let rest = lower[after..].trim_start();
+        if before_ok && rest.starts_with('=') {
+            // Found `name =`; extract value from the original-case text.
+            let eq_offset = after + (lower[after..].len() - rest.len());
+            let value_text = attrs[eq_offset + 1..].trim_start();
+            return Some(match value_text.chars().next() {
+                Some(q @ ('"' | '\'')) => value_text[1..]
+                    .split(q)
+                    .next()
+                    .unwrap_or("")
+                    .to_string(),
+                _ => value_text
+                    .split(|c: char| c.is_ascii_whitespace() || c == '>')
+                    .next()
+                    .unwrap_or("")
+                    .to_string(),
+            });
+        }
+        search = after;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn extracts_external_script() {
+        let tags = extract_script_tags(
+            r#"<html><head><script src="https://coinhive.com/lib/coinhive.min.js"></script></head></html>"#,
+        );
+        assert_eq!(tags.len(), 1);
+        assert_eq!(
+            tags[0].src.as_deref(),
+            Some("https://coinhive.com/lib/coinhive.min.js")
+        );
+        assert_eq!(tags[0].inline, None);
+    }
+
+    #[test]
+    fn extracts_inline_script() {
+        let tags = extract_script_tags("<script>var miner = new CoinHive.Anonymous('KEY');</script>");
+        assert_eq!(tags.len(), 1);
+        assert!(tags[0].inline.as_deref().unwrap().contains("CoinHive"));
+    }
+
+    #[test]
+    fn mixed_quotes_and_case() {
+        let tags = extract_script_tags(
+            "<SCRIPT SRC='/js/app.js'></SCRIPT><script src=plain.js async></script>",
+        );
+        assert_eq!(tags.len(), 2);
+        assert_eq!(tags[0].src.as_deref(), Some("/js/app.js"));
+        assert_eq!(tags[1].src.as_deref(), Some("plain.js"));
+    }
+
+    #[test]
+    fn self_closing_script() {
+        let tags = extract_script_tags(r#"<script src="a.js"/><p>hi</p>"#);
+        assert_eq!(tags.len(), 1);
+        assert_eq!(tags[0].src.as_deref(), Some("a.js"));
+    }
+
+    #[test]
+    fn truncated_page_keeps_open_script() {
+        // The 256 kB cut can land inside a script body.
+        let tags = extract_script_tags("<script>var x = 'cut off he");
+        assert_eq!(tags.len(), 1);
+        assert!(tags[0].inline.as_deref().unwrap().starts_with("var x"));
+    }
+
+    #[test]
+    fn truncated_inside_tag_is_dropped() {
+        let tags = extract_script_tags("<p>hello</p><script src=\"a.js");
+        assert!(tags.is_empty());
+    }
+
+    #[test]
+    fn ignores_script_like_words() {
+        let tags = extract_script_tags("<p>my scripture <scripty></scripty></p>");
+        assert!(tags.is_empty());
+    }
+
+    #[test]
+    fn multiple_scripts_in_order() {
+        let tags = extract_script_tags(
+            "<script src=1.js></script><script>inline()</script><script src=2.js></script>",
+        );
+        assert_eq!(tags.len(), 3);
+        assert_eq!(tags[0].src.as_deref(), Some("1.js"));
+        assert_eq!(tags[1].inline.as_deref(), Some("inline()"));
+        assert_eq!(tags[2].src.as_deref(), Some("2.js"));
+    }
+
+    #[test]
+    fn attr_parser_ignores_lookalike_attrs() {
+        let tags = extract_script_tags(r#"<script data-src="no.js" src="yes.js"></script>"#);
+        assert_eq!(tags[0].src.as_deref(), Some("yes.js"));
+    }
+
+    #[test]
+    fn empty_and_markup_free_inputs() {
+        assert!(extract_script_tags("").is_empty());
+        assert!(extract_script_tags("plain text only").is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn tokenizer_never_panics(s in "\\PC{0,400}") {
+            let _ = extract_script_tags(&s);
+        }
+
+        #[test]
+        fn tokenizer_never_panics_with_script_fragments(
+            pre in "\\PC{0,40}", src in "[a-z./]{0,20}", post in "\\PC{0,40}"
+        ) {
+            let html = format!("{pre}<script src=\"{src}\">{post}");
+            let _ = extract_script_tags(&html);
+        }
+
+        #[test]
+        fn finds_planted_script(src in "[a-z0-9./:-]{1,40}") {
+            let html = format!("<html><script src=\"{src}\"></script></html>");
+            let tags = extract_script_tags(&html);
+            prop_assert_eq!(tags.len(), 1);
+            prop_assert_eq!(tags[0].src.as_deref(), Some(src.as_str()));
+        }
+    }
+}

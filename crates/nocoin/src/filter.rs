@@ -1,0 +1,298 @@
+//! Adblock-Plus blocking-rule syntax and URL matching.
+//!
+//! Supports the subset the NoCoin list actually uses: host anchors
+//! (`||example.com^`), start/end anchors (`|`), wildcards (`*`),
+//! separator placeholders (`^`), comments (`!`), and `$` option suffixes
+//! (options are parsed and recorded; the `script` / `third-party` options
+//! don't change matching for our script-URL workload, where every matched
+//! URL *is* a third-party script request).
+
+/// A parsed blocking rule.
+///
+/// ```
+/// use minedig_nocoin::Rule;
+///
+/// let rule = Rule::parse("||coinhive.com^").unwrap();
+/// assert!(rule.matches("https://coinhive.com/lib/coinhive.min.js"));
+/// assert!(!rule.matches("https://example.org/assets/app.js"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// Original rule text.
+    pub raw: String,
+    /// Pattern tokens.
+    tokens: Vec<Token>,
+    /// Anchored at URL start (`|...`)?
+    start_anchor: bool,
+    /// Host-anchored (`||...`)?
+    host_anchor: bool,
+    /// Anchored at URL end (`...|`)?
+    end_anchor: bool,
+    /// Raw `$` options, lowercased.
+    pub options: Vec<String>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    /// Literal text (lowercased; URL matching is case-insensitive).
+    Literal(String),
+    /// `*` — any run of characters.
+    Wildcard,
+    /// `^` — a separator character or the URL end.
+    Separator,
+}
+
+fn is_separator(c: u8) -> bool {
+    !(c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b'%'))
+}
+
+impl Rule {
+    /// Parses one list line. Returns `None` for comments, element-hiding
+    /// rules, exception rules and blank lines (none of which the NoCoin
+    /// scan pipeline needs).
+    pub fn parse(line: &str) -> Option<Rule> {
+        let line = line.trim();
+        if line.is_empty()
+            || line.starts_with('!')
+            || line.starts_with("[Adblock")
+            || line.contains("##")
+            || line.contains("#@#")
+            || line.starts_with("@@")
+        {
+            return None;
+        }
+        let (pattern, options) = match line.rfind('$') {
+            // A `$` in the middle of a regex-ish pattern is unlikely in
+            // NoCoin; treat the suffix after the last `$` as options when
+            // it looks like an option list.
+            Some(idx) if looks_like_options(&line[idx + 1..]) => (
+                &line[..idx],
+                line[idx + 1..]
+                    .split(',')
+                    .map(|s| s.trim().to_ascii_lowercase())
+                    .collect(),
+            ),
+            _ => (line, Vec::new()),
+        };
+
+        let mut pattern = pattern;
+        let mut host_anchor = false;
+        let mut start_anchor = false;
+        let mut end_anchor = false;
+        if let Some(rest) = pattern.strip_prefix("||") {
+            host_anchor = true;
+            pattern = rest;
+        } else if let Some(rest) = pattern.strip_prefix('|') {
+            start_anchor = true;
+            pattern = rest;
+        }
+        if let Some(rest) = pattern.strip_suffix('|') {
+            end_anchor = true;
+            pattern = rest;
+        }
+
+        let mut tokens = Vec::new();
+        let mut literal = String::new();
+        for c in pattern.chars() {
+            match c {
+                '*' => {
+                    if !literal.is_empty() {
+                        tokens.push(Token::Literal(std::mem::take(&mut literal)));
+                    }
+                    if tokens.last() != Some(&Token::Wildcard) {
+                        tokens.push(Token::Wildcard);
+                    }
+                }
+                '^' => {
+                    if !literal.is_empty() {
+                        tokens.push(Token::Literal(std::mem::take(&mut literal)));
+                    }
+                    tokens.push(Token::Separator);
+                }
+                c => literal.extend(c.to_lowercase()),
+            }
+        }
+        if !literal.is_empty() {
+            tokens.push(Token::Literal(literal));
+        }
+        if tokens.is_empty() {
+            return None;
+        }
+        Some(Rule {
+            raw: line.to_string(),
+            tokens,
+            start_anchor,
+            host_anchor,
+            end_anchor,
+            options,
+        })
+    }
+
+    /// Whether the rule matches `url` (case-insensitive).
+    pub fn matches(&self, url: &str) -> bool {
+        let url = url.to_ascii_lowercase();
+        let bytes = url.as_bytes();
+        if self.host_anchor {
+            // Match must start at the beginning of the host or at a dot
+            // boundary within it.
+            let host_start = match url.find("://") {
+                Some(i) => i + 3,
+                None => 0,
+            };
+            let host_end = url[host_start..]
+                .find(['/', '?', ':'])
+                .map(|i| host_start + i)
+                .unwrap_or(url.len());
+            let mut starts = vec![host_start];
+            for (i, &b) in bytes[host_start..host_end].iter().enumerate() {
+                if b == b'.' {
+                    starts.push(host_start + i + 1);
+                }
+            }
+            starts
+                .into_iter()
+                .any(|s| self.match_tokens_at(bytes, s, 0, self.end_anchor))
+        } else if self.start_anchor {
+            self.match_tokens_at(bytes, 0, 0, self.end_anchor)
+        } else {
+            (0..=bytes.len()).any(|s| self.match_tokens_at(bytes, s, 0, self.end_anchor))
+        }
+    }
+
+    fn match_tokens_at(&self, url: &[u8], pos: usize, token_idx: usize, to_end: bool) -> bool {
+        if token_idx == self.tokens.len() {
+            return !to_end || pos == url.len();
+        }
+        match &self.tokens[token_idx] {
+            Token::Literal(lit) => {
+                let lit = lit.as_bytes();
+                if url.len() < pos + lit.len() || &url[pos..pos + lit.len()] != lit {
+                    return false;
+                }
+                self.match_tokens_at(url, pos + lit.len(), token_idx + 1, to_end)
+            }
+            Token::Separator => {
+                if pos == url.len() {
+                    // `^` matches the end of the URL.
+                    token_idx + 1 == self.tokens.len()
+                } else if is_separator(url[pos]) {
+                    self.match_tokens_at(url, pos + 1, token_idx + 1, to_end)
+                } else {
+                    false
+                }
+            }
+            Token::Wildcard => (pos..=url.len())
+                .any(|next| self.match_tokens_at(url, next, token_idx + 1, to_end)),
+        }
+    }
+}
+
+fn looks_like_options(s: &str) -> bool {
+    !s.is_empty()
+        && s.split(',').all(|opt| {
+            let opt = opt.trim().trim_start_matches('~');
+            matches!(
+                opt,
+                "script" | "image" | "stylesheet" | "object" | "xmlhttprequest" | "subdocument"
+                    | "document" | "websocket" | "third-party" | "first-party" | "important"
+                    | "popup" | "other"
+            ) || opt.starts_with("domain=")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(s: &str) -> Rule {
+        Rule::parse(s).expect("rule should parse")
+    }
+
+    #[test]
+    fn host_anchor_matches_domain_and_subdomain() {
+        let r = rule("||coinhive.com^");
+        assert!(r.matches("https://coinhive.com/lib/coinhive.min.js"));
+        assert!(r.matches("https://www.coinhive.com/lib/x.js"));
+        assert!(r.matches("http://cdn.coinhive.com/"));
+        assert!(!r.matches("https://notcoinhive.com/lib.js"));
+        assert!(!r.matches("https://coinhive.com.evil.org/x.js"));
+    }
+
+    #[test]
+    fn separator_semantics() {
+        let r = rule("||coinhive.com^");
+        assert!(r.matches("https://coinhive.com")); // ^ matches end
+        assert!(r.matches("https://coinhive.com:8080/x")); // ':' is a separator
+        assert!(!r.matches("https://coinhive.community/x")); // 'm' is not
+    }
+
+    #[test]
+    fn plain_substring_rule() {
+        let r = rule("coinhive.min.js");
+        assert!(r.matches("https://example.org/static/coinhive.min.js"));
+        assert!(!r.matches("https://example.org/static/other.js"));
+    }
+
+    #[test]
+    fn wildcard_rule() {
+        let r = rule("/wp-monero-miner*/js/");
+        assert!(r.matches("https://blog.example/wp-content/plugins/wp-monero-miner-pro/js/worker.js"));
+        assert!(!r.matches("https://blog.example/wp-content/plugins/other/js/worker.js"));
+    }
+
+    #[test]
+    fn start_and_end_anchors() {
+        let r = rule("|https://pool.");
+        assert!(r.matches("https://pool.minexmr.com/"));
+        assert!(!r.matches("http://mirror.example/?u=https://pool.minexmr.com/"));
+        let r = rule("miner.js|");
+        assert!(r.matches("https://x.example/miner.js"));
+        assert!(!r.matches("https://x.example/miner.js?v=2"));
+    }
+
+    #[test]
+    fn options_are_parsed_not_matched_on() {
+        let r = rule("||cpmstar.com^$script,third-party");
+        assert_eq!(r.options, vec!["script", "third-party"]);
+        assert!(r.matches("https://server.cpmstar.com/cached/view.js"));
+    }
+
+    #[test]
+    fn comments_and_cosmetic_rules_skipped() {
+        assert!(Rule::parse("! NoCoin adblock list").is_none());
+        assert!(Rule::parse("").is_none());
+        assert!(Rule::parse("example.com##.ad-banner").is_none());
+        assert!(Rule::parse("@@||goodsite.com^").is_none());
+        assert!(Rule::parse("[Adblock Plus 2.0]").is_none());
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        let r = rule("||CoinHive.com^");
+        assert!(r.matches("HTTPS://COINHIVE.COM/LIB/COINHIVE.MIN.JS"));
+    }
+
+    #[test]
+    fn dollar_in_path_does_not_eat_pattern() {
+        // "$" followed by a non-option suffix stays part of the pattern.
+        let r = rule("/jquery$custom.js");
+        assert!(r.matches("https://x.example/jquery$custom.js"));
+    }
+
+    #[test]
+    fn repeated_wildcards_collapse() {
+        let r = rule("a**b");
+        assert!(r.matches("https://x/aXXb"));
+        assert!(r.matches("https://x/ab"));
+    }
+
+    #[test]
+    fn deep_wildcards_terminate() {
+        // Pathological patterns must not blow the stack or run forever.
+        let r = rule("*a*a*a*a*a*a*");
+        let url = format!("https://x/{}", "b".repeat(200));
+        assert!(!r.matches(&url));
+        let url2 = format!("https://x/{}", "a".repeat(50));
+        assert!(r.matches(&url2));
+    }
+}

@@ -1,0 +1,177 @@
+//! A snapshot of 2018-era NoCoin rules, each tagged with the service it
+//! targets.
+//!
+//! Mirrors the structure (and the blind spots) of the real
+//! `hoshsadiq/adblock-nocoin-list` as of the paper's measurement window:
+//! the list names the *hosted* miner endpoints — `coinhive.com`,
+//! `authedmine.com`, `crypto-loot.com`, the WordPress plugin paths — but
+//! cannot name self-hosted or obfuscated copies, which is precisely why
+//! the paper's Wasm fingerprinting finds up to 5.7× more miners (Table 2).
+//! It also contains the over-broad entries responsible for the paper's
+//! false positives (the `cpmstar` gaming ad network, §3.1).
+
+use crate::filter::Rule;
+
+/// Service labels used in Figure 2's legend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ServiceLabel {
+    /// Coinhive (`coinhive.com`, `coin-hive.com`, cnhv short links).
+    Coinhive,
+    /// Authedmine, Coinhive's opt-in variant.
+    Authedmine,
+    /// The wp-monero-miner WordPress plugin.
+    WpMonero,
+    /// Crypto-Loot.
+    Cryptoloot,
+    /// cpmstar — a gaming ad network; a known false positive of the list.
+    Cpmstar,
+    /// The 2011 jsMiner (Bitcoin).
+    JsMiner,
+    /// Anything else on the list.
+    Other,
+}
+
+impl ServiceLabel {
+    /// Label as printed in Figure 2.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServiceLabel::Coinhive => "coinhive",
+            ServiceLabel::Authedmine => "authedmine",
+            ServiceLabel::WpMonero => "wp-monero",
+            ServiceLabel::Cryptoloot => "cryptoloot",
+            ServiceLabel::Cpmstar => "cpmstar",
+            ServiceLabel::JsMiner => "jsminer",
+            ServiceLabel::Other => "other",
+        }
+    }
+}
+
+/// A rule plus the service it targets.
+#[derive(Clone, Debug)]
+pub struct LabeledRule {
+    /// The parsed rule.
+    pub rule: Rule,
+    /// The targeted service.
+    pub label: ServiceLabel,
+}
+
+/// The rule snapshot: `(pattern, label)` pairs.
+const SNAPSHOT: &[(&str, ServiceLabel)] = &[
+    // Coinhive and mirrors.
+    ("||coinhive.com^", ServiceLabel::Coinhive),
+    ("||coin-hive.com^", ServiceLabel::Coinhive),
+    ("||cnhv.co^", ServiceLabel::Coinhive),
+    ("||coinhive-proxy.party^", ServiceLabel::Coinhive),
+    ("coinhive.min.js", ServiceLabel::Coinhive),
+    // Authedmine (opt-in Coinhive).
+    ("||authedmine.com^", ServiceLabel::Authedmine),
+    ("authedmine.min.js", ServiceLabel::Authedmine),
+    // WordPress plugin paths.
+    ("/wp-monero-miner*", ServiceLabel::WpMonero),
+    ("/wp-content/plugins/wp-monero-miner-pro*", ServiceLabel::WpMonero),
+    // Crypto-Loot.
+    ("||crypto-loot.com^", ServiceLabel::Cryptoloot),
+    ("||cryptaloot.pro^", ServiceLabel::Cryptoloot),
+    ("||cryptoloot.pro^", ServiceLabel::Cryptoloot),
+    ("crypta.js", ServiceLabel::Cryptoloot),
+    // The cpmstar ad network — the list's known false positive.
+    ("||cpmstar.com^$script", ServiceLabel::Cpmstar),
+    // Legacy jsMiner.
+    ("jsminer.js", ServiceLabel::JsMiner),
+    ("||bitp.it^", ServiceLabel::JsMiner),
+    // A tail of smaller services (Figure 2's "other").
+    ("||coinerra.com^", ServiceLabel::Other),
+    ("||coin-have.com^", ServiceLabel::Other),
+    ("||minero.pw^", ServiceLabel::Other),
+    ("||minero-proxy*.sh^", ServiceLabel::Other),
+    ("||miner.pr0gramm.com^", ServiceLabel::Other),
+    ("||minemytraffic.com^", ServiceLabel::Other),
+    ("||ppoi.org^", ServiceLabel::Other),
+    ("||projectpoi.com^", ServiceLabel::Other),
+    ("||jsecoin.com^", ServiceLabel::Other),
+    ("||webmine.cz^", ServiceLabel::Other),
+    ("||monerominer.rocks^", ServiceLabel::Other),
+    ("||coinblind.com^", ServiceLabel::Other),
+    ("||coinnebula.com^", ServiceLabel::Other),
+    ("||cloudcoins.co^", ServiceLabel::Other),
+    ("||afminer.com^", ServiceLabel::Other),
+    ("||coinimp.com^", ServiceLabel::Other),
+    ("||hashing.win^", ServiceLabel::Other),
+    ("||mineralt.io^", ServiceLabel::Other),
+    ("||gridcash.net^", ServiceLabel::Other),
+    ("deepminer.js", ServiceLabel::Other),
+    ("deepMiner.js", ServiceLabel::Other),
+    ("perfekt.js", ServiceLabel::Other),
+];
+
+/// Parses the snapshot into labeled rules.
+pub fn nocoin_rules() -> Vec<LabeledRule> {
+    SNAPSHOT
+        .iter()
+        .map(|(pattern, label)| LabeledRule {
+            rule: Rule::parse(pattern).expect("snapshot rules parse"),
+            label: *label,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_parses_fully() {
+        let rules = nocoin_rules();
+        assert_eq!(rules.len(), SNAPSHOT.len());
+        assert!(rules.len() > 30);
+    }
+
+    #[test]
+    fn hosted_coinhive_is_caught() {
+        let rules = nocoin_rules();
+        let url = "https://coinhive.com/lib/coinhive.min.js";
+        let hit = rules.iter().find(|r| r.rule.matches(url)).unwrap();
+        assert_eq!(hit.label, ServiceLabel::Coinhive);
+    }
+
+    #[test]
+    fn selfhosted_copy_evades_the_list() {
+        // The list's structural blind spot: a renamed, self-hosted copy.
+        let rules = nocoin_rules();
+        let url = "https://cdn.example-statics.net/assets/app-vendor.js";
+        assert!(rules.iter().all(|r| !r.rule.matches(url)));
+    }
+
+    #[test]
+    fn cpmstar_false_positive_present() {
+        let rules = nocoin_rules();
+        let url = "https://server.cpmstar.com/cached/view.js";
+        let hit = rules.iter().find(|r| r.rule.matches(url)).unwrap();
+        assert_eq!(hit.label, ServiceLabel::Cpmstar);
+    }
+
+    #[test]
+    fn every_label_has_at_least_one_rule() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = nocoin_rules().iter().map(|r| r.label).collect();
+        for l in [
+            ServiceLabel::Coinhive,
+            ServiceLabel::Authedmine,
+            ServiceLabel::WpMonero,
+            ServiceLabel::Cryptoloot,
+            ServiceLabel::Cpmstar,
+            ServiceLabel::JsMiner,
+            ServiceLabel::Other,
+        ] {
+            assert!(labels.contains(&l), "missing label {l:?}");
+        }
+    }
+
+    #[test]
+    fn wp_monero_path_rule_matches_plugin_layout() {
+        let rules = nocoin_rules();
+        let url = "https://myblog.org/wp-content/plugins/wp-monero-miner-using-your-browser/js/worker.js";
+        let hit = rules.iter().find(|r| r.rule.matches(url)).unwrap();
+        assert_eq!(hit.label, ServiceLabel::WpMonero);
+    }
+}

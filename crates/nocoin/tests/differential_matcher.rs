@@ -1,0 +1,190 @@
+//! Differential testing of the filter engine: the production matcher vs
+//! an independently-written naive reference.
+//!
+//! The reference compiles a rule to a plain regex-free predicate using a
+//! different algorithm (explicit NFA-style state set over the URL) and
+//! must agree with the production recursive matcher on every (rule, URL)
+//! pair the generator produces.
+
+use minedig_nocoin::Rule;
+use proptest::prelude::*;
+
+/// Reference matcher: simulate the token list as an NFA over URL
+/// positions (no recursion, no early exits — deliberately different code
+/// shape from the production matcher).
+fn reference_matches(pattern: &str, url: &str) -> Option<bool> {
+    // Re-parse the raw pattern the same way Rule::parse does, but into a
+    // local token list.
+    #[derive(Clone, PartialEq)]
+    enum Tok {
+        Lit(Vec<u8>),
+        Star,
+        Sep,
+    }
+    let mut pat = pattern;
+    let mut host_anchor = false;
+    let mut start_anchor = false;
+    let mut end_anchor = false;
+    if let Some(rest) = pat.strip_prefix("||") {
+        host_anchor = true;
+        pat = rest;
+    } else if let Some(rest) = pat.strip_prefix('|') {
+        start_anchor = true;
+        pat = rest;
+    }
+    if let Some(rest) = pat.strip_suffix('|') {
+        end_anchor = true;
+        pat = rest;
+    }
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut lit = Vec::new();
+    for c in pat.to_ascii_lowercase().bytes() {
+        match c {
+            b'*' => {
+                if !lit.is_empty() {
+                    toks.push(Tok::Lit(std::mem::take(&mut lit)));
+                }
+                if toks.last() != Some(&Tok::Star) {
+                    toks.push(Tok::Star);
+                }
+            }
+            b'^' => {
+                if !lit.is_empty() {
+                    toks.push(Tok::Lit(std::mem::take(&mut lit)));
+                }
+                toks.push(Tok::Sep);
+            }
+            c => lit.push(c),
+        }
+    }
+    if !lit.is_empty() {
+        toks.push(Tok::Lit(lit));
+    }
+    if toks.is_empty() {
+        return None; // Rule::parse also rejects empty patterns
+    }
+
+    let url = url.to_ascii_lowercase();
+    let bytes = url.as_bytes();
+    let is_sep =
+        |c: u8| !(c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b'%'));
+
+    // Match from a fixed start position via breadth-first state sets.
+    let match_from = |start: usize| -> bool {
+        // State: (token index, url position). Seed with (0, start).
+        let mut states = vec![(0usize, start)];
+        let mut seen = std::collections::HashSet::new();
+        while let Some((ti, pos)) = states.pop() {
+            if !seen.insert((ti, pos)) {
+                continue;
+            }
+            if ti == toks.len() {
+                if !end_anchor || pos == bytes.len() {
+                    return true;
+                }
+                continue;
+            }
+            match &toks[ti] {
+                Tok::Lit(l) => {
+                    if bytes.len() >= pos + l.len() && bytes[pos..pos + l.len()] == l[..] {
+                        states.push((ti + 1, pos + l.len()));
+                    }
+                }
+                Tok::Sep => {
+                    if pos == bytes.len() {
+                        if ti + 1 == toks.len() {
+                            return true;
+                        }
+                    } else if is_sep(bytes[pos]) {
+                        states.push((ti + 1, pos + 1));
+                    }
+                }
+                Tok::Star => {
+                    for next in pos..=bytes.len() {
+                        states.push((ti + 1, next));
+                    }
+                }
+            }
+        }
+        false
+    };
+
+    let result = if host_anchor {
+        let host_start = url.find("://").map(|i| i + 3).unwrap_or(0);
+        let host_end = url[host_start..]
+            .find(['/', '?', ':'])
+            .map(|i| host_start + i)
+            .unwrap_or(url.len());
+        let mut starts = vec![host_start];
+        for (i, &b) in bytes[host_start..host_end].iter().enumerate() {
+            if b == b'.' {
+                starts.push(host_start + i + 1);
+            }
+        }
+        starts.into_iter().any(match_from)
+    } else if start_anchor {
+        match_from(0)
+    } else {
+        (0..=bytes.len()).any(match_from)
+    };
+    Some(result)
+}
+
+fn arb_pattern() -> impl Strategy<Value = String> {
+    // Patterns from NoCoin-like fragments: hosts, paths, wildcards, seps.
+    let fragment = prop_oneof![
+        Just("coinhive".to_string()),
+        Just("coin".to_string()),
+        Just("miner".to_string()),
+        Just(".com".to_string()),
+        Just(".js".to_string()),
+        Just("/lib/".to_string()),
+        Just("a".to_string()),
+        Just("xy".to_string()),
+        Just("*".to_string()),
+        Just("^".to_string()),
+    ];
+    (
+        prop_oneof![Just(""), Just("|"), Just("||")],
+        prop::collection::vec(fragment, 1..5),
+        prop_oneof![Just(""), Just("|")],
+    )
+        .prop_map(|(prefix, frags, suffix)| format!("{prefix}{}{suffix}", frags.concat()))
+}
+
+fn arb_url() -> impl Strategy<Value = String> {
+    let host = prop_oneof![
+        Just("coinhive.com".to_string()),
+        Just("www.coinhive.com".to_string()),
+        Just("notcoinhive.com".to_string()),
+        Just("example.org".to_string()),
+        Just("miner.example.org".to_string()),
+    ];
+    let path = prop_oneof![
+        Just("/lib/coinhive.min.js".to_string()),
+        Just("/a/xy.js".to_string()),
+        Just("/".to_string()),
+        Just("".to_string()),
+        Just("/coinminer/a".to_string()),
+    ];
+    (prop_oneof![Just("https"), Just("http")], host, path)
+        .prop_map(|(scheme, host, path)| format!("{scheme}://{host}{path}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn production_matcher_agrees_with_reference(pattern in arb_pattern(), url in arb_url()) {
+        let production = Rule::parse(&pattern).map(|r| r.matches(&url));
+        let reference = reference_matches(&pattern, &url);
+        match (production, reference) {
+            (Some(p), Some(r)) => prop_assert_eq!(p, r, "pattern {:?} url {:?}", pattern, url),
+            (None, None) => {}
+            // Rule::parse may reject inputs the reference accepts (e.g.
+            // option suffixes); only flag disagreement when both parse.
+            (None, Some(_)) => {}
+            (Some(_), None) => prop_assert!(false, "reference rejected {:?}", pattern),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Share accounting and the 70/30 revenue split.
+//!
+//! §4: *"Eventually, Coinhive pays their users 70% of the block reward and
+//! keeps the remaining 30%."* Each accepted share credits its difficulty
+//! as "hashes"; when the pool wins a block, the user share of the reward
+//! is distributed pro-rata over the hashes credited since the previous
+//! block (a PPLNS-flavoured scheme — the real Coinhive paid per-hash at a
+//! posted rate, which averages out to the same split; see DESIGN.md).
+
+use crate::protocol::Token;
+use std::collections::HashMap;
+
+/// Per-token and pool-level balances.
+#[derive(Debug, Default, Clone)]
+pub struct Ledger {
+    /// Hashes credited since the last distributed block.
+    pending_hashes: HashMap<Token, u64>,
+    /// Lifetime hashes credited, per token.
+    lifetime_hashes: HashMap<Token, u64>,
+    /// Paid-out balances in atomic units.
+    balances: HashMap<Token, u64>,
+    /// The pool's accumulated fee take, in atomic units.
+    pool_balance: u64,
+    /// Shares accepted / rejected counters.
+    accepted: u64,
+    rejected: u64,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    /// Credits an accepted share of the given difficulty to `token` and
+    /// returns the token's lifetime credited hashes.
+    pub fn credit_share(&mut self, token: &Token, difficulty: u64) -> u64 {
+        self.accepted += 1;
+        *self.pending_hashes.entry(token.clone()).or_insert(0) += difficulty;
+        let life = self.lifetime_hashes.entry(token.clone()).or_insert(0);
+        *life += difficulty;
+        *life
+    }
+
+    /// Records a rejected share.
+    pub fn record_rejected(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Distributes a block reward: `fee_fraction` to the pool, the rest
+    /// pro-rata over pending hashes (which are then reset). With no
+    /// pending hashes the whole reward goes to the pool (self-mined).
+    pub fn distribute(&mut self, reward: u64, fee_fraction: f64) {
+        assert!((0.0..=1.0).contains(&fee_fraction));
+        let total_pending: u64 = self.pending_hashes.values().sum();
+        if total_pending == 0 {
+            self.pool_balance += reward;
+            return;
+        }
+        let fee = (reward as f64 * fee_fraction) as u64;
+        let user_pot = reward - fee;
+        let mut distributed = 0u64;
+        // Deterministic order for reproducible payouts.
+        let mut entries: Vec<(Token, u64)> = self.pending_hashes.drain().collect();
+        entries.sort();
+        for (token, hashes) in &entries {
+            let cut = (user_pot as u128 * *hashes as u128 / total_pending as u128) as u64;
+            *self.balances.entry(token.clone()).or_insert(0) += cut;
+            distributed += cut;
+        }
+        // Rounding dust goes to the pool, as it would in practice.
+        self.pool_balance += fee + (user_pot - distributed);
+    }
+
+    /// Balance of a token in atomic units.
+    pub fn balance(&self, token: &Token) -> u64 {
+        self.balances.get(token).copied().unwrap_or(0)
+    }
+
+    /// Lifetime hashes credited to a token.
+    pub fn lifetime_hashes(&self, token: &Token) -> u64 {
+        self.lifetime_hashes.get(token).copied().unwrap_or(0)
+    }
+
+    /// The pool's fee take in atomic units.
+    pub fn pool_balance(&self) -> u64 {
+        self.pool_balance
+    }
+
+    /// (accepted, rejected) share counters.
+    pub fn share_counts(&self) -> (u64, u64) {
+        (self.accepted, self.rejected)
+    }
+
+    /// Sum of all user balances (for conservation checks).
+    pub fn total_user_balance(&self) -> u64 {
+        self.balances.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn credit_accumulates() {
+        let mut l = Ledger::new();
+        let t = Token::from_index(1);
+        assert_eq!(l.credit_share(&t, 16), 16);
+        assert_eq!(l.credit_share(&t, 16), 32);
+        assert_eq!(l.lifetime_hashes(&t), 32);
+        assert_eq!(l.share_counts(), (2, 0));
+    }
+
+    #[test]
+    fn distribution_respects_70_30() {
+        let mut l = Ledger::new();
+        let t = Token::from_index(1);
+        l.credit_share(&t, 100);
+        l.distribute(1_000_000, 0.30);
+        assert_eq!(l.balance(&t), 700_000);
+        assert_eq!(l.pool_balance(), 300_000);
+    }
+
+    #[test]
+    fn distribution_is_pro_rata() {
+        let mut l = Ledger::new();
+        let (a, b) = (Token::from_index(1), Token::from_index(2));
+        l.credit_share(&a, 300);
+        l.credit_share(&b, 100);
+        l.distribute(1_000_000, 0.30);
+        assert_eq!(l.balance(&a), 525_000); // 700k * 3/4
+        assert_eq!(l.balance(&b), 175_000); // 700k * 1/4
+    }
+
+    #[test]
+    fn pending_resets_between_blocks() {
+        let mut l = Ledger::new();
+        let t = Token::from_index(1);
+        l.credit_share(&t, 10);
+        l.distribute(100, 0.0);
+        let before = l.balance(&t);
+        l.distribute(100, 0.0); // no pending → pool takes it
+        assert_eq!(l.balance(&t), before);
+        assert_eq!(l.pool_balance(), 100);
+    }
+
+    #[test]
+    fn self_mined_block_goes_to_pool() {
+        let mut l = Ledger::new();
+        l.distribute(42, 0.30);
+        assert_eq!(l.pool_balance(), 42);
+    }
+
+    #[test]
+    fn rejected_shares_counted() {
+        let mut l = Ledger::new();
+        l.record_rejected();
+        l.record_rejected();
+        assert_eq!(l.share_counts(), (0, 2));
+    }
+
+    proptest! {
+        #[test]
+        fn reward_is_conserved(
+            reward in 0u64..=10_000_000_000_000,
+            hashes in prop::collection::vec(1u64..1_000_000, 1..20),
+            fee in 0.0f64..=1.0,
+        ) {
+            let mut l = Ledger::new();
+            for (i, h) in hashes.iter().enumerate() {
+                l.credit_share(&Token::from_index(i as u64), *h);
+            }
+            l.distribute(reward, fee);
+            prop_assert_eq!(l.total_user_balance() + l.pool_balance(), reward);
+        }
+
+        #[test]
+        fn user_pot_close_to_one_minus_fee(
+            reward in 1_000_000u64..=10_000_000_000_000,
+            fee in 0.0f64..=1.0,
+        ) {
+            let mut l = Ledger::new();
+            l.credit_share(&Token::from_index(0), 10);
+            l.distribute(reward, fee);
+            let user_share = l.total_user_balance() as f64 / reward as f64;
+            prop_assert!((user_share - (1.0 - fee)).abs() < 1e-6);
+        }
+    }
+}

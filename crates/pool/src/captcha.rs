@@ -1,0 +1,230 @@
+//! The PoW captcha service.
+//!
+//! §1/§4 mention Coinhive's side businesses: *"Apart from offering this
+//! API, Coinhive offers e.g., a Captcha service and a short link
+//! forwarding service."* The captcha replaces image puzzles with hash
+//! computation: a site embeds a widget, the visitor's browser mines N
+//! hashes against the pool (credited to the site's token), and the
+//! service signs a one-time verification token the site's backend can
+//! check — monetized human verification.
+
+use crate::protocol::Token;
+use minedig_primitives::Hash32;
+use std::collections::HashMap;
+
+/// A pending captcha challenge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Challenge {
+    /// Challenge id (embedded in the widget).
+    pub id: Hash32,
+    /// Site token credited for the work.
+    pub site: Token,
+    /// Hashes the visitor must get credited.
+    pub required_hashes: u64,
+    /// Virtual creation time (for expiry).
+    pub created_at: u64,
+}
+
+/// A verification receipt, redeemable exactly once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Receipt {
+    /// The receipt token the page posts to the site backend.
+    pub token: Hash32,
+    /// The challenge it proves.
+    pub challenge: Hash32,
+}
+
+/// Errors from the captcha service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaptchaError {
+    /// Unknown challenge id.
+    UnknownChallenge,
+    /// Challenge expired before completion.
+    Expired,
+    /// Not enough hashes credited for this challenge.
+    NotEnoughHashes {
+        /// Hashes still missing.
+        missing: u64,
+    },
+    /// Receipt was already redeemed (or never issued).
+    BadReceipt,
+}
+
+impl std::fmt::Display for CaptchaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptchaError::UnknownChallenge => f.write_str("unknown captcha challenge"),
+            CaptchaError::Expired => f.write_str("captcha challenge expired"),
+            CaptchaError::NotEnoughHashes { missing } => {
+                write!(f, "captcha needs {missing} more hashes")
+            }
+            CaptchaError::BadReceipt => f.write_str("invalid or already-used receipt"),
+        }
+    }
+}
+
+impl std::error::Error for CaptchaError {}
+
+/// The captcha service.
+pub struct CaptchaService {
+    /// Secret mixed into receipt tokens (a real service would use an HMAC
+    /// key; the construction is the same).
+    secret: u64,
+    /// Challenge lifetime in virtual seconds.
+    ttl: u64,
+    challenges: HashMap<Hash32, Challenge>,
+    /// Issued-but-unredeemed receipts.
+    receipts: HashMap<Hash32, Hash32>,
+    counter: u64,
+}
+
+impl CaptchaService {
+    /// Creates a service with the given receipt secret and challenge TTL.
+    pub fn new(secret: u64, ttl: u64) -> CaptchaService {
+        CaptchaService {
+            secret,
+            ttl,
+            challenges: HashMap::new(),
+            receipts: HashMap::new(),
+            counter: 0,
+        }
+    }
+
+    /// Issues a challenge for a site widget.
+    pub fn issue(&mut self, site: Token, required_hashes: u64, now: u64) -> Challenge {
+        self.counter += 1;
+        let mut input = Vec::new();
+        input.extend_from_slice(&self.secret.to_le_bytes());
+        input.extend_from_slice(&self.counter.to_le_bytes());
+        input.extend_from_slice(site.0.as_bytes());
+        let challenge = Challenge {
+            id: Hash32::keccak(&input),
+            site,
+            required_hashes,
+            created_at: now,
+        };
+        self.challenges.insert(challenge.id, challenge.clone());
+        challenge
+    }
+
+    /// Completes a challenge with `credited_hashes` of pool-verified work,
+    /// returning a one-time receipt.
+    pub fn complete(
+        &mut self,
+        challenge_id: &Hash32,
+        credited_hashes: u64,
+        now: u64,
+    ) -> Result<Receipt, CaptchaError> {
+        let challenge = self
+            .challenges
+            .get(challenge_id)
+            .ok_or(CaptchaError::UnknownChallenge)?;
+        if now > challenge.created_at + self.ttl {
+            self.challenges.remove(challenge_id);
+            return Err(CaptchaError::Expired);
+        }
+        if credited_hashes < challenge.required_hashes {
+            return Err(CaptchaError::NotEnoughHashes {
+                missing: challenge.required_hashes - credited_hashes,
+            });
+        }
+        let mut input = Vec::new();
+        input.extend_from_slice(&self.secret.to_le_bytes());
+        input.extend_from_slice(&challenge_id.0);
+        input.extend_from_slice(&now.to_le_bytes());
+        let token = Hash32::keccak(&input);
+        self.receipts.insert(token, *challenge_id);
+        self.challenges.remove(challenge_id);
+        Ok(Receipt {
+            token,
+            challenge: *challenge_id,
+        })
+    }
+
+    /// Site-backend verification: valid exactly once.
+    pub fn verify(&mut self, receipt: &Receipt) -> Result<(), CaptchaError> {
+        match self.receipts.remove(&receipt.token) {
+            Some(challenge) if challenge == receipt.challenge => Ok(()),
+            _ => Err(CaptchaError::BadReceipt),
+        }
+    }
+
+    /// Number of outstanding challenges (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.challenges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> CaptchaService {
+        CaptchaService::new(0x5ec7e7, 300)
+    }
+
+    #[test]
+    fn happy_path_issue_complete_verify() {
+        let mut s = service();
+        let ch = s.issue(Token::from_index(1), 256, 1_000);
+        assert_eq!(s.pending(), 1);
+        let receipt = s.complete(&ch.id, 256, 1_050).unwrap();
+        assert_eq!(s.pending(), 0);
+        s.verify(&receipt).unwrap();
+    }
+
+    #[test]
+    fn receipts_are_single_use() {
+        let mut s = service();
+        let ch = s.issue(Token::from_index(1), 64, 0);
+        let receipt = s.complete(&ch.id, 64, 10).unwrap();
+        s.verify(&receipt).unwrap();
+        assert_eq!(s.verify(&receipt), Err(CaptchaError::BadReceipt));
+    }
+
+    #[test]
+    fn insufficient_hashes_rejected() {
+        let mut s = service();
+        let ch = s.issue(Token::from_index(1), 1_024, 0);
+        assert_eq!(
+            s.complete(&ch.id, 1_000, 10),
+            Err(CaptchaError::NotEnoughHashes { missing: 24 })
+        );
+        // Still pending; can retry after more work.
+        assert!(s.complete(&ch.id, 1_024, 20).is_ok());
+    }
+
+    #[test]
+    fn expiry_is_enforced() {
+        let mut s = service();
+        let ch = s.issue(Token::from_index(1), 64, 1_000);
+        assert_eq!(s.complete(&ch.id, 64, 1_301), Err(CaptchaError::Expired));
+        // Expired challenges are dropped entirely.
+        assert_eq!(
+            s.complete(&ch.id, 64, 1_302),
+            Err(CaptchaError::UnknownChallenge)
+        );
+    }
+
+    #[test]
+    fn forged_receipts_fail() {
+        let mut s = service();
+        let ch = s.issue(Token::from_index(1), 64, 0);
+        let real = s.complete(&ch.id, 64, 10).unwrap();
+        let forged = Receipt {
+            token: Hash32::keccak(b"forged"),
+            challenge: real.challenge,
+        };
+        assert_eq!(s.verify(&forged), Err(CaptchaError::BadReceipt));
+        // The real one still works (forgery attempt must not burn it).
+        s.verify(&real).unwrap();
+    }
+
+    #[test]
+    fn challenges_are_unique() {
+        let mut s = service();
+        let a = s.issue(Token::from_index(1), 64, 0);
+        let b = s.issue(Token::from_index(1), 64, 0);
+        assert_ne!(a.id, b.id);
+    }
+}

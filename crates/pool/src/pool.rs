@@ -1,0 +1,704 @@
+//! The pool service.
+//!
+//! One `Pool` owns: the backend set, the current tip and its per-backend
+//! template versions, the issued-job table used for share validation, and
+//! the revenue ledger. It is cheaply cloneable (`Arc` inside) so the same
+//! pool can simultaneously act as a `TemplateSource` for the network
+//! simulator, serve protocol sessions on transport threads, and answer
+//! the observer's job requests.
+
+use crate::accounting::Ledger;
+use crate::backend::Backend;
+use crate::obfuscation;
+use crate::protocol::{ClientMsg, Job, ServerMsg, Token};
+use minedig_chain::blob::HashingBlob;
+use minedig_chain::block::Block;
+use minedig_chain::merkle::block_tree_hash;
+use minedig_chain::netsim::{TemplateSource, TipInfo};
+use minedig_chain::tx::MinerTag;
+use minedig_net::transport::{Transport, TransportError};
+use minedig_pow::{check_hash, slow_hash, Variant};
+use minedig_primitives::{DetRng, Hash32};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Pool configuration. Defaults model Coinhive as measured by the paper.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Pool name; used for the Coinbase tag and endpoint host names.
+    pub name: String,
+    /// Number of backend systems (Coinhive: 16 inferred).
+    pub backends: u16,
+    /// Endpoints per backend (Coinhive: 2 inferred from 32 endpoints).
+    pub endpoints_per_backend: u16,
+    /// Difficulty assigned to client shares (low, so browsers find them).
+    pub share_difficulty: u64,
+    /// Seconds between template refreshes within one height.
+    pub template_refresh_secs: u64,
+    /// Maximum template versions per height (Coinhive: 8 observed).
+    pub max_templates_per_height: u32,
+    /// Pool fee (Coinhive: 30 %).
+    pub fee_fraction: f64,
+    /// Whether the XOR blob countermeasure is applied to outgoing jobs.
+    pub obfuscate: bool,
+    /// PoW variant used for share validation.
+    pub pow_variant: Variant,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            name: "coinhive".to_string(),
+            backends: 16,
+            endpoints_per_backend: 2,
+            share_difficulty: 16,
+            template_refresh_secs: 15,
+            max_templates_per_height: 8,
+            fee_fraction: 0.30,
+            obfuscate: true,
+            pow_variant: Variant::Test,
+            seed: 0xc01,
+        }
+    }
+}
+
+struct IssuedJob {
+    /// True (de-obfuscated) blob with the nonce zeroed.
+    blob: Vec<u8>,
+    share_difficulty: u64,
+    height: u64,
+}
+
+struct Inner {
+    config: PoolConfig,
+    tag: MinerTag,
+    backends: Vec<Backend>,
+    tip: Option<TipInfo>,
+    tip_seen_at: u64,
+    tip_tx_hashes: Vec<Hash32>,
+    /// blob cache per (backend, version) for the current height.
+    blob_cache: HashMap<(u16, u32), Vec<u8>>,
+    jobs: HashMap<String, IssuedJob>,
+    job_counter: u64,
+    ledger: Ledger,
+    rng: DetRng,
+    online: bool,
+    blocks_won: u64,
+}
+
+/// The pool handle. Clone freely; all clones share state.
+#[derive(Clone)]
+pub struct Pool {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// Why a job request yielded nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The pool is in an outage window (§4.2 observed 6–7 May 2018).
+    Offline,
+    /// No tip has been announced yet.
+    NoTip,
+    /// Endpoint index out of range.
+    BadEndpoint(usize),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Offline => f.write_str("pool offline"),
+            JobError::NoTip => f.write_str("no chain tip known"),
+            JobError::BadEndpoint(e) => write!(f, "endpoint {e} does not exist"),
+        }
+    }
+}
+
+impl Pool {
+    /// Creates a pool.
+    pub fn new(config: PoolConfig) -> Pool {
+        let tag = MinerTag::from_label(&config.name);
+        let backends = (0..config.backends)
+            .map(|index| Backend {
+                index,
+                pool_tag: tag,
+                seed: config.seed,
+            })
+            .collect();
+        let rng = DetRng::seed(config.seed).derive("pool");
+        Pool {
+            inner: Arc::new(Mutex::new(Inner {
+                config,
+                tag,
+                backends,
+                tip: None,
+                tip_seen_at: 0,
+                tip_tx_hashes: Vec::new(),
+                blob_cache: HashMap::new(),
+                jobs: HashMap::new(),
+                job_counter: 0,
+                ledger: Ledger::new(),
+                rng,
+                online: true,
+                blocks_won: 0,
+            })),
+        }
+    }
+
+    /// Total number of WebSocket-style endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        let inner = self.inner.lock();
+        (inner.config.backends * inner.config.endpoints_per_backend) as usize
+    }
+
+    /// Endpoint host names, enumerable the way the paper enumerated
+    /// Coinhive's (from the JavaScript or DNS).
+    pub fn endpoint_names(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        let n = (inner.config.backends * inner.config.endpoints_per_backend) as usize;
+        (0..n)
+            .map(|i| format!("ws{:03}.{}.com", i + 1, inner.config.name))
+            .collect()
+    }
+
+    /// The pool's Coinbase tag.
+    pub fn tag(&self) -> MinerTag {
+        self.inner.lock().tag
+    }
+
+    /// Toggles outage state.
+    pub fn set_online(&self, online: bool) {
+        self.inner.lock().online = online;
+    }
+
+    /// True when serving jobs.
+    pub fn is_online(&self) -> bool {
+        self.inner.lock().online
+    }
+
+    /// Announces a new chain tip (also done via the `TemplateSource`
+    /// adapter when plugged into the netsim).
+    pub fn announce_tip(&self, tip: &TipInfo) {
+        let mut inner = self.inner.lock();
+        inner.tip_seen_at = tip.prev_timestamp;
+        inner.tip_tx_hashes = tip.mempool.iter().map(|t| t.hash()).collect();
+        inner.tip = Some(tip.clone());
+        inner.blob_cache.clear();
+        inner.jobs.clear();
+    }
+
+    fn version_at(inner: &Inner, now: u64) -> u32 {
+        let tip_at = inner.tip_seen_at;
+        let elapsed = now.saturating_sub(tip_at);
+        let v = elapsed / inner.config.template_refresh_secs.max(1);
+        (v as u32).min(inner.config.max_templates_per_height - 1)
+    }
+
+    fn blob_for(inner: &mut Inner, backend_idx: u16, version: u32) -> Vec<u8> {
+        if let Some(blob) = inner.blob_cache.get(&(backend_idx, version)) {
+            return blob.clone();
+        }
+        let tip = inner.tip.as_ref().expect("blob_for without tip").clone();
+        let timestamp = inner.tip_seen_at + version as u64 * inner.config.template_refresh_secs;
+        let backend = inner.backends[backend_idx as usize].clone();
+        let coinbase_hash = backend
+            .template(&tip, version, timestamp)
+            .miner_tx
+            .hash();
+        let root = block_tree_hash(coinbase_hash, &inner.tip_tx_hashes);
+        let blob = HashingBlob {
+            major_version: 7,
+            minor_version: 7,
+            timestamp,
+            prev_id: tip.prev_id,
+            nonce: 0,
+            merkle_root: root,
+            tx_count: 1 + inner.tip_tx_hashes.len() as u64,
+        }
+        .to_bytes();
+        inner.blob_cache.insert((backend_idx, version), blob.clone());
+        blob
+    }
+
+    fn backend_of_endpoint(inner: &Inner, endpoint: usize) -> Result<u16, JobError> {
+        let total = (inner.config.backends * inner.config.endpoints_per_backend) as usize;
+        if endpoint >= total {
+            return Err(JobError::BadEndpoint(endpoint));
+        }
+        Ok((endpoint / inner.config.endpoints_per_backend as usize) as u16)
+    }
+
+    /// Observer-style job fetch: returns the blob currently served by the
+    /// given endpoint *without* registering a job for share submission —
+    /// this is what the paper's 500 ms poller does.
+    pub fn peek_job(&self, endpoint: usize, now: u64) -> Result<Job, JobError> {
+        let mut inner = self.inner.lock();
+        if !inner.online {
+            return Err(JobError::Offline);
+        }
+        if inner.tip.is_none() {
+            return Err(JobError::NoTip);
+        }
+        let backend = Self::backend_of_endpoint(&inner, endpoint)?;
+        let version = Self::version_at(&inner, now);
+        let mut blob = Self::blob_for(&mut inner, backend, version);
+        if inner.config.obfuscate {
+            obfuscation::xor_blob(&mut blob);
+        }
+        let height = inner.tip.as_ref().unwrap().height;
+        Ok(Job::from_blob(
+            format!("peek-{height}-{backend}-{version}"),
+            &blob,
+            inner.config.share_difficulty,
+            height,
+        ))
+    }
+
+    /// Miner-style job fetch: registers the job so shares can be
+    /// validated and credited.
+    pub fn issue_job(&self, endpoint: usize, now: u64) -> Result<Job, JobError> {
+        let mut inner = self.inner.lock();
+        if !inner.online {
+            return Err(JobError::Offline);
+        }
+        if inner.tip.is_none() {
+            return Err(JobError::NoTip);
+        }
+        let backend = Self::backend_of_endpoint(&inner, endpoint)?;
+        let version = Self::version_at(&inner, now);
+        let true_blob = Self::blob_for(&mut inner, backend, version);
+        let height = inner.tip.as_ref().unwrap().height;
+        inner.job_counter += 1;
+        let job_id = format!("j{}-{height}-{backend}", inner.job_counter);
+        let share_difficulty = inner.config.share_difficulty;
+        inner.jobs.insert(
+            job_id.clone(),
+            IssuedJob {
+                blob: true_blob.clone(),
+                share_difficulty,
+                height,
+            },
+        );
+        let mut wire_blob = true_blob;
+        if inner.config.obfuscate {
+            obfuscation::xor_blob(&mut wire_blob);
+        }
+        Ok(Job::from_blob(job_id, &wire_blob, share_difficulty, height))
+    }
+
+    /// Validates a submitted share and credits `token` on success.
+    /// Returns the token's cumulative credited hashes.
+    pub fn submit_share(
+        &self,
+        token: &Token,
+        job_id: &str,
+        nonce: u32,
+        result: &Hash32,
+    ) -> Result<u64, String> {
+        let mut inner = self.inner.lock();
+        let current_height = inner.tip.as_ref().map(|t| t.height);
+        let (blob, share_difficulty) = match inner.jobs.get(job_id) {
+            None => {
+                inner.ledger.record_rejected();
+                return Err("unknown or stale job".to_string());
+            }
+            Some(job) => {
+                if Some(job.height) != current_height {
+                    inner.ledger.record_rejected();
+                    return Err("stale height".to_string());
+                }
+                (job.blob.clone(), job.share_difficulty)
+            }
+        };
+        // Reconstruct the blob with the claimed nonce and verify.
+        let parsed = HashingBlob::parse(&blob).expect("issued blob parses");
+        let mined = parsed.with_nonce(nonce).to_bytes();
+        let variant = inner.config.pow_variant;
+        let hash = slow_hash(&mined, variant);
+        if hash != *result {
+            inner.ledger.record_rejected();
+            return Err("result hash mismatch".to_string());
+        }
+        if !check_hash(&hash, share_difficulty) {
+            inner.ledger.record_rejected();
+            return Err("low difficulty share".to_string());
+        }
+        Ok(inner.ledger.credit_share(token, share_difficulty))
+    }
+
+    /// Read access to the ledger (clone) for analyses and tests.
+    pub fn ledger(&self) -> Ledger {
+        self.inner.lock().ledger.clone()
+    }
+
+    /// Number of blocks this pool has won.
+    pub fn blocks_won(&self) -> u64 {
+        self.inner.lock().blocks_won
+    }
+
+    /// Builds the winning block at `found_at` and settles the ledger.
+    /// Used by the `TemplateSource` adapter.
+    pub fn win_block(&self, found_at: u64) -> Block {
+        let mut inner = self.inner.lock();
+        let tip = inner.tip.clone().expect("win_block without tip");
+        let version = Self::version_at(&inner, found_at);
+        let n_backends = inner.config.backends as u64;
+        let backend_idx = inner.rng.gen_range(n_backends) as usize;
+        let timestamp = inner.tip_seen_at + version as u64 * inner.config.template_refresh_secs;
+        let backend = inner.backends[backend_idx].clone();
+        let mut block = backend.template(&tip, version, timestamp);
+        block.header.nonce = inner.rng.next_u32();
+        let fee = inner.config.fee_fraction;
+        inner.ledger.distribute(tip.reward, fee);
+        inner.blocks_won += 1;
+        block
+    }
+
+    /// Serves one protocol session over a transport. Returns when the
+    /// peer disconnects. `endpoint` selects which backend's jobs this
+    /// session sees; `clock` supplies virtual (or wall) time.
+    pub fn serve<T: Transport, C: Fn() -> u64>(&self, transport: &mut T, endpoint: usize, clock: C) {
+        let mut token: Option<Token> = None;
+        loop {
+            let msg = match transport.recv() {
+                Ok(m) => m,
+                Err(_) => return,
+            };
+            let reply = match ClientMsg::decode(&msg) {
+                Err(e) => ServerMsg::Error {
+                    reason: e.to_string(),
+                },
+                Ok(ClientMsg::Auth { token: t }) => {
+                    let hashes = self.inner.lock().ledger.lifetime_hashes(&t);
+                    token = Some(t);
+                    ServerMsg::Authed { hashes }
+                }
+                Ok(ClientMsg::GetJob) => match token {
+                    None => ServerMsg::Error {
+                        reason: "not authenticated".to_string(),
+                    },
+                    Some(_) => match self.issue_job(endpoint, clock()) {
+                        Ok(job) => ServerMsg::Job(job),
+                        Err(e) => ServerMsg::Error {
+                            reason: e.to_string(),
+                        },
+                    },
+                },
+                Ok(ClientMsg::Submit {
+                    job_id,
+                    nonce,
+                    result,
+                }) => match &token {
+                    None => ServerMsg::Error {
+                        reason: "not authenticated".to_string(),
+                    },
+                    Some(t) => match self.submit_share(t, &job_id, nonce, &result) {
+                        Ok(hashes) => ServerMsg::HashAccepted { hashes },
+                        Err(reason) => ServerMsg::Error { reason },
+                    },
+                },
+            };
+            if transport.send(&reply.encode()).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Wraps this pool as a [`TemplateSource`] for the network simulator.
+    pub fn template_source(&self) -> PoolTemplateSource {
+        PoolTemplateSource { pool: self.clone() }
+    }
+}
+
+/// `TemplateSource` adapter handing the pool's templates to the netsim.
+pub struct PoolTemplateSource {
+    pool: Pool,
+}
+
+impl TemplateSource for PoolTemplateSource {
+    fn on_new_tip(&mut self, tip: &TipInfo) {
+        self.pool.announce_tip(tip);
+    }
+
+    fn make_block(&mut self, found_at: u64) -> Block {
+        self.pool.win_block(found_at)
+    }
+}
+
+/// Convenience: result of a serve loop used by tests.
+pub fn drive_session<T: Transport>(
+    transport: &mut T,
+    msg: &ClientMsg,
+) -> Result<ServerMsg, TransportError> {
+    transport.send(&msg.encode())?;
+    let raw = transport.recv()?;
+    ServerMsg::decode(&raw).map_err(|e| TransportError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minedig_chain::tx::Transaction;
+    use minedig_net::transport::channel_pair;
+
+    fn tip(height: u64, seen_at: u64) -> TipInfo {
+        TipInfo {
+            height,
+            prev_id: Hash32::keccak(&height.to_le_bytes()),
+            prev_timestamp: seen_at,
+            reward: 4_400_000_000_000,
+            difficulty: 1_000,
+            mempool: vec![Transaction::transfer(Hash32::keccak(b"m1"))],
+        }
+    }
+
+    fn pool() -> Pool {
+        Pool::new(PoolConfig::default())
+    }
+
+    #[test]
+    fn endpoint_inventory_matches_coinhive() {
+        let p = pool();
+        assert_eq!(p.endpoint_count(), 32);
+        let names = p.endpoint_names();
+        assert_eq!(names.len(), 32);
+        assert_eq!(names[0], "ws001.coinhive.com");
+        assert_eq!(names[31], "ws032.coinhive.com");
+    }
+
+    #[test]
+    fn no_tip_means_no_job() {
+        let p = pool();
+        assert_eq!(p.peek_job(0, 100), Err(JobError::NoTip));
+    }
+
+    #[test]
+    fn offline_means_no_job() {
+        let p = pool();
+        p.announce_tip(&tip(1, 100));
+        p.set_online(false);
+        assert_eq!(p.peek_job(0, 100), Err(JobError::Offline));
+        p.set_online(true);
+        assert!(p.peek_job(0, 100).is_ok());
+    }
+
+    #[test]
+    fn bad_endpoint_rejected() {
+        let p = pool();
+        p.announce_tip(&tip(1, 100));
+        assert_eq!(p.peek_job(32, 100), Err(JobError::BadEndpoint(32)));
+    }
+
+    #[test]
+    fn paired_endpoints_share_blobs() {
+        let p = pool();
+        p.announce_tip(&tip(1, 100));
+        let a = p.peek_job(0, 100).unwrap();
+        let b = p.peek_job(1, 100).unwrap();
+        let c = p.peek_job(2, 100).unwrap();
+        assert_eq!(a.blob_hex, b.blob_hex, "endpoints 0,1 share backend 0");
+        assert_ne!(a.blob_hex, c.blob_hex, "endpoint 2 is backend 1");
+    }
+
+    #[test]
+    fn at_most_eight_versions_per_height() {
+        let p = pool();
+        p.announce_tip(&tip(1, 1_000));
+        let mut blobs = std::collections::HashSet::new();
+        // Poll one endpoint across far more refresh windows than versions.
+        for s in 0..100 {
+            let job = p.peek_job(0, 1_000 + s * 10).unwrap();
+            blobs.insert(job.blob_hex);
+        }
+        assert_eq!(blobs.len(), 8);
+    }
+
+    #[test]
+    fn all_backends_yield_128_distinct_blobs() {
+        let p = pool();
+        p.announce_tip(&tip(1, 1_000));
+        let mut blobs = std::collections::HashSet::new();
+        for endpoint in 0..32 {
+            for s in 0..120 {
+                if let Ok(job) = p.peek_job(endpoint, 1_000 + s) {
+                    blobs.insert(job.blob_hex);
+                }
+            }
+        }
+        assert_eq!(blobs.len(), 128, "16 backends x 8 versions");
+    }
+
+    #[test]
+    fn obfuscation_hides_true_blob() {
+        let p = pool();
+        p.announce_tip(&tip(1, 100));
+        let job = p.peek_job(0, 100).unwrap();
+        let wire = job.blob_bytes().unwrap();
+        let mut reverted = wire.clone();
+        obfuscation::xor_blob(&mut reverted);
+        // The wire form parses but points at a wrong prev id; the reverted
+        // form carries the real tip prev id.
+        let tip_prev = Hash32::keccak(&1u64.to_le_bytes());
+        assert_ne!(HashingBlob::parse(&wire).unwrap().prev_id, tip_prev);
+        assert_eq!(HashingBlob::parse(&reverted).unwrap().prev_id, tip_prev);
+    }
+
+    #[test]
+    fn share_flow_accept_and_reject() {
+        let p = Pool::new(PoolConfig {
+            share_difficulty: 2, // ~every other hash passes
+            ..PoolConfig::default()
+        });
+        p.announce_tip(&tip(5, 100));
+        let token = Token::from_index(1);
+        let job = p.issue_job(0, 100).unwrap();
+        let mut blob = job.blob_bytes().unwrap();
+        obfuscation::xor_blob(&mut blob); // miner reverts the countermeasure
+        let parsed = HashingBlob::parse(&blob).unwrap();
+
+        let mut accepted = 0;
+        for nonce in 0..64u32 {
+            let mined = parsed.with_nonce(nonce).to_bytes();
+            let h = slow_hash(&mined, Variant::Test);
+            match p.submit_share(&token, &job.job_id, nonce, &h) {
+                Ok(_) => accepted += 1,
+                Err(reason) => assert_eq!(reason, "low difficulty share"),
+            }
+        }
+        assert!(accepted > 0, "some shares must pass difficulty 2");
+        let (ok, rej) = p.ledger().share_counts();
+        assert_eq!(ok, accepted);
+        assert_eq!(ok + rej, 64);
+        assert_eq!(p.ledger().lifetime_hashes(&token), accepted * 2);
+    }
+
+    #[test]
+    fn share_without_deobfuscation_is_rejected() {
+        // The countermeasure in action: hashing the wire blob directly
+        // (like a generic miner would) yields only rejected shares.
+        let p = Pool::new(PoolConfig {
+            share_difficulty: 1, // every correctly-computed hash passes
+            ..PoolConfig::default()
+        });
+        p.announce_tip(&tip(5, 100));
+        let token = Token::from_index(2);
+        let job = p.issue_job(0, 100).unwrap();
+        let wire = job.blob_bytes().unwrap(); // NOT reverted
+        let parsed = HashingBlob::parse(&wire).unwrap();
+        for nonce in 0..8u32 {
+            let mined = parsed.with_nonce(nonce).to_bytes();
+            let h = slow_hash(&mined, Variant::Test);
+            let res = p.submit_share(&token, &job.job_id, nonce, &h);
+            assert_eq!(res.unwrap_err(), "result hash mismatch");
+        }
+    }
+
+    #[test]
+    fn stale_jobs_rejected_after_new_tip() {
+        let p = Pool::new(PoolConfig {
+            share_difficulty: 1,
+            ..PoolConfig::default()
+        });
+        p.announce_tip(&tip(5, 100));
+        let job = p.issue_job(0, 100).unwrap();
+        p.announce_tip(&tip(6, 220));
+        let token = Token::from_index(3);
+        let res = p.submit_share(&token, &job.job_id, 0, &Hash32::ZERO);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn win_block_matches_a_served_blob() {
+        // The heart of §4.2: the merkle root of the won block must be one
+        // the observer could have collected from an endpoint.
+        let p = pool();
+        p.announce_tip(&tip(9, 1_000));
+        let mut seen_roots = std::collections::HashSet::new();
+        for endpoint in 0..32 {
+            for s in (0..120).step_by(5) {
+                if let Ok(job) = p.peek_job(endpoint, 1_000 + s) {
+                    let mut blob = job.blob_bytes().unwrap();
+                    obfuscation::xor_blob(&mut blob);
+                    seen_roots.insert(HashingBlob::parse(&blob).unwrap().merkle_root);
+                }
+            }
+        }
+        let block = p.win_block(1_050);
+        assert!(seen_roots.contains(&block.merkle_root()));
+        assert_eq!(p.blocks_won(), 1);
+    }
+
+    #[test]
+    fn win_block_distributes_reward() {
+        let p = pool();
+        p.announce_tip(&tip(9, 1_000));
+        let token = Token::from_index(9);
+        self::credit_via_internal(&p, &token, 100);
+        let _ = p.win_block(1_010);
+        let l = p.ledger();
+        let total = l.balance(&token) + l.pool_balance();
+        assert_eq!(total, 4_400_000_000_000);
+        // 70/30 split.
+        assert_eq!(l.balance(&token), (4_400_000_000_000f64 * 0.7) as u64);
+    }
+
+    /// Test helper: credit shares without grinding PoW.
+    fn credit_via_internal(p: &Pool, token: &Token, hashes: u64) {
+        p.inner.lock().ledger.credit_share(token, hashes);
+    }
+
+    #[test]
+    fn serve_session_over_channel_transport() {
+        let p = Pool::new(PoolConfig {
+            share_difficulty: 1,
+            ..PoolConfig::default()
+        });
+        p.announce_tip(&tip(2, 50));
+        let (mut client, mut server) = channel_pair();
+        let pool_clone = p.clone();
+        let handle = std::thread::spawn(move || {
+            pool_clone.serve(&mut server, 0, || 60);
+        });
+
+        // Unauthenticated get_job is refused.
+        let r = drive_session(&mut client, &ClientMsg::GetJob).unwrap();
+        assert!(matches!(r, ServerMsg::Error { .. }));
+
+        let r = drive_session(
+            &mut client,
+            &ClientMsg::Auth {
+                token: Token::from_index(4),
+            },
+        )
+        .unwrap();
+        assert_eq!(r, ServerMsg::Authed { hashes: 0 });
+
+        let r = drive_session(&mut client, &ClientMsg::GetJob).unwrap();
+        let job = match r {
+            ServerMsg::Job(j) => j,
+            other => panic!("expected job, got {other:?}"),
+        };
+
+        // Solve one share correctly (revert the XOR first).
+        let mut blob = job.blob_bytes().unwrap();
+        obfuscation::xor_blob(&mut blob);
+        let parsed = HashingBlob::parse(&blob).unwrap();
+        let mined = parsed.with_nonce(7).to_bytes();
+        let h = slow_hash(&mined, Variant::Test);
+        let r = drive_session(
+            &mut client,
+            &ClientMsg::Submit {
+                job_id: job.job_id.clone(),
+                nonce: 7,
+                result: h,
+            },
+        )
+        .unwrap();
+        assert_eq!(r, ServerMsg::HashAccepted { hashes: 1 });
+
+        drop(client);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,207 @@
+//! Software AES building blocks used by the CryptoNight scratchpad.
+//!
+//! CryptoNight does not use full AES encryption; it uses single AES
+//! *rounds* (SubBytes → ShiftRows → MixColumns → AddRoundKey) as a fast
+//! diffusion primitive, plus the AES key schedule to derive round keys from
+//! the Keccak state. Both are implemented here in plain table-free software
+//! (S-box lookup plus xtime for the MixColumns field multiply), which is
+//! plenty fast for our purposes and keeps the code auditable.
+
+/// The AES S-box.
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+#[inline]
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1b)
+}
+
+/// One AES encryption round (SubBytes, ShiftRows, MixColumns, AddRoundKey)
+/// over a 16-byte block in column-major AES state order.
+pub fn aes_round(block: &mut [u8; 16], round_key: &[u8; 16]) {
+    // SubBytes.
+    for b in block.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+    // ShiftRows: byte index r + 4c, row r rotates left by r.
+    let s = *block;
+    for r in 1..4usize {
+        for c in 0..4usize {
+            block[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        }
+    }
+    // MixColumns.
+    for c in 0..4usize {
+        let col = [
+            block[4 * c],
+            block[4 * c + 1],
+            block[4 * c + 2],
+            block[4 * c + 3],
+        ];
+        block[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        block[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        block[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        block[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+    // AddRoundKey.
+    for (b, k) in block.iter_mut().zip(round_key.iter()) {
+        *b ^= k;
+    }
+}
+
+/// Expands a 32-byte key into 10 round keys of 16 bytes, following the
+/// AES-256 key schedule shape used by CryptoNight (which takes the first
+/// ten 16-byte round keys of the AES-256 expansion).
+pub fn expand_key(key: &[u8; 32]) -> [[u8; 16]; 10] {
+    // AES-256 schedule produces 60 words; we need the first 40.
+    let mut w = [[0u8; 4]; 40];
+    for (i, word) in w.iter_mut().take(8).enumerate() {
+        word.copy_from_slice(&key[i * 4..i * 4 + 4]);
+    }
+    let mut rcon: u8 = 1;
+    for i in 8..40 {
+        let mut temp = w[i - 1];
+        if i % 8 == 0 {
+            temp.rotate_left(1);
+            for t in &mut temp {
+                *t = SBOX[*t as usize];
+            }
+            temp[0] ^= rcon;
+            rcon = xtime(rcon);
+        } else if i % 8 == 4 {
+            for t in &mut temp {
+                *t = SBOX[*t as usize];
+            }
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 8][j] ^ temp[j];
+        }
+    }
+    let mut out = [[0u8; 16]; 10];
+    for (r, rk) in out.iter_mut().enumerate() {
+        for j in 0..4 {
+            rk[j * 4..j * 4 + 4].copy_from_slice(&w[r * 4 + j]);
+        }
+    }
+    out
+}
+
+/// XORs two 16-byte blocks into the first.
+#[inline]
+pub fn xor_block(dst: &mut [u8; 16], src: &[u8; 16]) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &v in SBOX.iter() {
+            assert!(!seen[v as usize], "duplicate sbox value {v}");
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+    }
+
+    #[test]
+    fn aes_round_changes_block_and_is_deterministic() {
+        let key = [7u8; 16];
+        let mut a = *b"0123456789abcdef";
+        let mut b = a;
+        aes_round(&mut a, &key);
+        aes_round(&mut b, &key);
+        assert_eq!(a, b);
+        assert_ne!(a, *b"0123456789abcdef");
+    }
+
+    #[test]
+    fn aes_round_diffuses_single_bit() {
+        let key = [0u8; 16];
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        b[0] = 1;
+        aes_round(&mut a, &key);
+        aes_round(&mut b, &key);
+        // One round of AES diffuses a byte into a full column (4 bytes).
+        let differing = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
+        assert!(differing >= 4, "only {differing} bytes differ");
+    }
+
+    #[test]
+    fn expand_key_first_round_key_is_key_prefix() {
+        let mut key = [0u8; 32];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = i as u8;
+        }
+        let rks = expand_key(&key);
+        assert_eq!(&rks[0], &key[0..16]);
+        assert_eq!(&rks[1], &key[16..32]);
+    }
+
+    #[test]
+    fn expand_key_matches_fips197_aes256_vector() {
+        // FIPS-197 appendix A.3 key expansion for AES-256.
+        let key: [u8; 32] = [
+            0x60, 0x3d, 0xeb, 0x10, 0x15, 0xca, 0x71, 0xbe, 0x2b, 0x73, 0xae, 0xf0, 0x85, 0x7d,
+            0x77, 0x81, 0x1f, 0x35, 0x2c, 0x07, 0x3b, 0x61, 0x08, 0xd7, 0x2d, 0x98, 0x10, 0xa3,
+            0x09, 0x14, 0xdf, 0xf4,
+        ];
+        let rks = expand_key(&key);
+        // w[8..12] from the FIPS vector: 9ba35411 8e6925af a51a8b5f 2067fcde.
+        assert_eq!(
+            rks[2],
+            [
+                0x9b, 0xa3, 0x54, 0x11, 0x8e, 0x69, 0x25, 0xaf, 0xa5, 0x1a, 0x8b, 0x5f, 0x20,
+                0x67, 0xfc, 0xde
+            ]
+        );
+        // w[12..16]: a8b09c1a 93d194cd be49846e b75d5b9a.
+        assert_eq!(
+            rks[3],
+            [
+                0xa8, 0xb0, 0x9c, 0x1a, 0x93, 0xd1, 0x94, 0xcd, 0xbe, 0x49, 0x84, 0x6e, 0xb7,
+                0x5d, 0x5b, 0x9a
+            ]
+        );
+    }
+
+    #[test]
+    fn xor_block_is_involutive() {
+        let mut a = *b"aaaaaaaaaaaaaaaa";
+        let b = *b"bbbbbbbbbbbbbbbb";
+        let orig = a;
+        xor_block(&mut a, &b);
+        assert_ne!(a, orig);
+        xor_block(&mut a, &b);
+        assert_eq!(a, orig);
+    }
+}

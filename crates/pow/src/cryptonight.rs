@@ -1,0 +1,253 @@
+//! The CryptoNight-style slow hash.
+//!
+//! Structure (mirroring `cn_slow_hash` from the CryptoNote reference):
+//!
+//! 1. `state = keccak1600(input)` — 200 bytes.
+//! 2. Expand AES round keys from `state[0..32]`; initialize the scratchpad
+//!    by repeatedly AES-rounding the 128-byte block `state[64..192]`.
+//! 3. `a = state[0..16] ^ state[32..48]`, `b = state[16..32] ^ state[48..64]`.
+//! 4. Memory-hard loop: AES round at a data-dependent address, 64×64→128
+//!    multiply, add/xor, write-back — `iterations()` times.
+//! 5. Re-absorb the scratchpad through AES rounds keyed from
+//!    `state[32..64]`, permute with Keccak-f, and finalize with one of four
+//!    domain-separated output hashes selected by `state[0] & 3`.
+
+use crate::aesround::{aes_round, expand_key, xor_block};
+use minedig_primitives::keccak::{keccak1600, keccak256, keccak_f1600};
+use minedig_primitives::Hash32;
+
+/// Scratchpad size/iteration profile.
+///
+/// `Full` matches CryptoNight v0's 2 MB / 2^19 iterations. `Lite` matches
+/// the "browser-friendly" profile (1 MB / 2^18). `Test` is a tiny profile
+/// for unit tests and deterministic simulations where throughput matters
+/// more than memory hardness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// 2 MiB scratchpad, 524,288 iterations (CryptoNight v0 profile).
+    Full,
+    /// 1 MiB scratchpad, 262,144 iterations (cn-lite profile).
+    Lite,
+    /// 16 KiB scratchpad, 2,048 iterations — test/simulation profile.
+    Test,
+}
+
+impl Variant {
+    /// Scratchpad size in bytes (always a power of two).
+    pub fn scratchpad_bytes(self) -> usize {
+        match self {
+            Variant::Full => 2 * 1024 * 1024,
+            Variant::Lite => 1024 * 1024,
+            Variant::Test => 16 * 1024,
+        }
+    }
+
+    /// Number of main-loop iterations.
+    pub fn iterations(self) -> usize {
+        match self {
+            Variant::Full => 524_288,
+            Variant::Lite => 262_144,
+            Variant::Test => 2_048,
+        }
+    }
+
+    /// Mask that maps a 64-bit value to a 16-byte-aligned scratchpad offset.
+    fn address_mask(self) -> u64 {
+        (self.scratchpad_bytes() as u64 - 1) & !0xf
+    }
+}
+
+#[inline]
+fn read_block(pad: &[u8], offset: usize) -> [u8; 16] {
+    pad[offset..offset + 16].try_into().unwrap()
+}
+
+#[inline]
+fn write_block(pad: &mut [u8], offset: usize, block: &[u8; 16]) {
+    pad[offset..offset + 16].copy_from_slice(block);
+}
+
+#[inline]
+fn low_u64(block: &[u8; 16]) -> u64 {
+    u64::from_le_bytes(block[0..8].try_into().unwrap())
+}
+
+/// Computes the CryptoNight-style slow hash of `input`.
+///
+/// ```
+/// use minedig_pow::{slow_hash, check_hash, Variant};
+///
+/// let h = slow_hash(b"job blob with nonce", Variant::Test);
+/// assert_eq!(h, slow_hash(b"job blob with nonce", Variant::Test));
+/// assert!(check_hash(&h, 1)); // difficulty 1 accepts everything
+/// ```
+pub fn slow_hash(input: &[u8], variant: Variant) -> Hash32 {
+    let mut state = keccak1600(input);
+
+    // --- Scratchpad initialization -------------------------------------
+    let round_keys = expand_key(&state[0..32].try_into().unwrap());
+    let mut pad = vec![0u8; variant.scratchpad_bytes()];
+    let mut text: [u8; 128] = state[64..192].try_into().unwrap();
+    for chunk in pad.chunks_exact_mut(128) {
+        for block_idx in 0..8 {
+            let mut block: [u8; 16] =
+                text[block_idx * 16..block_idx * 16 + 16].try_into().unwrap();
+            for rk in &round_keys {
+                aes_round(&mut block, rk);
+            }
+            text[block_idx * 16..block_idx * 16 + 16].copy_from_slice(&block);
+        }
+        chunk.copy_from_slice(&text);
+    }
+
+    // --- Memory-hard main loop -----------------------------------------
+    let mut a: [u8; 16] = std::array::from_fn(|i| state[i] ^ state[32 + i]);
+    let mut b: [u8; 16] = std::array::from_fn(|i| state[16 + i] ^ state[48 + i]);
+    let mask = variant.address_mask();
+
+    for _ in 0..variant.iterations() {
+        // First half: AES round on the block addressed by `a`.
+        let addr1 = (low_u64(&a) & mask) as usize;
+        let mut cx = read_block(&pad, addr1);
+        aes_round(&mut cx, &a);
+        let mut bx = b;
+        xor_block(&mut bx, &cx);
+        write_block(&mut pad, addr1, &bx);
+
+        // Second half: wide multiply with the block addressed by `cx`.
+        let addr2 = (low_u64(&cx) & mask) as usize;
+        let d = read_block(&pad, addr2);
+        let product = (low_u64(&cx) as u128).wrapping_mul(low_u64(&d) as u128);
+        let hi = (product >> 64) as u64;
+        let lo = product as u64;
+
+        let a_lo = u64::from_le_bytes(a[0..8].try_into().unwrap()).wrapping_add(hi);
+        let a_hi = u64::from_le_bytes(a[8..16].try_into().unwrap()).wrapping_add(lo);
+        a[0..8].copy_from_slice(&a_lo.to_le_bytes());
+        a[8..16].copy_from_slice(&a_hi.to_le_bytes());
+
+        write_block(&mut pad, addr2, &a);
+        xor_block(&mut a, &d);
+        b = cx;
+    }
+
+    // --- Scratchpad re-absorption ---------------------------------------
+    let final_keys = expand_key(&state[32..64].try_into().unwrap());
+    let mut text: [u8; 128] = state[64..192].try_into().unwrap();
+    for chunk in pad.chunks_exact(128) {
+        for block_idx in 0..8 {
+            let mut block: [u8; 16] =
+                text[block_idx * 16..block_idx * 16 + 16].try_into().unwrap();
+            let pad_block: [u8; 16] = chunk[block_idx * 16..block_idx * 16 + 16]
+                .try_into()
+                .unwrap();
+            xor_block(&mut block, &pad_block);
+            for rk in &final_keys {
+                aes_round(&mut block, rk);
+            }
+            text[block_idx * 16..block_idx * 16 + 16].copy_from_slice(&block);
+        }
+    }
+    state[64..192].copy_from_slice(&text);
+
+    // Final Keccak permutation over the state.
+    let mut lanes = [0u64; 25];
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        *lane = u64::from_le_bytes(state[i * 8..i * 8 + 8].try_into().unwrap());
+    }
+    keccak_f1600(&mut lanes);
+    let mut permuted = [0u8; 200];
+    for (i, lane) in lanes.iter().enumerate() {
+        permuted[i * 8..i * 8 + 8].copy_from_slice(&lane.to_le_bytes());
+    }
+
+    // Finalizer selection — CryptoNight picks BLAKE/Groestl/JH/Skein here;
+    // we substitute domain-separated Keccak-256 (see crate docs).
+    let selector = permuted[0] & 3;
+    let mut final_input = Vec::with_capacity(201);
+    final_input.push(0xc0 | selector);
+    final_input.extend_from_slice(&permuted);
+    Hash32(keccak256(&final_input))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_variant() {
+        let a = slow_hash(b"job blob", Variant::Test);
+        let b = slow_hash(b"job blob", Variant::Test);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn variants_disagree() {
+        let t = slow_hash(b"job blob", Variant::Test);
+        let l = slow_hash(b"job blob", Variant::Lite);
+        assert_ne!(t, l);
+    }
+
+    #[test]
+    fn input_sensitivity_avalanche() {
+        let a = slow_hash(b"nonce=0", Variant::Test);
+        let b = slow_hash(b"nonce=1", Variant::Test);
+        let differing_bits: u32 = a
+            .0
+            .iter()
+            .zip(b.0.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        // 256-bit output: expect ~128 differing bits.
+        assert!(
+            (80..=176).contains(&differing_bits),
+            "differing bits {differing_bits}"
+        );
+    }
+
+    #[test]
+    fn empty_input_is_valid() {
+        let h = slow_hash(b"", Variant::Test);
+        assert_ne!(h, Hash32::ZERO);
+    }
+
+    #[test]
+    fn output_is_well_distributed_across_nonces() {
+        // Low byte of the hash should be roughly uniform; this underpins
+        // the difficulty model (expected hashes == difficulty).
+        let mut buckets = [0u32; 4];
+        for nonce in 0u32..256 {
+            let mut input = b"pow input ".to_vec();
+            input.extend_from_slice(&nonce.to_le_bytes());
+            let h = slow_hash(&input, Variant::Test);
+            buckets[(h.0[0] & 3) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((32..=96).contains(&b), "bucket {b} out of range");
+        }
+    }
+
+    #[test]
+    fn variant_profiles() {
+        assert_eq!(Variant::Full.scratchpad_bytes(), 2 * 1024 * 1024);
+        assert_eq!(Variant::Full.iterations(), 524_288);
+        assert_eq!(Variant::Lite.scratchpad_bytes(), 1024 * 1024);
+        assert_eq!(Variant::Test.scratchpad_bytes(), 16 * 1024);
+        // Address mask keeps offsets 16-byte aligned and in range.
+        for v in [Variant::Full, Variant::Lite, Variant::Test] {
+            let m = v.address_mask();
+            assert_eq!(m & 0xf, 0);
+            assert!(m < v.scratchpad_bytes() as u64);
+        }
+    }
+
+    #[test]
+    fn long_input_spanning_keccak_blocks() {
+        let long = vec![0x5au8; 500];
+        let h1 = slow_hash(&long, Variant::Test);
+        let mut long2 = long.clone();
+        long2[499] ^= 1;
+        let h2 = slow_hash(&long2, Variant::Test);
+        assert_ne!(h1, h2);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! CryptoNight-style proof of work for the `minedig` workspace.
+//!
+//! Monero's ASIC resistance (the property that makes browser mining viable
+//! at all, per §2 of the paper) comes from CryptoNight: a hash whose inner
+//! loop performs data-dependent reads and writes over a 2 MB scratchpad,
+//! making it latency-bound and thus CPU-friendly. This crate implements a
+//! structurally faithful CryptoNight:
+//!
+//! * Keccak-f[1600] absorption of the input into a 200-byte state,
+//! * AES-round based scratchpad initialization (10 round keys expanded from
+//!   the state, exactly like CryptoNight's `cn_slow_hash` init),
+//! * the memory-hard main loop (AES round + 64×64→128 multiply + add/xor
+//!   over scratchpad words addressed by the evolving state),
+//! * scratchpad re-absorption and a final Keccak permutation.
+//!
+//! **Substitution note (see DESIGN.md):** real CryptoNight selects one of
+//! BLAKE-256 / Groestl / JH / Skein as the final output hash based on two
+//! state bits. We keep the selection mechanism but substitute the four
+//! finalists with domain-separated Keccak-256 instances. Attribution,
+//! difficulty and pool logic only require a well-distributed verifiable
+//! hash, so this preserves every behaviour the paper measures while
+//! avoiding thousands of lines of unrelated hash code.
+
+pub mod aesround;
+pub mod cryptonight;
+pub mod difficulty;
+pub mod hashrate;
+
+pub use cryptonight::{slow_hash, Variant};
+pub use difficulty::{check_hash, expected_hashes, Difficulty};

@@ -1,0 +1,74 @@
+//! Minimal hexadecimal encoding/decoding.
+
+/// Encodes `bytes` as a lowercase hex string.
+pub fn to_hex(bytes: &[u8]) -> String {
+    const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (upper- or lowercase). Returns `None` on odd length
+/// or non-hex characters.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = nibble(pair[0])?;
+        let lo = nibble(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
+}
+
+fn nibble(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_known_vector() {
+        assert_eq!(to_hex(&[0x00, 0xff, 0x10]), "00ff10");
+    }
+
+    #[test]
+    fn decodes_known_vector() {
+        assert_eq!(from_hex("00ff10").unwrap(), vec![0x00, 0xff, 0x10]);
+    }
+
+    #[test]
+    fn decodes_uppercase() {
+        assert_eq!(from_hex("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert!(from_hex("abc").is_none());
+    }
+
+    #[test]
+    fn rejects_non_hex() {
+        assert!(from_hex("zz").is_none());
+        assert!(from_hex("0g").is_none());
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(to_hex(&[]), "");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,131 @@
+#![warn(missing_docs)]
+//! Shared primitives for the `minedig` workspace.
+//!
+//! This crate hosts the low-level building blocks every other subsystem
+//! relies on: hash functions (Keccak/SHA-3 family and SHA-256), hex and
+//! variable-length integer codecs, a deterministic seedable RNG with named
+//! sub-stream derivation, and the statistics helpers used by the
+//! measurement analyses (CDFs, percentiles, Zipf/power-law sampling).
+//!
+//! Everything here is implemented from scratch on top of `std` so that the
+//! rest of the workspace stays dependency-light and fully deterministic.
+
+pub mod hex;
+pub mod keccak;
+pub mod rng;
+pub mod sha256;
+pub mod stats;
+pub mod varint;
+
+pub use hex::{from_hex, to_hex};
+pub use keccak::{keccak1600, keccak256, sha3_256};
+pub use rng::DetRng;
+pub use sha256::sha256;
+
+/// A 256-bit hash digest used throughout the workspace.
+///
+/// The type deliberately mirrors Monero's 32-byte hash values: block ids,
+/// transaction ids, Merkle roots and PoW outputs are all `Hash32`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Hash32(pub [u8; 32]);
+
+impl Hash32 {
+    /// The all-zero hash, used as the previous-block pointer of a genesis
+    /// block and as a sentinel in tests.
+    pub const ZERO: Hash32 = Hash32([0u8; 32]);
+
+    /// Builds a digest from a byte slice; panics if it is not 32 bytes.
+    pub fn from_slice(bytes: &[u8]) -> Hash32 {
+        let mut h = [0u8; 32];
+        h.copy_from_slice(bytes);
+        Hash32(h)
+    }
+
+    /// Keccak-256 of `data` (Monero's "cn_fast_hash").
+    pub fn keccak(data: &[u8]) -> Hash32 {
+        Hash32(keccak256(data))
+    }
+
+    /// SHA-256 of `data` (used by the Wasm fingerprinting pipeline, which
+    /// mirrors the paper's choice of SHA-256 for module signatures).
+    pub fn sha256(data: &[u8]) -> Hash32 {
+        Hash32(sha256(data))
+    }
+
+    /// Interprets the digest as a little-endian 256-bit integer and returns
+    /// the low 64 bits. Handy for deriving deterministic sub-seeds.
+    pub fn low_u64(&self) -> u64 {
+        u64::from_le_bytes(self.0[0..8].try_into().unwrap())
+    }
+
+    /// Hex rendering of the digest.
+    pub fn to_hex(&self) -> String {
+        to_hex(&self.0)
+    }
+
+    /// Parses a 64-character hex string into a digest.
+    pub fn from_hex(s: &str) -> Option<Hash32> {
+        let bytes = from_hex(s)?;
+        if bytes.len() != 32 {
+            return None;
+        }
+        Some(Hash32::from_slice(&bytes))
+    }
+}
+
+impl std::fmt::Debug for Hash32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Hash32({}…)", &self.to_hex()[..16])
+    }
+}
+
+impl std::fmt::Display for Hash32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Hash32 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash32_roundtrips_through_hex() {
+        let h = Hash32::keccak(b"minedig");
+        let parsed = Hash32::from_hex(&h.to_hex()).unwrap();
+        assert_eq!(h, parsed);
+    }
+
+    #[test]
+    fn hash32_rejects_bad_hex() {
+        assert!(Hash32::from_hex("abcd").is_none());
+        assert!(Hash32::from_hex(&"zz".repeat(32)).is_none());
+    }
+
+    #[test]
+    fn hash32_low_u64_is_little_endian_prefix() {
+        let mut raw = [0u8; 32];
+        raw[0] = 1;
+        raw[8] = 0xff; // must not leak into the low word
+        assert_eq!(Hash32(raw).low_u64(), 1);
+    }
+
+    #[test]
+    fn zero_constant_is_all_zero() {
+        assert_eq!(Hash32::ZERO.0, [0u8; 32]);
+        assert_eq!(Hash32::ZERO.low_u64(), 0);
+    }
+
+    #[test]
+    fn debug_format_is_abbreviated() {
+        let s = format!("{:?}", Hash32::keccak(b"x"));
+        assert!(s.starts_with("Hash32("));
+        assert!(s.len() < 32);
+    }
+}

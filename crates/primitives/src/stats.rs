@@ -1,0 +1,333 @@
+//! Statistics helpers used by the measurement analyses: empirical CDFs,
+//! percentiles, log-spaced histograms and a simple power-law exponent
+//! estimator (used when characterizing the links-per-user distribution of
+//! Figure 3).
+
+/// Empirical cumulative distribution function over `f64` samples.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF; NaN samples are rejected with a panic because they
+    /// would poison ordering.
+    pub fn new(mut samples: Vec<f64>) -> Ecdf {
+        assert!(
+            samples.iter().all(|v| !v.is_nan()),
+            "NaN sample in ECDF input"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were provided.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (nearest-rank).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty ECDF");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if q <= 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        *self.sorted.first().expect("min of empty ECDF")
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("max of empty ECDF")
+    }
+
+    /// Evaluates the CDF at each of the given points, producing plottable
+    /// `(x, F(x))` pairs — this is what the figure binaries print.
+    pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .map(|&x| (x, self.fraction_at_or_below(x)))
+            .collect()
+    }
+}
+
+/// Median of an integer sample set without converting to floats.
+pub fn median_u64(samples: &mut [u64]) -> f64 {
+    assert!(!samples.is_empty(), "median of empty slice");
+    samples.sort_unstable();
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2] as f64
+    } else {
+        (samples[n / 2 - 1] as f64 + samples[n / 2] as f64) / 2.0
+    }
+}
+
+/// Histogram with power-of-two bin edges, matching the skewed x-axis of
+/// Figure 4 (`2^8 .. 2^16` and beyond).
+#[derive(Clone, Debug)]
+pub struct Pow2Histogram {
+    /// counts[i] counts samples in `[2^i, 2^(i+1))`.
+    counts: Vec<u64>,
+}
+
+impl Pow2Histogram {
+    /// Creates a histogram able to hold values up to `2^max_exp`.
+    pub fn new(max_exp: u32) -> Pow2Histogram {
+        Pow2Histogram {
+            counts: vec![0; max_exp as usize + 1],
+        }
+    }
+
+    /// Adds a sample (values of 0 count into the first bin).
+    pub fn add(&mut self, value: u64) {
+        let exp = if value <= 1 {
+            0
+        } else {
+            (63 - value.leading_zeros()) as usize
+        };
+        let idx = exp.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// `(bin_floor, count)` pairs for non-empty bins.
+    pub fn bins(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i.min(63), c))
+            .collect()
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Maximum-likelihood estimate of a (continuous) power-law exponent alpha
+/// for samples `>= x_min`: `alpha = 1 + n / sum(ln(x_i / x_min))`.
+///
+/// Returns `None` when fewer than two samples qualify.
+pub fn power_law_alpha(samples: &[f64], x_min: f64) -> Option<f64> {
+    assert!(x_min > 0.0);
+    let logs: Vec<f64> = samples
+        .iter()
+        .filter(|&&x| x >= x_min)
+        .map(|&x| (x / x_min).ln())
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let denom: f64 = logs.iter().sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    Some(1.0 + logs.len() as f64 / denom)
+}
+
+/// Counts how many of the top-k values cover at least `fraction` of the
+/// total — the "85% of links come from 10 users" style statistic.
+pub fn top_k_for_share(mut counts: Vec<u64>, fraction: f64) -> usize {
+    assert!((0.0..=1.0).contains(&fraction));
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let target = (total as f64 * fraction).ceil() as u64;
+    let mut acc = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        acc += c;
+        if acc >= target {
+            return i + 1;
+        }
+    }
+    counts.len()
+}
+
+/// Gini coefficient of a count distribution in `[0, 1]` — 0 is perfect
+/// equality, →1 is total concentration. Used to characterize the
+/// links-per-user concentration of Figure 3 beyond the top-k headline.
+pub fn gini(counts: &[u64]) -> f64 {
+    let n = counts.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable();
+    let total: u128 = sorted.iter().map(|&c| c as u128).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    // G = (2 * sum(i * x_i) / (n * total)) - (n + 1) / n, with 1-based i
+    // over the ascending-sorted values.
+    let weighted: u128 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as u128 + 1) * x as u128)
+        .sum();
+    (2.0 * weighted as f64 / (n as f64 * total as f64)) - (n as f64 + 1.0) / n as f64
+}
+
+/// Share of the total contributed by the single largest value.
+pub fn top1_share(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    *counts.iter().max().unwrap() as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn ecdf_basic_fractions() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(e.fraction_at_or_below(2.0), 0.5);
+        assert_eq!(e.fraction_at_or_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantiles() {
+        let e = Ecdf::new(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.median(), 3.0);
+        assert_eq!(e.quantile(1.0), 5.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 5.0);
+    }
+
+    #[test]
+    fn ecdf_mean() {
+        let e = Ecdf::new(vec![2.0, 4.0]);
+        assert_eq!(e.mean(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn ecdf_rejects_nan() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn ecdf_series_is_monotone() {
+        let e = Ecdf::new((0..100).map(|i| (i as f64).sqrt()).collect());
+        let pts: Vec<f64> = (0..20).map(|i| i as f64 / 2.0).collect();
+        let series = e.series(&pts);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn median_u64_even_and_odd() {
+        assert_eq!(median_u64(&mut [3, 1, 2]), 2.0);
+        assert_eq!(median_u64(&mut [4, 1, 2, 3]), 2.5);
+    }
+
+    #[test]
+    fn pow2_histogram_bins_correctly() {
+        let mut h = Pow2Histogram::new(16);
+        h.add(0);
+        h.add(1);
+        h.add(2);
+        h.add(3);
+        h.add(1024);
+        h.add(1 << 16);
+        h.add(u64::MAX); // clamps to the last bin
+        let bins = h.bins();
+        assert_eq!(h.total(), 7);
+        assert!(bins.contains(&(1, 2)));
+        assert!(bins.contains(&(2, 2)));
+        assert!(bins.contains(&(1024, 1)));
+        assert!(bins.contains(&(1 << 16, 2)));
+    }
+
+    #[test]
+    fn power_law_alpha_recovers_exponent() {
+        let mut rng = DetRng::seed(11);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.pareto(1.0, 1.5)).collect();
+        // Pareto shape 1.5 corresponds to density exponent alpha = 2.5.
+        let alpha = power_law_alpha(&samples, 1.0).unwrap();
+        assert!((2.4..2.6).contains(&alpha), "alpha {alpha}");
+    }
+
+    #[test]
+    fn power_law_alpha_needs_samples() {
+        assert!(power_law_alpha(&[1.0], 1.0).is_none());
+        assert!(power_law_alpha(&[0.1, 0.2], 1.0).is_none());
+    }
+
+    #[test]
+    fn top_k_for_share_matches_hand_computation() {
+        // 10 values; top value is 50% of mass, top two are 75%.
+        let counts = vec![50, 25, 5, 5, 5, 2, 2, 2, 2, 2];
+        assert_eq!(top_k_for_share(counts.clone(), 0.5), 1);
+        assert_eq!(top_k_for_share(counts.clone(), 0.75), 2);
+        assert_eq!(top_k_for_share(counts, 1.0), 10);
+    }
+
+    #[test]
+    fn top_k_for_share_empty_total() {
+        assert_eq!(top_k_for_share(vec![0, 0], 0.5), 0);
+    }
+
+    #[test]
+    fn gini_extremes_and_known_value() {
+        // Perfect equality.
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
+        // Total concentration approaches (n-1)/n.
+        let g = gini(&[0, 0, 0, 100]);
+        assert!((g - 0.75).abs() < 1e-12, "g {g}");
+        // Degenerate inputs.
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+        // A hand-computed middle case: [1, 3] → G = 0.25.
+        assert!((gini(&[1, 3]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top1_share_simple() {
+        assert_eq!(top1_share(&[1, 1, 2]), 0.5);
+        assert_eq!(top1_share(&[]), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Short-link IDs: `https://cnhv.co/[a-z0-9]{1,n}` with increasing
+//! assignment.
+//!
+//! IDs enumerate length-1 codes first, then length-2, and so on — a
+//! bijection between `u64` indices and codes. The increasing assignment
+//! is the property the paper exploited: "new links are assigned
+//! increasing IDs which enables one to enumerate the link address space".
+
+const ALPHABET: &[u8; 36] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+
+/// Number of codes with length exactly `len`.
+fn codes_of_len(len: u32) -> u64 {
+    36u64.pow(len)
+}
+
+/// Converts a link index (0-based creation order) to its code.
+///
+/// ```
+/// use minedig_shortlink::{code_to_index, index_to_code};
+///
+/// assert_eq!(index_to_code(0), "a");
+/// assert_eq!(index_to_code(36), "aa");
+/// let idx = code_to_index("3w88o").unwrap(); // the paper uses cnhv.co/3w88o
+/// assert_eq!(index_to_code(idx), "3w88o");
+/// ```
+pub fn index_to_code(mut index: u64) -> String {
+    let mut len = 1u32;
+    loop {
+        let count = codes_of_len(len);
+        if index < count {
+            break;
+        }
+        index -= count;
+        len += 1;
+    }
+    let mut code = vec![0u8; len as usize];
+    for slot in code.iter_mut().rev() {
+        *slot = ALPHABET[(index % 36) as usize];
+        index /= 36;
+    }
+    String::from_utf8(code).unwrap()
+}
+
+/// Converts a code back to its index; `None` for invalid characters or
+/// empty input.
+pub fn code_to_index(code: &str) -> Option<u64> {
+    if code.is_empty() || code.len() > 12 {
+        return None;
+    }
+    let mut value: u64 = 0;
+    for &c in code.as_bytes() {
+        let digit = match c {
+            b'a'..=b'z' => (c - b'a') as u64,
+            b'0'..=b'9' => (c - b'0') as u64 + 26,
+            _ => return None,
+        };
+        value = value * 36 + digit;
+    }
+    let mut base = 0u64;
+    for len in 1..code.len() as u32 {
+        base += codes_of_len(len);
+    }
+    Some(base + value)
+}
+
+/// Total number of codes with length at most `max_len` (the address-space
+/// size the enumerator walks).
+pub fn address_space(max_len: u32) -> u64 {
+    (1..=max_len).map(codes_of_len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_codes_are_single_chars() {
+        assert_eq!(index_to_code(0), "a");
+        assert_eq!(index_to_code(25), "z");
+        assert_eq!(index_to_code(26), "0");
+        assert_eq!(index_to_code(35), "9");
+        assert_eq!(index_to_code(36), "aa");
+    }
+
+    #[test]
+    fn four_char_space_covers_paper_population() {
+        // 1,709,203 active links fit in codes of length ≤ 4.
+        assert!(address_space(4) >= 1_709_203);
+        assert_eq!(address_space(4), 36 + 1_296 + 46_656 + 1_679_616);
+        assert_eq!(index_to_code(address_space(4) - 1).len(), 4);
+    }
+
+    #[test]
+    fn codes_are_increasing_in_length() {
+        let mut last_len = 0;
+        for i in [0u64, 35, 36, 1_331, 1_332, 47_987, 47_988] {
+            let len = index_to_code(i).len();
+            assert!(len >= last_len);
+            last_len = len;
+        }
+    }
+
+    #[test]
+    fn invalid_codes_rejected() {
+        assert_eq!(code_to_index(""), None);
+        assert_eq!(code_to_index("A"), None);
+        assert_eq!(code_to_index("a-b"), None);
+        assert_eq!(code_to_index(&"a".repeat(13)), None);
+    }
+
+    #[test]
+    fn known_roundtrip_examples() {
+        for code in ["a", "z9", "3w88o", "0000"] {
+            let idx = code_to_index(code).unwrap();
+            assert_eq!(index_to_code(idx), code);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(index in 0u64..3_000_000_000) {
+            let code = index_to_code(index);
+            prop_assert_eq!(code_to_index(&code), Some(index));
+        }
+
+        #[test]
+        fn codes_are_injective(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+            // Larger indices never get shorter codes, and distinct
+            // indices get distinct codes.
+            let (ca, cb) = (index_to_code(a), index_to_code(b));
+            if a != b {
+                prop_assert_ne!(&ca, &cb);
+            }
+            if a < b {
+                prop_assert!(ca.len() <= cb.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The paper's Wasm fingerprinting method.
+//!
+//! §3.2: *"We build signatures from the Wasm code by combining (in a
+//! strict order) and then hashing the contained functions with SHA256."*
+//! and *"Such features e.g., comprises the number of XOR, shift or load
+//! operations which we found to be quite distinctive or function name[s]
+//! hinting at the hash function itself."*
+//!
+//! [`fingerprint`] computes both: the exact SHA-256 signature (identifies
+//! a specific build) and an instruction-mix feature vector plus export
+//! names (identifies the *family* even for unseen builds).
+
+use crate::module::Module;
+use crate::opcode::{encode_body, InstrClass};
+use minedig_primitives::sha256::Sha256;
+use minedig_primitives::Hash32;
+
+/// Instruction-mix and structural features of a module.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Features {
+    /// Number of functions.
+    pub functions: u32,
+    /// Total instruction count across all bodies.
+    pub total_instrs: u32,
+    /// XOR ops (the paper's headline feature).
+    pub xor: u32,
+    /// Shift/rotate ops.
+    pub shift: u32,
+    /// Memory loads.
+    pub load: u32,
+    /// Memory stores.
+    pub store: u32,
+    /// Arithmetic ops.
+    pub arith: u32,
+    /// Logic/comparison/conversion ops.
+    pub logic: u32,
+    /// Control-flow ops.
+    pub control: u32,
+    /// Plumbing (locals/consts/parametric).
+    pub plumbing: u32,
+    /// Declared minimum memory pages.
+    pub memory_pages: u32,
+    /// Export names (function-name hints, e.g. `cryptonight_hash`).
+    pub export_names: Vec<String>,
+    /// Debug function names from the custom name section, when present.
+    pub function_names: Vec<String>,
+}
+
+impl Features {
+    /// The normalized instruction-mix vector (fractions of total).
+    pub fn mix(&self) -> [f64; 8] {
+        let total = self.total_instrs.max(1) as f64;
+        [
+            self.xor as f64 / total,
+            self.shift as f64 / total,
+            self.load as f64 / total,
+            self.store as f64 / total,
+            self.arith as f64 / total,
+            self.logic as f64 / total,
+            self.control as f64 / total,
+            self.plumbing as f64 / total,
+        ]
+    }
+
+    /// Cosine similarity of the instruction mixes, in `[0, 1]`.
+    pub fn similarity(&self, other: &Features) -> f64 {
+        let a = self.mix();
+        let b = other.mix();
+        let dot: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+
+    /// True if any export name hints at a hash kernel — the paper calls
+    /// out "function name hinting at the hash function itself".
+    pub fn has_hash_name_hint(&self) -> bool {
+        self.export_names
+            .iter()
+            .chain(self.function_names.iter())
+            .any(|n| {
+                let n = n.to_ascii_lowercase();
+                n.contains("cryptonight")
+                    || n.contains("cn_")
+                    || n.contains("keccak")
+                    || n.contains("hash")
+            })
+    }
+}
+
+/// A module fingerprint: exact signature plus features.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fingerprint {
+    /// SHA-256 over the ordered, length-prefixed function bodies.
+    pub sha256: Hash32,
+    /// Instruction-mix features.
+    pub features: Features,
+}
+
+/// Computes the fingerprint of a module.
+pub fn fingerprint(module: &Module) -> Fingerprint {
+    let mut hasher = Sha256::new();
+    let mut features = Features {
+        functions: module.functions.len() as u32,
+        memory_pages: module.memory_pages.map(|(min, _)| min).unwrap_or(0),
+        export_names: module.exports.iter().map(|e| e.name.clone()).collect(),
+        function_names: module.function_names.values().cloned().collect(),
+        ..Features::default()
+    };
+
+    for f in &module.functions {
+        // Strict order, length-prefixed so function boundaries are
+        // unambiguous in the hash input.
+        let body = encode_body(&f.body);
+        hasher.update(&(body.len() as u64).to_le_bytes());
+        hasher.update(&body);
+        for instr in &f.body {
+            features.total_instrs += 1;
+            match instr.class() {
+                InstrClass::Xor => features.xor += 1,
+                InstrClass::Shift => features.shift += 1,
+                InstrClass::Load => features.load += 1,
+                InstrClass::Store => features.store += 1,
+                InstrClass::Arith => features.arith += 1,
+                InstrClass::Logic => features.logic += 1,
+                InstrClass::Control => features.control += 1,
+                InstrClass::Plumbing => features.plumbing += 1,
+            }
+        }
+    }
+
+    Fingerprint {
+        sha256: Hash32(hasher.finalize()),
+        features,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleBuilder;
+    use crate::opcode::Instr;
+
+    fn module_with(ops: Vec<Instr>, export: &str) -> Module {
+        let mut b = ModuleBuilder::new();
+        let t = b.add_type(vec![], vec![]);
+        let mut body = vec![Instr::I32Const(1), Instr::I32Const(2)];
+        body.extend(ops);
+        body.push(Instr::Drop);
+        let f = b.add_function(t, vec![], body);
+        b.export(export, f);
+        b.finish()
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let m = module_with(vec![Instr::I32Xor], "run");
+        assert_eq!(fingerprint(&m).sha256, fingerprint(&m).sha256);
+    }
+
+    #[test]
+    fn signature_changes_with_body() {
+        let a = module_with(vec![Instr::I32Xor], "run");
+        let b = module_with(vec![Instr::I32Add], "run");
+        assert_ne!(fingerprint(&a).sha256, fingerprint(&b).sha256);
+    }
+
+    #[test]
+    fn signature_ignores_export_names_but_features_keep_them() {
+        // The hash covers function bodies only ("combining the contained
+        // functions"); names feed the feature side.
+        let a = module_with(vec![Instr::I32Xor], "cryptonight_hash");
+        let b = module_with(vec![Instr::I32Xor], "innocuous");
+        assert_eq!(fingerprint(&a).sha256, fingerprint(&b).sha256);
+        assert!(fingerprint(&a).features.has_hash_name_hint());
+        assert!(!fingerprint(&b).features.has_hash_name_hint());
+    }
+
+    #[test]
+    fn function_order_matters() {
+        let build = |swap: bool| {
+            let mut b = ModuleBuilder::new();
+            let t = b.add_type(vec![], vec![]);
+            let bodies = if swap {
+                [vec![Instr::Nop], vec![Instr::Nop, Instr::Nop]]
+            } else {
+                [vec![Instr::Nop, Instr::Nop], vec![Instr::Nop]]
+            };
+            for body in bodies {
+                b.add_function(t, vec![], body);
+            }
+            b.finish()
+        };
+        assert_ne!(
+            fingerprint(&build(false)).sha256,
+            fingerprint(&build(true)).sha256
+        );
+    }
+
+    #[test]
+    fn feature_counts_are_exact() {
+        let m = module_with(
+            vec![
+                Instr::I32Xor,
+                Instr::I32Const(3),
+                Instr::I32Shl,
+                Instr::I32Const(5),
+                Instr::I32Add,
+            ],
+            "f",
+        );
+        let feats = fingerprint(&m).features;
+        assert_eq!(feats.xor, 1);
+        assert_eq!(feats.shift, 1);
+        assert_eq!(feats.arith, 1);
+        assert_eq!(feats.functions, 1);
+        // 2 leading consts + 2 inline consts + drop = 5 plumbing, + End control.
+        assert_eq!(feats.plumbing, 5);
+        assert_eq!(feats.control, 1);
+        assert_eq!(feats.total_instrs, 9);
+    }
+
+    #[test]
+    fn similarity_is_one_for_same_mix_zero_for_disjoint() {
+        let xor_heavy = fingerprint(&module_with(
+            vec![Instr::I32Xor, Instr::I32Xor, Instr::I32Xor, Instr::I32Const(1)],
+            "a",
+        ))
+        .features;
+        let xor_heavy2 = xor_heavy.clone();
+        assert!((xor_heavy.similarity(&xor_heavy2) - 1.0).abs() < 1e-12);
+        let empty = Features::default();
+        assert_eq!(xor_heavy.similarity(&empty), 0.0);
+    }
+
+    #[test]
+    fn similarity_orders_families_sensibly() {
+        let xor_mix = |n_xor: usize| {
+            let mut ops = Vec::new();
+            for _ in 0..n_xor {
+                ops.push(Instr::I32Xor);
+                ops.push(Instr::I32Const(7));
+            }
+            ops.push(Instr::I32Add);
+            fingerprint(&module_with(ops, "k")).features
+        };
+        let a = xor_mix(10);
+        let b = xor_mix(12); // near-identical mix
+        let c = fingerprint(&module_with(
+            vec![Instr::I32Add, Instr::I32Const(1), Instr::I32Add],
+            "k",
+        ))
+        .features;
+        assert!(a.similarity(&b) > a.similarity(&c));
+    }
+
+    #[test]
+    fn memory_pages_recorded() {
+        let mut b = ModuleBuilder::new();
+        b.set_memory(32, Some(64)); // 2 MiB scratchpad — miner-sized
+        let fp = fingerprint(&b.finish());
+        assert_eq!(fp.features.memory_pages, 32);
+    }
+}

@@ -1,0 +1,622 @@
+//! The instruction subset: encoding, decoding and classification.
+//!
+//! Opcode byte values follow the WebAssembly 1.0 specification exactly, so
+//! modules we emit are honest Wasm binaries for the instructions they use.
+//! The subset is the integer/memory/control slice that CryptoNight-style
+//! kernels compile to — the paper specifically calls out XOR, shift and
+//! load counts as the distinctive features.
+
+use minedig_primitives::varint::{
+    read_sleb128, read_varint, write_sleb128, write_varint, VarintError,
+};
+
+/// Value types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ValType {
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+}
+
+impl ValType {
+    /// Binary encoding of the value type.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7f,
+            ValType::I64 => 0x7e,
+        }
+    }
+
+    /// Decodes a value type byte.
+    pub fn from_byte(b: u8) -> Option<ValType> {
+        match b {
+            0x7f => Some(ValType::I32),
+            0x7e => Some(ValType::I64),
+            _ => None,
+        }
+    }
+}
+
+/// Memory access immediate (alignment exponent and byte offset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemArg {
+    /// Alignment as a power-of-two exponent.
+    pub align: u32,
+    /// Constant byte offset added to the dynamic address.
+    pub offset: u32,
+}
+
+/// The instruction subset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // names mirror the spec mnemonic 1:1
+pub enum Instr {
+    Unreachable,
+    Nop,
+    Block, // void blocktype
+    Loop,  // void blocktype
+    End,
+    Br(u32),
+    BrIf(u32),
+    Return,
+    Call(u32),
+    Drop,
+    Select,
+    LocalGet(u32),
+    LocalSet(u32),
+    LocalTee(u32),
+    I32Load(MemArg),
+    I64Load(MemArg),
+    I32Load8U(MemArg),
+    I32Store(MemArg),
+    I64Store(MemArg),
+    I32Store8(MemArg),
+    MemorySize,
+    MemoryGrow,
+    I32Const(i32),
+    I64Const(i64),
+    I32Eqz,
+    I32Eq,
+    I32Ne,
+    I32LtU,
+    I32GtU,
+    I32LeU,
+    I32GeU,
+    I64Eqz,
+    I64Eq,
+    I64Ne,
+    I32Clz,
+    I32Ctz,
+    I32Popcnt,
+    I32Add,
+    I32Sub,
+    I32Mul,
+    I32DivU,
+    I32RemU,
+    I32And,
+    I32Or,
+    I32Xor,
+    I32Shl,
+    I32ShrS,
+    I32ShrU,
+    I32Rotl,
+    I32Rotr,
+    I64Add,
+    I64Sub,
+    I64Mul,
+    I64DivU,
+    I64RemU,
+    I64And,
+    I64Or,
+    I64Xor,
+    I64Shl,
+    I64ShrU,
+    I64Rotl,
+    I64Rotr,
+    I32WrapI64,
+    I64ExtendI32U,
+}
+
+/// Instruction categories used by the fingerprint feature vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstrClass {
+    /// XOR operations (the paper's headline feature).
+    Xor,
+    /// Shift/rotate operations.
+    Shift,
+    /// Memory loads.
+    Load,
+    /// Memory stores.
+    Store,
+    /// Arithmetic (add/sub/mul/div/rem).
+    Arith,
+    /// Bitwise and/or, counts, comparisons and conversions.
+    Logic,
+    /// Control flow and structure.
+    Control,
+    /// Locals/constants/parametric plumbing.
+    Plumbing,
+}
+
+impl Instr {
+    /// Classifies the instruction for the feature vector.
+    pub fn class(&self) -> InstrClass {
+        use Instr::*;
+        match self {
+            I32Xor | I64Xor => InstrClass::Xor,
+            I32Shl | I32ShrS | I32ShrU | I32Rotl | I32Rotr | I64Shl | I64ShrU | I64Rotl
+            | I64Rotr => InstrClass::Shift,
+            I32Load(_) | I64Load(_) | I32Load8U(_) => InstrClass::Load,
+            I32Store(_) | I64Store(_) | I32Store8(_) => InstrClass::Store,
+            I32Add | I32Sub | I32Mul | I32DivU | I32RemU | I64Add | I64Sub | I64Mul | I64DivU
+            | I64RemU => InstrClass::Arith,
+            I32And | I32Or | I64And | I64Or | I32Eqz | I32Eq | I32Ne | I32LtU | I32GtU
+            | I32LeU | I32GeU | I64Eqz | I64Eq | I64Ne | I32Clz | I32Ctz | I32Popcnt
+            | I32WrapI64 | I64ExtendI32U => InstrClass::Logic,
+            Unreachable | Nop | Block | Loop | End | Br(_) | BrIf(_) | Return | Call(_) => {
+                InstrClass::Control
+            }
+            Drop | Select | LocalGet(_) | LocalSet(_) | LocalTee(_) | MemorySize | MemoryGrow
+            | I32Const(_) | I64Const(_) => InstrClass::Plumbing,
+        }
+    }
+
+    /// Appends the binary encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use Instr::*;
+        match self {
+            Unreachable => out.push(0x00),
+            Nop => out.push(0x01),
+            Block => {
+                out.push(0x02);
+                out.push(0x40); // void blocktype
+            }
+            Loop => {
+                out.push(0x03);
+                out.push(0x40);
+            }
+            End => out.push(0x0b),
+            Br(depth) => {
+                out.push(0x0c);
+                write_varint(out, *depth as u64);
+            }
+            BrIf(depth) => {
+                out.push(0x0d);
+                write_varint(out, *depth as u64);
+            }
+            Return => out.push(0x0f),
+            Call(idx) => {
+                out.push(0x10);
+                write_varint(out, *idx as u64);
+            }
+            Drop => out.push(0x1a),
+            Select => out.push(0x1b),
+            LocalGet(i) => {
+                out.push(0x20);
+                write_varint(out, *i as u64);
+            }
+            LocalSet(i) => {
+                out.push(0x21);
+                write_varint(out, *i as u64);
+            }
+            LocalTee(i) => {
+                out.push(0x22);
+                write_varint(out, *i as u64);
+            }
+            I32Load(m) => mem_op(out, 0x28, m),
+            I64Load(m) => mem_op(out, 0x29, m),
+            I32Load8U(m) => mem_op(out, 0x2d, m),
+            I32Store(m) => mem_op(out, 0x36, m),
+            I64Store(m) => mem_op(out, 0x37, m),
+            I32Store8(m) => mem_op(out, 0x3a, m),
+            MemorySize => {
+                out.push(0x3f);
+                out.push(0x00);
+            }
+            MemoryGrow => {
+                out.push(0x40);
+                out.push(0x00);
+            }
+            I32Const(v) => {
+                out.push(0x41);
+                write_sleb128(out, *v as i64);
+            }
+            I64Const(v) => {
+                out.push(0x42);
+                write_sleb128(out, *v);
+            }
+            I32Eqz => out.push(0x45),
+            I32Eq => out.push(0x46),
+            I32Ne => out.push(0x47),
+            I32LtU => out.push(0x49),
+            I32GtU => out.push(0x4b),
+            I32LeU => out.push(0x4d),
+            I32GeU => out.push(0x4f),
+            I64Eqz => out.push(0x50),
+            I64Eq => out.push(0x51),
+            I64Ne => out.push(0x52),
+            I32Clz => out.push(0x67),
+            I32Ctz => out.push(0x68),
+            I32Popcnt => out.push(0x69),
+            I32Add => out.push(0x6a),
+            I32Sub => out.push(0x6b),
+            I32Mul => out.push(0x6c),
+            I32DivU => out.push(0x6e),
+            I32RemU => out.push(0x70),
+            I32And => out.push(0x71),
+            I32Or => out.push(0x72),
+            I32Xor => out.push(0x73),
+            I32Shl => out.push(0x74),
+            I32ShrS => out.push(0x75),
+            I32ShrU => out.push(0x76),
+            I32Rotl => out.push(0x77),
+            I32Rotr => out.push(0x78),
+            I64Add => out.push(0x7c),
+            I64Sub => out.push(0x7d),
+            I64Mul => out.push(0x7e),
+            I64DivU => out.push(0x80),
+            I64RemU => out.push(0x82),
+            I64And => out.push(0x83),
+            I64Or => out.push(0x84),
+            I64Xor => out.push(0x85),
+            I64Shl => out.push(0x86),
+            I64ShrU => out.push(0x88),
+            I64Rotl => out.push(0x89),
+            I64Rotr => out.push(0x8a),
+            I32WrapI64 => out.push(0xa7),
+            I64ExtendI32U => out.push(0xad),
+        }
+    }
+
+    /// Decodes one instruction from the front of `bytes`, returning it and
+    /// the number of bytes consumed.
+    pub fn decode(bytes: &[u8]) -> Result<(Instr, usize), DecodeError> {
+        use Instr::*;
+        let op = *bytes.first().ok_or(DecodeError::Eof)?;
+        let rest = &bytes[1..];
+        let simple = |i: Instr| Ok((i, 1));
+        match op {
+            0x00 => simple(Unreachable),
+            0x01 => simple(Nop),
+            0x02 | 0x03 => {
+                let bt = *rest.first().ok_or(DecodeError::Eof)?;
+                if bt != 0x40 {
+                    return Err(DecodeError::UnsupportedBlockType(bt));
+                }
+                Ok((if op == 0x02 { Block } else { Loop }, 2))
+            }
+            0x0b => simple(End),
+            0x0c | 0x0d => {
+                let (v, n) = read_varint(rest)?;
+                let depth = u32::try_from(v).map_err(|_| DecodeError::ImmediateRange)?;
+                Ok((if op == 0x0c { Br(depth) } else { BrIf(depth) }, 1 + n))
+            }
+            0x0f => simple(Return),
+            0x10 => {
+                let (v, n) = read_varint(rest)?;
+                let idx = u32::try_from(v).map_err(|_| DecodeError::ImmediateRange)?;
+                Ok((Call(idx), 1 + n))
+            }
+            0x1a => simple(Drop),
+            0x1b => simple(Select),
+            0x20..=0x22 => {
+                let (v, n) = read_varint(rest)?;
+                let idx = u32::try_from(v).map_err(|_| DecodeError::ImmediateRange)?;
+                let i = match op {
+                    0x20 => LocalGet(idx),
+                    0x21 => LocalSet(idx),
+                    _ => LocalTee(idx),
+                };
+                Ok((i, 1 + n))
+            }
+            0x28 | 0x29 | 0x2d | 0x36 | 0x37 | 0x3a => {
+                let (align, n1) = read_varint(rest)?;
+                let (offset, n2) = read_varint(&rest[n1..])?;
+                let m = MemArg {
+                    align: u32::try_from(align).map_err(|_| DecodeError::ImmediateRange)?,
+                    offset: u32::try_from(offset).map_err(|_| DecodeError::ImmediateRange)?,
+                };
+                let i = match op {
+                    0x28 => I32Load(m),
+                    0x29 => I64Load(m),
+                    0x2d => I32Load8U(m),
+                    0x36 => I32Store(m),
+                    0x37 => I64Store(m),
+                    _ => I32Store8(m),
+                };
+                Ok((i, 1 + n1 + n2))
+            }
+            0x3f | 0x40 => {
+                let zero = *rest.first().ok_or(DecodeError::Eof)?;
+                if zero != 0 {
+                    return Err(DecodeError::ImmediateRange);
+                }
+                Ok((if op == 0x3f { MemorySize } else { MemoryGrow }, 2))
+            }
+            0x41 => {
+                let (v, n) = read_sleb128(rest)?;
+                let v = i32::try_from(v).map_err(|_| DecodeError::ImmediateRange)?;
+                Ok((I32Const(v), 1 + n))
+            }
+            0x42 => {
+                let (v, n) = read_sleb128(rest)?;
+                Ok((I64Const(v), 1 + n))
+            }
+            0x45 => simple(I32Eqz),
+            0x46 => simple(I32Eq),
+            0x47 => simple(I32Ne),
+            0x49 => simple(I32LtU),
+            0x4b => simple(I32GtU),
+            0x4d => simple(I32LeU),
+            0x4f => simple(I32GeU),
+            0x50 => simple(I64Eqz),
+            0x51 => simple(I64Eq),
+            0x52 => simple(I64Ne),
+            0x67 => simple(I32Clz),
+            0x68 => simple(I32Ctz),
+            0x69 => simple(I32Popcnt),
+            0x6a => simple(I32Add),
+            0x6b => simple(I32Sub),
+            0x6c => simple(I32Mul),
+            0x6e => simple(I32DivU),
+            0x70 => simple(I32RemU),
+            0x71 => simple(I32And),
+            0x72 => simple(I32Or),
+            0x73 => simple(I32Xor),
+            0x74 => simple(I32Shl),
+            0x75 => simple(I32ShrS),
+            0x76 => simple(I32ShrU),
+            0x77 => simple(I32Rotl),
+            0x78 => simple(I32Rotr),
+            0x7c => simple(I64Add),
+            0x7d => simple(I64Sub),
+            0x7e => simple(I64Mul),
+            0x80 => simple(I64DivU),
+            0x82 => simple(I64RemU),
+            0x83 => simple(I64And),
+            0x84 => simple(I64Or),
+            0x85 => simple(I64Xor),
+            0x86 => simple(I64Shl),
+            0x88 => simple(I64ShrU),
+            0x89 => simple(I64Rotl),
+            0x8a => simple(I64Rotr),
+            0xa7 => simple(I32WrapI64),
+            0xad => simple(I64ExtendI32U),
+            other => Err(DecodeError::UnknownOpcode(other)),
+        }
+    }
+}
+
+fn mem_op(out: &mut Vec<u8>, op: u8, m: &MemArg) {
+    out.push(op);
+    write_varint(out, m.align as u64);
+    write_varint(out, m.offset as u64);
+}
+
+/// Instruction decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended mid-instruction.
+    Eof,
+    /// Opcode byte outside the supported subset.
+    UnknownOpcode(u8),
+    /// Only void block types are supported.
+    UnsupportedBlockType(u8),
+    /// Immediate out of range for its type.
+    ImmediateRange,
+    /// Varint error in an immediate.
+    Varint(VarintError),
+}
+
+impl From<VarintError> for DecodeError {
+    fn from(e: VarintError) -> Self {
+        DecodeError::Varint(e)
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Eof => f.write_str("unexpected end of code"),
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::UnsupportedBlockType(bt) => write!(f, "unsupported blocktype {bt:#04x}"),
+            DecodeError::ImmediateRange => f.write_str("immediate out of range"),
+            DecodeError::Varint(e) => write!(f, "bad immediate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes a whole expression (instruction sequence).
+pub fn decode_body(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let (instr, used) = Instr::decode(&bytes[pos..])?;
+        out.push(instr);
+        pos += used;
+    }
+    Ok(out)
+}
+
+/// Encodes an instruction sequence.
+pub fn encode_body(instrs: &[Instr]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in instrs {
+        i.encode(&mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ALL_SIMPLE: &[Instr] = &[
+        Instr::Unreachable,
+        Instr::Nop,
+        Instr::End,
+        Instr::Return,
+        Instr::Drop,
+        Instr::Select,
+        Instr::MemorySize,
+        Instr::MemoryGrow,
+        Instr::I32Eqz,
+        Instr::I32Eq,
+        Instr::I32Ne,
+        Instr::I32LtU,
+        Instr::I32GtU,
+        Instr::I32LeU,
+        Instr::I32GeU,
+        Instr::I64Eqz,
+        Instr::I64Eq,
+        Instr::I64Ne,
+        Instr::I32Clz,
+        Instr::I32Ctz,
+        Instr::I32Popcnt,
+        Instr::I32Add,
+        Instr::I32Sub,
+        Instr::I32Mul,
+        Instr::I32DivU,
+        Instr::I32RemU,
+        Instr::I32And,
+        Instr::I32Or,
+        Instr::I32Xor,
+        Instr::I32Shl,
+        Instr::I32ShrS,
+        Instr::I32ShrU,
+        Instr::I32Rotl,
+        Instr::I32Rotr,
+        Instr::I64Add,
+        Instr::I64Sub,
+        Instr::I64Mul,
+        Instr::I64DivU,
+        Instr::I64RemU,
+        Instr::I64And,
+        Instr::I64Or,
+        Instr::I64Xor,
+        Instr::I64Shl,
+        Instr::I64ShrU,
+        Instr::I64Rotl,
+        Instr::I64Rotr,
+        Instr::I32WrapI64,
+        Instr::I64ExtendI32U,
+    ];
+
+    #[test]
+    fn all_simple_instructions_roundtrip() {
+        for &i in ALL_SIMPLE {
+            let bytes = encode_body(&[i]);
+            let (decoded, used) = Instr::decode(&bytes).unwrap();
+            assert_eq!(decoded, i);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn immediate_instructions_roundtrip() {
+        let instrs = vec![
+            Instr::Block,
+            Instr::Loop,
+            Instr::Br(0),
+            Instr::BrIf(300),
+            Instr::Call(u32::MAX),
+            Instr::LocalGet(5),
+            Instr::LocalSet(128),
+            Instr::LocalTee(0),
+            Instr::I32Const(-1),
+            Instr::I32Const(i32::MIN),
+            Instr::I64Const(i64::MAX),
+            Instr::I32Load(MemArg { align: 2, offset: 1024 }),
+            Instr::I64Store(MemArg { align: 3, offset: 0 }),
+            Instr::I32Load8U(MemArg { align: 0, offset: u32::MAX }),
+            Instr::I32Store8(MemArg { align: 0, offset: 7 }),
+        ];
+        let bytes = encode_body(&instrs);
+        assert_eq!(decode_body(&bytes).unwrap(), instrs);
+    }
+
+    #[test]
+    fn spec_opcode_values_spot_check() {
+        // i32.xor is 0x73, i32.const is 0x41 — straight from the spec.
+        assert_eq!(encode_body(&[Instr::I32Xor]), vec![0x73]);
+        assert_eq!(encode_body(&[Instr::I32Const(0)]), vec![0x41, 0x00]);
+        assert_eq!(encode_body(&[Instr::End]), vec![0x0b]);
+        assert_eq!(
+            encode_body(&[Instr::I32Load(MemArg { align: 2, offset: 0 })]),
+            vec![0x28, 0x02, 0x00]
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(matches!(
+            Instr::decode(&[0xf0]),
+            Err(DecodeError::UnknownOpcode(0xf0))
+        ));
+    }
+
+    #[test]
+    fn truncated_immediate_rejected() {
+        assert!(Instr::decode(&[0x41]).is_err()); // i32.const missing value
+        assert!(Instr::decode(&[0x28, 0x02]).is_err()); // load missing offset
+        assert!(Instr::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn non_void_blocktype_rejected() {
+        assert!(matches!(
+            Instr::decode(&[0x02, 0x7f]),
+            Err(DecodeError::UnsupportedBlockType(0x7f))
+        ));
+    }
+
+    #[test]
+    fn classes_cover_papers_features() {
+        assert_eq!(Instr::I32Xor.class(), InstrClass::Xor);
+        assert_eq!(Instr::I64Shl.class(), InstrClass::Shift);
+        assert_eq!(
+            Instr::I32Load(MemArg { align: 2, offset: 0 }).class(),
+            InstrClass::Load
+        );
+        assert_eq!(
+            Instr::I64Store(MemArg { align: 3, offset: 0 }).class(),
+            InstrClass::Store
+        );
+        assert_eq!(Instr::I32Add.class(), InstrClass::Arith);
+        assert_eq!(Instr::Call(0).class(), InstrClass::Control);
+    }
+
+    fn arb_instr() -> impl Strategy<Value = Instr> {
+        prop_oneof![
+            Just(Instr::Nop),
+            Just(Instr::I32Xor),
+            Just(Instr::I64Add),
+            Just(Instr::Select),
+            any::<u32>().prop_map(Instr::Br),
+            any::<u32>().prop_map(Instr::Call),
+            any::<u32>().prop_map(Instr::LocalGet),
+            any::<i32>().prop_map(Instr::I32Const),
+            any::<i64>().prop_map(Instr::I64Const),
+            (any::<u32>(), any::<u32>())
+                .prop_map(|(a, o)| Instr::I32Load(MemArg { align: a, offset: o })),
+            (any::<u32>(), any::<u32>())
+                .prop_map(|(a, o)| Instr::I64Store(MemArg { align: a, offset: o })),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn body_roundtrip(instrs in prop::collection::vec(arb_instr(), 0..64)) {
+            let bytes = encode_body(&instrs);
+            prop_assert_eq!(decode_body(&bytes).unwrap(), instrs);
+        }
+
+        #[test]
+        fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+            let _ = decode_body(&bytes);
+        }
+    }
+}

@@ -1,0 +1,581 @@
+//! Function-body validation: stack discipline over the supported subset.
+//!
+//! A corpus generator that emits broken modules would silently invalidate
+//! the fingerprint study (Chrome would refuse to compile them), so every
+//! generated module is validated: operand types must match, the operand
+//! stack must never underflow in reachable code, branch depths and all
+//! indices must be in range, and control structures must nest correctly.
+//!
+//! Unreachable code (after `br`/`return`/`unreachable`) is skipped rather
+//! than polymorphically typed — slightly more permissive than the spec,
+//! which is fine for a corpus gate and documented here.
+
+use crate::module::Module;
+use crate::opcode::{Instr, ValType};
+
+/// Validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// Operand stack underflow in reachable code.
+    StackUnderflow {
+        /// Function index.
+        func: u32,
+        /// Instruction offset.
+        at: usize,
+    },
+    /// Operand type mismatch.
+    TypeMismatch {
+        /// Function index.
+        func: u32,
+        /// Instruction offset.
+        at: usize,
+    },
+    /// Branch depth out of range.
+    BadBranchDepth {
+        /// Function index.
+        func: u32,
+        /// Instruction offset.
+        at: usize,
+    },
+    /// Local index out of range.
+    BadLocal {
+        /// Function index.
+        func: u32,
+        /// Instruction offset.
+        at: usize,
+    },
+    /// Callee index out of range.
+    BadCallee {
+        /// Function index.
+        func: u32,
+        /// Instruction offset.
+        at: usize,
+    },
+    /// Memory instruction without a declared memory.
+    NoMemory {
+        /// Function index.
+        func: u32,
+    },
+    /// Unbalanced control structure (missing/extra `End`).
+    BadNesting {
+        /// Function index.
+        func: u32,
+    },
+    /// Final stack does not match the declared result type.
+    BadResult {
+        /// Function index.
+        func: u32,
+    },
+    /// Function's type index is invalid.
+    BadTypeIndex {
+        /// Function index.
+        func: u32,
+    },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validates every function in the module.
+pub fn validate_module(module: &Module) -> Result<(), ValidateError> {
+    for idx in 0..module.functions.len() {
+        validate_function(module, idx as u32)?;
+    }
+    Ok(())
+}
+
+struct Frame {
+    height: usize,
+    unreachable: bool,
+}
+
+/// Validates one function body.
+pub fn validate_function(module: &Module, func: u32) -> Result<(), ValidateError> {
+    let f = &module.functions[func as usize];
+    let ftype = module
+        .types
+        .get(f.type_idx as usize)
+        .ok_or(ValidateError::BadTypeIndex { func })?;
+    let mut local_types: Vec<ValType> = ftype.params.clone();
+    local_types.extend_from_slice(&f.locals);
+
+    let mut stack: Vec<ValType> = Vec::new();
+    // Implicit function-level frame.
+    let mut frames: Vec<Frame> = vec![Frame {
+        height: 0,
+        unreachable: false,
+    }];
+
+    macro_rules! pop {
+        ($at:expr, $want:expr) => {{
+            let base = frames.last().unwrap().height;
+            if stack.len() <= base {
+                return Err(ValidateError::StackUnderflow { func, at: $at });
+            }
+            let got = stack.pop().unwrap();
+            if got != $want {
+                return Err(ValidateError::TypeMismatch { func, at: $at });
+            }
+        }};
+    }
+    macro_rules! pop_any {
+        ($at:expr) => {{
+            let base = frames.last().unwrap().height;
+            if stack.len() <= base {
+                return Err(ValidateError::StackUnderflow { func, at: $at });
+            }
+            stack.pop().unwrap()
+        }};
+    }
+
+    for (at, instr) in f.body.iter().enumerate() {
+        let skipping = frames.last().map(|fr| fr.unreachable).unwrap_or(false);
+        if frames.is_empty() {
+            // Instructions after the function's final End.
+            return Err(ValidateError::BadNesting { func });
+        }
+        if skipping {
+            // In unreachable code only track nesting; still bound-check
+            // branch depths and indices (cheap and catches generator bugs).
+            match instr {
+                Instr::Block | Instr::Loop => frames.push(Frame {
+                    height: stack.len(),
+                    unreachable: true,
+                }),
+                Instr::End => {
+                    let fr = frames.pop().unwrap();
+                    stack.truncate(fr.height);
+                }
+                Instr::Br(d) | Instr::BrIf(d)
+                    if *d as usize >= frames.len() => {
+                        return Err(ValidateError::BadBranchDepth { func, at });
+                    }
+                Instr::Call(idx)
+                    if *idx as usize >= module.functions.len() => {
+                        return Err(ValidateError::BadCallee { func, at });
+                    }
+                _ => {}
+            }
+            continue;
+        }
+
+        match *instr {
+            Instr::Unreachable => frames.last_mut().unwrap().unreachable = true,
+            Instr::Nop => {}
+            Instr::Block | Instr::Loop => frames.push(Frame {
+                height: stack.len(),
+                unreachable: false,
+            }),
+            Instr::End => {
+                let fr = frames.pop().unwrap();
+                if frames.is_empty() {
+                    // Function end: remaining stack must match results.
+                    let want: Vec<ValType> = ftype.results.clone();
+                    if stack.len() != want.len() || stack != want {
+                        return Err(ValidateError::BadResult { func });
+                    }
+                } else if stack.len() != fr.height {
+                    // Void blocks must leave the stack as they found it.
+                    return Err(ValidateError::BadResult { func });
+                }
+            }
+            Instr::Br(d) => {
+                if d as usize >= frames.len() {
+                    return Err(ValidateError::BadBranchDepth { func, at });
+                }
+                frames.last_mut().unwrap().unreachable = true;
+            }
+            Instr::BrIf(d) => {
+                if d as usize >= frames.len() {
+                    return Err(ValidateError::BadBranchDepth { func, at });
+                }
+                pop!(at, ValType::I32);
+                // Void targets: no stack requirement beyond the condition.
+            }
+            Instr::Return => {
+                for want in ftype.results.iter().rev() {
+                    pop!(at, *want);
+                }
+                frames.last_mut().unwrap().unreachable = true;
+            }
+            Instr::Call(idx) => {
+                let callee_type = module
+                    .func_type(idx)
+                    .ok_or(ValidateError::BadCallee { func, at })?
+                    .clone();
+                for want in callee_type.params.iter().rev() {
+                    pop!(at, *want);
+                }
+                for r in &callee_type.results {
+                    stack.push(*r);
+                }
+            }
+            Instr::Drop => {
+                let _ = pop_any!(at);
+            }
+            Instr::Select => {
+                pop!(at, ValType::I32);
+                let a = pop_any!(at);
+                pop!(at, a);
+                stack.push(a);
+            }
+            Instr::LocalGet(i) => {
+                let t = *local_types
+                    .get(i as usize)
+                    .ok_or(ValidateError::BadLocal { func, at })?;
+                stack.push(t);
+            }
+            Instr::LocalSet(i) => {
+                let t = *local_types
+                    .get(i as usize)
+                    .ok_or(ValidateError::BadLocal { func, at })?;
+                pop!(at, t);
+            }
+            Instr::LocalTee(i) => {
+                let t = *local_types
+                    .get(i as usize)
+                    .ok_or(ValidateError::BadLocal { func, at })?;
+                pop!(at, t);
+                stack.push(t);
+            }
+            Instr::I32Load(_) | Instr::I32Load8U(_) => {
+                require_memory(module, func)?;
+                pop!(at, ValType::I32);
+                stack.push(ValType::I32);
+            }
+            Instr::I64Load(_) => {
+                require_memory(module, func)?;
+                pop!(at, ValType::I32);
+                stack.push(ValType::I64);
+            }
+            Instr::I32Store(_) | Instr::I32Store8(_) => {
+                require_memory(module, func)?;
+                pop!(at, ValType::I32);
+                pop!(at, ValType::I32);
+            }
+            Instr::I64Store(_) => {
+                require_memory(module, func)?;
+                pop!(at, ValType::I64);
+                pop!(at, ValType::I32);
+            }
+            Instr::MemorySize => {
+                require_memory(module, func)?;
+                stack.push(ValType::I32);
+            }
+            Instr::MemoryGrow => {
+                require_memory(module, func)?;
+                pop!(at, ValType::I32);
+                stack.push(ValType::I32);
+            }
+            Instr::I32Const(_) => stack.push(ValType::I32),
+            Instr::I64Const(_) => stack.push(ValType::I64),
+            Instr::I32Eqz | Instr::I32Clz | Instr::I32Ctz | Instr::I32Popcnt => {
+                pop!(at, ValType::I32);
+                stack.push(ValType::I32);
+            }
+            Instr::I64Eqz => {
+                pop!(at, ValType::I64);
+                stack.push(ValType::I32);
+            }
+            Instr::I32Eq
+            | Instr::I32Ne
+            | Instr::I32LtU
+            | Instr::I32GtU
+            | Instr::I32LeU
+            | Instr::I32GeU => {
+                pop!(at, ValType::I32);
+                pop!(at, ValType::I32);
+                stack.push(ValType::I32);
+            }
+            Instr::I64Eq | Instr::I64Ne => {
+                pop!(at, ValType::I64);
+                pop!(at, ValType::I64);
+                stack.push(ValType::I32);
+            }
+            Instr::I32Add
+            | Instr::I32Sub
+            | Instr::I32Mul
+            | Instr::I32DivU
+            | Instr::I32RemU
+            | Instr::I32And
+            | Instr::I32Or
+            | Instr::I32Xor
+            | Instr::I32Shl
+            | Instr::I32ShrS
+            | Instr::I32ShrU
+            | Instr::I32Rotl
+            | Instr::I32Rotr => {
+                pop!(at, ValType::I32);
+                pop!(at, ValType::I32);
+                stack.push(ValType::I32);
+            }
+            Instr::I64Add
+            | Instr::I64Sub
+            | Instr::I64Mul
+            | Instr::I64DivU
+            | Instr::I64RemU
+            | Instr::I64And
+            | Instr::I64Or
+            | Instr::I64Xor
+            | Instr::I64Shl
+            | Instr::I64ShrU
+            | Instr::I64Rotl
+            | Instr::I64Rotr => {
+                pop!(at, ValType::I64);
+                pop!(at, ValType::I64);
+                stack.push(ValType::I64);
+            }
+            Instr::I32WrapI64 => {
+                pop!(at, ValType::I64);
+                stack.push(ValType::I32);
+            }
+            Instr::I64ExtendI32U => {
+                pop!(at, ValType::I32);
+                stack.push(ValType::I64);
+            }
+        }
+    }
+
+    if !frames.is_empty() {
+        return Err(ValidateError::BadNesting { func });
+    }
+    Ok(())
+}
+
+fn require_memory(module: &Module, func: u32) -> Result<(), ValidateError> {
+    if module.memory_pages.is_none() {
+        return Err(ValidateError::NoMemory { func });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleBuilder;
+    use crate::opcode::MemArg;
+
+    fn module_with_body(
+        params: Vec<ValType>,
+        results: Vec<ValType>,
+        locals: Vec<ValType>,
+        body: Vec<Instr>,
+        memory: bool,
+    ) -> Module {
+        let mut b = ModuleBuilder::new();
+        let t = b.add_type(params, results);
+        let f = b.add_function(t, locals, body);
+        if memory {
+            b.set_memory(1, Some(1));
+        }
+        b.export("f", f);
+        b.finish()
+    }
+
+    #[test]
+    fn valid_xor_function() {
+        let m = module_with_body(
+            vec![ValType::I32, ValType::I32],
+            vec![ValType::I32],
+            vec![],
+            vec![Instr::LocalGet(0), Instr::LocalGet(1), Instr::I32Xor],
+            false,
+        );
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn underflow_is_caught() {
+        let m = module_with_body(vec![], vec![], vec![], vec![Instr::Drop], false);
+        assert!(matches!(
+            validate_module(&m),
+            Err(ValidateError::StackUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn type_mismatch_is_caught() {
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![],
+            vec![Instr::I32Const(1), Instr::I64Const(2), Instr::I64Add, Instr::Drop],
+            false,
+        );
+        assert!(matches!(
+            validate_module(&m),
+            Err(ValidateError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_result_type_is_caught() {
+        let m = module_with_body(
+            vec![],
+            vec![ValType::I64],
+            vec![],
+            vec![Instr::I32Const(1)],
+            false,
+        );
+        assert!(matches!(
+            validate_module(&m),
+            Err(ValidateError::BadResult { .. })
+        ));
+    }
+
+    #[test]
+    fn leftover_stack_is_caught() {
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![],
+            vec![Instr::I32Const(1)],
+            false,
+        );
+        assert!(matches!(
+            validate_module(&m),
+            Err(ValidateError::BadResult { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_without_declaration_is_caught() {
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![],
+            vec![
+                Instr::I32Const(0),
+                Instr::I32Load(MemArg { align: 2, offset: 0 }),
+                Instr::Drop,
+            ],
+            false,
+        );
+        assert!(matches!(
+            validate_module(&m),
+            Err(ValidateError::NoMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn loop_with_branch_validates() {
+        // local0 = 10; loop { local0 -= 1; br_if 0 (local0 != 0) }
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![ValType::I32],
+            vec![
+                Instr::I32Const(10),
+                Instr::LocalSet(0),
+                Instr::Loop,
+                Instr::LocalGet(0),
+                Instr::I32Const(1),
+                Instr::I32Sub,
+                Instr::LocalTee(0),
+                Instr::I32Const(0),
+                Instr::I32Ne,
+                Instr::BrIf(0),
+                Instr::End,
+            ],
+            false,
+        );
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn bad_branch_depth_is_caught() {
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![],
+            vec![Instr::Block, Instr::Br(5), Instr::End],
+            false,
+        );
+        assert!(matches!(
+            validate_module(&m),
+            Err(ValidateError::BadBranchDepth { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_local_is_caught() {
+        let m = module_with_body(vec![], vec![], vec![], vec![Instr::LocalGet(3), Instr::Drop], false);
+        assert!(matches!(
+            validate_module(&m),
+            Err(ValidateError::BadLocal { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_callee_is_caught() {
+        let m = module_with_body(vec![], vec![], vec![], vec![Instr::Call(9)], false);
+        assert!(matches!(
+            validate_module(&m),
+            Err(ValidateError::BadCallee { .. })
+        ));
+    }
+
+    #[test]
+    fn unbalanced_block_is_caught() {
+        let m = module_with_body(vec![], vec![], vec![], vec![Instr::Block], false);
+        assert!(matches!(
+            validate_module(&m),
+            Err(ValidateError::BadNesting { .. })
+        ));
+    }
+
+    #[test]
+    fn code_after_return_is_skipped() {
+        let m = module_with_body(
+            vec![],
+            vec![ValType::I32],
+            vec![],
+            vec![
+                Instr::I32Const(1),
+                Instr::Return,
+                // Unreachable garbage that would not type-check.
+                Instr::I64Add,
+                Instr::Drop,
+            ],
+            false,
+        );
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn memory_ops_validate_with_memory() {
+        let m = module_with_body(
+            vec![ValType::I32],
+            vec![ValType::I32],
+            vec![],
+            vec![
+                Instr::LocalGet(0),
+                Instr::I32Load(MemArg { align: 2, offset: 16 }),
+                Instr::LocalGet(0),
+                Instr::I32Load8U(MemArg { align: 0, offset: 0 }),
+                Instr::I32Xor,
+            ],
+            true,
+        );
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn call_type_flow() {
+        let mut b = ModuleBuilder::new();
+        let t_const = b.add_type(vec![], vec![ValType::I64]);
+        let t_main = b.add_type(vec![], vec![ValType::I64]);
+        let f0 = b.add_function(t_const, vec![], vec![Instr::I64Const(7)]);
+        b.add_function(
+            t_main,
+            vec![],
+            vec![Instr::Call(f0), Instr::Call(f0), Instr::I64Add],
+        );
+        validate_module(&b.finish()).unwrap();
+    }
+}

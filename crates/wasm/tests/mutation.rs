@@ -1,0 +1,78 @@
+//! Mutation robustness: corrupt real corpus binaries and assert the
+//! parser/validator/interpreter never panic — they must fail cleanly.
+//!
+//! A crawler ingests Wasm dumped from arbitrary (possibly hostile) pages;
+//! the §3.2 pipeline is only sound if malformed input cannot take it down.
+
+use minedig_primitives::DetRng;
+use minedig_wasm::corpus::{default_profiles, generate_module};
+use minedig_wasm::fingerprint::fingerprint;
+use minedig_wasm::interp::{Instance, Val};
+use minedig_wasm::module::Module;
+use minedig_wasm::validate::validate_module;
+
+fn base_binaries() -> Vec<Vec<u8>> {
+    let profiles = default_profiles();
+    profiles
+        .iter()
+        .take(4)
+        .map(|p| generate_module(p, 0, 99).encode())
+        .collect()
+}
+
+#[test]
+fn random_byte_flips_never_panic() {
+    let mut rng = DetRng::seed(0xf1a6);
+    for base in base_binaries() {
+        for _ in 0..400 {
+            let mut mutated = base.clone();
+            let flips = 1 + rng.gen_range(4) as usize;
+            for _ in 0..flips {
+                let i = rng.range_usize(0, mutated.len());
+                mutated[i] ^= 1 << rng.gen_range(8);
+            }
+            if let Ok(module) = Module::parse(&mutated) {
+                // Parsed modules may still be invalid — the validator must
+                // reject or accept without panicking…
+                if validate_module(&module).is_ok() {
+                    // …and validated modules must run without panicking
+                    // (traps are fine; the fuel bound guarantees return).
+                    let fp = fingerprint(&module);
+                    let _ = fp.features.mix();
+                    if let Some(export) = module.exports.first().map(|e| e.name.clone()) {
+                        let args: Vec<Val> = module
+                            .export_func(&export)
+                            .and_then(|i| module.func_type(i))
+                            .map(|t| t.params.iter().map(|_| Val::I32(7)).collect())
+                            .unwrap_or_default();
+                        let mut inst = Instance::new(module);
+                        let mut fuel = 100_000;
+                        let _ = inst.invoke(&export, &args, &mut fuel);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncations_never_panic() {
+    for base in base_binaries() {
+        for cut in (0..base.len()).step_by(7) {
+            let _ = Module::parse(&base[..cut]);
+        }
+    }
+}
+
+#[test]
+fn byte_insertions_never_panic() {
+    let mut rng = DetRng::seed(0xadd);
+    for base in base_binaries() {
+        for _ in 0..200 {
+            let mut mutated = base.clone();
+            let i = rng.range_usize(0, mutated.len());
+            mutated.insert(i, rng.gen_range(256) as u8);
+            let _ = Module::parse(&mutated);
+        }
+    }
+}

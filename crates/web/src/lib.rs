@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! The synthetic web universe the measurement pipelines run against.
+//!
+//! The paper crawls 137 M .com/.net/.org domains plus the Alexa Top 1M.
+//! Neither the 2018 web nor those services exist anymore, so this crate
+//! generates a *calibrated* synthetic web (substitution documented in
+//! DESIGN.md):
+//!
+//! * [`zone`] — the four scan populations with their real sizes and
+//!   TLS-availability model (the zgrab scan is TLS-only; Chrome also
+//!   fetches plain http),
+//! * [`category`] — a Symantec-RuleSpace-style multi-label category
+//!   oracle with partial, zone-dependent coverage,
+//! * [`deploy`] — the ground-truth *mining artifact* model: which domains
+//!   carry which miner family, hosted how (service-hosted and
+//!   NoCoin-listed vs self-hosted vs dynamically injected), plus the
+//!   non-mining artifacts that matter to the paper's error analysis
+//!   (dead miner references, Authedmine consent gating, the cpmstar ad
+//!   network false positive, benign Wasm),
+//! * [`universe`] — scan populations: artifact domains are materialized
+//!   individually, the overwhelmingly clean remainder is represented by a
+//!   sampled subset plus exact totals (importance sampling — detection
+//!   rates on clean pages are measured on the sample, never assumed),
+//! * [`page`] — HTML + behaviour synthesis per domain, consistent between
+//!   the static (zgrab) and executing (Chrome) views of the same site,
+//! * [`churn`] — between-scan-date artifact churn (Figure 2's declining
+//!   second bars).
+//!
+//! Calibration inputs are the paper's *marginals* (prevalence, family
+//! mix, hosting split); every table/figure is then produced by running
+//! the actual detection pipelines against this ground truth.
+
+pub mod category;
+pub mod churn;
+pub mod deploy;
+pub mod page;
+pub mod universe;
+pub mod zone;
+
+pub use category::{Category, RuleSpace};
+pub use deploy::{ArtifactKind, Hosting};
+pub use universe::{Domain, Population};
+pub use zone::Zone;

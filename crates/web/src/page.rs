@@ -1,0 +1,514 @@
+//! Page synthesis: one consistent site per domain, viewed two ways.
+//!
+//! The same domain must look consistent to the zgrab pipeline (static
+//! HTML, TLS-only, first 256 kB) and to the Chrome pipeline (full page
+//! execution). [`synthesize_page`] builds the executable page;
+//! [`zgrab_fetch`] is the static view derived from the same HTML.
+
+use crate::deploy::{ArtifactKind, Hosting};
+use crate::universe::Domain;
+use minedig_browser::page::{Page, ScriptBehavior, ScriptEffect, ScriptRef};
+use minedig_primitives::{DetRng, Hash32};
+use minedig_wasm::corpus::{default_profiles, generate_module};
+use minedig_wasm::sigdb::{MinerFamily, WasmClass};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// zgrab's page-size cutoff: "we download the first 256 kB".
+pub const ZGRAB_CUT: usize = 256 * 1024;
+
+/// Seed namespace for the Wasm corpus embedded in pages; fixed so that
+/// the signature database built from the corpus matches what pages serve.
+pub const CORPUS_SEED: u64 = 0x1660;
+
+/// Cache of generated Wasm binaries, keyed by `(class label, version)`.
+type WasmCache = Mutex<HashMap<(String, u32), Vec<u8>>>;
+
+fn wasm_cache() -> &'static WasmCache {
+    static CACHE: OnceLock<WasmCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns (and caches) the Wasm binary for a corpus class/version.
+pub fn wasm_bytes(class: WasmClass, version: u32) -> Vec<u8> {
+    let key = (class.label(), version);
+    if let Some(bytes) = wasm_cache().lock().get(&(key.0.clone(), key.1)) {
+        return bytes.clone();
+    }
+    let profiles = default_profiles();
+    let profile = profiles
+        .iter()
+        .find(|p| p.class == class)
+        .expect("class has a profile");
+    let bytes = generate_module(profile, version % profile.versions, CORPUS_SEED).encode();
+    wasm_cache().lock().insert((key.0, key.1), bytes.clone());
+    bytes
+}
+
+/// Service-hosted script URL (if the family offers one) and the WebSocket
+/// backend host pattern for a miner family.
+pub fn family_assets(family: MinerFamily, token_id: u64) -> (Option<String>, String) {
+    match family {
+        MinerFamily::Coinhive => (
+            Some("https://coinhive.com/lib/coinhive.min.js".to_string()),
+            format!("wss://ws{:03}.coinhive.com/proxy", 1 + token_id % 32),
+        ),
+        MinerFamily::Cryptoloot => (
+            Some("https://crypto-loot.com/lib/miner.min.js".to_string()),
+            "wss://wss.crypto-loot.com/proxy".to_string(),
+        ),
+        MinerFamily::Skencituer => (None, "wss://skencituer.com/sock".to_string()),
+        MinerFamily::UnknownWss => (
+            None,
+            format!(
+                "wss://{}.xyz/ws",
+                &Hash32::keccak(&token_id.to_le_bytes()).to_hex()[..10]
+            ),
+        ),
+        MinerFamily::Notgiven688 => (None, "wss://webminepool.com/ws".to_string()),
+        MinerFamily::WebStatiBid => (None, "wss://web.stati.bid/ws".to_string()),
+        MinerFamily::FreecontentDate => (None, "wss://freecontent.date/ws".to_string()),
+        MinerFamily::JsMinerLegacy => (
+            Some("https://bitp.it/lib/jsminer.js".to_string()),
+            "wss://bitp.it/ws".to_string(),
+        ),
+        MinerFamily::OtherMiner => (None, "wss://pool-backend.pw/ws".to_string()),
+    }
+}
+
+/// Reverse mapping: which miner family operates a WebSocket backend host.
+/// This is the paper's classification aid ("categorized them, e.g.,
+/// through their Websocket communication backend"). Unknown hosts return
+/// `None` — those miners end up in the paper's "UnknownWSS" class.
+pub fn family_for_ws_url(url: &str) -> Option<MinerFamily> {
+    const KNOWN: [(&str, MinerFamily); 8] = [
+        ("coinhive.com", MinerFamily::Coinhive),
+        ("crypto-loot.com", MinerFamily::Cryptoloot),
+        ("skencituer.com", MinerFamily::Skencituer),
+        ("webminepool.com", MinerFamily::Notgiven688),
+        ("web.stati.bid", MinerFamily::WebStatiBid),
+        ("freecontent.date", MinerFamily::FreecontentDate),
+        ("bitp.it", MinerFamily::JsMinerLegacy),
+        ("pool-backend.pw", MinerFamily::OtherMiner),
+    ];
+    KNOWN
+        .iter()
+        .find(|(host, _)| url.contains(host))
+        .map(|(_, f)| *f)
+}
+
+/// 32-char site key string for a token id.
+pub fn site_key(token_id: u64) -> String {
+    Hash32::keccak(&token_id.to_le_bytes()).to_hex()[..32].to_string()
+}
+
+fn filler_paragraphs(rng: &mut DetRng, n: usize) -> String {
+    const WORDS: &[&str] = &[
+        "community", "service", "update", "release", "support", "project", "archive", "news",
+        "contact", "download", "stream", "media", "forum", "article", "gallery", "events",
+    ];
+    let mut out = String::new();
+    for _ in 0..n {
+        out.push_str("<p>");
+        for _ in 0..12 {
+            out.push_str(rng.choose(WORDS) as &str);
+            out.push(' ');
+        }
+        out.push_str("</p>\n");
+    }
+    out
+}
+
+/// Synthesizes the executable page for a domain.
+pub fn synthesize_page(domain: &Domain, seed: u64) -> Page {
+    let mut rng = DetRng::seed(seed).derive(&format!("web.page.{}", domain.name));
+    let mut head = String::new();
+    let mut body = String::new();
+    let mut behaviors: Vec<(ScriptRef, ScriptBehavior)> = Vec::new();
+    let inline_count = 0usize;
+
+    // Generic site furniture.
+    head.push_str(&format!(
+        "<title>{}</title>\n<script src=\"/js/jquery.min.js\"></script>\n",
+        domain.name
+    ));
+    body.push_str(&filler_paragraphs(&mut rng, 4));
+
+    // Occasional benign dynamic behaviour so DOM-quiet logic is exercised
+    // on clean pages too.
+    if rng.chance(0.3) {
+        head.push_str("<script src=\"/js/app.js\"></script>\n");
+        behaviors.push((
+            ScriptRef::Src("/js/app.js".into()),
+            ScriptBehavior {
+                delay_ms: 40,
+                effects: vec![ScriptEffect::MutateDom {
+                    times: 1 + rng.gen_range(3) as u32,
+                    interval_ms: 300,
+                }],
+            },
+        ));
+    }
+
+    let mut artifact_markup = String::new();
+    if let Some(kind) = domain.artifact {
+        match kind {
+            ArtifactKind::ActiveMiner { family, hosting } => {
+                let (hosted_url, ws_url) = family_assets(family, domain.token_id);
+                // jsMiner predates Wasm: it mines in plain JS, so it opens
+                // the pool socket but never compiles a module.
+                let start = if family == MinerFamily::JsMinerLegacy {
+                    ScriptEffect::OpenWebSocket {
+                        url: ws_url,
+                        frames: vec![format!(
+                            "{{\"type\":\"auth\",\"token\":\"{}\"}}",
+                            site_key(domain.token_id)
+                        )],
+                    }
+                } else {
+                    ScriptEffect::StartMiner {
+                        wasm: wasm_bytes(WasmClass::Miner(family), domain.wasm_version),
+                        ws_url,
+                        token: site_key(domain.token_id),
+                        submit_interval_ms: 700 + rng.gen_range(600),
+                    }
+                };
+                match hosting {
+                    Hosting::Hosted => {
+                        let url = hosted_url.unwrap_or_else(|| {
+                            format!("https://{}/js/miner.js", domain.name)
+                        });
+                        artifact_markup.push_str(&format!(
+                            "<script src=\"{url}\"></script>\n<script>var miner=new Miner.Anonymous('{}');miner.start();</script>\n",
+                            site_key(domain.token_id)
+                        ));
+                        behaviors.push((
+                            ScriptRef::Src(url),
+                            ScriptBehavior {
+                                delay_ms: 30 + rng.gen_range(120),
+                                effects: vec![start],
+                            },
+                        ));
+                    }
+                    Hosting::SelfHosted => {
+                        let url = format!(
+                            "https://{}/assets/{}.js",
+                            domain.name,
+                            &Hash32::keccak(domain.name.as_bytes()).to_hex()[..12]
+                        );
+                        artifact_markup
+                            .push_str(&format!("<script src=\"{url}\"></script>\n"));
+                        behaviors.push((
+                            ScriptRef::Src(url),
+                            ScriptBehavior {
+                                delay_ms: 30 + rng.gen_range(120),
+                                effects: vec![start],
+                            },
+                        ));
+                    }
+                    Hosting::Injected => {
+                        let url = format!(
+                            "https://cdn-{}.net/pkg/{}.js",
+                            rng.gen_range(1000),
+                            &Hash32::keccak(domain.name.as_bytes()).to_hex()[..10]
+                        );
+                        artifact_markup.push_str(
+                            "<script>(function(){/* perf bootstrap */})();</script>\n",
+                        );
+                        behaviors.push((
+                            ScriptRef::Inline(inline_count),
+                            ScriptBehavior {
+                                delay_ms: 20 + rng.gen_range(100),
+                                effects: vec![ScriptEffect::InjectScript { src: url.clone() }],
+                            },
+                        ));
+                        behaviors.push((
+                            ScriptRef::Src(url),
+                            ScriptBehavior {
+                                delay_ms: 10,
+                                effects: vec![start],
+                            },
+                        ));
+                    }
+                }
+            }
+            ArtifactKind::ConsentMiner => {
+                // Authedmine: listed script, but mining starts only after
+                // an opt-in dialog a crawler never clicks. The behaviour
+                // is present-but-gated, so a consenting load (see
+                // `LoadPolicy::grant_consent`) does mine — Authedmine uses
+                // the same Coinhive infrastructure.
+                let url = "https://authedmine.com/lib/authedmine.min.js".to_string();
+                artifact_markup.push_str(&format!("<script src=\"{url}\"></script>\n"));
+                let (_hosted, ws_url) = family_assets(MinerFamily::Coinhive, domain.token_id);
+                behaviors.push((
+                    ScriptRef::Src(url),
+                    ScriptBehavior {
+                        delay_ms: 30 + rng.gen_range(120),
+                        effects: vec![ScriptEffect::ConsentGated {
+                            inner: Box::new(ScriptEffect::StartMiner {
+                                wasm: wasm_bytes(WasmClass::Miner(MinerFamily::Coinhive), domain.wasm_version),
+                                ws_url,
+                                token: site_key(domain.token_id),
+                                submit_interval_ms: 900,
+                            }),
+                        }],
+                    },
+                ));
+            }
+            ArtifactKind::DeadReference { label } => {
+                let url = match label {
+                    minedig_nocoin::list::ServiceLabel::Coinhive => {
+                        "https://coinhive.com/lib/coinhive.min.js".to_string()
+                    }
+                    minedig_nocoin::list::ServiceLabel::Cryptoloot => {
+                        "https://crypto-loot.com/lib/miner.min.js".to_string()
+                    }
+                    minedig_nocoin::list::ServiceLabel::WpMonero => {
+                        "/wp-content/plugins/wp-monero-miner-pro/js/worker.js".to_string()
+                    }
+                    _ => "https://coin-have.com/c.js".to_string(),
+                };
+                artifact_markup.push_str(&format!("<script src=\"{url}\"></script>\n"));
+                // No behaviour: the reference is dead.
+            }
+            ArtifactKind::AdNetworkFp => {
+                let url = "https://server.cpmstar.com/cached/view.js".to_string();
+                artifact_markup.push_str(&format!("<script src=\"{url}\"></script>\n"));
+                behaviors.push((
+                    ScriptRef::Src(url),
+                    ScriptBehavior {
+                        delay_ms: 60,
+                        effects: vec![ScriptEffect::MutateDom {
+                            times: 2,
+                            interval_ms: 400,
+                        }],
+                    },
+                ));
+            }
+            ArtifactKind::BenignWasm { kind } => {
+                let url = format!("https://{}/wasm-loader.js", domain.name);
+                artifact_markup.push_str(&format!("<script src=\"{url}\"></script>\n"));
+                behaviors.push((
+                    ScriptRef::Src(url),
+                    ScriptBehavior {
+                        delay_ms: 50,
+                        effects: vec![ScriptEffect::InstantiateWasm {
+                            wasm: wasm_bytes(WasmClass::Benign(kind), domain.wasm_version),
+                        }],
+                    },
+                ));
+            }
+        }
+    }
+
+    // Optionally hide the artifact markup beyond the 256 kB zgrab cut.
+    if domain.beyond_cut && !artifact_markup.is_empty() {
+        let padding = filler_paragraphs(&mut rng, 40);
+        let mut pad = String::with_capacity(ZGRAB_CUT + 8_192);
+        while pad.len() <= ZGRAB_CUT {
+            pad.push_str(&padding);
+        }
+        body.push_str(&pad);
+        body.push_str(&artifact_markup);
+    } else {
+        head.push_str(&artifact_markup);
+    }
+
+    body.push_str(&filler_paragraphs(&mut rng, 3));
+    let html = format!("<html><head>\n{head}</head><body>\n{body}</body></html>");
+
+    let mut page = Page::new(&domain.name, &html);
+    // A small fraction of the web never fires a load event.
+    page.fires_load_event = !rng.chance(0.02);
+    for (r, b) in behaviors {
+        page.behaviors.insert(r, b);
+    }
+    page
+}
+
+/// The zgrab view: TLS-only, first 256 kB of the same HTML.
+pub fn zgrab_fetch(domain: &Domain, seed: u64) -> Option<String> {
+    if !domain.tls {
+        return None;
+    }
+    let page = synthesize_page(domain, seed);
+    let mut html = page.html;
+    if html.len() > ZGRAB_CUT {
+        let mut cut = ZGRAB_CUT;
+        while cut > 0 && !html.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        html.truncate(cut);
+    }
+    Some(html)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Population;
+    use crate::zone::Zone;
+    use minedig_browser::loader::{load_page, LoadPolicy};
+    use minedig_nocoin::NoCoinEngine;
+    use minedig_wasm::sigdb::BenignKind;
+
+    fn domain_with(kind: ArtifactKind, tls: bool, beyond_cut: bool) -> Domain {
+        Domain {
+            name: "testsite.org".to_string(),
+            zone: Zone::Org,
+            tls,
+            artifact: Some(kind),
+            beyond_cut,
+            wasm_version: 0,
+            token_id: 7,
+            latent_categories: vec![],
+        }
+    }
+
+    #[test]
+    fn hosted_miner_is_visible_both_ways() {
+        let d = domain_with(
+            ArtifactKind::ActiveMiner {
+                family: MinerFamily::Coinhive,
+                hosting: Hosting::Hosted,
+            },
+            true,
+            false,
+        );
+        let html = zgrab_fetch(&d, 1).unwrap();
+        assert!(html.contains("coinhive.com/lib/coinhive.min.js"));
+        let cap = load_page(&synthesize_page(&d, 1), &LoadPolicy::default());
+        assert!(cap.has_wasm());
+        assert!(cap.websocket_urls()[0].contains("coinhive.com"));
+    }
+
+    #[test]
+    fn selfhosted_miner_runs_but_evades_list() {
+        let d = domain_with(
+            ArtifactKind::ActiveMiner {
+                family: MinerFamily::Coinhive,
+                hosting: Hosting::SelfHosted,
+            },
+            true,
+            false,
+        );
+        let html = zgrab_fetch(&d, 1).unwrap();
+        assert!(!html.contains("coinhive.com/lib"));
+        assert!(NoCoinEngine::new().scan_page(&d.name, &html).is_empty());
+        let cap = load_page(&synthesize_page(&d, 1), &LoadPolicy::default());
+        assert!(cap.has_wasm(), "self-hosted miner must still mine");
+    }
+
+    #[test]
+    fn injected_miner_invisible_statically() {
+        let d = domain_with(
+            ArtifactKind::ActiveMiner {
+                family: MinerFamily::Cryptoloot,
+                hosting: Hosting::Injected,
+            },
+            true,
+            false,
+        );
+        let html = zgrab_fetch(&d, 1).unwrap();
+        assert!(!html.contains(".js\"></script>\n<script>var miner"));
+        assert!(NoCoinEngine::new().scan_page(&d.name, &html).is_empty());
+        let cap = load_page(&synthesize_page(&d, 1), &LoadPolicy::default());
+        assert!(cap.has_wasm(), "injected miner must run in the browser");
+    }
+
+    #[test]
+    fn consent_miner_listed_but_no_wasm() {
+        let d = domain_with(ArtifactKind::ConsentMiner, true, false);
+        let html = zgrab_fetch(&d, 1).unwrap();
+        assert!(!NoCoinEngine::new().scan_page(&d.name, &html).is_empty());
+        let cap = load_page(&synthesize_page(&d, 1), &LoadPolicy::default());
+        assert!(!cap.has_wasm(), "authedmine must not mine without consent");
+    }
+
+    #[test]
+    fn consent_miner_mines_when_user_opts_in() {
+        // Authedmine's whole pitch: same miner, explicit consent.
+        let d = domain_with(ArtifactKind::ConsentMiner, true, false);
+        let policy = LoadPolicy {
+            grant_consent: true,
+            ..LoadPolicy::default()
+        };
+        let cap = load_page(&synthesize_page(&d, 1), &policy);
+        assert!(cap.has_wasm(), "consenting visitor mines");
+        assert!(cap.websocket_urls()[0].contains("coinhive.com"));
+    }
+
+    #[test]
+    fn non_tls_site_invisible_to_zgrab() {
+        let d = domain_with(
+            ArtifactKind::ActiveMiner {
+                family: MinerFamily::Coinhive,
+                hosting: Hosting::Hosted,
+            },
+            false,
+            false,
+        );
+        assert!(zgrab_fetch(&d, 1).is_none());
+        // Chrome still sees it (http fallback).
+        let cap = load_page(&synthesize_page(&d, 1), &LoadPolicy::default());
+        assert!(cap.has_wasm());
+    }
+
+    #[test]
+    fn beyond_cut_script_hidden_from_zgrab_only() {
+        let d = domain_with(ArtifactKind::ConsentMiner, true, true);
+        let html = zgrab_fetch(&d, 1).unwrap();
+        assert_eq!(html.len(), ZGRAB_CUT);
+        assert!(NoCoinEngine::new().scan_page(&d.name, &html).is_empty());
+        // The full page still contains it.
+        let page = synthesize_page(&d, 1);
+        assert!(page.html.contains("authedmine"));
+    }
+
+    #[test]
+    fn benign_wasm_compiles_but_no_websocket() {
+        let d = domain_with(
+            ArtifactKind::BenignWasm {
+                kind: BenignKind::Codec,
+            },
+            true,
+            false,
+        );
+        let cap = load_page(&synthesize_page(&d, 1), &LoadPolicy::default());
+        assert!(cap.has_wasm());
+        assert!(cap.websocket_urls().is_empty());
+    }
+
+    #[test]
+    fn clean_pages_trigger_nothing() {
+        let pop = Population::generate(Zone::Org, 42, 30);
+        let engine = NoCoinEngine::new();
+        for d in &pop.clean_sample {
+            if let Some(html) = zgrab_fetch(d, 1) {
+                assert!(engine.scan_page(&d.name, &html).is_empty(), "{}", d.name);
+            }
+            let cap = load_page(&synthesize_page(d, 1), &LoadPolicy::default());
+            assert!(!cap.has_wasm(), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn wasm_bytes_are_cached_and_stable() {
+        let a = wasm_bytes(WasmClass::Miner(MinerFamily::Coinhive), 3);
+        let b = wasm_bytes(WasmClass::Miner(MinerFamily::Coinhive), 3);
+        assert_eq!(a, b);
+        let c = wasm_bytes(WasmClass::Miner(MinerFamily::Coinhive), 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn page_synthesis_is_deterministic() {
+        let d = domain_with(ArtifactKind::AdNetworkFp, true, false);
+        let a = synthesize_page(&d, 1);
+        let b = synthesize_page(&d, 1);
+        assert_eq!(a.html, b.html);
+        assert_eq!(a.behaviors.len(), b.behaviors.len());
+    }
+}

@@ -1,0 +1,102 @@
+//! Scan populations (zones) and their connectivity model.
+
+/// The four crawled populations of §3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Zone {
+    /// The Alexa Top 1M list (~950 K resolvable domains).
+    Alexa,
+    /// The .com zone (~116 M domains).
+    Com,
+    /// The .net zone (~12 M domains).
+    Net,
+    /// The .org zone (~9 M domains).
+    Org,
+}
+
+impl Zone {
+    /// All zones in the paper's presentation order.
+    pub fn all() -> [Zone; 4] {
+        [Zone::Alexa, Zone::Com, Zone::Net, Zone::Org]
+    }
+
+    /// Full population size as crawled by the paper.
+    pub fn full_size(&self) -> u64 {
+        match self {
+            Zone::Alexa => 950_000,
+            Zone::Com => 116_000_000,
+            Zone::Net => 12_000_000,
+            Zone::Org => 9_000_000,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Zone::Alexa => "Alexa",
+            Zone::Com => ".com",
+            Zone::Net => ".net",
+            Zone::Org => ".org",
+        }
+    }
+
+    /// TLD suffix used for synthesized domain names.
+    pub fn tld(&self) -> &'static str {
+        match self {
+            Zone::Alexa => "com", // Alexa is cross-TLD; .com dominates
+            Zone::Com => "com",
+            Zone::Net => "net",
+            Zone::Org => "org",
+        }
+    }
+
+    /// Fraction of this zone's sites reachable via TLS in 2018 (the
+    /// zgrab pipeline is TLS-only; Chrome follows http too). Alexa sites
+    /// are popular and disproportionately TLS-enabled; long-tail zone
+    /// domains much less so.
+    pub fn tls_rate(&self) -> f64 {
+        match self {
+            Zone::Alexa => 0.72,
+            Zone::Com => 0.60,
+            Zone::Net => 0.58,
+            Zone::Org => 0.48,
+        }
+    }
+
+    /// Zones covered by the paper's Chrome (executing) measurement.
+    pub fn chrome_scanned(&self) -> bool {
+        matches!(self, Zone::Alexa | Zone::Org)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_sum_to_138m() {
+        let total: u64 = Zone::all().iter().map(|z| z.full_size()).sum();
+        assert_eq!(total, 137_950_000); // "over 138M domains"
+    }
+
+    #[test]
+    fn chrome_scope_matches_paper() {
+        assert!(Zone::Alexa.chrome_scanned());
+        assert!(Zone::Org.chrome_scanned());
+        assert!(!Zone::Com.chrome_scanned());
+        assert!(!Zone::Net.chrome_scanned());
+    }
+
+    #[test]
+    fn tls_rates_are_probabilities() {
+        for z in Zone::all() {
+            assert!((0.0..=1.0).contains(&z.tls_rate()));
+        }
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Zone::all().iter().map(|z| z.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Quickstart: detect browser miners the way the paper does.
+//!
+//! Builds a tiny synthetic web (one honest site, one site with a
+//! service-hosted miner, one with a self-hosted/evasive miner), then runs
+//! both §3 detection pipelines over it and prints who catches what.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use minedig::browser::loader::{load_page, LoadPolicy};
+use minedig::core::scan::build_reference_db;
+use minedig::nocoin::NoCoinEngine;
+use minedig::wasm::fingerprint::fingerprint;
+use minedig::wasm::module::Module;
+use minedig::web::deploy::{ArtifactKind, Hosting};
+use minedig::web::page::{synthesize_page, zgrab_fetch};
+use minedig::web::universe::Domain;
+use minedig::web::zone::Zone;
+use minedig::wasm::sigdb::MinerFamily;
+
+fn make_domain(name: &str, artifact: Option<ArtifactKind>) -> Domain {
+    Domain {
+        name: name.to_string(),
+        zone: Zone::Org,
+        tls: true,
+        artifact,
+        beyond_cut: false,
+        wasm_version: 0,
+        token_id: 42,
+        latent_categories: vec![],
+    }
+}
+
+fn main() {
+    let engine = NoCoinEngine::new();
+    let db = build_reference_db(0.7);
+    let seed = 7;
+
+    let sites = [
+        make_domain("honest-bakery.org", None),
+        make_domain(
+            "hosted-miner.org",
+            Some(ArtifactKind::ActiveMiner {
+                family: MinerFamily::Coinhive,
+                hosting: Hosting::Hosted,
+            }),
+        ),
+        make_domain(
+            "evasive-miner.org",
+            Some(ArtifactKind::ActiveMiner {
+                family: MinerFamily::Coinhive,
+                hosting: Hosting::SelfHosted,
+            }),
+        ),
+    ];
+
+    println!("{:<22} {:>12} {:>16} {:>12}", "site", "NoCoin", "Wasm signature", "ground truth");
+    for site in &sites {
+        // Pipeline 1: static fetch + block list (the paper's §3.1).
+        let nocoin_hit = zgrab_fetch(site, seed)
+            .map(|html| !engine.page_labels(&site.name, &html).is_empty())
+            .unwrap_or(false);
+
+        // Pipeline 2: execute the page, dump Wasm, fingerprint (§3.2).
+        let capture = load_page(&synthesize_page(site, seed), &LoadPolicy::default());
+        let mut wasm_verdict = "no wasm".to_string();
+        for dump in &capture.wasm_dumps {
+            if let Ok(module) = Module::parse(dump) {
+                if let Some(hit) = db.classify(&fingerprint(&module)) {
+                    wasm_verdict = format!("{} ({:?})", hit.class.label(), hit.kind);
+                }
+            }
+        }
+
+        let truth = match site.artifact {
+            Some(a) if a.runs_miner() => "MINER",
+            _ => "clean",
+        };
+        println!(
+            "{:<22} {:>12} {:>16} {:>12}",
+            site.name,
+            if nocoin_hit { "FLAGGED" } else { "clean" },
+            wasm_verdict,
+            truth
+        );
+    }
+
+    println!("\nThe self-hosted miner evades the block list but not the Wasm");
+    println!("fingerprint — the mechanism behind the paper's Table 2 (82% of");
+    println!("Alexa miners missed by NoCoin; the signature approach finds up");
+    println!("to 5.7x more).");
+}

@@ -1,0 +1,141 @@
+//! Integration: §4.2 attribution across chain + pool + analysis, plus a
+//! fully-verified (real PoW) mini chain with pool-consistent blocks.
+
+use minedig::analysis::scenario::{run_scenario, ScenarioConfig};
+use minedig::chain::chain::{AppendMode, Chain};
+use minedig::chain::netsim::{TemplateSource, TipInfo};
+use minedig::chain::tx::Transaction;
+use minedig::pool::obfuscation;
+use minedig::pool::pool::{Pool, PoolConfig};
+use minedig::pow::Variant;
+use minedig::primitives::Hash32;
+
+const SEED: u64 = 1337;
+
+#[test]
+fn scenario_attribution_recall_and_precision() {
+    let result = run_scenario(ScenarioConfig {
+        duration_days: 3,
+        seed: SEED,
+        ..ScenarioConfig::default()
+    });
+    assert!(result.precise());
+    assert!(result.recall() >= 0.95, "recall {}", result.recall());
+    // The observer's structural bound holds.
+    assert!(result.poll_stats.max_blobs_per_prev <= 128);
+}
+
+#[test]
+fn attribution_without_deobfuscation_fails() {
+    // A naive observer that does not revert the XOR clusters on corrupted
+    // prev pointers and can never take a matching cluster.
+    use minedig::analysis::poller::Observer;
+    let pool = Pool::new(PoolConfig::default());
+    let tip = TipInfo {
+        height: 5,
+        prev_id: Hash32::keccak(b"prev"),
+        prev_timestamp: 1_000,
+        reward: 1_000,
+        difficulty: 100,
+        mempool: vec![Transaction::transfer(Hash32::keccak(b"t"))],
+    };
+    pool.announce_tip(&tip);
+    let mut naive = Observer::new(pool.clone(), false);
+    let mut informed = Observer::new(pool.clone(), true);
+    naive.poll_all(1_000);
+    informed.poll_all(1_000);
+    let block = pool.win_block(1_010);
+    assert!(naive.take_cluster(&block.header.prev_id).is_none());
+    let cluster = informed.take_cluster(&block.header.prev_id).unwrap();
+    assert!(cluster.contains(&block.merkle_root()));
+}
+
+/// A pool-built block must carry valid real PoW when mined with the Test
+/// variant, and a verifying chain must accept it — the full consistency
+/// loop: pool template → blob → nonce grind → chain validation.
+#[test]
+fn pool_block_passes_verified_chain() {
+    let mut chain = Chain::new(minedig::chain::emission::supply_mid_2018(), AppendMode::Verified(Variant::Test));
+    chain.seed_difficulty(1_000, 16, 720);
+
+    let pool = Pool::new(PoolConfig::default());
+    let mut source = pool.template_source();
+    let tip = TipInfo {
+        height: 0,
+        prev_id: chain.tip_id(),
+        prev_timestamp: 1_000,
+        reward: chain.next_reward(),
+        difficulty: chain.next_difficulty(),
+        mempool: vec![Transaction::transfer(Hash32::keccak(b"payment"))],
+    };
+    source.on_new_tip(&tip);
+
+    let mut block = source.make_block(1_030);
+    let difficulty = chain.next_difficulty();
+    block
+        .mine(Variant::Test, difficulty, 100_000)
+        .expect("mineable at difficulty 16");
+    chain.append(block.clone()).expect("verified chain accepts");
+    assert_eq!(chain.height(), 1);
+
+    // The blob the pool served for this height matches the mined block's
+    // Merkle root after de-obfuscation.
+    let job = pool.peek_job(0, 1_030).unwrap();
+    let mut blob = job.blob_bytes().unwrap();
+    obfuscation::xor_blob(&mut blob);
+    let parsed = minedig::chain::blob::HashingBlob::parse(&blob).unwrap();
+    // Backend 0 served this blob; the winner could be any backend, so
+    // compare against the full backend set via prev linkage instead.
+    assert_eq!(parsed.prev_id, block.header.prev_id);
+}
+
+#[test]
+fn outage_produces_visible_gap() {
+    let result = run_scenario(ScenarioConfig {
+        duration_days: 13, // covers the 6–7 May outage (days 10–11)
+        seed: SEED,
+        ..ScenarioConfig::default()
+    });
+    use minedig::analysis::calendar::BlockCalendar;
+    let cal = BlockCalendar::new(
+        &result.attributed,
+        minedig::analysis::scenario::FIG5_START,
+        13,
+    );
+    let per_day = cal.per_day();
+    assert_eq!(per_day[10], 0, "outage day 10 must be empty");
+    assert_eq!(per_day[11], 0, "outage day 11 must be empty");
+    let active_days: u32 = per_day.iter().take(9).sum();
+    assert!(active_days > 40, "active days produced {active_days}");
+}
+
+#[test]
+fn holiday_produces_spike() {
+    let mut config = ScenarioConfig {
+        duration_days: 7, // covers 30 Apr (day 4)
+        seed: SEED,
+        ..ScenarioConfig::default()
+    };
+    // Boost the pool so one week has enough statistics.
+    config.segments[0].pool = 30_000_000.0;
+    let result = run_scenario(config);
+    use minedig::analysis::calendar::BlockCalendar;
+    let cal = BlockCalendar::new(
+        &result.attributed,
+        minedig::analysis::scenario::FIG5_START,
+        7,
+    );
+    let per_day = cal.per_day();
+    let holiday = per_day[4] as f64;
+    let normal: f64 = per_day
+        .iter()
+        .enumerate()
+        .filter(|(d, _)| *d != 4)
+        .map(|(_, &c)| c as f64)
+        .sum::<f64>()
+        / 6.0;
+    assert!(
+        holiday > normal * 1.3,
+        "holiday {holiday} vs normal {normal}"
+    );
+}

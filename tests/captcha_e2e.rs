@@ -1,0 +1,71 @@
+//! Integration: the PoW captcha — a visitor proves humanity (well,
+//! CPU time) by mining real shares, the site verifies the receipt.
+
+use minedig::chain::netsim::TipInfo;
+use minedig::chain::tx::Transaction;
+use minedig::net::transport::channel_pair;
+use minedig::pool::captcha::{CaptchaError, CaptchaService};
+use minedig::pool::miner::MinerClient;
+use minedig::pool::pool::{Pool, PoolConfig};
+use minedig::pool::protocol::Token;
+use minedig::pow::Variant;
+use minedig::primitives::Hash32;
+
+fn pool() -> Pool {
+    let pool = Pool::new(PoolConfig {
+        share_difficulty: 4,
+        ..PoolConfig::default()
+    });
+    pool.announce_tip(&TipInfo {
+        height: 3,
+        prev_id: Hash32::keccak(b"cap-tip"),
+        prev_timestamp: 1_000,
+        reward: 500,
+        difficulty: 100,
+        mempool: vec![Transaction::transfer(Hash32::keccak(b"m"))],
+    });
+    pool
+}
+
+#[test]
+fn visitor_solves_captcha_with_real_pow() {
+    let pool = pool();
+    let site = Token::from_index(77);
+    let mut captcha = CaptchaService::new(0xc0ffee, 600);
+    let challenge = captcha.issue(site.clone(), 16, 1_000);
+
+    // The widget mines against the pool with the site's token.
+    let (client_t, mut server_t) = channel_pair();
+    let p2 = pool.clone();
+    let handle = std::thread::spawn(move || p2.serve(&mut server_t, 0, || 1_030));
+    let mut miner = MinerClient::new(client_t, site.clone(), Variant::Test);
+    miner.auth().unwrap();
+    let report = miner.mine_until_credited(16, 100_000).unwrap();
+    drop(miner);
+    handle.join().unwrap();
+
+    // The pool's ledger backs the claim; the captcha releases a receipt.
+    assert!(pool.ledger().lifetime_hashes(&site) >= 16);
+    let receipt = captcha
+        .complete(&challenge.id, pool.ledger().lifetime_hashes(&site), 1_060)
+        .unwrap();
+    captcha.verify(&receipt).unwrap();
+    // Receipts are one-shot.
+    assert_eq!(captcha.verify(&receipt), Err(CaptchaError::BadReceipt));
+    assert!(report.hashes_computed >= report.shares_accepted);
+}
+
+#[test]
+fn lazy_visitor_cannot_pass() {
+    let pool = pool();
+    let site = Token::from_index(78);
+    let mut captcha = CaptchaService::new(0xc0ffee, 600);
+    let challenge = captcha.issue(site.clone(), 1_000, 1_000);
+    // No mining happened: zero credited hashes.
+    let credited = pool.ledger().lifetime_hashes(&site);
+    assert_eq!(credited, 0);
+    assert_eq!(
+        captcha.complete(&challenge.id, credited, 1_010),
+        Err(CaptchaError::NotEnoughHashes { missing: 1_000 })
+    );
+}
