@@ -99,8 +99,8 @@ mod tests {
     #[test]
     fn grid_placement() {
         let blocks = vec![
-            block_at(0),          // day 0, hour 0
-            block_at(3_600),      // day 0, hour 1
+            block_at(0),                       // day 0, hour 0
+            block_at(3_600),                   // day 0, hour 1
             block_at(86_400 + 2 * 3_600 + 59), // day 1, hour 2
         ];
         let cal = BlockCalendar::new(&blocks, 0, 2);

@@ -39,11 +39,7 @@ pub struct PoolRevenue {
 }
 
 /// Computes pool revenue from attributed blocks.
-pub fn pool_revenue(
-    blocks: &[AttributedBlock],
-    rate: ExchangeRate,
-    pool_fee: f64,
-) -> PoolRevenue {
+pub fn pool_revenue(blocks: &[AttributedBlock], rate: ExchangeRate, pool_fee: f64) -> PoolRevenue {
     assert!((0.0..=1.0).contains(&pool_fee));
     let xmr: f64 = blocks.iter().map(|b| atomic_to_xmr(b.reward)).sum();
     let usd_gross = xmr * rate.usd_per_xmr;
@@ -117,7 +113,11 @@ mod tests {
         // ~265 blocks/month at ~4.7 XMR ≈ 1250 XMR ≈ 150k USD at 120 $/XMR.
         let r = pool_revenue(&blocks(265, 4.7), ExchangeRate::paper_writing_time(), 0.30);
         assert!((1_200.0..1_300.0).contains(&r.xmr), "xmr {}", r.xmr);
-        assert!((140_000.0..160_000.0).contains(&r.usd_gross), "usd {}", r.usd_gross);
+        assert!(
+            (140_000.0..160_000.0).contains(&r.usd_gross),
+            "usd {}",
+            r.usd_gross
+        );
         assert!((r.usd_pool_cut - r.usd_gross * 0.3).abs() < 1.0);
         assert!((r.usd_pool_cut + r.usd_user_payout - r.usd_gross).abs() < 1e-6);
     }
@@ -140,12 +140,7 @@ mod tests {
         };
         // Site hashrate ≈ 833 H/s of a 462 MH/s network.
         assert!((800.0..900.0).contains(&site.site_hashrate()));
-        let usd = site.daily_usd_after_fee(
-            462e6,
-            4.7,
-            ExchangeRate::paper_writing_time(),
-            0.30,
-        );
+        let usd = site.daily_usd_after_fee(462e6, 4.7, ExchangeRate::paper_writing_time(), 0.30);
         // A couple of dollars per day — the paper's skepticism about
         // mining as an ad alternative, quantified.
         assert!((0.2..3.0).contains(&usd), "daily usd {usd}");

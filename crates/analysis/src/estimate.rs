@@ -152,7 +152,11 @@ mod tests {
         };
         let est = pool_estimate(&blocks, start, end, &net);
         assert!((8.0..9.0).contains(&est.avg_blocks_per_day));
-        assert!((0.011..0.013).contains(&est.block_share), "{}", est.block_share);
+        assert!(
+            (0.011..0.013).contains(&est.block_share),
+            "{}",
+            est.block_share
+        );
         assert!((5.0e6..6.3e6).contains(&est.pool_hashrate));
         // 58K–292K users, as in the paper.
         assert!(est.users_lower > 50_000.0 && est.users_lower < 70_000.0);
@@ -179,8 +183,9 @@ mod tests {
             median_difficulty: 55_400_000_000,
             network_hashrate: 461.7e6,
         };
-        let blocks: Vec<AttributedBlock> =
-            (0..280).map(|i| block_at(i * 9_257, 4_480_000_000_000)).collect();
+        let blocks: Vec<AttributedBlock> = (0..280)
+            .map(|i| block_at(i * 9_257, 4_480_000_000_000))
+            .collect();
         let row = monthly_row("May", &blocks, 0, 30 * 86_400, &net);
         assert_eq!(row.label, "May");
         assert!(row.mhs > 1.0, "mhs {}", row.mhs);

@@ -104,8 +104,7 @@ impl Observer {
         }
         self.current_roots.insert(blob.merkle_root);
         self.current_blobs.insert(bytes);
-        self.stats.max_blobs_per_prev =
-            self.stats.max_blobs_per_prev.max(self.current_blobs.len());
+        self.stats.max_blobs_per_prev = self.stats.max_blobs_per_prev.max(self.current_blobs.len());
     }
 
     /// The prev pointer currently being observed.

@@ -99,9 +99,7 @@ impl ScenarioConfig {
     }
 
     fn is_holiday(&self, t: u64) -> bool {
-        self.holidays
-            .iter()
-            .any(|&d| t >= d && t < d + 86_400)
+        self.holidays.iter().any(|&d| t >= d && t < d + 86_400)
     }
 
     /// The pool's effective hash rate at time `t`.

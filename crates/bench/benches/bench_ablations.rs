@@ -44,11 +44,21 @@ fn ablation_sigdb_fallback(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_sigdb");
     group.bench_function("classify_with_fallback", |b| {
         b.iter(|| {
-            black_box(fps.iter().filter(|fp| with_fallback.classify(fp).is_some()).count())
+            black_box(
+                fps.iter()
+                    .filter(|fp| with_fallback.classify(fp).is_some())
+                    .count(),
+            )
         })
     });
     group.bench_function("classify_exact_only", |b| {
-        b.iter(|| black_box(fps.iter().filter(|fp| exact_only.classify(fp).is_some()).count()))
+        b.iter(|| {
+            black_box(
+                fps.iter()
+                    .filter(|fp| exact_only.classify(fp).is_some())
+                    .count(),
+            )
+        })
     });
     group.finish();
 }
@@ -82,8 +92,12 @@ fn ablation_endpoint_fanout(c: &mut Criterion) {
         distinct_blobs(32)
     );
     let mut group = c.benchmark_group("ablation_fanout");
-    group.bench_function("poll_one_endpoint", |b| b.iter(|| black_box(distinct_blobs(1))));
-    group.bench_function("poll_all_endpoints", |b| b.iter(|| black_box(distinct_blobs(32))));
+    group.bench_function("poll_one_endpoint", |b| {
+        b.iter(|| black_box(distinct_blobs(1)))
+    });
+    group.bench_function("poll_all_endpoints", |b| {
+        b.iter(|| black_box(distinct_blobs(32)))
+    });
     group.finish();
 }
 
@@ -129,7 +143,9 @@ fn ablation_truncation(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("ablation_truncation");
     group.sample_size(10);
-    group.bench_function("scan_at_256kB", |b| b.iter(|| black_box(hits_at(256 * 1024))));
+    group.bench_function("scan_at_256kB", |b| {
+        b.iter(|| black_box(hits_at(256 * 1024)))
+    });
     group.finish();
 }
 
@@ -147,7 +163,11 @@ fn ablation_poll_interval(c: &mut Criterion) {
             seed: 11,
             ..ScenarioConfig::default()
         });
-        (r.recall(), r.poll_stats.polls, r.poll_stats.max_blobs_per_prev)
+        (
+            r.recall(),
+            r.poll_stats.polls,
+            r.poll_stats.max_blobs_per_prev,
+        )
     };
     for interval in [15u64, 60, 300] {
         let (recall, polls, blobs) = run(interval);

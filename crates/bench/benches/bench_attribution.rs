@@ -27,7 +27,9 @@ fn bench_scenario_day(c: &mut Criterion) {
 }
 
 fn bench_merkle(c: &mut Criterion) {
-    let leaves: Vec<Hash32> = (0..13u64).map(|i| Hash32::keccak(&i.to_le_bytes())).collect();
+    let leaves: Vec<Hash32> = (0..13u64)
+        .map(|i| Hash32::keccak(&i.to_le_bytes()))
+        .collect();
     c.bench_function("tree_hash_13_leaves", |b| {
         b.iter(|| black_box(tree_hash(black_box(&leaves))))
     });

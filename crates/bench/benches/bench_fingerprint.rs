@@ -35,7 +35,11 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| {
             let mut miners = 0usize;
             for fp in &fps {
-                if db.classify(black_box(fp)).map(|m| m.class.is_miner()).unwrap_or(false) {
+                if db
+                    .classify(black_box(fp))
+                    .map(|m| m.class.is_miner())
+                    .unwrap_or(false)
+                {
                     miners += 1;
                 }
             }

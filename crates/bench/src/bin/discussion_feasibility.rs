@@ -18,7 +18,10 @@ fn main() {
     let rate = ExchangeRate::paper_writing_time();
     let pool_fee = 0.30;
 
-    println!("assumptions: network 462 MH/s, block reward {reward:.2} XMR, {} USD/XMR, 30% pool fee", rate.usd_per_xmr);
+    println!(
+        "assumptions: network 462 MH/s, block reward {reward:.2} XMR, {} USD/XMR, 30% pool fee",
+        rate.usd_per_xmr
+    );
     println!("visitor hash rates: 20 H/s (paper's laptop) / 100 H/s (desktop)\n");
 
     let tiers = [

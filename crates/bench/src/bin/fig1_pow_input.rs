@@ -4,8 +4,8 @@
 //! field by field, verifies the Merkle linkage and mines it at a toy
 //! difficulty with the real CryptoNight-style hash.
 
-use minedig_chain::block::{Block, BlockHeader};
 use minedig_chain::blob::HashingBlob;
+use minedig_chain::block::{Block, BlockHeader};
 use minedig_chain::merkle::block_tree_hash;
 use minedig_chain::tx::{MinerTag, Transaction};
 use minedig_pow::Variant;
@@ -42,10 +42,18 @@ fn main() {
     println!("  prev: {}", blob.prev_id);
     println!("  nonce: {:#010x}  <- ??? (what miners search)", blob.nonce);
     println!("  merkle_root: {}", blob.merkle_root);
-    println!("  num_tx: {} (Coinbase + {} transfers)", blob.tx_count, block.txs.len());
+    println!(
+        "  num_tx: {} (Coinbase + {} transfers)",
+        blob.tx_count,
+        block.txs.len()
+    );
 
     let bytes = blob.to_bytes();
-    println!("\nSerialized hashing blob ({} bytes):\n  {}", bytes.len(), to_hex(&bytes));
+    println!(
+        "\nSerialized hashing blob ({} bytes):\n  {}",
+        bytes.len(),
+        to_hex(&bytes)
+    );
 
     // Verify the Merkle linkage the attribution methodology relies on.
     let tx_hashes: Vec<Hash32> = block.txs.iter().map(|t| t.hash()).collect();

@@ -2,8 +2,8 @@
 //! dates each, with the share of the top filter targets.
 
 use minedig_bench::seed;
-use minedig_core::report::{bar_chart, comparison_table, Comparison};
-use minedig_core::scan::zgrab_scan;
+use minedig_core::exec::ScanExecutor;
+use minedig_core::report::{bar_chart, comparison_table, scan_stats, Comparison};
 use minedig_nocoin::list::ServiceLabel;
 use minedig_web::churn::{second_scan, DEFAULT_REMOVAL_RATE};
 use minedig_web::universe::Population;
@@ -21,12 +21,18 @@ fn main() {
     let seed = seed();
     println!("Figure 2 — NoCoin detected miners (zgrab, TLS-only, 256 kB)\n");
 
+    let executor = ScanExecutor::from_env();
     let mut rows = Vec::new();
     for (zone, paper_first, paper_second) in PAPER {
         let population = Population::generate(zone, seed, 500);
-        let first = zgrab_scan(&population, seed);
+        let first_run = executor.zgrab(&population, seed);
+        eprint!(
+            "{}",
+            scan_stats(&format!("zgrab scan 1 {}", zone.label()), &first_run.stats)
+        );
+        let first = first_run.outcome;
         let population2 = second_scan(&population, seed, DEFAULT_REMOVAL_RATE);
-        let second = zgrab_scan(&population2, seed);
+        let second = executor.zgrab(&population2, seed).outcome;
 
         rows.push(Comparison::new(
             &format!("{} scan 1", zone.label()),
@@ -68,9 +74,15 @@ fn main() {
             .copied()
             .unwrap_or(0) as f64
             / total;
-        println!("   coinhive share of detected sites: {:.1}% (paper: >75% incl. variants)\n", coinhive_like * 100.0);
+        println!(
+            "   coinhive share of detected sites: {:.1}% (paper: >75% incl. variants)\n",
+            coinhive_like * 100.0
+        );
     }
 
-    println!("{}", comparison_table("Fig 2: potential mining domains per scan", &rows));
+    println!(
+        "{}",
+        comparison_table("Fig 2: potential mining domains per scan", &rows)
+    );
     println!("note: measured counts are full-zone-scale; the miner population is\nmaterialized exactly and the clean remainder is FP-sampled (DESIGN.md).");
 }

@@ -42,8 +42,8 @@ fn main() {
         );
     }
 
-    let biased_at_512 = study.cdf_biased.fraction_at_or_below(9.0)
-        - study.cdf_biased.fraction_at_or_below(8.9);
+    let biased_at_512 =
+        study.cdf_biased.fraction_at_or_below(9.0) - study.cdf_biased.fraction_at_or_below(8.9);
     let rows = vec![
         Comparison::new(
             "unbiased ≤1024 hashes (%)",
@@ -65,7 +65,10 @@ fn main() {
         ),
     ];
     println!("\n{}", comparison_table("Fig 4 headline statistics", &rows));
-    println!("biased CDF mass at exactly 512 hashes: {:.2} (the heavy-user spike)", biased_at_512);
+    println!(
+        "biased CDF mass at exactly 512 hashes: {:.2} (the heavy-user spike)",
+        biased_at_512
+    );
     println!(
         "max observed requirement: 2^{:.1} ≈ 10^19 hashes ≈ {} at 20 H/s (misconfiguration tail)",
         study.cdf_biased.max(),

@@ -10,21 +10,22 @@ use minedig_core::report::{comparison_table, Comparison};
 fn main() {
     let seed = seed();
     let days = env_u64("MINEDIG_DAYS", 28);
-    println!("Figure 5 — blocks mined by the Coinhive network (attribution via Merkle-root matching)\n");
+    println!(
+        "Figure 5 — blocks mined by the Coinhive network (attribution via Merkle-root matching)\n"
+    );
 
     let mut config = fig5_config(seed);
     config.duration_days = days;
     let result = run_scenario(config);
 
-    let calendar = BlockCalendar::new(&result.attributed, FIG5_START, days as usize)
-        .with_outages(
-            (0..days as usize)
-                .filter(|d| {
-                    let day_start = FIG5_START + *d as u64 * 86_400;
-                    day_start >= FIG5_OUTAGE.0 && day_start < FIG5_OUTAGE.1
-                })
-                .collect(),
-        );
+    let calendar = BlockCalendar::new(&result.attributed, FIG5_START, days as usize).with_outages(
+        (0..days as usize)
+            .filter(|d| {
+                let day_start = FIG5_START + *d as u64 * 86_400;
+                day_start >= FIG5_OUTAGE.0 && day_start < FIG5_OUTAGE.1
+            })
+            .collect(),
+    );
 
     // The calendar heat map.
     println!("date         00 01 02 03 04 05 06 07 08 09 10 11 12 13 14 15 16 17 18 19 20 21 22 23 | total");
@@ -38,7 +39,11 @@ fn main() {
             })
             .collect();
         let total: u32 = row.iter().sum();
-        let outage = if calendar.outage_days.contains(&day) { "  << outage" } else { "" };
+        let outage = if calendar.outage_days.contains(&day) {
+            "  << outage"
+        } else {
+            ""
+        };
         let holiday = if FIG5_HOLIDAYS
             .iter()
             .any(|&h| h == FIG5_START + day as u64 * 86_400)
@@ -76,12 +81,19 @@ fn main() {
                 .sum(),
         ),
     ];
-    println!("\n{}", comparison_table("Fig 5 / §4.2 headline numbers", &rows));
+    println!(
+        "\n{}",
+        comparison_table("Fig 5 / §4.2 headline numbers", &rows)
+    );
     println!(
         "attribution recall vs ground truth: {:.1}% over {} pool blocks; precision: {}",
         result.recall() * 100.0,
         result.ground_truth.len(),
-        if result.precise() { "exact (no foreign blocks matched)" } else { "IMPRECISE — BUG" }
+        if result.precise() {
+            "exact (no foreign blocks matched)"
+        } else {
+            "IMPRECISE — BUG"
+        }
     );
     println!(
         "observer: {} polls, {} answered, {} refused during the 6–7 May outage, max {} distinct blobs/height (paper: ≤128)",

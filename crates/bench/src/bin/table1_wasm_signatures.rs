@@ -37,7 +37,11 @@ fn main() {
                 Comparison::new(class, *expect, measured as f64)
             })
             .collect();
-        let paper_total = if population.zone == Zone::Alexa { 796.0 } else { 1_491.0 };
+        let paper_total = if population.zone == Zone::Alexa {
+            796.0
+        } else {
+            1_491.0
+        };
         rows.push(Comparison::new(
             "total WebAssembly",
             paper_total,

@@ -55,10 +55,7 @@ fn main() {
             Comparison::new("  missed by NoCoin", p.missed, o.missed_by_nocoin as f64),
             Comparison::new("  missed %", p.missed_pct, missed_pct),
         ];
-        println!(
-            "{}",
-            comparison_table(population.zone.label(), &rows)
-        );
+        println!("{}", comparison_table(population.zone.label(), &rows));
         let factor = o.miner_wasm_domains as f64 / o.blocked_by_nocoin.max(1) as f64;
         println!(
             "   signature approach finds {factor:.1}x the block list's miners (paper: up to 5.7x)"

@@ -24,7 +24,10 @@ fn print_top5(
     println!("-- {title} --");
     println!("   measured top-5 (share of categorized sites):");
     for (label, n) in ranked.iter().take(5) {
-        println!("     {label:<22} {:>5.1}%", *n as f64 / covered.max(1) as f64 * 100.0);
+        println!(
+            "     {label:<22} {:>5.1}%",
+            *n as f64 / covered.max(1) as f64 * 100.0
+        );
     }
     println!("   paper top-5:");
     for (label, pct) in paper_top {
@@ -40,7 +43,12 @@ fn print_top5(
 }
 
 /// Paper reference rows: (top-5 list, top-5 list, coverage %, coverage %).
-type PaperRefs = (&'static [(&'static str, f64)], &'static [(&'static str, f64)], f64, f64);
+type PaperRefs = (
+    &'static [(&'static str, f64)],
+    &'static [(&'static str, f64)],
+    f64,
+    f64,
+);
 
 fn main() {
     let seed = seed();
@@ -51,43 +59,43 @@ fn main() {
     for (population, o) in &scans {
         let zone = population.zone;
         let (paper_nocoin, paper_sig, cov_nc, cov_sig): PaperRefs = match zone {
-                minedig_web::zone::Zone::Alexa => (
-                    &[
-                        ("Gaming", 19.0),
-                        ("Edu. Site", 9.0),
-                        ("Shopping", 8.0),
-                        ("Pornogr.", 7.0),
-                        ("Tech.", 6.0),
-                    ],
-                    &[
-                        ("Pornogr.", 19.0),
-                        ("Tech.", 8.0),
-                        ("Filesharing", 8.0),
-                        ("Edu. Site", 5.0),
-                        ("Ent. & Music", 5.0),
-                    ],
-                    79.0,
-                    74.0,
-                ),
-                _ => (
-                    &[
-                        ("Gaming", 29.0),
-                        ("Business", 8.0),
-                        ("Edu. Site", 6.0),
-                        ("Pornogr.", 5.0),
-                        ("Shopping", 4.0),
-                    ],
-                    &[
-                        ("Religion", 9.0),
-                        ("Business", 8.0),
-                        ("Edu. Site", 8.0),
-                        ("Health Site", 7.0),
-                        ("Tech.", 6.0),
-                    ],
-                    54.0,
-                    42.0,
-                ),
-            };
+            minedig_web::zone::Zone::Alexa => (
+                &[
+                    ("Gaming", 19.0),
+                    ("Edu. Site", 9.0),
+                    ("Shopping", 8.0),
+                    ("Pornogr.", 7.0),
+                    ("Tech.", 6.0),
+                ],
+                &[
+                    ("Pornogr.", 19.0),
+                    ("Tech.", 8.0),
+                    ("Filesharing", 8.0),
+                    ("Edu. Site", 5.0),
+                    ("Ent. & Music", 5.0),
+                ],
+                79.0,
+                74.0,
+            ),
+            _ => (
+                &[
+                    ("Gaming", 29.0),
+                    ("Business", 8.0),
+                    ("Edu. Site", 6.0),
+                    ("Pornogr.", 5.0),
+                    ("Shopping", 4.0),
+                ],
+                &[
+                    ("Religion", 9.0),
+                    ("Business", 8.0),
+                    ("Edu. Site", 8.0),
+                    ("Health Site", 7.0),
+                    ("Tech.", 6.0),
+                ],
+                54.0,
+                42.0,
+            ),
+        };
         print_top5(
             &format!("{} / NoCoin-detected sites", zone.label()),
             &o.nocoin_refs,

@@ -36,9 +36,16 @@ fn main() {
             .unwrap_or(0.0);
         paper_mass += paper_freq;
         measured_mass += measured;
-        rows.push(Comparison::new(domain, paper_freq * 100.0, measured * 100.0));
+        rows.push(Comparison::new(
+            domain,
+            paper_freq * 100.0,
+            measured * 100.0,
+        ));
     }
-    println!("{}", comparison_table("Table 4: destination domain frequency (%)", &rows));
+    println!(
+        "{}",
+        comparison_table("Table 4: destination domain frequency (%)", &rows)
+    );
     println!(
         "top-10 domains cover: measured {:.1}% vs paper {:.1}% of sampled links",
         measured_mass * 100.0,

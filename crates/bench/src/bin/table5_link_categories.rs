@@ -43,15 +43,27 @@ fn main() {
         .collect();
     measured.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
 
-    println!("{:<26} {:>10} {:>14}", "category", "paper", "measured(1:10)");
+    println!(
+        "{:<26} {:>10} {:>14}",
+        "category", "paper", "measured(1:10)"
+    );
     for (i, (label, paper_count)) in PAPER.iter().enumerate() {
         let m = measured
             .iter()
             .find(|(l, _)| l == label)
             .map(|(_, n)| *n)
             .unwrap_or(0);
-        println!("{:<26} {:>10} {:>14}   (measured rank {})", label, paper_count, m,
-            measured.iter().position(|(l, _)| l == label).map(|p| p + 1).unwrap_or(0));
+        println!(
+            "{:<26} {:>10} {:>14}   (measured rank {})",
+            label,
+            paper_count,
+            m,
+            measured
+                .iter()
+                .position(|(l, _)| l == label)
+                .map(|p| p + 1)
+                .unwrap_or(0)
+        );
         let _ = i;
     }
     println!("\nmeasured top-10:");

@@ -1,11 +1,11 @@
 //! Table 6: Coinhive mining statistics for May, June and July 2018 —
 //! blocks/day, implied hash rate, and XMR turned over.
 
+use minedig_analysis::estimate::monthly_row;
 use minedig_analysis::scenario::run_scenario;
 use minedig_bench::seed;
 use minedig_core::attribute::{month_config, Month};
 use minedig_core::report::{comparison_table, Comparison};
-use minedig_analysis::estimate::monthly_row;
 
 const PAPER: [(Month, f64, f64, f64, f64); 3] = [
     (Month::May, 9.0, 8.8, 5.5, 1_231.0),
@@ -25,7 +25,13 @@ fn main() {
         config.poll_interval_secs = 60;
         let (start, end) = month.window();
         let result = run_scenario(config);
-        let row = monthly_row(month.label(), &result.attributed, start, end, &result.network);
+        let row = monthly_row(
+            month.label(),
+            &result.attributed,
+            start,
+            end,
+            &result.network,
+        );
 
         rows.push(Comparison::new(
             &format!("{} med [blocks/day]", month.label()),

@@ -5,11 +5,14 @@
 //! next to the paper's. Common knobs come from the environment:
 //!
 //! * `MINEDIG_SEED` — experiment seed (default 2018),
+//! * `MINEDIG_SHARDS` — scan worker threads (default: all cores),
 //! * `MINEDIG_LINK_SCALE` — divisor on the 1.7 M link population
 //!   (default 10),
 //! * `MINEDIG_DAYS` — override for the Fig 5 window length.
 
-use minedig_core::scan::{build_reference_db, chrome_scan, ChromeScanOutcome};
+use minedig_core::exec::ScanExecutor;
+use minedig_core::report::scan_stats;
+use minedig_core::scan::{build_reference_db, ChromeScanOutcome};
 use minedig_wasm::sigdb::SignatureDb;
 use minedig_web::universe::Population;
 use minedig_web::zone::Zone;
@@ -39,14 +42,21 @@ pub fn chrome_populations(seed: u64) -> Vec<Population> {
 }
 
 /// Runs the Chrome scan on Alexa + .org with the reference DB (shared by
-/// the Table 1/2/3 binaries).
+/// the Table 1/2/3 binaries). Sharded across `MINEDIG_SHARDS` workers
+/// (default: all cores); results are bit-identical regardless of the
+/// shard count.
 pub fn run_chrome_scans(seed: u64) -> (SignatureDb, Vec<(Population, ChromeScanOutcome)>) {
     let db = build_reference_db(0.7);
+    let executor = ScanExecutor::from_env();
     let out = chrome_populations(seed)
         .into_iter()
         .map(|p| {
-            let o = chrome_scan(&p, &db, seed);
-            (p, o)
+            let run = executor.chrome(&p, &db, seed);
+            eprint!(
+                "{}",
+                scan_stats(&format!("chrome scan {}", p.zone.label()), &run.stats)
+            );
+            (p, run.outcome)
         })
         .collect();
     (db, out)
@@ -58,7 +68,8 @@ pub fn fmt_date(unix: u64) -> String {
     let mut year = 1970u64;
     let mut remaining = days;
     loop {
-        let leap = (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400);
+        let leap =
+            (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400);
         let len = if leap { 366 } else { 365 };
         if remaining < len {
             break;

@@ -169,8 +169,9 @@ impl<'a> Sim<'a> {
                     self.events.push(DevtoolsEvent::WebSocketFrame {
                         url: ws_url.clone(),
                         direction: FrameDirection::Received,
-                        payload: "{\"type\":\"job\",\"job_id\":\"j1\",\"blob\":\"…\",\"difficulty\":16}"
-                            .to_string(),
+                        payload:
+                            "{\"type\":\"job\",\"job_id\":\"j1\",\"blob\":\"…\",\"difficulty\":16}"
+                                .to_string(),
                         at_ms: now + 2,
                     });
                     self.schedule(
@@ -491,17 +492,16 @@ mod tests {
     #[test]
     fn dom_mutations_extend_wait_but_cap_at_5s() {
         // A page that mutates the DOM every second, forever (until cap).
-        let page = Page::new("busy.example", "<html><script>spin()</script></html>")
-            .with_behavior(
-                ScriptRef::Inline(0),
-                ScriptBehavior {
-                    delay_ms: 0,
-                    effects: vec![ScriptEffect::MutateDom {
-                        times: 100,
-                        interval_ms: 1_000,
-                    }],
-                },
-            );
+        let page = Page::new("busy.example", "<html><script>spin()</script></html>").with_behavior(
+            ScriptRef::Inline(0),
+            ScriptBehavior {
+                delay_ms: 0,
+                effects: vec![ScriptEffect::MutateDom {
+                    times: 100,
+                    interval_ms: 1_000,
+                }],
+            },
+        );
         let cap = load_page(&page, &LoadPolicy::default());
         assert_eq!(cap.outcome, LoadOutcome::Loaded);
         let load_at = cap
@@ -521,7 +521,11 @@ mod tests {
     fn quiet_page_finishes_quickly() {
         let page = Page::new("quiet.example", "<html><p>static</p></html>");
         let cap = load_page(&page, &LoadPolicy::default());
-        assert!(cap.finished_at_ms < 3_000, "finished {}", cap.finished_at_ms);
+        assert!(
+            cap.finished_at_ms < 3_000,
+            "finished {}",
+            cap.finished_at_ms
+        );
     }
 
     #[test]
@@ -549,21 +553,20 @@ mod tests {
 
     #[test]
     fn consent_gated_effect_dormant_by_default() {
-        let page = Page::new("authed.example", r#"<script src="a.js"></script>"#)
-            .with_behavior(
-                ScriptRef::Src("a.js".into()),
-                ScriptBehavior {
-                    delay_ms: 0,
-                    effects: vec![ScriptEffect::ConsentGated {
-                        inner: Box::new(ScriptEffect::StartMiner {
-                            wasm: miner_wasm(),
-                            ws_url: "wss://ws.authedmine.com/proxy".into(),
-                            token: "K".into(),
-                            submit_interval_ms: 500,
-                        }),
-                    }],
-                },
-            );
+        let page = Page::new("authed.example", r#"<script src="a.js"></script>"#).with_behavior(
+            ScriptRef::Src("a.js".into()),
+            ScriptBehavior {
+                delay_ms: 0,
+                effects: vec![ScriptEffect::ConsentGated {
+                    inner: Box::new(ScriptEffect::StartMiner {
+                        wasm: miner_wasm(),
+                        ws_url: "wss://ws.authedmine.com/proxy".into(),
+                        token: "K".into(),
+                        submit_interval_ms: 500,
+                    }),
+                }],
+            },
+        );
         let cap = load_page(&page, &LoadPolicy::default());
         assert!(!cap.has_wasm(), "no consent, no mining");
         assert!(cap.websocket_urls().is_empty());

@@ -74,7 +74,10 @@ impl HashingBlob {
 
     /// Returns a copy with the given nonce — what a miner does per attempt.
     pub fn with_nonce(&self, nonce: u32) -> HashingBlob {
-        HashingBlob { nonce, ..self.clone() }
+        HashingBlob {
+            nonce,
+            ..self.clone()
+        }
     }
 
     /// Byte offset of the nonce in this blob's serialized form (depends on

@@ -81,7 +81,12 @@ impl Block {
     /// Grinds the nonce until the PoW meets `difficulty`; returns the
     /// number of attempts. Only sensible with [`Variant::Test`] and small
     /// difficulties — pool/miner code paths use this in integration tests.
-    pub fn mine(&mut self, variant: Variant, difficulty: Difficulty, max_attempts: u32) -> Option<u32> {
+    pub fn mine(
+        &mut self,
+        variant: Variant,
+        difficulty: Difficulty,
+        max_attempts: u32,
+    ) -> Option<u32> {
         for attempt in 0..max_attempts {
             self.header.nonce = attempt;
             if self.pow_valid(variant, difficulty) {

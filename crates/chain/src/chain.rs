@@ -251,9 +251,16 @@ mod tests {
     fn rejects_wrong_reward() {
         let mut chain = Chain::new(0, AppendMode::Statistical);
         let mut bad = make_block(&chain, 1000, "solo");
-        bad.miner_tx =
-            Transaction::coinbase(0, chain.next_reward() + 1, MinerTag::from_label("x"), vec![]);
-        assert!(matches!(chain.append(bad), Err(ChainError::BadReward { .. })));
+        bad.miner_tx = Transaction::coinbase(
+            0,
+            chain.next_reward() + 1,
+            MinerTag::from_label("x"),
+            vec![],
+        );
+        assert!(matches!(
+            chain.append(bad),
+            Err(ChainError::BadReward { .. })
+        ));
     }
 
     #[test]

@@ -118,10 +118,7 @@ mod tests {
         // n=5: p=4, untouched=3 -> [h0,h1,h2,H(h3,h4)] then perfect tree.
         let ls = leaves(5);
         let h34 = tree_hash(&[ls[3], ls[4]]);
-        let expect = tree_hash(&[
-            tree_hash(&[ls[0], ls[1]]),
-            tree_hash(&[ls[2], h34]),
-        ]);
+        let expect = tree_hash(&[tree_hash(&[ls[0], ls[1]]), tree_hash(&[ls[2], h34])]);
         assert_eq!(tree_hash(&ls), expect);
     }
 

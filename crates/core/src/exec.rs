@@ -1,0 +1,300 @@
+//! Parallel sharded scan executor.
+//!
+//! The paper's crawls cover whole TLD zones (§3: "we scanned *all*
+//! domains within .com/.net/.org"); at that scale a single-threaded pass
+//! is the bottleneck of the whole reproduction. [`ScanExecutor`] splits a
+//! [`Population`] into `shards` contiguous chunks, scans each chunk on
+//! its own scoped thread with the shard kernels from [`crate::scan`], and
+//! folds the partial outcomes back together in shard-index order.
+//!
+//! ## Determinism
+//!
+//! The parallel run is **bit-identical** to the sequential run for the
+//! same seed, for any shard count. Two properties make this cheap:
+//!
+//! 1. Every domain derives its randomness from `(seed, domain name)` —
+//!    never from a shared sequential RNG — so *where* a domain is scanned
+//!    cannot change *what* is scanned. This per-domain derivation
+//!    subsumes a per-shard `(seed, shard index)` scheme: shard boundaries
+//!    can move freely without perturbing any domain's draw.
+//! 2. Shards are contiguous slices merged in shard-index order, and
+//!    [`merge`](crate::scan::ZgrabScanOutcome::merge) is additive on
+//!    counters (order-independent) while ref vectors concatenate — so the
+//!    merged ref order equals the sequential scan order exactly.
+//!
+//! The equivalence is enforced by proptests in `tests/` (shards 1–16,
+//! random seeds and zone sizes, both scan kinds).
+
+use crate::scan::{chrome_scan_shard, zgrab_scan_shard, ChromeScanOutcome, ZgrabScanOutcome};
+use minedig_wasm::sigdb::SignatureDb;
+use minedig_web::universe::{Domain, Population};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Per-shard progress and timing, read back after the scan completes.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Shard index (0-based; shard 0 scans the front of the population).
+    pub shard: usize,
+    /// Domains this shard scanned (artifacts + clean sample).
+    pub domains: u64,
+    /// Wall time the shard's worker spent scanning.
+    pub elapsed: Duration,
+}
+
+/// Observability for one executed scan.
+#[derive(Clone, Debug)]
+pub struct ScanStats {
+    /// Shard count the executor ran with.
+    pub shards: usize,
+    /// Total domains scanned across all shards.
+    pub domains_scanned: u64,
+    /// End-to-end wall time (spawn through final merge).
+    pub elapsed: Duration,
+    /// Per-shard breakdown, in shard-index order.
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl ScanStats {
+    /// Aggregate scan rate in domains per second of wall time.
+    pub fn domains_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.domains_scanned as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A merged scan outcome plus the [`ScanStats`] of producing it.
+#[derive(Clone, Debug)]
+pub struct ScanRun<T> {
+    /// The merged outcome, bit-identical to a sequential scan.
+    pub outcome: T,
+    /// How the work was spread and how fast it went.
+    pub stats: ScanStats,
+}
+
+/// Runs zone scans across a fixed number of shards.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanExecutor {
+    shards: usize,
+}
+
+impl ScanExecutor {
+    /// Executor with `shards` workers (clamped to at least 1).
+    pub fn new(shards: usize) -> ScanExecutor {
+        ScanExecutor {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Single-shard executor: the sequential scan, with stats.
+    pub fn sequential() -> ScanExecutor {
+        ScanExecutor::new(1)
+    }
+
+    /// Shard count from `MINEDIG_SHARDS`, defaulting to the machine's
+    /// available parallelism.
+    pub fn from_env() -> ScanExecutor {
+        let shards = std::env::var("MINEDIG_SHARDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ScanExecutor::new(shards)
+    }
+
+    /// Configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Sharded zgrab + NoCoin scan (§3.1); same outcome as
+    /// [`crate::scan::zgrab_scan`].
+    pub fn zgrab(&self, population: &Population, seed: u64) -> ScanRun<ZgrabScanOutcome> {
+        let zone = population.zone;
+        let mut run = self.run_sharded(
+            population,
+            |artifacts, clean, progress| zgrab_scan_shard(zone, artifacts, clean, seed, progress),
+            ZgrabScanOutcome::merge,
+        );
+        run.outcome.total_domains = population.total;
+        run
+    }
+
+    /// Sharded instrumented-browser scan (§3.2); same outcome as
+    /// [`crate::scan::chrome_scan`].
+    pub fn chrome(
+        &self,
+        population: &Population,
+        db: &SignatureDb,
+        seed: u64,
+    ) -> ScanRun<ChromeScanOutcome> {
+        let zone = population.zone;
+        self.run_sharded(
+            population,
+            |artifacts, clean, progress| {
+                chrome_scan_shard(zone, artifacts, clean, db, seed, progress)
+            },
+            ChromeScanOutcome::merge,
+        )
+    }
+
+    /// Shards the population, runs `kernel` per shard on scoped threads,
+    /// and folds partial outcomes with `merge` in shard-index order.
+    fn run_sharded<T: Send>(
+        &self,
+        population: &Population,
+        kernel: impl Fn(&[Domain], &[Domain], &AtomicU64) -> T + Sync,
+        merge: impl Fn(&mut T, T),
+    ) -> ScanRun<T> {
+        let artifacts = &population.artifacts[..];
+        let clean = &population.clean_sample[..];
+        let art_chunks = chunk_ranges(artifacts.len(), self.shards);
+        let clean_chunks = chunk_ranges(clean.len(), self.shards);
+        let counters: Vec<AtomicU64> = (0..self.shards).map(|_| AtomicU64::new(0)).collect();
+
+        let start = Instant::now();
+        let parts: Vec<(T, Duration)> = if self.shards == 1 {
+            // Run on the calling thread: keeps the sequential wrappers
+            // and shards=1 baselines free of spawn overhead.
+            let t0 = Instant::now();
+            let out = kernel(artifacts, clean, &counters[0]);
+            vec![(out, t0.elapsed())]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..self.shards)
+                    .map(|i| {
+                        let kernel = &kernel;
+                        let counter = &counters[i];
+                        let art = &artifacts[art_chunks[i].clone()];
+                        let cl = &clean[clean_chunks[i].clone()];
+                        s.spawn(move || {
+                            let t0 = Instant::now();
+                            let out = kernel(art, cl, counter);
+                            (out, t0.elapsed())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scan shard panicked"))
+                    .collect()
+            })
+        };
+
+        let mut merged: Option<T> = None;
+        let mut per_shard = Vec::with_capacity(self.shards);
+        for (i, (part, shard_elapsed)) in parts.into_iter().enumerate() {
+            per_shard.push(ShardStats {
+                shard: i,
+                domains: counters[i].load(Ordering::Relaxed),
+                elapsed: shard_elapsed,
+            });
+            match &mut merged {
+                None => merged = Some(part),
+                Some(m) => merge(m, part),
+            }
+        }
+        let elapsed = start.elapsed();
+        let stats = ScanStats {
+            shards: self.shards,
+            domains_scanned: per_shard.iter().map(|s| s.domains).sum(),
+            elapsed,
+            per_shard,
+        };
+        ScanRun {
+            outcome: merged.expect("at least one shard"),
+            stats,
+        }
+    }
+}
+
+/// Splits `len` items into `shards` contiguous balanced ranges (the first
+/// `len % shards` ranges carry one extra item). Empty ranges are fine —
+/// a shard with nothing to do still reports stats.
+fn chunk_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    let base = len / shards;
+    let extra = len % shards;
+    let mut start = 0;
+    (0..shards)
+        .map(|i| {
+            let size = base + usize::from(i < extra);
+            let range = start..start + size;
+            start += size;
+            range
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::build_reference_db;
+    use minedig_web::zone::Zone;
+
+    #[test]
+    fn chunks_cover_everything_contiguously() {
+        for len in [0usize, 1, 7, 16, 100, 101] {
+            for shards in [1usize, 2, 3, 8, 16] {
+                let ranges = chunk_ranges(len, shards);
+                assert_eq!(ranges.len(), shards);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges[shards - 1].end, len);
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start);
+                }
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_zgrab_matches_sequential() {
+        let pop = Population::generate(Zone::Org, 42, 50);
+        let sequential = crate::scan::zgrab_scan(&pop, 1);
+        for shards in [1, 2, 3, 8] {
+            let run = ScanExecutor::new(shards).zgrab(&pop, 1);
+            assert_eq!(run.outcome, sequential, "shards={shards}");
+            assert_eq!(run.stats.shards, shards);
+            assert_eq!(
+                run.stats.domains_scanned,
+                (pop.artifacts.len() + pop.clean_sample.len()) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_chrome_matches_sequential() {
+        let pop = Population::generate(Zone::Org, 42, 50);
+        let db = build_reference_db(0.7);
+        let sequential = crate::scan::chrome_scan(&pop, &db, 1);
+        for shards in [2, 5] {
+            let run = ScanExecutor::new(shards).chrome(&pop, &db, 1);
+            assert_eq!(run.outcome, sequential, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn executor_clamps_zero_shards() {
+        assert_eq!(ScanExecutor::new(0).shards(), 1);
+    }
+
+    #[test]
+    fn stats_report_rate_and_per_shard_progress() {
+        let pop = Population::generate(Zone::Org, 7, 20);
+        let run = ScanExecutor::new(4).zgrab(&pop, 7);
+        assert_eq!(run.stats.per_shard.len(), 4);
+        let sum: u64 = run.stats.per_shard.iter().map(|s| s.domains).sum();
+        assert_eq!(sum, run.stats.domains_scanned);
+        assert!(run.stats.domains_per_sec() > 0.0);
+    }
+}

@@ -9,6 +9,9 @@
 //!   scan over whole zones and the instrumented-browser scan with Wasm
 //!   fingerprinting, plus the cross-tabulation showing how much the block
 //!   list misses (Fig 2, Tables 1–3),
+//! * [`exec`] — the parallel sharded scan executor: spreads either scan
+//!   across threads with a deterministic merge that is bit-identical to
+//!   the sequential pass,
 //! * [`attribute`] — §4.2's blockchain attribution with paper-calibrated
 //!   scenario presets (Fig 5, Table 6),
 //! * [`shortlink_study`] — §4.1's enumeration/resolution study of the
@@ -32,9 +35,11 @@
 //! ```
 
 pub mod attribute;
+pub mod exec;
 pub mod report;
 pub mod scan;
 pub mod shortlink_study;
 
+pub use exec::{ScanExecutor, ScanRun, ScanStats};
 pub use report::Comparison;
 pub use scan::{build_reference_db, chrome_scan, zgrab_scan, ChromeScanOutcome, ZgrabScanOutcome};

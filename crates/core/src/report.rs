@@ -1,5 +1,7 @@
 //! Paper-vs-measured reporting used by the reproduction binaries.
 
+use crate::exec::ScanStats;
+
 /// One compared quantity.
 #[derive(Clone, Debug)]
 pub struct Comparison {
@@ -24,7 +26,11 @@ impl Comparison {
     /// Relative delta in percent (positive = measured higher).
     pub fn delta_pct(&self) -> f64 {
         if self.paper == 0.0 {
-            return if self.measured == 0.0 { 0.0 } else { f64::INFINITY };
+            return if self.measured == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         (self.measured - self.paper) / self.paper * 100.0
     }
@@ -96,9 +102,40 @@ pub fn bar_chart(title: &str, series: &[(String, f64)], max_width: usize) -> Str
     out
 }
 
+/// Renders one executed scan's [`ScanStats`] as a compact summary line
+/// plus a per-shard breakdown, e.g.
+///
+/// ```text
+/// scan: 4 shards, 1250 domains in 0.42s (2976 domains/s)
+///   shard 0: 313 domains in 0.40s
+/// ```
+pub fn scan_stats(label: &str, stats: &ScanStats) -> String {
+    let mut out = format!(
+        "{label}: {} shard{}, {} domains in {:.2}s ({:.0} domains/s)\n",
+        stats.shards,
+        if stats.shards == 1 { "" } else { "s" },
+        stats.domains_scanned,
+        stats.elapsed.as_secs_f64(),
+        stats.domains_per_sec(),
+    );
+    if stats.shards > 1 {
+        for s in &stats.per_shard {
+            out.push_str(&format!(
+                "  shard {}: {} domains in {:.2}s\n",
+                s.shard,
+                s.domains,
+                s.elapsed.as_secs_f64()
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::ShardStats;
+    use std::time::Duration;
 
     #[test]
     fn delta_computation() {
@@ -130,6 +167,43 @@ mod tests {
         assert_eq!(format_value(737.0), "737");
         assert_eq!(format_value(1.18), "1.18");
         assert_eq!(format_value(0.0118), "0.0118");
+    }
+
+    #[test]
+    fn scan_stats_renders_summary_and_shards() {
+        let stats = ScanStats {
+            shards: 2,
+            domains_scanned: 100,
+            elapsed: Duration::from_millis(500),
+            per_shard: vec![
+                ShardStats {
+                    shard: 0,
+                    domains: 50,
+                    elapsed: Duration::from_millis(480),
+                },
+                ShardStats {
+                    shard: 1,
+                    domains: 50,
+                    elapsed: Duration::from_millis(460),
+                },
+            ],
+        };
+        let text = scan_stats("chrome .org", &stats);
+        assert!(text.contains("2 shards, 100 domains"));
+        assert!(text.contains("(200 domains/s)"));
+        assert!(text.contains("shard 1: 50 domains"));
+        // Single-shard runs stay to one line.
+        let single = ScanStats {
+            shards: 1,
+            domains_scanned: 10,
+            elapsed: Duration::from_millis(100),
+            per_shard: vec![ShardStats {
+                shard: 0,
+                domains: 10,
+                elapsed: Duration::from_millis(100),
+            }],
+        };
+        assert_eq!(scan_stats("zgrab", &single).lines().count(), 1);
     }
 
     #[test]

@@ -8,11 +8,12 @@ use minedig_wasm::fingerprint::fingerprint;
 use minedig_wasm::module::Module;
 use minedig_wasm::sigdb::{SignatureDb, WasmClass};
 use minedig_web::category::Category;
+use minedig_web::deploy::{ArtifactKind, Hosting};
 use minedig_web::page::{synthesize_page, zgrab_fetch, CORPUS_SEED};
 use minedig_web::universe::{Domain, Population};
-use minedig_web::deploy::{ArtifactKind, Hosting};
 use minedig_web::zone::Zone;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Builds the reference signature database the way the paper did: a
 /// manually-catalogued subset of the wild corpus (`coverage` of each
@@ -41,7 +42,7 @@ pub fn build_reference_db(coverage: f64) -> SignatureDb {
 }
 
 /// A domain reference kept for downstream categorization (Table 3).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DomainRef {
     /// Domain name.
     pub name: String,
@@ -68,7 +69,7 @@ fn domain_ref(d: &Domain) -> DomainRef {
 }
 
 /// Outcome of the zgrab + NoCoin scan of one zone (one scan date).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ZgrabScanOutcome {
     /// Zone scanned.
     pub zone: Zone,
@@ -87,19 +88,51 @@ pub struct ZgrabScanOutcome {
     pub hit_refs: Vec<DomainRef>,
 }
 
-/// Runs the TLS-only static scan over a population (§3.1).
-pub fn zgrab_scan(population: &Population, seed: u64) -> ZgrabScanOutcome {
+impl ZgrabScanOutcome {
+    /// Folds another shard's partial outcome into this one. Counters and
+    /// label counts are additive; refs concatenate, so merging shards in
+    /// shard-index order reproduces the sequential scan's ref order
+    /// exactly (shards are contiguous population slices).
+    pub fn merge(&mut self, other: ZgrabScanOutcome) {
+        assert_eq!(self.zone, other.zone, "cannot merge outcomes across zones");
+        self.total_domains += other.total_domains;
+        self.hit_domains += other.hit_domains;
+        for (label, count) in other.label_counts {
+            *self.label_counts.entry(label).or_insert(0) += count;
+        }
+        self.clean_sample_hits += other.clean_sample_hits;
+        self.clean_sample_size += other.clean_sample_size;
+        self.hit_refs.extend(other.hit_refs);
+    }
+}
+
+/// Shard-local kernel of the zgrab scan: processes one contiguous slice
+/// of a zone's artifact and clean-sample domains. The returned outcome is
+/// *partial* — `total_domains` is zero until the caller fills in the
+/// zone-wide figure — and `progress` advances by one per scanned domain.
+///
+/// Every domain draws its randomness from `(seed, domain name)` (see
+/// `minedig_web::page`), never from scan order, so any partition of the
+/// population scans bit-identically to the sequential pass.
+pub fn zgrab_scan_shard(
+    zone: Zone,
+    artifacts: &[Domain],
+    clean_sample: &[Domain],
+    seed: u64,
+    progress: &AtomicU64,
+) -> ZgrabScanOutcome {
     let engine = NoCoinEngine::new();
     let mut outcome = ZgrabScanOutcome {
-        zone: population.zone,
-        total_domains: population.total,
+        zone,
+        total_domains: 0,
         hit_domains: 0,
         label_counts: BTreeMap::new(),
         clean_sample_hits: 0,
-        clean_sample_size: population.clean_sample.len() as u64,
+        clean_sample_size: clean_sample.len() as u64,
         hit_refs: Vec::new(),
     };
-    for d in &population.artifacts {
+    for d in artifacts {
+        progress.fetch_add(1, Ordering::Relaxed);
         let Some(html) = zgrab_fetch(d, seed) else {
             continue;
         };
@@ -112,7 +145,8 @@ pub fn zgrab_scan(population: &Population, seed: u64) -> ZgrabScanOutcome {
             }
         }
     }
-    for d in &population.clean_sample {
+    for d in clean_sample {
+        progress.fetch_add(1, Ordering::Relaxed);
         if let Some(html) = zgrab_fetch(d, seed) {
             if !engine.page_labels(&d.name, &html).is_empty() {
                 outcome.clean_sample_hits += 1;
@@ -122,8 +156,24 @@ pub fn zgrab_scan(population: &Population, seed: u64) -> ZgrabScanOutcome {
     outcome
 }
 
+/// Runs the TLS-only static scan over a population (§3.1). Thin
+/// single-shard wrapper over [`zgrab_scan_shard`]; use
+/// [`crate::exec::ScanExecutor`] to spread the same scan across threads.
+pub fn zgrab_scan(population: &Population, seed: u64) -> ZgrabScanOutcome {
+    let progress = AtomicU64::new(0);
+    let mut outcome = zgrab_scan_shard(
+        population.zone,
+        &population.artifacts,
+        &population.clean_sample,
+        seed,
+        &progress,
+    );
+    outcome.total_domains = population.total;
+    outcome
+}
+
 /// Outcome of the instrumented-browser scan of one zone (§3.2).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChromeScanOutcome {
     /// Zone scanned.
     pub zone: Zone,
@@ -152,16 +202,48 @@ pub struct ChromeScanOutcome {
     pub miner_refs: Vec<DomainRef>,
 }
 
-/// Runs the executing scan over a population (§3.2). Uses http *and*
-/// https (no TLS gate) and applies NoCoin to the final 65 kB HTML.
-pub fn chrome_scan(population: &Population, db: &SignatureDb, seed: u64) -> ChromeScanOutcome {
+impl ChromeScanOutcome {
+    /// Folds another shard's partial outcome into this one (same
+    /// order-independent counter addition as [`ZgrabScanOutcome::merge`];
+    /// ref vectors concatenate in shard-index order).
+    pub fn merge(&mut self, other: ChromeScanOutcome) {
+        assert_eq!(self.zone, other.zone, "cannot merge outcomes across zones");
+        self.nocoin_domains += other.nocoin_domains;
+        self.wasm_domains += other.wasm_domains;
+        self.miner_wasm_domains += other.miner_wasm_domains;
+        self.blocked_by_nocoin += other.blocked_by_nocoin;
+        self.missed_by_nocoin += other.missed_by_nocoin;
+        self.nocoin_without_wasm += other.nocoin_without_wasm;
+        for (class, count) in other.class_counts {
+            *self.class_counts.entry(class).or_insert(0) += count;
+        }
+        self.unclassified_wasm += other.unclassified_wasm;
+        self.clean_sample_miner_hits += other.clean_sample_miner_hits;
+        self.nocoin_refs.extend(other.nocoin_refs);
+        self.miner_refs.extend(other.miner_refs);
+    }
+}
+
+/// Shard-local kernel of the Chrome scan: loads and classifies one
+/// contiguous slice of a zone's artifact and clean-sample domains.
+/// `progress` advances by one per scanned domain. Determinism works the
+/// same way as in [`zgrab_scan_shard`]: page synthesis and load behavior
+/// derive from `(seed, domain name)`, so sharding cannot change results.
+pub fn chrome_scan_shard(
+    zone: Zone,
+    artifacts: &[Domain],
+    clean_sample: &[Domain],
+    db: &SignatureDb,
+    seed: u64,
+    progress: &AtomicU64,
+) -> ChromeScanOutcome {
     let engine = NoCoinEngine::new();
     let policy = LoadPolicy {
         seed,
         ..LoadPolicy::default()
     };
     let mut outcome = ChromeScanOutcome {
-        zone: population.zone,
+        zone,
         nocoin_domains: 0,
         wasm_domains: 0,
         miner_wasm_domains: 0,
@@ -255,13 +337,31 @@ pub fn chrome_scan(population: &Population, db: &SignatureDb, seed: u64) -> Chro
         }
     };
 
-    for d in &population.artifacts {
+    for d in artifacts {
+        progress.fetch_add(1, Ordering::Relaxed);
         scan_domain(d, false);
     }
-    for d in &population.clean_sample {
+    for d in clean_sample {
+        progress.fetch_add(1, Ordering::Relaxed);
         scan_domain(d, true);
     }
     outcome
+}
+
+/// Runs the executing scan over a population (§3.2). Uses http *and*
+/// https (no TLS gate) and applies NoCoin to the final 65 kB HTML. Thin
+/// single-shard wrapper over [`chrome_scan_shard`]; use
+/// [`crate::exec::ScanExecutor`] to spread the same scan across threads.
+pub fn chrome_scan(population: &Population, db: &SignatureDb, seed: u64) -> ChromeScanOutcome {
+    let progress = AtomicU64::new(0);
+    chrome_scan_shard(
+        population.zone,
+        &population.artifacts,
+        &population.clean_sample,
+        db,
+        seed,
+        &progress,
+    )
 }
 
 /// Categorizes a set of domains through the RuleSpace oracle, returning

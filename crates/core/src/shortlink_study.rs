@@ -189,8 +189,16 @@ mod tests {
     #[test]
     fn fig3_headlines() {
         let r = small_study();
-        assert!((0.29..0.38).contains(&r.top1_share), "top1 {}", r.top1_share);
-        assert!((9..=12).contains(&r.users_for_85pct), "users {}", r.users_for_85pct);
+        assert!(
+            (0.29..0.38).contains(&r.top1_share),
+            "top1 {}",
+            r.top1_share
+        );
+        assert!(
+            (9..=12).contains(&r.users_for_85pct),
+            "users {}",
+            r.users_for_85pct
+        );
     }
 
     #[test]
@@ -211,7 +219,12 @@ mod tests {
     fn table4_is_filesharing_heavy() {
         let r = small_study();
         assert!(!r.top10_domains.is_empty());
-        let top: Vec<&str> = r.top10_domains.iter().take(10).map(|(d, _)| d.as_str()).collect();
+        let top: Vec<&str> = r
+            .top10_domains
+            .iter()
+            .take(10)
+            .map(|(d, _)| d.as_str())
+            .collect();
         assert!(top.contains(&"youtu.be"), "top domains: {top:?}");
         // youtu.be leads at ~20 %.
         assert_eq!(r.top10_domains[0].0, "youtu.be");

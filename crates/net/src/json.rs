@@ -76,7 +76,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -85,12 +89,7 @@ impl std::error::Error for ParseError {}
 impl Value {
     /// Convenience constructor for an object from key/value pairs.
     pub fn object(pairs: Vec<(&str, Value)>) -> Value {
-        Value::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Unsigned integer value.
@@ -398,8 +397,7 @@ impl<'a> Parser<'a> {
                                     if !(0xdc00..0xe000).contains(&low) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let c =
-                                        0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                    let c = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
                                     char::from_u32(c).ok_or(self.err("invalid codepoint"))?
                                 } else {
                                     return Err(self.err("lone high surrogate"));
@@ -523,15 +521,9 @@ mod tests {
 
     #[test]
     fn unicode_escapes() {
-        assert_eq!(
-            Value::parse(r#""é€""#).unwrap().as_str(),
-            Some("é€")
-        );
+        assert_eq!(Value::parse(r#""é€""#).unwrap().as_str(), Some("é€"));
         // Surrogate pair: U+1F600.
-        assert_eq!(
-            Value::parse(r#""😀""#).unwrap().as_str(),
-            Some("😀")
-        );
+        assert_eq!(Value::parse(r#""😀""#).unwrap().as_str(), Some("😀"));
     }
 
     #[test]
@@ -543,8 +535,20 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "}", "[1,", "{\"a\":}", "tru", "01a", "\"unterminated",
-            "{\"a\" 1}", "[1 2]", "nul", "--1", "-", "{\"a\":1} extra",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "01a",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "[1 2]",
+            "nul",
+            "--1",
+            "-",
+            "{\"a\":1} extra",
         ] {
             assert!(Value::parse(bad).is_err(), "accepted: {bad:?}");
         }

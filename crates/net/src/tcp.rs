@@ -57,7 +57,10 @@ impl TcpTransport {
     fn next_mask(&mut self) -> [u8; 4] {
         // Masking exists to defeat proxy cache poisoning, not for secrecy;
         // a counter-derived key is within spec requirements for our use.
-        self.mask_counter = self.mask_counter.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.mask_counter = self
+            .mask_counter
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
         ((self.mask_counter >> 32) as u32).to_be_bytes()
     }
 
@@ -93,7 +96,11 @@ impl TcpTransport {
                 Opcode::Text | Opcode::Binary => return Ok(frame.payload),
                 Opcode::Ping => {
                     // Answer pings transparently.
-                    let mask = if self.is_client { Some(self.next_mask()) } else { None };
+                    let mask = if self.is_client {
+                        Some(self.next_mask())
+                    } else {
+                        None
+                    };
                     let mut out = BytesMut::new();
                     encode_ws(&mut out, Opcode::Pong, &frame.payload, mask);
                     self.stream
@@ -109,7 +116,11 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn send(&mut self, message: &[u8]) -> Result<(), TransportError> {
-        let mask = if self.is_client { Some(self.next_mask()) } else { None };
+        let mask = if self.is_client {
+            Some(self.next_mask())
+        } else {
+            None
+        };
         let mut out = BytesMut::new();
         encode_ws(&mut out, Opcode::Text, message, mask);
         self.stream.write_all(&out).map_err(|e| match e.kind() {

@@ -65,10 +65,7 @@ impl Transport for ChannelTransport {
         match self.tx.try_send(message.to_vec()) {
             Ok(()) => Ok(()),
             Err(TrySendError::Disconnected(_)) => Err(TransportError::Closed),
-            Err(TrySendError::Full(m)) => self
-                .tx
-                .send(m)
-                .map_err(|_| TransportError::Closed),
+            Err(TrySendError::Full(m)) => self.tx.send(m).map_err(|_| TransportError::Closed),
         }
     }
 

@@ -100,8 +100,11 @@ impl NoCoinEngine {
     /// Distinct labels that hit on a page (Figure 2 counts a page once
     /// per script class).
     pub fn page_labels(&self, domain: &str, html: &str) -> Vec<ServiceLabel> {
-        let mut labels: Vec<ServiceLabel> =
-            self.scan_page(domain, html).iter().map(|h| h.label).collect();
+        let mut labels: Vec<ServiceLabel> = self
+            .scan_page(domain, html)
+            .iter()
+            .map(|h| h.label)
+            .collect();
         labels.sort();
         labels.dedup();
         labels
@@ -225,11 +228,7 @@ mod tests {
         );
         assert_eq!(
             urls,
-            vec![
-                "https://a.com/m.js",
-                "https://c.io/end",
-                "http://b.org/x"
-            ]
+            vec!["https://a.com/m.js", "https://c.io/end", "http://b.org/x"]
         );
     }
 }

@@ -100,11 +100,7 @@ fn parse_attr(attrs: &str, name: &str) -> Option<String> {
             let eq_offset = after + (lower[after..].len() - rest.len());
             let value_text = attrs[eq_offset + 1..].trim_start();
             return Some(match value_text.chars().next() {
-                Some(q @ ('"' | '\'')) => value_text[1..]
-                    .split(q)
-                    .next()
-                    .unwrap_or("")
-                    .to_string(),
+                Some(q @ ('"' | '\'')) => value_text[1..].split(q).next().unwrap_or("").to_string(),
                 _ => value_text
                     .split(|c: char| c.is_ascii_whitespace() || c == '>')
                     .next()
@@ -136,7 +132,8 @@ mod tests {
 
     #[test]
     fn extracts_inline_script() {
-        let tags = extract_script_tags("<script>var miner = new CoinHive.Anonymous('KEY');</script>");
+        let tags =
+            extract_script_tags("<script>var miner = new CoinHive.Anonymous('KEY');</script>");
         assert_eq!(tags.len(), 1);
         assert!(tags[0].inline.as_deref().unwrap().contains("CoinHive"));
     }

@@ -181,8 +181,9 @@ impl Rule {
                     false
                 }
             }
-            Token::Wildcard => (pos..=url.len())
-                .any(|next| self.match_tokens_at(url, next, token_idx + 1, to_end)),
+            Token::Wildcard => {
+                (pos..=url.len()).any(|next| self.match_tokens_at(url, next, token_idx + 1, to_end))
+            }
         }
     }
 }
@@ -193,9 +194,19 @@ fn looks_like_options(s: &str) -> bool {
             let opt = opt.trim().trim_start_matches('~');
             matches!(
                 opt,
-                "script" | "image" | "stylesheet" | "object" | "xmlhttprequest" | "subdocument"
-                    | "document" | "websocket" | "third-party" | "first-party" | "important"
-                    | "popup" | "other"
+                "script"
+                    | "image"
+                    | "stylesheet"
+                    | "object"
+                    | "xmlhttprequest"
+                    | "subdocument"
+                    | "document"
+                    | "websocket"
+                    | "third-party"
+                    | "first-party"
+                    | "important"
+                    | "popup"
+                    | "other"
             ) || opt.starts_with("domain=")
         })
 }
@@ -236,7 +247,9 @@ mod tests {
     #[test]
     fn wildcard_rule() {
         let r = rule("/wp-monero-miner*/js/");
-        assert!(r.matches("https://blog.example/wp-content/plugins/wp-monero-miner-pro/js/worker.js"));
+        assert!(
+            r.matches("https://blog.example/wp-content/plugins/wp-monero-miner-pro/js/worker.js")
+        );
         assert!(!r.matches("https://blog.example/wp-content/plugins/other/js/worker.js"));
     }
 

@@ -68,7 +68,10 @@ const SNAPSHOT: &[(&str, ServiceLabel)] = &[
     ("authedmine.min.js", ServiceLabel::Authedmine),
     // WordPress plugin paths.
     ("/wp-monero-miner*", ServiceLabel::WpMonero),
-    ("/wp-content/plugins/wp-monero-miner-pro*", ServiceLabel::WpMonero),
+    (
+        "/wp-content/plugins/wp-monero-miner-pro*",
+        ServiceLabel::WpMonero,
+    ),
     // Crypto-Loot.
     ("||crypto-loot.com^", ServiceLabel::Cryptoloot),
     ("||cryptaloot.pro^", ServiceLabel::Cryptoloot),
@@ -170,7 +173,8 @@ mod tests {
     #[test]
     fn wp_monero_path_rule_matches_plugin_layout() {
         let rules = nocoin_rules();
-        let url = "https://myblog.org/wp-content/plugins/wp-monero-miner-using-your-browser/js/worker.js";
+        let url =
+            "https://myblog.org/wp-content/plugins/wp-monero-miner-using-your-browser/js/worker.js";
         let hit = rules.iter().find(|r| r.rule.matches(url)).unwrap();
         assert_eq!(hit.label, ServiceLabel::WpMonero);
     }

@@ -66,8 +66,7 @@ fn reference_matches(pattern: &str, url: &str) -> Option<bool> {
 
     let url = url.to_ascii_lowercase();
     let bytes = url.as_bytes();
-    let is_sep =
-        |c: u8| !(c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b'%'));
+    let is_sep = |c: u8| !(c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b'%'));
 
     // Match from a fixed start position via breadth-first state sets.
     let match_from = |start: usize| -> bool {

@@ -23,8 +23,8 @@
 //! * [`captcha`] — the PoW-gated captcha side business the paper mentions.
 
 pub mod accounting;
-pub mod captcha;
 pub mod backend;
+pub mod captcha;
 pub mod miner;
 pub mod obfuscation;
 pub mod pool;

@@ -91,7 +91,9 @@ impl<T: Transport> MinerClient<T> {
         })? {
             ServerMsg::Authed { hashes } => Ok(hashes),
             ServerMsg::Error { reason } => Err(MinerError::Server(reason)),
-            other => Err(MinerError::Protocol(format!("expected authed, got {other:?}"))),
+            other => Err(MinerError::Protocol(format!(
+                "expected authed, got {other:?}"
+            ))),
         }
     }
 
@@ -175,7 +177,13 @@ mod tests {
     use minedig_net::transport::channel_pair;
     use minedig_primitives::Hash32;
 
-    fn serve_pool(share_difficulty: u64) -> (Pool, std::thread::JoinHandle<()>, MinerClient<minedig_net::transport::ChannelTransport>) {
+    fn serve_pool(
+        share_difficulty: u64,
+    ) -> (
+        Pool,
+        std::thread::JoinHandle<()>,
+        MinerClient<minedig_net::transport::ChannelTransport>,
+    ) {
         let pool = Pool::new(PoolConfig {
             share_difficulty,
             ..PoolConfig::default()
@@ -206,7 +214,10 @@ mod tests {
         drop(client);
         handle.join().unwrap();
         let token = Token::from_index(1);
-        assert_eq!(pool.ledger().lifetime_hashes(&token), report.hashes_credited);
+        assert_eq!(
+            pool.ledger().lifetime_hashes(&token),
+            report.hashes_credited
+        );
     }
 
     #[test]

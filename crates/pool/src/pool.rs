@@ -203,10 +203,7 @@ impl Pool {
         let tip = inner.tip.as_ref().expect("blob_for without tip").clone();
         let timestamp = inner.tip_seen_at + version as u64 * inner.config.template_refresh_secs;
         let backend = inner.backends[backend_idx as usize].clone();
-        let coinbase_hash = backend
-            .template(&tip, version, timestamp)
-            .miner_tx
-            .hash();
+        let coinbase_hash = backend.template(&tip, version, timestamp).miner_tx.hash();
         let root = block_tree_hash(coinbase_hash, &inner.tip_tx_hashes);
         let blob = HashingBlob {
             major_version: 7,
@@ -218,7 +215,9 @@ impl Pool {
             tx_count: 1 + inner.tip_tx_hashes.len() as u64,
         }
         .to_bytes();
-        inner.blob_cache.insert((backend_idx, version), blob.clone());
+        inner
+            .blob_cache
+            .insert((backend_idx, version), blob.clone());
         blob
     }
 
@@ -359,7 +358,12 @@ impl Pool {
     /// Serves one protocol session over a transport. Returns when the
     /// peer disconnects. `endpoint` selects which backend's jobs this
     /// session sees; `clock` supplies virtual (or wall) time.
-    pub fn serve<T: Transport, C: Fn() -> u64>(&self, transport: &mut T, endpoint: usize, clock: C) {
+    pub fn serve<T: Transport, C: Fn() -> u64>(
+        &self,
+        transport: &mut T,
+        endpoint: usize,
+        clock: C,
+    ) {
         let mut token: Option<Token> = None;
         loop {
             let msg = match transport.recv() {

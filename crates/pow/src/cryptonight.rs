@@ -90,8 +90,9 @@ pub fn slow_hash(input: &[u8], variant: Variant) -> Hash32 {
     let mut text: [u8; 128] = state[64..192].try_into().unwrap();
     for chunk in pad.chunks_exact_mut(128) {
         for block_idx in 0..8 {
-            let mut block: [u8; 16] =
-                text[block_idx * 16..block_idx * 16 + 16].try_into().unwrap();
+            let mut block: [u8; 16] = text[block_idx * 16..block_idx * 16 + 16]
+                .try_into()
+                .unwrap();
             for rk in &round_keys {
                 aes_round(&mut block, rk);
             }
@@ -136,8 +137,9 @@ pub fn slow_hash(input: &[u8], variant: Variant) -> Hash32 {
     let mut text: [u8; 128] = state[64..192].try_into().unwrap();
     for chunk in pad.chunks_exact(128) {
         for block_idx in 0..8 {
-            let mut block: [u8; 16] =
-                text[block_idx * 16..block_idx * 16 + 16].try_into().unwrap();
+            let mut block: [u8; 16] = text[block_idx * 16..block_idx * 16 + 16]
+                .try_into()
+                .unwrap();
             let pad_block: [u8; 16] = chunk[block_idx * 16..block_idx * 16 + 16]
                 .try_into()
                 .unwrap();
@@ -192,12 +194,11 @@ mod tests {
     fn input_sensitivity_avalanche() {
         let a = slow_hash(b"nonce=0", Variant::Test);
         let b = slow_hash(b"nonce=1", Variant::Test);
-        let differing_bits: u32 = a
-            .0
-            .iter()
-            .zip(b.0.iter())
-            .map(|(x, y)| (x ^ y).count_ones())
-            .sum();
+        let differing_bits: u32 =
+            a.0.iter()
+                .zip(b.0.iter())
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum();
         // 256-bit output: expect ~128 differing bits.
         assert!(
             (80..=176).contains(&differing_bits),

@@ -18,9 +18,8 @@ pub fn check_hash(hash: &Hash32, difficulty: Difficulty) -> bool {
         return true;
     }
     // hash as 4 little-endian 64-bit limbs, least significant first.
-    let limbs: [u64; 4] = std::array::from_fn(|i| {
-        u64::from_le_bytes(hash.0[i * 8..i * 8 + 8].try_into().unwrap())
-    });
+    let limbs: [u64; 4] =
+        std::array::from_fn(|i| u64::from_le_bytes(hash.0[i * 8..i * 8 + 8].try_into().unwrap()));
     let mut carry: u64 = 0;
     for limb in limbs {
         let product = (limb as u128) * (difficulty as u128) + carry as u128;

@@ -204,7 +204,9 @@ mod tests {
     #[test]
     fn varint_overflow_is_rejected() {
         // 11 continuation bytes overflow u64.
-        let bad = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+        let bad = [
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01,
+        ];
         assert_eq!(read_varint(&bad), Err(VarintError::Overflow));
     }
 

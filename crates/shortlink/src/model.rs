@@ -348,8 +348,7 @@ mod tests {
     #[test]
     fn head_links_point_at_table4_domains() {
         let pop = small_population();
-        let head_links: Vec<&LinkRecord> =
-            pop.links.iter().filter(|l| l.token_id < 10).collect();
+        let head_links: Vec<&LinkRecord> = pop.links.iter().filter(|l| l.token_id < 10).collect();
         let youtube = head_links
             .iter()
             .filter(|l| l.target_domain == "youtu.be")

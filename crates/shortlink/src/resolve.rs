@@ -154,7 +154,10 @@ mod tests {
         let codes: Vec<String> = (0..3_000u64).map(crate::ids::index_to_code).collect();
         let report = resolve_accounted(&mut service, &codes, 10_000);
         assert!(!report.resolved.is_empty());
-        assert!(report.skipped_over_budget > 0, "10^19 links must be skipped");
+        assert!(
+            report.skipped_over_budget > 0,
+            "10^19 links must be skipped"
+        );
         assert_eq!(
             report.resolved.len() as u64 + report.skipped_over_budget,
             3_000

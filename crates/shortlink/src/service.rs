@@ -89,10 +89,7 @@ impl ShortlinkService {
     /// creator.
     pub fn redeem(&mut self, code: &str, credited_hashes: u64) -> Result<String, RedeemError> {
         let index = *self.by_code.get(code).ok_or(RedeemError::UnknownCode)?;
-        let link = self
-            .by_index
-            .get(index)
-            .ok_or(RedeemError::UnknownCode)?;
+        let link = self.by_index.get(index).ok_or(RedeemError::UnknownCode)?;
         if credited_hashes < link.required_hashes {
             return Err(RedeemError::NotEnoughHashes {
                 missing: link.required_hashes - credited_hashes,
@@ -170,10 +167,7 @@ mod tests {
     #[test]
     fn unknown_code_redeem_fails() {
         let mut s = service();
-        assert_eq!(
-            s.redeem("zzzz", u64::MAX),
-            Err(RedeemError::UnknownCode)
-        );
+        assert_eq!(s.redeem("zzzz", u64::MAX), Err(RedeemError::UnknownCode));
     }
 
     #[test]

@@ -283,7 +283,12 @@ pub fn generate_module(profile: &FamilyProfile, version: u32, seed: u64) -> Modu
             }
             1 => {
                 // acc = acc rotl/rotr/shr C
-                let op = *rng.choose(&[Instr::I32Rotl, Instr::I32Rotr, Instr::I32ShrU, Instr::I32Shl]);
+                let op = *rng.choose(&[
+                    Instr::I32Rotl,
+                    Instr::I32Rotr,
+                    Instr::I32ShrU,
+                    Instr::I32Shl,
+                ]);
                 body.extend([
                     Instr::LocalGet(acc),
                     Instr::I32Const(1 + rng.gen_range(31) as i32),
@@ -314,7 +319,10 @@ pub fn generate_module(profile: &FamilyProfile, version: u32, seed: u64) -> Modu
                     Instr::I32Const(mask),
                     Instr::I32And,
                     Instr::LocalGet(acc),
-                    Instr::I32Store(MemArg { align: 2, offset: 0 }),
+                    Instr::I32Store(MemArg {
+                        align: 2,
+                        offset: 0,
+                    }),
                 ]);
             }
             4 => {
@@ -372,10 +380,7 @@ pub fn generate_module(profile: &FamilyProfile, version: u32, seed: u64) -> Modu
                     Instr::I32Const(1 + rng.gen_range(31) as i32),
                     Instr::I32Rotl,
                 ]),
-                4 => hb.extend([
-                    Instr::I32Const(rng.next_u32() as i32 | 1),
-                    Instr::I32Mul,
-                ]),
+                4 => hb.extend([Instr::I32Const(rng.next_u32() as i32 | 1), Instr::I32Mul]),
                 _ => hb.extend([Instr::I32Const(rng.next_u32() as i32), Instr::I32Add]),
             }
         }
@@ -396,11 +401,19 @@ pub fn generate_module(profile: &FamilyProfile, version: u32, seed: u64) -> Modu
         module
             .function_names
             .insert(kernel, format!("_{}", profile.kernel_export));
-        let helper_names = ["_keccakf", "_cn_implode", "_cn_explode", "_aes_round", "_memcpy", "_stackAlloc"];
+        let helper_names = [
+            "_keccakf",
+            "_cn_implode",
+            "_cn_explode",
+            "_aes_round",
+            "_memcpy",
+            "_stackAlloc",
+        ];
         for i in 0..n_filler {
-            module
-                .function_names
-                .insert(kernel + 1 + i as u32, helper_names[i % helper_names.len()].to_string());
+            module.function_names.insert(
+                kernel + 1 + i as u32,
+                helper_names[i % helper_names.len()].to_string(),
+            );
         }
     }
     module
@@ -442,7 +455,11 @@ mod tests {
     fn every_module_validates() {
         for entry in generate_corpus(7) {
             validate_module(&entry.module).unwrap_or_else(|e| {
-                panic!("{} v{} failed validation: {e}", entry.class.label(), entry.version)
+                panic!(
+                    "{} v{} failed validation: {e}",
+                    entry.class.label(),
+                    entry.version
+                )
             });
         }
     }
@@ -498,7 +515,12 @@ mod tests {
                 && !e.module.function_names.is_empty()
             {
                 let fp = fingerprint(&e.module);
-                assert!(fp.features.has_hash_name_hint(), "{} v{}", e.class.label(), e.version);
+                assert!(
+                    fp.features.has_hash_name_hint(),
+                    "{} v{}",
+                    e.class.label(),
+                    e.version
+                );
             }
         }
     }

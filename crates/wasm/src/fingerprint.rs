@@ -226,7 +226,12 @@ mod tests {
     #[test]
     fn similarity_is_one_for_same_mix_zero_for_disjoint() {
         let xor_heavy = fingerprint(&module_with(
-            vec![Instr::I32Xor, Instr::I32Xor, Instr::I32Xor, Instr::I32Const(1)],
+            vec![
+                Instr::I32Xor,
+                Instr::I32Xor,
+                Instr::I32Xor,
+                Instr::I32Const(1),
+            ],
             "a",
         ))
         .features;

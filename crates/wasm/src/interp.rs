@@ -147,7 +147,11 @@ impl Instance {
         if depth >= MAX_CALL_DEPTH {
             return Err(Trap::CallDepth);
         }
-        let ftype = self.module.func_type(idx).ok_or(Trap::NoSuchExport)?.clone();
+        let ftype = self
+            .module
+            .func_type(idx)
+            .ok_or(Trap::NoSuchExport)?
+            .clone();
         if args.len() != ftype.params.len()
             || args.iter().zip(&ftype.params).any(|(a, p)| a.ty() != *p)
         {
@@ -251,8 +255,11 @@ impl Instance {
                 }
                 Instr::Return => break,
                 Instr::Call(callee) => {
-                    let callee_type =
-                        self.module.func_type(callee).ok_or(Trap::NoSuchExport)?.clone();
+                    let callee_type = self
+                        .module
+                        .func_type(callee)
+                        .ok_or(Trap::NoSuchExport)?
+                        .clone();
                     let n = callee_type.params.len();
                     if stack.len() < n {
                         return Err(Trap::TypeConfusion);
@@ -564,10 +571,16 @@ mod tests {
             vec![],
             vec![
                 Instr::I32Const(64),
-                Instr::I32Const(0xabcd,),
-                Instr::I32Store(MemArg { align: 2, offset: 0 }),
+                Instr::I32Const(0xabcd),
+                Instr::I32Store(MemArg {
+                    align: 2,
+                    offset: 0,
+                }),
                 Instr::I32Const(0),
-                Instr::I32Load(MemArg { align: 2, offset: 64 }),
+                Instr::I32Load(MemArg {
+                    align: 2,
+                    offset: 64,
+                }),
             ],
             1,
         );
@@ -582,7 +595,10 @@ mod tests {
             vec![],
             vec![
                 Instr::I32Const(-4), // wraps to ~4G
-                Instr::I32Load(MemArg { align: 2, offset: 0 }),
+                Instr::I32Load(MemArg {
+                    align: 2,
+                    offset: 0,
+                }),
             ],
             1,
         );
@@ -665,10 +681,7 @@ mod tests {
         let mut fuel = 100;
         assert_eq!(i.invoke("nope", &[], &mut fuel), Err(Trap::NoSuchExport));
         assert_eq!(i.invoke("f", &[], &mut fuel), Err(Trap::BadArgs));
-        assert_eq!(
-            i.invoke("f", &[Val::I64(1)], &mut fuel),
-            Err(Trap::BadArgs)
-        );
+        assert_eq!(i.invoke("f", &[Val::I64(1)], &mut fuel), Err(Trap::BadArgs));
     }
 
     #[test]
@@ -696,7 +709,10 @@ mod tests {
             vec![],
             vec![
                 Instr::I32Const(0),
-                Instr::I32Load(MemArg { align: 2, offset: 0 }),
+                Instr::I32Load(MemArg {
+                    align: 2,
+                    offset: 0,
+                }),
             ],
             1,
         );

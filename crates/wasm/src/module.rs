@@ -340,9 +340,7 @@ impl Module {
                                     let len = n.read_varint()? as usize;
                                     let bytes = n.read_bytes(len)?;
                                     if let Ok(text) = std::str::from_utf8(bytes) {
-                                        module
-                                            .function_names
-                                            .insert(idx, text.to_string());
+                                        module.function_names.insert(idx, text.to_string());
                                     }
                                 }
                             }
@@ -420,7 +418,12 @@ impl ModuleBuilder {
 
     /// Adds a function; `body` should *not* include the trailing `End`
     /// (it is appended automatically). Returns the function index.
-    pub fn add_function(&mut self, type_idx: u32, locals: Vec<ValType>, mut body: Vec<Instr>) -> u32 {
+    pub fn add_function(
+        &mut self,
+        type_idx: u32,
+        locals: Vec<ValType>,
+        mut body: Vec<Instr>,
+    ) -> u32 {
         body.push(Instr::End);
         self.module.functions.push(Function {
             type_idx,
@@ -606,11 +609,7 @@ mod tests {
         let f1 = b.add_function(
             t1,
             vec![ValType::I32],
-            vec![
-                Instr::LocalGet(0),
-                Instr::Call(f0),
-                Instr::I32Add,
-            ],
+            vec![Instr::LocalGet(0), Instr::Call(f0), Instr::I32Add],
         );
         b.export("seven", f0);
         b.export("add7", f1);
@@ -630,10 +629,16 @@ mod tests {
             vec![
                 Instr::LocalGet(0),
                 Instr::LocalGet(0),
-                Instr::I32Load(MemArg { align: 2, offset: 64 }),
+                Instr::I32Load(MemArg {
+                    align: 2,
+                    offset: 64,
+                }),
                 Instr::I32Const(0x5f),
                 Instr::I32Xor,
-                Instr::I32Store(MemArg { align: 2, offset: 0 }),
+                Instr::I32Store(MemArg {
+                    align: 2,
+                    offset: 0,
+                }),
             ],
         );
         let bytes = b.build();

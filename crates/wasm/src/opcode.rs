@@ -150,9 +150,9 @@ impl Instr {
             I32Store(_) | I64Store(_) | I32Store8(_) => InstrClass::Store,
             I32Add | I32Sub | I32Mul | I32DivU | I32RemU | I64Add | I64Sub | I64Mul | I64DivU
             | I64RemU => InstrClass::Arith,
-            I32And | I32Or | I64And | I64Or | I32Eqz | I32Eq | I32Ne | I32LtU | I32GtU
-            | I32LeU | I32GeU | I64Eqz | I64Eq | I64Ne | I32Clz | I32Ctz | I32Popcnt
-            | I32WrapI64 | I64ExtendI32U => InstrClass::Logic,
+            I32And | I32Or | I64And | I64Or | I32Eqz | I32Eq | I32Ne | I32LtU | I32GtU | I32LeU
+            | I32GeU | I64Eqz | I64Eq | I64Ne | I32Clz | I32Ctz | I32Popcnt | I32WrapI64
+            | I64ExtendI32U => InstrClass::Logic,
             Unreachable | Nop | Block | Loop | End | Br(_) | BrIf(_) | Return | Call(_) => {
                 InstrClass::Control
             }
@@ -529,10 +529,22 @@ mod tests {
             Instr::I32Const(-1),
             Instr::I32Const(i32::MIN),
             Instr::I64Const(i64::MAX),
-            Instr::I32Load(MemArg { align: 2, offset: 1024 }),
-            Instr::I64Store(MemArg { align: 3, offset: 0 }),
-            Instr::I32Load8U(MemArg { align: 0, offset: u32::MAX }),
-            Instr::I32Store8(MemArg { align: 0, offset: 7 }),
+            Instr::I32Load(MemArg {
+                align: 2,
+                offset: 1024,
+            }),
+            Instr::I64Store(MemArg {
+                align: 3,
+                offset: 0,
+            }),
+            Instr::I32Load8U(MemArg {
+                align: 0,
+                offset: u32::MAX,
+            }),
+            Instr::I32Store8(MemArg {
+                align: 0,
+                offset: 7,
+            }),
         ];
         let bytes = encode_body(&instrs);
         assert_eq!(decode_body(&bytes).unwrap(), instrs);
@@ -545,7 +557,10 @@ mod tests {
         assert_eq!(encode_body(&[Instr::I32Const(0)]), vec![0x41, 0x00]);
         assert_eq!(encode_body(&[Instr::End]), vec![0x0b]);
         assert_eq!(
-            encode_body(&[Instr::I32Load(MemArg { align: 2, offset: 0 })]),
+            encode_body(&[Instr::I32Load(MemArg {
+                align: 2,
+                offset: 0
+            })]),
             vec![0x28, 0x02, 0x00]
         );
     }
@@ -578,11 +593,19 @@ mod tests {
         assert_eq!(Instr::I32Xor.class(), InstrClass::Xor);
         assert_eq!(Instr::I64Shl.class(), InstrClass::Shift);
         assert_eq!(
-            Instr::I32Load(MemArg { align: 2, offset: 0 }).class(),
+            Instr::I32Load(MemArg {
+                align: 2,
+                offset: 0
+            })
+            .class(),
             InstrClass::Load
         );
         assert_eq!(
-            Instr::I64Store(MemArg { align: 3, offset: 0 }).class(),
+            Instr::I64Store(MemArg {
+                align: 3,
+                offset: 0
+            })
+            .class(),
             InstrClass::Store
         );
         assert_eq!(Instr::I32Add.class(), InstrClass::Arith);
@@ -600,10 +623,14 @@ mod tests {
             any::<u32>().prop_map(Instr::LocalGet),
             any::<i32>().prop_map(Instr::I32Const),
             any::<i64>().prop_map(Instr::I64Const),
-            (any::<u32>(), any::<u32>())
-                .prop_map(|(a, o)| Instr::I32Load(MemArg { align: a, offset: o })),
-            (any::<u32>(), any::<u32>())
-                .prop_map(|(a, o)| Instr::I64Store(MemArg { align: a, offset: o })),
+            (any::<u32>(), any::<u32>()).prop_map(|(a, o)| Instr::I32Load(MemArg {
+                align: a,
+                offset: o
+            })),
+            (any::<u32>(), any::<u32>()).prop_map(|(a, o)| Instr::I64Store(MemArg {
+                align: a,
+                offset: o
+            })),
         ]
     }
 

@@ -151,14 +151,12 @@ pub fn validate_function(module: &Module, func: u32) -> Result<(), ValidateError
                     let fr = frames.pop().unwrap();
                     stack.truncate(fr.height);
                 }
-                Instr::Br(d) | Instr::BrIf(d)
-                    if *d as usize >= frames.len() => {
-                        return Err(ValidateError::BadBranchDepth { func, at });
-                    }
-                Instr::Call(idx)
-                    if *idx as usize >= module.functions.len() => {
-                        return Err(ValidateError::BadCallee { func, at });
-                    }
+                Instr::Br(d) | Instr::BrIf(d) if *d as usize >= frames.len() => {
+                    return Err(ValidateError::BadBranchDepth { func, at });
+                }
+                Instr::Call(idx) if *idx as usize >= module.functions.len() => {
+                    return Err(ValidateError::BadCallee { func, at });
+                }
                 _ => {}
             }
             continue;
@@ -404,7 +402,12 @@ mod tests {
             vec![],
             vec![],
             vec![],
-            vec![Instr::I32Const(1), Instr::I64Const(2), Instr::I64Add, Instr::Drop],
+            vec![
+                Instr::I32Const(1),
+                Instr::I64Const(2),
+                Instr::I64Add,
+                Instr::Drop,
+            ],
             false,
         );
         assert!(matches!(
@@ -430,13 +433,7 @@ mod tests {
 
     #[test]
     fn leftover_stack_is_caught() {
-        let m = module_with_body(
-            vec![],
-            vec![],
-            vec![],
-            vec![Instr::I32Const(1)],
-            false,
-        );
+        let m = module_with_body(vec![], vec![], vec![], vec![Instr::I32Const(1)], false);
         assert!(matches!(
             validate_module(&m),
             Err(ValidateError::BadResult { .. })
@@ -451,7 +448,10 @@ mod tests {
             vec![],
             vec![
                 Instr::I32Const(0),
-                Instr::I32Load(MemArg { align: 2, offset: 0 }),
+                Instr::I32Load(MemArg {
+                    align: 2,
+                    offset: 0,
+                }),
                 Instr::Drop,
             ],
             false,
@@ -504,7 +504,13 @@ mod tests {
 
     #[test]
     fn bad_local_is_caught() {
-        let m = module_with_body(vec![], vec![], vec![], vec![Instr::LocalGet(3), Instr::Drop], false);
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![],
+            vec![Instr::LocalGet(3), Instr::Drop],
+            false,
+        );
         assert!(matches!(
             validate_module(&m),
             Err(ValidateError::BadLocal { .. })
@@ -555,9 +561,15 @@ mod tests {
             vec![],
             vec![
                 Instr::LocalGet(0),
-                Instr::I32Load(MemArg { align: 2, offset: 16 }),
+                Instr::I32Load(MemArg {
+                    align: 2,
+                    offset: 16,
+                }),
                 Instr::LocalGet(0),
-                Instr::I32Load8U(MemArg { align: 0, offset: 0 }),
+                Instr::I32Load8U(MemArg {
+                    align: 0,
+                    offset: 0,
+                }),
                 Instr::I32Xor,
             ],
             true,

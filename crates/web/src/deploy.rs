@@ -486,10 +486,7 @@ mod tests {
 
     #[test]
     fn fp_profile_is_gaming_dominated() {
-        let w = category_profile(
-            Zone::Alexa,
-            &ArtifactKind::AdNetworkFp,
-        );
+        let w = category_profile(Zone::Alexa, &ArtifactKind::AdNetworkFp);
         assert_eq!(w[0].0, Category::Gaming);
         let total: f64 = w.iter().map(|(_, x)| x).sum();
         assert!(w[0].1 / total > 0.5);

@@ -105,8 +105,22 @@ pub fn site_key(token_id: u64) -> String {
 
 fn filler_paragraphs(rng: &mut DetRng, n: usize) -> String {
     const WORDS: &[&str] = &[
-        "community", "service", "update", "release", "support", "project", "archive", "news",
-        "contact", "download", "stream", "media", "forum", "article", "gallery", "events",
+        "community",
+        "service",
+        "update",
+        "release",
+        "support",
+        "project",
+        "archive",
+        "news",
+        "contact",
+        "download",
+        "stream",
+        "media",
+        "forum",
+        "article",
+        "gallery",
+        "events",
     ];
     let mut out = String::new();
     for _ in 0..n {
@@ -176,9 +190,8 @@ pub fn synthesize_page(domain: &Domain, seed: u64) -> Page {
                 };
                 match hosting {
                     Hosting::Hosted => {
-                        let url = hosted_url.unwrap_or_else(|| {
-                            format!("https://{}/js/miner.js", domain.name)
-                        });
+                        let url = hosted_url
+                            .unwrap_or_else(|| format!("https://{}/js/miner.js", domain.name));
                         artifact_markup.push_str(&format!(
                             "<script src=\"{url}\"></script>\n<script>var miner=new Miner.Anonymous('{}');miner.start();</script>\n",
                             site_key(domain.token_id)
@@ -197,8 +210,7 @@ pub fn synthesize_page(domain: &Domain, seed: u64) -> Page {
                             domain.name,
                             &Hash32::keccak(domain.name.as_bytes()).to_hex()[..12]
                         );
-                        artifact_markup
-                            .push_str(&format!("<script src=\"{url}\"></script>\n"));
+                        artifact_markup.push_str(&format!("<script src=\"{url}\"></script>\n"));
                         behaviors.push((
                             ScriptRef::Src(url),
                             ScriptBehavior {
@@ -213,9 +225,8 @@ pub fn synthesize_page(domain: &Domain, seed: u64) -> Page {
                             rng.gen_range(1000),
                             &Hash32::keccak(domain.name.as_bytes()).to_hex()[..10]
                         );
-                        artifact_markup.push_str(
-                            "<script>(function(){/* perf bootstrap */})();</script>\n",
-                        );
+                        artifact_markup
+                            .push_str("<script>(function(){/* perf bootstrap */})();</script>\n");
                         behaviors.push((
                             ScriptRef::Inline(inline_count),
                             ScriptBehavior {
@@ -248,7 +259,10 @@ pub fn synthesize_page(domain: &Domain, seed: u64) -> Page {
                         delay_ms: 30 + rng.gen_range(120),
                         effects: vec![ScriptEffect::ConsentGated {
                             inner: Box::new(ScriptEffect::StartMiner {
-                                wasm: wasm_bytes(WasmClass::Miner(MinerFamily::Coinhive), domain.wasm_version),
+                                wasm: wasm_bytes(
+                                    WasmClass::Miner(MinerFamily::Coinhive),
+                                    domain.wasm_version,
+                                ),
                                 ws_url,
                                 token: site_key(domain.token_id),
                                 submit_interval_ms: 900,

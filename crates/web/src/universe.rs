@@ -9,7 +9,9 @@
 //! for extrapolation.
 
 use crate::category::{sample_categories, Category};
-use crate::deploy::{artifact_plan, category_profile, clean_profile, ArtifactKind, BEYOND_CUT_RATE};
+use crate::deploy::{
+    artifact_plan, category_profile, clean_profile, ArtifactKind, BEYOND_CUT_RATE,
+};
 use crate::zone::Zone;
 use minedig_primitives::DetRng;
 use minedig_wasm::corpus::default_profiles;
@@ -138,10 +140,7 @@ mod tests {
     fn alexa_population_matches_calibration() {
         let p = Population::generate(Zone::Alexa, 42, 100);
         let actives = p.true_active_miners() as f64;
-        assert!(
-            (actives - 737.0).abs() < 737.0 * 0.15,
-            "actives {actives}"
-        );
+        assert!((actives - 737.0).abs() < 737.0 * 0.15, "actives {actives}");
         assert_eq!(p.total, 950_000);
         assert_eq!(p.clean_total + p.artifacts.len() as u64, p.total);
         assert_eq!(p.clean_sample.len(), 100);

@@ -95,8 +95,7 @@ mod tests {
 
     #[test]
     fn labels_distinct() {
-        let labels: std::collections::HashSet<_> =
-            Zone::all().iter().map(|z| z.label()).collect();
+        let labels: std::collections::HashSet<_> = Zone::all().iter().map(|z| z.label()).collect();
         assert_eq!(labels.len(), 4);
     }
 }

@@ -22,7 +22,10 @@ fn main() {
     });
 
     println!("attributed blocks (proven pool-mined via Merkle-root match):");
-    println!("{:<8} {:>12} {:>10} {:<18}", "height", "found_at", "XMR", "block id");
+    println!(
+        "{:<8} {:>12} {:>10} {:<18}",
+        "height", "found_at", "XMR", "block id"
+    );
     for b in &result.attributed {
         println!(
             "{:<8} {:>12} {:>10.3} {}…",
@@ -35,10 +38,22 @@ fn main() {
 
     let (start, end) = result.window;
     let est = pool_estimate(&result.attributed, start, end, &result.network);
-    println!("\nnetwork median difficulty: {:.1} G", result.network.median_difficulty as f64 / 1e9);
-    println!("implied network hashrate:  {:.0} MH/s", result.network.network_hashrate / 1e6);
-    println!("pool block share:          {:.2}% (paper: 1.18%)", est.block_share * 100.0);
-    println!("implied pool hashrate:     {:.1} MH/s (paper: 5.5)", est.pool_hashrate / 1e6);
+    println!(
+        "\nnetwork median difficulty: {:.1} G",
+        result.network.median_difficulty as f64 / 1e9
+    );
+    println!(
+        "implied network hashrate:  {:.0} MH/s",
+        result.network.network_hashrate / 1e6
+    );
+    println!(
+        "pool block share:          {:.2}% (paper: 1.18%)",
+        est.block_share * 100.0
+    );
+    println!(
+        "implied pool hashrate:     {:.1} MH/s (paper: 5.5)",
+        est.pool_hashrate / 1e6
+    );
     println!(
         "constantly-mining users:   {:.0}K–{:.0}K at 100–20 H/s (paper: 58K–292K)",
         est.users_lower / 1e3,

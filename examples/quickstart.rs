@@ -11,11 +11,11 @@ use minedig::core::scan::build_reference_db;
 use minedig::nocoin::NoCoinEngine;
 use minedig::wasm::fingerprint::fingerprint;
 use minedig::wasm::module::Module;
+use minedig::wasm::sigdb::MinerFamily;
 use minedig::web::deploy::{ArtifactKind, Hosting};
 use minedig::web::page::{synthesize_page, zgrab_fetch};
 use minedig::web::universe::Domain;
 use minedig::web::zone::Zone;
-use minedig::wasm::sigdb::MinerFamily;
 
 fn make_domain(name: &str, artifact: Option<ArtifactKind>) -> Domain {
     Domain {
@@ -53,7 +53,10 @@ fn main() {
         ),
     ];
 
-    println!("{:<22} {:>12} {:>16} {:>12}", "site", "NoCoin", "Wasm signature", "ground truth");
+    println!(
+        "{:<22} {:>12} {:>16} {:>12}",
+        "site", "NoCoin", "Wasm signature", "ground truth"
+    );
     for site in &sites {
         // Pipeline 1: static fetch + block list (the paper's §3.1).
         let nocoin_hit = zgrab_fetch(site, seed)

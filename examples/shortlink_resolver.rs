@@ -64,8 +64,8 @@ fn main() {
 
     let transport = TcpTransport::connect(server.addr()).expect("connect");
     println!("grinding real CryptoNight-style shares (Test variant)…");
-    let url = resolve_with_pool(&mut service, &pool, transport, "3w88o", 1_000_000)
-        .expect("resolve");
+    let url =
+        resolve_with_pool(&mut service, &pool, transport, "3w88o", 1_000_000).expect("resolve");
     println!("redirect released: {url}");
 
     let creator = minedig::pool::protocol::Token::from_index(7);

@@ -10,8 +10,9 @@
 
 use minedig::analysis::economics::{pool_revenue, ExchangeRate};
 use minedig::analysis::scenario::{run_scenario, ScenarioConfig};
-use minedig::core::report::{comparison_table, Comparison};
-use minedig::core::scan::{build_reference_db, chrome_scan, zgrab_scan};
+use minedig::core::exec::ScanExecutor;
+use minedig::core::report::{comparison_table, scan_stats, Comparison};
+use minedig::core::scan::build_reference_db;
 use minedig::core::shortlink_study::{run_study, StudyConfig};
 use minedig::pow::hashrate::measure_hashrate;
 use minedig::pow::Variant;
@@ -42,7 +43,9 @@ fn main() {
 }
 
 fn arg_u64(args: &[String], idx: usize, default: u64) -> u64 {
-    args.get(idx).and_then(|s| s.parse().ok()).unwrap_or(default)
+    args.get(idx)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn cmd_scan(args: &[String]) {
@@ -57,21 +60,39 @@ fn cmd_scan(args: &[String]) {
         }
     };
     let seed = arg_u64(args, 1, 2018);
-    println!("generating {} ({} domains, miners materialized exactly)…", zone.label(), zone.full_size());
+    println!(
+        "generating {} ({} domains, miners materialized exactly)…",
+        zone.label(),
+        zone.full_size()
+    );
     let population = Population::generate(zone, seed, 500);
-    println!("ground truth: {} active miners\n", population.true_active_miners());
+    println!(
+        "ground truth: {} active miners\n",
+        population.true_active_miners()
+    );
 
-    let zg = zgrab_scan(&population, seed);
+    // Sharded across MINEDIG_SHARDS workers (default: all cores);
+    // outcomes are bit-identical to a sequential scan.
+    let executor = ScanExecutor::from_env();
+    let zg_run = executor.zgrab(&population, seed);
+    let zg = zg_run.outcome;
     println!(
         "zgrab + NoCoin (TLS-only, 256 kB): {} domains flagged, 0 FPs on {} clean samples",
         zg.hit_domains, zg.clean_sample_size
     );
+    print!("{}", scan_stats("zgrab", &zg_run.stats));
 
     if zone.chrome_scanned() {
         let db = build_reference_db(0.7);
-        let ch = chrome_scan(&population, &db, seed);
+        let ch_run = executor.chrome(&population, &db, seed);
+        print!("{}", scan_stats("chrome", &ch_run.stats));
+        let ch = ch_run.outcome;
         let rows = vec![
-            Comparison::new("NoCoin hits (post-exec HTML)", 0.0, ch.nocoin_domains as f64),
+            Comparison::new(
+                "NoCoin hits (post-exec HTML)",
+                0.0,
+                ch.nocoin_domains as f64,
+            ),
             Comparison::new("sites with Wasm", 0.0, ch.wasm_domains as f64),
             Comparison::new("miner-Wasm sites", 0.0, ch.miner_wasm_domains as f64),
             Comparison::new("  blocked by NoCoin", 0.0, ch.blocked_by_nocoin as f64),

@@ -55,7 +55,10 @@ fn attribution_without_deobfuscation_fails() {
 /// loop: pool template → blob → nonce grind → chain validation.
 #[test]
 fn pool_block_passes_verified_chain() {
-    let mut chain = Chain::new(minedig::chain::emission::supply_mid_2018(), AppendMode::Verified(Variant::Test));
+    let mut chain = Chain::new(
+        minedig::chain::emission::supply_mid_2018(),
+        AppendMode::Verified(Variant::Test),
+    );
     chain.seed_difficulty(1_000, 16, 720);
 
     let pool = Pool::new(PoolConfig::default());

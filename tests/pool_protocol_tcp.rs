@@ -65,7 +65,10 @@ fn three_miners_share_revenue_pro_rata() {
     let balances: Vec<u64> = (1..=3)
         .map(|i| ledger.balance(&Token::from_index(i)))
         .collect();
-    assert!(balances[0] < balances[1] && balances[1] < balances[2], "{balances:?}");
+    assert!(
+        balances[0] < balances[1] && balances[1] < balances[2],
+        "{balances:?}"
+    );
     let total: u64 = balances.iter().sum::<u64>() + ledger.pool_balance();
     assert_eq!(total, 1_000_000_000);
     let pool_cut = ledger.pool_balance() as f64 / 1_000_000_000.0;

@@ -33,10 +33,7 @@ fn signature_approach_dominates_block_list_everywhere() {
         let pop = Population::generate(zone, SEED, 50);
         let out = chrome_scan(&pop, &db, SEED);
         let factor = out.miner_wasm_domains as f64 / out.blocked_by_nocoin.max(1) as f64;
-        assert!(
-            factor > 2.0,
-            "{zone:?}: factor {factor} (paper: 3–5.7x)"
-        );
+        assert!(factor > 2.0, "{zone:?}: factor {factor} (paper: 3–5.7x)");
         // Alexa miners are more evasive than .org miners.
         if zone == Zone::Alexa {
             let missed = out.missed_by_nocoin as f64 / out.miner_wasm_domains as f64;

@@ -32,10 +32,7 @@ fn enumerate_then_resolve_cheap_links() {
     let all_codes: Vec<String> = e.docs.iter().map(|d| d.code.clone()).collect();
     let report = resolve_accounted(&mut service, &all_codes, 10_000);
     assert_eq!(report.resolved.len(), truth_cheap);
-    assert_eq!(
-        report.skipped_over_budget as usize,
-        8_000 - truth_cheap
-    );
+    assert_eq!(report.skipped_over_budget as usize, 8_000 - truth_cheap);
     // Every resolved URL is well-formed.
     for (_, url) in &report.resolved {
         assert!(url.starts_with("https://"));

@@ -1,0 +1,237 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset it actually uses: a growable `BytesMut` byte
+//! buffer with front consumption (`advance`/`split_to`) and the `Buf` /
+//! `BufMut` trait methods the codecs call. Byte-order semantics match
+//! the real crate: `put_u16`/`put_u64` are big-endian, `put_u32_le` is
+//! little-endian.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable buffer of bytes, consumable from the front.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Appends `extend` to the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.inner.extend_from_slice(extend);
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.inner.len(), "split_to out of bounds");
+        let head = self.inner.drain(..at).collect();
+        BytesMut { inner: head }
+    }
+
+    /// Splits off and returns the bytes from `at` onward; `self` keeps
+    /// the first `at` bytes.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.inner.len(), "split_off out of bounds");
+        BytesMut {
+            inner: self.inner.split_off(at),
+        }
+    }
+
+    /// Copies the buffer into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(slice: &[u8]) -> BytesMut {
+        BytesMut {
+            inner: slice.to_vec(),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.inner {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Read access to a byte buffer, consumed from the front.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Discards the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Consumes a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self.chunk()[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    /// Consumes a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.inner
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.inner.len(), "advance out of bounds");
+        self.inner.drain(..cnt);
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, n: u8) {
+        self.put_slice(&[n]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, n: u16) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, n: u32) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, n: u64) {
+        self.put_slice(&n.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_consume_round_trip() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32_le(0x04050607);
+        b.put_u64(0x08090a0b0c0d0e0f);
+        assert_eq!(
+            &b[..],
+            &[1, 2, 3, 7, 6, 5, 4, 8, 9, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f]
+        );
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(b.get_u16(), 0x0203);
+        assert_eq!(b.get_u32_le(), 0x04050607);
+        assert_eq!(b.get_u64(), 0x08090a0b0c0d0e0f);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn split_semantics() {
+        let mut b = BytesMut::from(&b"abcdef"[..]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], b"ab");
+        assert_eq!(&b[..], b"cdef");
+        let tail = b.split_off(2);
+        assert_eq!(&b[..], b"cd");
+        assert_eq!(&tail[..], b"ef");
+        b.advance(1);
+        assert_eq!(b.to_vec(), b"d");
+    }
+}

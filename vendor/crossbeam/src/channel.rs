@@ -1,0 +1,267 @@
+//! Bounded MPMC channels with crossbeam-compatible error types.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    /// Signalled when a message arrives or the last sender leaves.
+    readable: Condvar,
+    /// Signalled when space frees up or the last receiver leaves.
+    writable: Condvar,
+}
+
+/// Creates a bounded channel holding at most `cap` in-flight messages.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        capacity: cap.max(1),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+/// Error for [`Sender::try_send`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is full; the message is handed back.
+    Full(T),
+    /// Every receiver is gone; the message is handed back.
+    Disconnected(T),
+}
+
+/// Error for [`Sender::send`]: every receiver is gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error for [`Receiver::recv`]: channel empty and every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error for [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// Channel empty and every sender is gone.
+    Disconnected,
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Sends without blocking, failing on a full or disconnected channel.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut s = self.chan.state.lock().unwrap();
+        if s.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if s.queue.len() >= self.chan.capacity {
+            return Err(TrySendError::Full(msg));
+        }
+        s.queue.push_back(msg);
+        drop(s);
+        self.chan.readable.notify_one();
+        Ok(())
+    }
+
+    /// Sends, blocking while the channel is full.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut s = self.chan.state.lock().unwrap();
+        loop {
+            if s.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if s.queue.len() < self.chan.capacity {
+                s.queue.push_back(msg);
+                drop(s);
+                self.chan.readable.notify_one();
+                return Ok(());
+            }
+            s = self.chan.writable.wait(s).unwrap();
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.chan.state.lock().unwrap().senders += 1;
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.chan.state.lock().unwrap();
+        s.senders -= 1;
+        if s.senders == 0 {
+            drop(s);
+            self.chan.readable.notify_all();
+        }
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Receives, blocking until a message arrives or all senders are gone.
+    ///
+    /// Buffered messages are drained before disconnection is reported.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut s = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(msg) = s.queue.pop_front() {
+                drop(s);
+                self.chan.writable.notify_one();
+                return Ok(msg);
+            }
+            if s.senders == 0 {
+                return Err(RecvError);
+            }
+            s = self.chan.readable.wait(s).unwrap();
+        }
+    }
+
+    /// Receives, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(msg) = s.queue.pop_front() {
+                drop(s);
+                self.chan.writable.notify_one();
+                return Ok(msg);
+            }
+            if s.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, result) = self
+                .chan
+                .readable
+                .wait_timeout(s, deadline - now)
+                .unwrap();
+            s = guard;
+            if result.timed_out() && s.queue.is_empty() && s.senders > 0 {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.chan.state.lock().unwrap().receivers += 1;
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut s = self.chan.state.lock().unwrap();
+        s.receivers -= 1;
+        if s.receivers == 0 {
+            drop(s);
+            self.chan.writable.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn drains_before_disconnect() {
+        let (tx, rx) = bounded(4);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn blocking_send_unblocks_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn cross_thread_traffic() {
+        let (tx, rx) = bounded(8);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset it actually uses: `crossbeam::channel`'s
+//! bounded MPMC channel with `try_send`, blocking `send`/`recv`, and
+//! `recv_timeout`. Semantics match crossbeam's: a receiver drains
+//! buffered messages even after every sender is dropped, and only then
+//! reports disconnection.
+
+pub mod channel;

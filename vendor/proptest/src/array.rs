@@ -1,0 +1,41 @@
+//! Fixed-size array strategies (`prop::array::uniform4` et al.).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `[S::Value; N]`, each element drawn independently.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+macro_rules! uniform_fns {
+    ($($name:ident => $n:literal),*) => {$(
+        /// Generates arrays of the given arity from one element strategy.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )*};
+}
+uniform_fns!(uniform2 => 2, uniform3 => 3, uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform32 => 32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn uniform4_yields_four_elements() {
+        let mut rng = TestRng::for_test("uniform4");
+        let limbs: [u64; 4] = uniform4(any::<u64>()).generate(&mut rng);
+        assert_eq!(limbs.len(), 4);
+        // Vanishingly unlikely that all limbs collide.
+        assert!(!(limbs[0] == limbs[1] && limbs[1] == limbs[2] && limbs[2] == limbs[3]));
+    }
+}

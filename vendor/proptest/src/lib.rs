@@ -1,0 +1,512 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a deterministic property-testing harness exposing the exact
+//! API subset its tests use: the `proptest!` macro, `prop_assert*!` /
+//! `prop_assume!`, `any::<T>()`, `Just`, range and tuple strategies,
+//! `prop_oneof!`, `prop_map` / `prop_recursive`, `prop::collection::vec`
+//! / `btree_map`, `prop::array::uniform4`, and regex-literal string
+//! strategies of the `[class]{m,n}` / `\PC{m,n}` shape.
+//!
+//! Differences from real proptest: generation is seeded purely from the
+//! test's module path (no OS entropy), there is no shrinking (the
+//! failing inputs are printed verbatim instead), and regression files
+//! are ignored. Case count defaults to 256 and can be overridden with
+//! the `PROPTEST_CASES` environment variable.
+
+pub mod array;
+pub mod collection;
+pub mod string;
+pub mod test_runner;
+
+pub mod strategy {
+    //! Core strategy trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy behind a cheap clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let this = Rc::new(self);
+            BoxedStrategy(Rc::new(move |rng| this.generate(rng)))
+        }
+
+        /// Builds a recursive strategy: `recurse` receives the strategy
+        /// for the next level down and wraps it one level up. `depth`
+        /// bounds the nesting; the remaining parameters (accepted for
+        /// API compatibility) are ignored.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let branch = recurse(current).boxed();
+                let leaf = leaf.clone();
+                current = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                    // Lean toward leaves so generated sizes stay tame.
+                    if rng.below(3) == 0 {
+                        branch.generate(rng)
+                    } else {
+                        leaf.generate(rng)
+                    }
+                }));
+            }
+            current
+        }
+    }
+
+    /// A clonable, type-erased strategy handle.
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty option list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.int_in(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    rng.int_in(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.int_in(self.start as i128, <$t>::MAX as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($n:ident),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the `Arbitrary` trait behind it.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Option<T> {
+            if rng.next_u64() & 1 == 1 {
+                Some(T::arbitrary(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`'s whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod prelude {
+    //! Everything a `use proptest::prelude::*;` test expects in scope.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// The `prop::` module alias (`prop::collection`, `prop::array`).
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, reporting the failing
+/// inputs instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, "assertion failed: {:?} == {:?}", left, right);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {:?} == {:?}: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, "assertion failed: {:?} != {:?}", left, right);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {:?} != {:?}: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discards the current case (it does not count toward the case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs its body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($config:expr; $(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config = $config;
+            let cases = $crate::test_runner::resolve_cases(config.cases);
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let mut accepted = 0u32;
+            let mut rejected = 0u32;
+            while accepted < cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = || {
+                    let mut s = String::new();
+                    $(s.push_str(&format!(
+                        concat!(stringify!($arg), " = {:?}; "),
+                        &$arg
+                    ));)+
+                    s
+                };
+                let described = inputs();
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match outcome {
+                    Ok(Ok(())) => accepted += 1,
+                    Ok(Err($crate::test_runner::TestCaseError::Reject)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < 4096,
+                            "proptest {}: too many prop_assume! rejections",
+                            stringify!($name)
+                        );
+                    }
+                    Ok(Err($crate::test_runner::TestCaseError::Fail(message))) => {
+                        panic!(
+                            "proptest {} failed after {} cases: {}\n  inputs: {}",
+                            stringify!($name),
+                            accepted,
+                            message,
+                            described
+                        );
+                    }
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest {} panicked after {} cases; inputs: {}",
+                            stringify!($name),
+                            accepted,
+                            described
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (-5i32..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+            let f = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&f));
+            let x = (1u64..).generate(&mut rng);
+            assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn oneof_union_and_map_compose() {
+        let mut rng = crate::test_runner::TestRng::for_test("compose");
+        let s = prop_oneof![Just(1u8), (5u8..10).prop_map(|v| v * 2)];
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v == 1 || (10..20).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn string_patterns_generate_expected_shapes() {
+        let mut rng = crate::test_runner::TestRng::for_test("strings");
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let p = "\\PC{0,40}".generate(&mut rng);
+            assert!(p.chars().count() <= 40);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            let mut rng = crate::test_runner::TestRng::for_test("determinism");
+            (0..32)
+                .map(|_| any::<u64>().generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    proptest! {
+        #[test]
+        fn macro_end_to_end(a in 0u32..100, b in any::<bool>(), v in crate::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!(a < 100);
+            prop_assume!(b || !b);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(a, 1000);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Regex-literal string strategies.
+//!
+//! Real proptest interprets `&str` strategies as full regexes. This
+//! stand-in supports the shapes the workspace's tests actually use: a
+//! sequence of atoms, where an atom is a character class `[...]` (with
+//! ranges and backslash escapes), the "any printable" class `\PC`, or a
+//! literal character, each optionally followed by a `{m,n}` or `{m}`
+//! repetition.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// Fixed single character.
+    Literal(char),
+    /// One of an explicit set of characters.
+    Class(Vec<char>),
+    /// Any non-control character (`\PC`).
+    AnyPrintable,
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                // `\PC` (not-a-control-char) or an escaped literal.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Atom::AnyPrintable
+                } else {
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    i += 2;
+                    Atom::Literal(unescape(c))
+                }
+            }
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    // Range `a-z` when a dash sits between two members.
+                    if chars.get(i + 1) == Some(&'-')
+                        && i + 2 < chars.len()
+                        && chars[i + 2] != ']'
+                    {
+                        let end = chars[i + 2];
+                        for v in c as u32..=end as u32 {
+                            if let Some(ch) = char::from_u32(v) {
+                                set.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in pattern {pattern:?}"
+                );
+                i += 1; // closing ]
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(set)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {m,n} / {m} repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// A small non-ASCII sample so parsers meet multi-byte UTF-8.
+const UNICODE_SAMPLE: [char; 8] = ['é', 'ß', 'λ', '→', '中', '‡', '𝒳', '🙂'];
+
+fn generate_printable(rng: &mut TestRng) -> char {
+    if rng.below(8) == 0 {
+        UNICODE_SAMPLE[rng.below(UNICODE_SAMPLE.len() as u64) as usize]
+    } else {
+        char::from_u32(0x20 + rng.below(0x7f - 0x20) as u32).unwrap()
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                    Atom::AnyPrintable => out.push(generate_printable(rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_escapes_and_specials() {
+        let mut rng = TestRng::for_test("class");
+        for _ in 0..300 {
+            let s = "[a-z0-9./:-]{1,40}".generate(&mut rng);
+            assert!((1..=40).contains(&s.len()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "./:-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn mixed_class_from_json_tests() {
+        // The literal class used by the json roundtrip test, including
+        // escaped backslash/quote and raw newline/tab/é.
+        let mut rng = TestRng::for_test("json-class");
+        for _ in 0..300 {
+            let s = "[a-zA-Z0-9 \\\\\"\n\té]{0,20}".generate(&mut rng);
+            assert!(s.chars().count() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " \\\"\n\té".contains(c)));
+        }
+    }
+
+    #[test]
+    fn repetition_without_braces_is_one() {
+        let mut rng = TestRng::for_test("single");
+        assert_eq!("abc".generate(&mut rng), "abc");
+    }
+
+    #[test]
+    fn printable_excludes_controls() {
+        let mut rng = TestRng::for_test("printable");
+        for _ in 0..500 {
+            let s = "\\PC{0,400}".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            assert!(s.chars().count() <= 400);
+        }
+    }
+}

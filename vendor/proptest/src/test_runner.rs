@@ -1,0 +1,121 @@
+//! Deterministic RNG, config, and case-level error type.
+
+/// How a single generated case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is discarded.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject => f.write_str("inputs rejected"),
+            TestCaseError::Fail(m) => f.write_str(m),
+        }
+    }
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Applies the `PROPTEST_CASES` environment override to a configured
+/// case count.
+pub fn resolve_cases(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(configured)
+        .max(1)
+}
+
+/// Deterministic generator: splitmix64 seeded from the test's name, so
+/// every run (and every CI machine) sees the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test identifier (typically `module_path!::name`).
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name; any stable spread works here.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive); spans up to 2^64.
+    pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128 + 1;
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+
+    /// Uniform float in `[0, 1]`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn different_tests_get_different_streams() {
+        let a = TestRng::for_test("a").next_u64();
+        let b = TestRng::for_test("b").next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn int_in_covers_full_u64_domain() {
+        let mut rng = TestRng::for_test("domain");
+        let mut high = false;
+        for _ in 0..200 {
+            let v = rng.int_in(0, u64::MAX as i128) as u128 as u64;
+            if v > u64::MAX / 2 {
+                high = true;
+            }
+        }
+        assert!(high, "upper half of u64 never sampled");
+    }
+}
