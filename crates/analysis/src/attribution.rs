@@ -25,8 +25,15 @@ pub struct AttributedBlock {
 pub struct Attributor {
     /// Blocks proven to be pool-mined.
     pub attributed: Vec<AttributedBlock>,
-    /// Blocks checked but not matching (other miners, or observation gaps).
+    /// Blocks judged against an observed cluster that did not match —
+    /// genuinely other miners' blocks.
     pub unmatched: u64,
+    /// Blocks judged with no cluster available (observation gaps:
+    /// outages, startup, missed heights). These say nothing about who
+    /// mined the block, so they are excluded from
+    /// [`attribution_share`](Attributor::attribution_share); previously
+    /// they were folded into `unmatched` and deflated the share.
+    pub gaps: u64,
 }
 
 impl Attributor {
@@ -43,9 +50,11 @@ impl Attributor {
         found_at: u64,
         cluster: Option<&BTreeSet<Hash32>>,
     ) -> bool {
-        let matched = cluster
-            .map(|roots| roots.contains(&block.merkle_root()))
-            .unwrap_or(false);
+        let Some(roots) = cluster else {
+            self.gaps += 1;
+            return false;
+        };
+        let matched = roots.contains(&block.merkle_root());
         if matched {
             self.attributed.push(AttributedBlock {
                 height: block
@@ -70,7 +79,9 @@ impl Attributor {
         self.attributed.iter().map(|b| b.reward).sum()
     }
 
-    /// Share of judged blocks attributed to the pool.
+    /// Share of *decidable* judged blocks attributed to the pool.
+    /// Observation gaps carry no evidence either way and are excluded
+    /// from the denominator.
     pub fn attribution_share(&self) -> f64 {
         let total = self.attributed.len() as u64 + self.unmatched;
         if total == 0 {
@@ -143,22 +154,29 @@ mod tests {
     }
 
     #[test]
-    fn missing_cluster_counts_unmatched() {
+    fn missing_cluster_counts_as_gap_not_unmatched() {
+        // Regression: a judge with no cluster used to land in
+        // `unmatched`, conflating "we weren't watching" with "another
+        // miner won" and deflating the share.
         let mut a = Attributor::new();
         assert!(!a.judge(&block(vec![1]), 1_060, None));
-        assert_eq!(a.unmatched, 1);
+        assert_eq!(a.gaps, 1);
+        assert_eq!(a.unmatched, 0);
+        assert_eq!(a.attribution_share(), 0.0);
     }
 
     #[test]
-    fn attribution_share() {
+    fn attribution_share_excludes_gaps() {
         let b = block(vec![1]);
         let mut cluster = BTreeSet::new();
         cluster.insert(b.merkle_root());
         let mut a = Attributor::new();
-        a.judge(&b, 0, Some(&cluster));
-        a.judge(&block(vec![9]), 0, Some(&cluster));
-        a.judge(&block(vec![8]), 0, None);
-        assert!((a.attribution_share() - 1.0 / 3.0).abs() < 1e-9);
+        a.judge(&b, 0, Some(&cluster)); // attributed
+        a.judge(&block(vec![9]), 0, Some(&cluster)); // unmatched
+        a.judge(&block(vec![8]), 0, None); // gap: not in the denominator
+        assert_eq!(a.gaps, 1);
+        assert_eq!(a.unmatched, 1);
+        assert!((a.attribution_share() - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -10,8 +10,11 @@
 use minedig_chain::blob::HashingBlob;
 use minedig_pool::obfuscation;
 use minedig_pool::pool::{JobError, Pool};
+use minedig_primitives::par::{ExecStats, ParallelExecutor, ShardedTask};
 use minedig_primitives::Hash32;
 use std::collections::BTreeSet;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One observed, de-obfuscated PoW input.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -33,6 +36,11 @@ pub struct PollStats {
     pub answered: u64,
     /// Polls refused because the pool was offline (outages).
     pub offline: u64,
+    /// Polls refused for any other reason (no tip announced yet, bad
+    /// endpoint index). Previously these were silently dropped, making
+    /// "no data because the chain hasn't started" indistinguishable from
+    /// "no data because the pool was down".
+    pub other_errors: u64,
     /// Blobs that failed to parse after de-obfuscation.
     pub parse_failures: u64,
     /// Maximum distinct blobs observed for a single prev pointer.
@@ -67,30 +75,36 @@ impl Observer {
         }
     }
 
-    /// Polls every endpoint once at virtual time `now`.
+    /// Polls every endpoint once at virtual time `now` (sequentially).
     pub fn poll_all(&mut self, now: u64) {
-        for endpoint in 0..self.pool.endpoint_count() {
-            self.stats.polls += 1;
-            match self.pool.peek_job(endpoint, now) {
-                Err(JobError::Offline) => self.stats.offline += 1,
-                Err(_) => {}
-                Ok(job) => {
-                    self.stats.answered += 1;
-                    let Ok(mut bytes) = job.blob_bytes() else {
-                        self.stats.parse_failures += 1;
-                        continue;
-                    };
-                    if self.deobfuscate {
-                        obfuscation::xor_blob(&mut bytes);
-                    }
-                    let Ok(blob) = HashingBlob::parse(&bytes) else {
-                        self.stats.parse_failures += 1;
-                        continue;
-                    };
-                    self.record(bytes, blob);
-                }
-            }
+        self.poll_all_sharded(now, &ParallelExecutor::sequential());
+    }
+
+    /// Polls every endpoint once at virtual time `now`, fanning the
+    /// endpoint range across `executor`'s shards.
+    ///
+    /// Polling and parsing happen in parallel; the parsed observations
+    /// are then applied to the cluster state **in endpoint order** (the
+    /// merge concatenates contiguous shards in shard-index order), so the
+    /// resulting clusters, prev pointer, and [`PollStats`] are identical
+    /// to the sequential [`poll_all`](Observer::poll_all) for any shard
+    /// count. Returns the executor stats (`items` counts endpoint polls).
+    pub fn poll_all_sharded(&mut self, now: u64, executor: &ParallelExecutor) -> ExecStats {
+        let run = executor.execute(&PollTask {
+            pool: &self.pool,
+            now,
+            deobfuscate: self.deobfuscate,
+        });
+        let delta = run.outcome;
+        self.stats.polls += delta.polls;
+        self.stats.answered += delta.answered;
+        self.stats.offline += delta.offline;
+        self.stats.other_errors += delta.other_errors;
+        self.stats.parse_failures += delta.parse_failures;
+        for (bytes, blob) in delta.observations {
+            self.record(bytes, blob);
         }
+        run.stats
     }
 
     fn record(&mut self, bytes: Vec<u8>, blob: HashingBlob) {
@@ -133,6 +147,72 @@ impl Observer {
     /// Poll statistics.
     pub fn stats(&self) -> &PollStats {
         &self.stats
+    }
+}
+
+/// Partial outcome of polling one contiguous endpoint range: additive
+/// counters plus the parsed observations in endpoint order.
+#[derive(Default)]
+struct PollDelta {
+    polls: u64,
+    answered: u64,
+    offline: u64,
+    other_errors: u64,
+    parse_failures: u64,
+    observations: Vec<(Vec<u8>, HashingBlob)>,
+}
+
+/// One poll sweep as a [`ShardedTask`] over the endpoint index space.
+/// Cluster state is *not* touched here — `record` has order-dependent
+/// reset semantics, so the driver applies observations after the merge.
+struct PollTask<'a> {
+    pool: &'a Pool,
+    now: u64,
+    deobfuscate: bool,
+}
+
+impl ShardedTask for PollTask<'_> {
+    type Output = PollDelta;
+
+    fn len(&self) -> usize {
+        self.pool.endpoint_count()
+    }
+
+    fn run_shard(&self, range: Range<usize>, progress: &AtomicU64) -> PollDelta {
+        let mut delta = PollDelta::default();
+        for endpoint in range {
+            progress.fetch_add(1, Ordering::Relaxed);
+            delta.polls += 1;
+            match self.pool.peek_job(endpoint, self.now) {
+                Err(JobError::Offline) => delta.offline += 1,
+                Err(_) => delta.other_errors += 1,
+                Ok(job) => {
+                    delta.answered += 1;
+                    let Ok(mut bytes) = job.blob_bytes() else {
+                        delta.parse_failures += 1;
+                        continue;
+                    };
+                    if self.deobfuscate {
+                        obfuscation::xor_blob(&mut bytes);
+                    }
+                    let Ok(blob) = HashingBlob::parse(&bytes) else {
+                        delta.parse_failures += 1;
+                        continue;
+                    };
+                    delta.observations.push((bytes, blob));
+                }
+            }
+        }
+        delta
+    }
+
+    fn merge(&self, acc: &mut PollDelta, mut next: PollDelta) {
+        acc.polls += next.polls;
+        acc.answered += next.answered;
+        acc.offline += next.offline;
+        acc.other_errors += next.other_errors;
+        acc.parse_failures += next.parse_failures;
+        acc.observations.append(&mut next.observations);
     }
 }
 
@@ -207,6 +287,62 @@ mod tests {
         assert_eq!(obs.stats().answered, 0);
         pool.set_online(true);
         obs.poll_all(1_020);
+        assert_eq!(obs.stats().answered, 32);
+    }
+
+    #[test]
+    fn no_tip_is_counted_not_swallowed() {
+        // Regression: pre-fix, `Err(_) => {}` dropped NoTip/BadEndpoint
+        // silently, so a pool with no announced tip looked identical to
+        // one answering normally (polls ≠ answered + offline + …).
+        let pool = Pool::new(PoolConfig::default());
+        let mut obs = Observer::new(pool, true);
+        obs.poll_all(1_000);
+        let s = obs.stats();
+        assert_eq!(s.other_errors, 32);
+        assert_eq!(s.answered, 0);
+        assert_eq!(s.offline, 0);
+        assert_eq!(s.polls, s.answered + s.offline + s.other_errors);
+    }
+
+    #[test]
+    fn sharded_poll_matches_sequential() {
+        for shards in [1, 2, 3, 5, 16, 64] {
+            let pool = pool_with_tip();
+            let mut seq = Observer::new(pool.clone(), true);
+            let mut par = Observer::new(pool, true);
+            let executor = ParallelExecutor::new(shards);
+            for t in (1_000..1_150).step_by(5) {
+                seq.poll_all(t);
+                let stats = par.poll_all_sharded(t, &executor);
+                assert_eq!(stats.shards, shards);
+                assert_eq!(stats.items, 32);
+            }
+            assert_eq!(par.current_prev(), seq.current_prev(), "shards={shards}");
+            assert_eq!(par.current_roots, seq.current_roots, "shards={shards}");
+            assert_eq!(par.current_blobs, seq.current_blobs, "shards={shards}");
+            let (ss, ps) = (seq.stats(), par.stats());
+            assert_eq!(ps.polls, ss.polls, "shards={shards}");
+            assert_eq!(ps.answered, ss.answered, "shards={shards}");
+            assert_eq!(ps.offline, ss.offline, "shards={shards}");
+            assert_eq!(ps.other_errors, ss.other_errors, "shards={shards}");
+            assert_eq!(ps.parse_failures, ss.parse_failures, "shards={shards}");
+            assert_eq!(
+                ps.max_blobs_per_prev, ss.max_blobs_per_prev,
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_poll_counts_outages_identically() {
+        let pool = pool_with_tip();
+        pool.set_online(false);
+        let mut obs = Observer::new(pool.clone(), true);
+        obs.poll_all_sharded(1_000, &ParallelExecutor::new(4));
+        assert_eq!(obs.stats().offline, 32);
+        pool.set_online(true);
+        obs.poll_all_sharded(1_020, &ParallelExecutor::new(4));
         assert_eq!(obs.stats().answered, 32);
     }
 

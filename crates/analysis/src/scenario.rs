@@ -6,6 +6,7 @@ use crate::estimate::{network_estimate, NetworkEstimate};
 use crate::poller::{Observer, PollStats};
 use minedig_chain::netsim::{Actor, MinedEvent, NetSim, NetSimConfig, SoloSource};
 use minedig_pool::pool::{Pool, PoolConfig};
+use minedig_primitives::par::ParallelExecutor;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -40,6 +41,9 @@ pub struct ScenarioConfig {
     /// Observer poll interval (blobs change at the pool's template
     /// refresh cadence, so polling faster than that is redundant).
     pub poll_interval_secs: u64,
+    /// Shards each poll sweep fans across (1 = sequential; results are
+    /// identical for any value — see `Observer::poll_all_sharded`).
+    pub poll_shards: usize,
     /// Initial network difficulty.
     pub initial_difficulty: u64,
     /// Mean transfer transactions per block.
@@ -75,6 +79,7 @@ impl Default for ScenarioConfig {
             diurnal_amplitude: 0.08,
             outages: vec![FIG5_OUTAGE],
             poll_interval_secs: 15,
+            poll_shards: 1,
             initial_difficulty: 55_400_000_000,
             mean_txs_per_block: 12.0,
             pool: PoolConfig::default(),
@@ -196,13 +201,14 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         let pool = pool.clone();
         let config = config.clone();
         let interval = config.poll_interval_secs.max(1);
+        let executor = ParallelExecutor::new(config.poll_shards);
         sim.set_interval_hook(Box::new(move |from, to| {
             let mut obs = observer.lock();
             let mut t = from - from % interval + interval;
             let mut polled_end = false;
             while t <= to {
                 pool.set_online(!config.in_outage(t));
-                obs.poll_all(t);
+                obs.poll_all_sharded(t, &executor);
                 polled_end = t == to;
                 t += interval;
             }
@@ -211,7 +217,7 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
             // version active at block-discovery time was always observed.
             pool.set_online(!config.in_outage(to));
             if !polled_end && !config.in_outage(to) {
-                obs.poll_all(to);
+                obs.poll_all_sharded(to, &executor);
             }
         }));
     }
@@ -334,5 +340,25 @@ mod tests {
         let b = short_scenario(2, 9);
         assert_eq!(a.attributed.len(), b.attributed.len());
         assert_eq!(a.total_blocks, b.total_blocks);
+    }
+
+    #[test]
+    fn sharded_polling_does_not_change_the_scenario() {
+        let seq = short_scenario(2, 9);
+        let par = run_scenario(ScenarioConfig {
+            duration_days: 2,
+            seed: 9,
+            poll_shards: 4,
+            ..ScenarioConfig::default()
+        });
+        assert_eq!(par.attributed, seq.attributed);
+        assert_eq!(par.total_blocks, seq.total_blocks);
+        assert_eq!(par.poll_stats.polls, seq.poll_stats.polls);
+        assert_eq!(par.poll_stats.answered, seq.poll_stats.answered);
+        assert_eq!(par.poll_stats.offline, seq.poll_stats.offline);
+        assert_eq!(
+            par.poll_stats.max_blobs_per_prev,
+            seq.poll_stats.max_blobs_per_prev
+        );
     }
 }

@@ -1,0 +1,41 @@
+//! Shortlink-enumeration scaling: the same ID-space walk at 1/2/4/8
+//! shards.
+//!
+//! Results are identical to the sequential walk at every shard count
+//! (enforced by `tests/parallel_enumerate.rs`), so this bench isolates
+//! the windowed executor's scaling on the probe workload. The final
+//! window's overshoot is part of the cost being measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minedig_primitives::par::ParallelExecutor;
+use minedig_shortlink::enumerate::enumerate_links_sharded;
+use minedig_shortlink::model::{LinkPopulation, ModelConfig};
+use minedig_shortlink::service::ShortlinkService;
+use std::hint::black_box;
+
+const SEED: u64 = 2018;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const LINKS: u64 = 100_000;
+const DEAD_RUN_LIMIT: u64 = 256;
+
+fn bench_enumerate_shards(c: &mut Criterion) {
+    let service = ShortlinkService::new(LinkPopulation::generate(&ModelConfig {
+        total_links: LINKS,
+        users: 5_000,
+        seed: SEED,
+    }));
+    let mut group = c.benchmark_group("enumerate_100k");
+    group.sample_size(10);
+    // Probes the sequential walk performs: the live prefix + the dead run.
+    group.throughput(Throughput::Elements(LINKS + DEAD_RUN_LIMIT));
+    for shards in SHARD_COUNTS {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &s| {
+            let executor = ParallelExecutor::new(s);
+            b.iter(|| black_box(enumerate_links_sharded(&service, DEAD_RUN_LIMIT, &executor)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumerate_shards);
+criterion_main!(benches);

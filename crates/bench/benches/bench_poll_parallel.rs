@@ -1,0 +1,55 @@
+//! Endpoint-polling scaling: a full observation sweep (30 polls of every
+//! endpoint across one template window) at 1/2/4/8 shards.
+//!
+//! Cluster state and stats are identical to sequential polling at every
+//! shard count (enforced by `tests/parallel_poll.rs`); this bench
+//! measures the fan-out of the poll/de-obfuscate/parse work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minedig_analysis::poller::Observer;
+use minedig_chain::netsim::TipInfo;
+use minedig_chain::tx::Transaction;
+use minedig_pool::pool::{Pool, PoolConfig};
+use minedig_primitives::par::ParallelExecutor;
+use minedig_primitives::Hash32;
+use std::hint::black_box;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn pool_with_tip() -> Pool {
+    let pool = Pool::new(PoolConfig::default());
+    pool.announce_tip(&TipInfo {
+        height: 10,
+        prev_id: Hash32::keccak(b"bench-prev"),
+        prev_timestamp: 1_000,
+        reward: 1_000_000,
+        difficulty: 100,
+        mempool: vec![Transaction::transfer(Hash32::keccak(b"bench-tx"))],
+    });
+    pool
+}
+
+fn bench_poll_shards(c: &mut Criterion) {
+    let pool = pool_with_tip();
+    let sweep: Vec<u64> = (1_000..1_150).step_by(5).collect();
+    let polls = sweep.len() as u64 * pool.endpoint_count() as u64;
+    let mut group = c.benchmark_group("poll_sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(polls));
+    for shards in SHARD_COUNTS {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &s| {
+            let executor = ParallelExecutor::new(s);
+            b.iter(|| {
+                let mut obs = Observer::new(pool.clone(), true);
+                for &t in &sweep {
+                    obs.poll_all_sharded(t, &executor);
+                }
+                black_box(obs.stats().answered)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_poll_shards);
+criterion_main!(benches);

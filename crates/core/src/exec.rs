@@ -3,9 +3,16 @@
 //! The paper's crawls cover whole TLD zones (§3: "we scanned *all*
 //! domains within .com/.net/.org"); at that scale a single-threaded pass
 //! is the bottleneck of the whole reproduction. [`ScanExecutor`] splits a
-//! [`Population`] into `shards` contiguous chunks, scans each chunk on
-//! its own scoped thread with the shard kernels from [`crate::scan`], and
-//! folds the partial outcomes back together in shard-index order.
+//! [`Population`] into contiguous chunks, scans each chunk on its own
+//! scoped thread with the shard kernels from [`crate::scan`], and folds
+//! the partial outcomes back together in shard-index order.
+//!
+//! Since PR 2 the chunk/spawn/merge machinery is the workspace-generic
+//! [`ParallelExecutor`] from `minedig_primitives::par` (shared with the
+//! §4.1 shortlink enumerator and the §4.2 endpoint poller); this module
+//! keeps the scan-shaped API on top: a population is one index space
+//! covering its artifact domains followed by its clean sample, so one
+//! contiguous chunking balances both slices across shards.
 //!
 //! ## Determinism
 //!
@@ -26,68 +33,71 @@
 //! random seeds and zone sizes, both scan kinds).
 
 use crate::scan::{chrome_scan_shard, zgrab_scan_shard, ChromeScanOutcome, ZgrabScanOutcome};
+use minedig_primitives::par::{ExecRun, ParallelExecutor, ShardedTask};
 use minedig_wasm::sigdb::SignatureDb;
 use minedig_web::universe::{Domain, Population};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::sync::atomic::AtomicU64;
 
-/// Per-shard progress and timing, read back after the scan completes.
-#[derive(Clone, Debug)]
-pub struct ShardStats {
-    /// Shard index (0-based; shard 0 scans the front of the population).
-    pub shard: usize,
-    /// Domains this shard scanned (artifacts + clean sample).
-    pub domains: u64,
-    /// Wall time the shard's worker spent scanning.
-    pub elapsed: Duration,
-}
+pub use minedig_primitives::par::{ExecStats, ShardStats};
 
-/// Observability for one executed scan.
-#[derive(Clone, Debug)]
-pub struct ScanStats {
-    /// Shard count the executor ran with.
-    pub shards: usize,
-    /// Total domains scanned across all shards.
-    pub domains_scanned: u64,
-    /// End-to-end wall time (spawn through final merge).
-    pub elapsed: Duration,
-    /// Per-shard breakdown, in shard-index order.
-    pub per_shard: Vec<ShardStats>,
-}
-
-impl ScanStats {
-    /// Aggregate scan rate in domains per second of wall time.
-    pub fn domains_per_sec(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs > 0.0 {
-            self.domains_scanned as f64 / secs
-        } else {
-            0.0
-        }
-    }
-}
+/// Observability for one executed scan (the generic executor stats; the
+/// `items` counters count scanned domains).
+pub type ScanStats = ExecStats;
 
 /// A merged scan outcome plus the [`ScanStats`] of producing it.
-#[derive(Clone, Debug)]
-pub struct ScanRun<T> {
-    /// The merged outcome, bit-identical to a sequential scan.
-    pub outcome: T,
-    /// How the work was spread and how fast it went.
-    pub stats: ScanStats,
+pub type ScanRun<T> = ExecRun<T>;
+
+/// A zone scan as a [`ShardedTask`]: the index space covers the artifact
+/// domains (0..artifacts.len()) followed by the clean sample, so one
+/// contiguous chunking spreads both slices across shards. Outcome refs
+/// live in per-kind vectors, so any chunk boundary still concatenates to
+/// the sequential order.
+struct ScanTask<'a, T, K, M>
+where
+    K: Fn(&[Domain], &[Domain], &AtomicU64) -> T + Sync,
+    M: Fn(&mut T, T) + Sync,
+{
+    artifacts: &'a [Domain],
+    clean: &'a [Domain],
+    kernel: K,
+    merge: M,
+}
+
+impl<T: Send, K, M> ShardedTask for ScanTask<'_, T, K, M>
+where
+    K: Fn(&[Domain], &[Domain], &AtomicU64) -> T + Sync,
+    M: Fn(&mut T, T) + Sync,
+{
+    type Output = T;
+
+    fn len(&self) -> usize {
+        self.artifacts.len() + self.clean.len()
+    }
+
+    fn run_shard(&self, range: Range<usize>, progress: &AtomicU64) -> T {
+        let split = self.artifacts.len();
+        let art = &self.artifacts[range.start.min(split)..range.end.min(split)];
+        let clean = &self.clean[range.start.max(split) - split..range.end.max(split) - split];
+        (self.kernel)(art, clean, progress)
+    }
+
+    fn merge(&self, acc: &mut T, next: T) {
+        (self.merge)(acc, next)
+    }
 }
 
 /// Runs zone scans across a fixed number of shards.
 #[derive(Clone, Copy, Debug)]
 pub struct ScanExecutor {
-    shards: usize,
+    inner: ParallelExecutor,
 }
 
 impl ScanExecutor {
     /// Executor with `shards` workers (clamped to at least 1).
     pub fn new(shards: usize) -> ScanExecutor {
         ScanExecutor {
-            shards: shards.max(1),
+            inner: ParallelExecutor::new(shards),
         }
     }
 
@@ -99,31 +109,28 @@ impl ScanExecutor {
     /// Shard count from `MINEDIG_SHARDS`, defaulting to the machine's
     /// available parallelism.
     pub fn from_env() -> ScanExecutor {
-        let shards = std::env::var("MINEDIG_SHARDS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        ScanExecutor::new(shards)
+        ScanExecutor {
+            inner: ParallelExecutor::from_env(),
+        }
     }
 
     /// Configured shard count.
     pub fn shards(&self) -> usize {
-        self.shards
+        self.inner.shards()
     }
 
     /// Sharded zgrab + NoCoin scan (§3.1); same outcome as
     /// [`crate::scan::zgrab_scan`].
     pub fn zgrab(&self, population: &Population, seed: u64) -> ScanRun<ZgrabScanOutcome> {
         let zone = population.zone;
-        let mut run = self.run_sharded(
-            population,
-            |artifacts, clean, progress| zgrab_scan_shard(zone, artifacts, clean, seed, progress),
-            ZgrabScanOutcome::merge,
-        );
+        let mut run = self.inner.execute(&ScanTask {
+            artifacts: &population.artifacts,
+            clean: &population.clean_sample,
+            kernel: |artifacts: &[Domain], clean: &[Domain], progress: &AtomicU64| {
+                zgrab_scan_shard(zone, artifacts, clean, seed, progress)
+            },
+            merge: ZgrabScanOutcome::merge,
+        });
         run.outcome.total_domains = population.total;
         run
     }
@@ -137,100 +144,15 @@ impl ScanExecutor {
         seed: u64,
     ) -> ScanRun<ChromeScanOutcome> {
         let zone = population.zone;
-        self.run_sharded(
-            population,
-            |artifacts, clean, progress| {
+        self.inner.execute(&ScanTask {
+            artifacts: &population.artifacts,
+            clean: &population.clean_sample,
+            kernel: |artifacts: &[Domain], clean: &[Domain], progress: &AtomicU64| {
                 chrome_scan_shard(zone, artifacts, clean, db, seed, progress)
             },
-            ChromeScanOutcome::merge,
-        )
-    }
-
-    /// Shards the population, runs `kernel` per shard on scoped threads,
-    /// and folds partial outcomes with `merge` in shard-index order.
-    fn run_sharded<T: Send>(
-        &self,
-        population: &Population,
-        kernel: impl Fn(&[Domain], &[Domain], &AtomicU64) -> T + Sync,
-        merge: impl Fn(&mut T, T),
-    ) -> ScanRun<T> {
-        let artifacts = &population.artifacts[..];
-        let clean = &population.clean_sample[..];
-        let art_chunks = chunk_ranges(artifacts.len(), self.shards);
-        let clean_chunks = chunk_ranges(clean.len(), self.shards);
-        let counters: Vec<AtomicU64> = (0..self.shards).map(|_| AtomicU64::new(0)).collect();
-
-        let start = Instant::now();
-        let parts: Vec<(T, Duration)> = if self.shards == 1 {
-            // Run on the calling thread: keeps the sequential wrappers
-            // and shards=1 baselines free of spawn overhead.
-            let t0 = Instant::now();
-            let out = kernel(artifacts, clean, &counters[0]);
-            vec![(out, t0.elapsed())]
-        } else {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..self.shards)
-                    .map(|i| {
-                        let kernel = &kernel;
-                        let counter = &counters[i];
-                        let art = &artifacts[art_chunks[i].clone()];
-                        let cl = &clean[clean_chunks[i].clone()];
-                        s.spawn(move || {
-                            let t0 = Instant::now();
-                            let out = kernel(art, cl, counter);
-                            (out, t0.elapsed())
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scan shard panicked"))
-                    .collect()
-            })
-        };
-
-        let mut merged: Option<T> = None;
-        let mut per_shard = Vec::with_capacity(self.shards);
-        for (i, (part, shard_elapsed)) in parts.into_iter().enumerate() {
-            per_shard.push(ShardStats {
-                shard: i,
-                domains: counters[i].load(Ordering::Relaxed),
-                elapsed: shard_elapsed,
-            });
-            match &mut merged {
-                None => merged = Some(part),
-                Some(m) => merge(m, part),
-            }
-        }
-        let elapsed = start.elapsed();
-        let stats = ScanStats {
-            shards: self.shards,
-            domains_scanned: per_shard.iter().map(|s| s.domains).sum(),
-            elapsed,
-            per_shard,
-        };
-        ScanRun {
-            outcome: merged.expect("at least one shard"),
-            stats,
-        }
-    }
-}
-
-/// Splits `len` items into `shards` contiguous balanced ranges (the first
-/// `len % shards` ranges carry one extra item). Empty ranges are fine —
-/// a shard with nothing to do still reports stats.
-fn chunk_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
-    let base = len / shards;
-    let extra = len % shards;
-    let mut start = 0;
-    (0..shards)
-        .map(|i| {
-            let size = base + usize::from(i < extra);
-            let range = start..start + size;
-            start += size;
-            range
+            merge: ChromeScanOutcome::merge,
         })
-        .collect()
+    }
 }
 
 #[cfg(test)]
@@ -238,24 +160,6 @@ mod tests {
     use super::*;
     use crate::scan::build_reference_db;
     use minedig_web::zone::Zone;
-
-    #[test]
-    fn chunks_cover_everything_contiguously() {
-        for len in [0usize, 1, 7, 16, 100, 101] {
-            for shards in [1usize, 2, 3, 8, 16] {
-                let ranges = chunk_ranges(len, shards);
-                assert_eq!(ranges.len(), shards);
-                assert_eq!(ranges[0].start, 0);
-                assert_eq!(ranges[shards - 1].end, len);
-                for pair in ranges.windows(2) {
-                    assert_eq!(pair[0].end, pair[1].start);
-                }
-                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
-                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
-                assert!(max - min <= 1, "unbalanced: {sizes:?}");
-            }
-        }
-    }
 
     #[test]
     fn sharded_zgrab_matches_sequential() {
@@ -266,7 +170,7 @@ mod tests {
             assert_eq!(run.outcome, sequential, "shards={shards}");
             assert_eq!(run.stats.shards, shards);
             assert_eq!(
-                run.stats.domains_scanned,
+                run.stats.items,
                 (pop.artifacts.len() + pop.clean_sample.len()) as u64
             );
         }
@@ -293,8 +197,17 @@ mod tests {
         let pop = Population::generate(Zone::Org, 7, 20);
         let run = ScanExecutor::new(4).zgrab(&pop, 7);
         assert_eq!(run.stats.per_shard.len(), 4);
-        let sum: u64 = run.stats.per_shard.iter().map(|s| s.domains).sum();
-        assert_eq!(sum, run.stats.domains_scanned);
-        assert!(run.stats.domains_per_sec() > 0.0);
+        let sum: u64 = run.stats.per_shard.iter().map(|s| s.items).sum();
+        assert_eq!(sum, run.stats.items);
+        assert!(run.stats.items_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn shards_beyond_population_still_match() {
+        // More shards than domains: trailing shards get empty ranges.
+        let pop = Population::generate(Zone::Org, 3, 2);
+        let sequential = crate::scan::zgrab_scan(&pop, 3);
+        let run = ScanExecutor::new(64).zgrab(&pop, 3);
+        assert_eq!(run.outcome, sequential);
     }
 }

@@ -114,16 +114,16 @@ pub fn scan_stats(label: &str, stats: &ScanStats) -> String {
         "{label}: {} shard{}, {} domains in {:.2}s ({:.0} domains/s)\n",
         stats.shards,
         if stats.shards == 1 { "" } else { "s" },
-        stats.domains_scanned,
+        stats.items,
         stats.elapsed.as_secs_f64(),
-        stats.domains_per_sec(),
+        stats.items_per_sec(),
     );
     if stats.shards > 1 {
         for s in &stats.per_shard {
             out.push_str(&format!(
                 "  shard {}: {} domains in {:.2}s\n",
                 s.shard,
-                s.domains,
+                s.items,
                 s.elapsed.as_secs_f64()
             ));
         }
@@ -173,17 +173,17 @@ mod tests {
     fn scan_stats_renders_summary_and_shards() {
         let stats = ScanStats {
             shards: 2,
-            domains_scanned: 100,
+            items: 100,
             elapsed: Duration::from_millis(500),
             per_shard: vec![
                 ShardStats {
                     shard: 0,
-                    domains: 50,
+                    items: 50,
                     elapsed: Duration::from_millis(480),
                 },
                 ShardStats {
                     shard: 1,
-                    domains: 50,
+                    items: 50,
                     elapsed: Duration::from_millis(460),
                 },
             ],
@@ -195,11 +195,11 @@ mod tests {
         // Single-shard runs stay to one line.
         let single = ScanStats {
             shards: 1,
-            domains_scanned: 10,
+            items: 10,
             elapsed: Duration::from_millis(100),
             per_shard: vec![ShardStats {
                 shard: 0,
-                domains: 10,
+                items: 10,
                 elapsed: Duration::from_millis(100),
             }],
         };

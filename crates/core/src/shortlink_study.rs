@@ -1,9 +1,10 @@
 //! §4.1 as a pipeline: enumerate the link space, compute the Fig 3/4
 //! distributions, resolve the cheap links and categorize destinations.
 
+use minedig_primitives::par::ParallelExecutor;
 use minedig_primitives::stats::{top1_share, top_k_for_share, Ecdf, Pow2Histogram};
 use minedig_primitives::DetRng;
-use minedig_shortlink::enumerate::{enumerate_links, Enumeration};
+use minedig_shortlink::enumerate::{enumerate_links_sharded, Enumeration};
 use minedig_shortlink::model::{LinkPopulation, ModelConfig};
 use minedig_shortlink::resolve::resolve_accounted;
 use minedig_shortlink::service::ShortlinkService;
@@ -20,6 +21,9 @@ pub struct StudyConfig {
     pub resolve_budget: u64,
     /// Sample size per top-10 user for Table 4 (paper: 1000).
     pub per_user_sample: usize,
+    /// Shards the ID-space enumeration fans across (1 = sequential;
+    /// results are identical for any value).
+    pub enum_shards: usize,
 }
 
 impl Default for StudyConfig {
@@ -28,6 +32,7 @@ impl Default for StudyConfig {
             model: ModelConfig::default(),
             resolve_budget: 10_000,
             per_user_sample: 1_000,
+            enum_shards: 1,
         }
     }
 }
@@ -66,7 +71,8 @@ pub struct StudyResult {
 pub fn run_study(config: &StudyConfig, seed: u64) -> StudyResult {
     let population = LinkPopulation::generate(&config.model);
     let mut service = ShortlinkService::new(population);
-    let enumeration = enumerate_links(&service, 256);
+    let executor = ParallelExecutor::new(config.enum_shards);
+    let enumeration = enumerate_links_sharded(&service, 256, &executor).enumeration;
 
     let links_per_token = enumeration.links_per_token();
     let top1 = top1_share(&links_per_token);
@@ -181,9 +187,37 @@ mod tests {
                 },
                 resolve_budget: 10_000,
                 per_user_sample: 300,
+                enum_shards: 1,
             },
             9,
         )
+    }
+
+    #[test]
+    fn sharded_enumeration_yields_the_same_study() {
+        let config = StudyConfig {
+            model: ModelConfig {
+                total_links: 10_000,
+                users: 800,
+                seed: 9,
+            },
+            resolve_budget: 10_000,
+            per_user_sample: 100,
+            enum_shards: 1,
+        };
+        let seq = run_study(&config, 9);
+        let par = run_study(
+            &StudyConfig {
+                enum_shards: 8,
+                ..config
+            },
+            9,
+        );
+        assert_eq!(par.enumeration.probed, seq.enumeration.probed);
+        assert_eq!(par.enumeration.docs, seq.enumeration.docs);
+        assert_eq!(par.links_per_token, seq.links_per_token);
+        assert_eq!(par.hashes_spent, seq.hashes_spent);
+        assert_eq!(par.top10_domains, seq.top10_domains);
     }
 
     #[test]

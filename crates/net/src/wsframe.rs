@@ -286,4 +286,72 @@ mod tests {
             prop_assert_eq!(out, payloads);
         }
     }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn roundtrip_at_length_boundaries(
+            len_ix in 0usize..4,
+            op_ix in 0usize..5,
+            key in any::<Option<[u8; 4]>>(),
+        ) {
+            // The exact edges of the three length encodings: the last
+            // 7-bit length, the first 16-bit one, the last 16-bit one,
+            // and the first 64-bit one.
+            let len = [125usize, 126, 65_535, 65_536][len_ix];
+            let op = [
+                Opcode::Text,
+                Opcode::Binary,
+                Opcode::Close,
+                Opcode::Ping,
+                Opcode::Pong,
+            ][op_ix];
+            let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let mut buf = BytesMut::new();
+            encode_ws(&mut buf, op, &payload, key);
+            let expected_form = match len {
+                0..=125 => len as u8,
+                126..=65_535 => 126,
+                _ => 127,
+            };
+            prop_assert_eq!(buf[1] & 0x7f, expected_form);
+            prop_assert_eq!(buf[1] & 0x80 != 0, key.is_some());
+            let f = decode_ws(&mut buf).unwrap().unwrap();
+            prop_assert_eq!(f.opcode, op);
+            prop_assert_eq!(f.payload, payload);
+            prop_assert!(buf.is_empty());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn byte_at_a_time_delivery_decodes_exactly_once(
+            payload in prop::collection::vec(any::<u8>(), 0..300),
+            key in any::<Option<[u8; 4]>>(),
+        ) {
+            // A TCP stream can deliver a frame in arbitrarily small
+            // pieces; the decoder must keep answering `Ok(None)` until
+            // the very last byte arrives and never consume a partial
+            // frame from the buffer.
+            let mut wire = BytesMut::new();
+            encode_ws(&mut wire, Opcode::Binary, &payload, key);
+            let mut buf = BytesMut::new();
+            let mut decoded = None;
+            for (i, &b) in wire.iter().enumerate() {
+                buf.put_u8(b);
+                match decode_ws(&mut buf).unwrap() {
+                    Some(f) => {
+                        prop_assert_eq!(i, wire.len() - 1, "decoded before the last byte");
+                        decoded = Some(f);
+                    }
+                    None => prop_assert!(i < wire.len() - 1, "missing frame at final byte"),
+                }
+            }
+            let f = decoded.expect("frame must decode at the final byte");
+            prop_assert_eq!(f.opcode, Opcode::Binary);
+            prop_assert_eq!(f.payload, payload);
+            prop_assert!(buf.is_empty());
+        }
+    }
 }

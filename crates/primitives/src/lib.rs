@@ -4,14 +4,17 @@
 //! This crate hosts the low-level building blocks every other subsystem
 //! relies on: hash functions (Keccak/SHA-3 family and SHA-256), hex and
 //! variable-length integer codecs, a deterministic seedable RNG with named
-//! sub-stream derivation, and the statistics helpers used by the
-//! measurement analyses (CDFs, percentiles, Zipf/power-law sampling).
+//! sub-stream derivation, the statistics helpers used by the measurement
+//! analyses (CDFs, percentiles, Zipf/power-law sampling), and the generic
+//! sharded [`par::ParallelExecutor`] every parallel measurement loop
+//! (zone scans, shortlink enumeration, endpoint polling) is built on.
 //!
 //! Everything here is implemented from scratch on top of `std` so that the
 //! rest of the workspace stays dependency-light and fully deterministic.
 
 pub mod hex;
 pub mod keccak;
+pub mod par;
 pub mod rng;
 pub mod sha256;
 pub mod stats;
@@ -19,6 +22,7 @@ pub mod varint;
 
 pub use hex::{from_hex, to_hex};
 pub use keccak::{keccak1600, keccak256, sha3_256};
+pub use par::{ExecRun, ExecStats, ParallelExecutor, ShardStats, ShardedTask};
 pub use rng::DetRng;
 pub use sha256::sha256;
 

@@ -4,9 +4,22 @@
 //! to collect i) the link creator's token […] as well as ii) the number
 //! of hash computations required." The walk stops after a configurable
 //! run of dead codes (the live space is a prefix because IDs increase).
+//!
+//! The paper's crawl covered 1.7 M IDs; [`enumerate_links_sharded`]
+//! spreads the probing across a [`ParallelExecutor`] while reproducing
+//! the sequential walk's stopping semantics *exactly*: IDs are probed in
+//! fixed-size windows, each window is chunked across shards, and the
+//! per-chunk dead-run summaries are folded in index order with a
+//! cross-chunk carry until some chunk completes a run of
+//! `dead_run_limit` consecutive dead codes. Everything probed past that
+//! point is discarded, so `docs` and `probed` are identical to
+//! [`enumerate_links`] for any shard count and any window size.
 
 use crate::ids::index_to_code;
 use crate::service::{ShortlinkService, VisitDoc};
+use minedig_primitives::par::{ExecStats, ParallelExecutor, ShardedTask};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Result of enumerating the address space.
 #[derive(Clone, Debug)]
@@ -78,6 +91,208 @@ pub fn enumerate_links(service: &ShortlinkService, dead_run_limit: u64) -> Enume
     Enumeration { docs, probed }
 }
 
+/// An [`Enumeration`] plus the executor stats of producing it.
+///
+/// `stats.items` counts probes actually issued, which can exceed
+/// `enumeration.probed`: parallel shards overshoot the stopping point
+/// within the final window, and the overshoot is discarded during the
+/// merge (the sequential walk would never have issued those probes).
+#[derive(Clone, Debug)]
+pub struct EnumerationRun {
+    /// The merged enumeration, identical to the sequential walk.
+    pub enumeration: Enumeration,
+    /// How the probing was spread and how fast it went.
+    pub stats: ExecStats,
+}
+
+/// Partial outcome of probing one contiguous ID range: the live docs
+/// plus a dead-run summary that composes across chunk boundaries.
+struct ProbeSegment {
+    /// Global index of the first probe.
+    start: u64,
+    /// Probes issued (the full range, unless the segment stopped early).
+    len: u64,
+    /// Live finds in index order.
+    docs: Vec<(u64, VisitDoc)>,
+    /// Consecutive dead codes at the segment start (capped at the
+    /// dead-run limit — longer prefixes stop the walk regardless of the
+    /// incoming carry, so probing further is pointless).
+    prefix_dead: u64,
+    /// Consecutive dead codes at the segment end.
+    suffix_dead: u64,
+    /// Every probe was dead (then `prefix_dead == suffix_dead == len`).
+    all_dead: bool,
+    /// Earliest global index completing a dead run of the limit that
+    /// began *after* a live probe in this segment — i.e. a stop the
+    /// incoming carry cannot influence.
+    internal_stop: Option<u64>,
+}
+
+/// Probes `range`, recording live docs and the dead-run summary. Stops
+/// early once a stop is certain: either a post-live dead run reaches the
+/// limit (`internal_stop`), or the leading dead prefix alone reaches it
+/// (any carry ≥ 0 completes there).
+fn probe_segment(
+    service: &ShortlinkService,
+    range: Range<u64>,
+    limit: u64,
+    progress: &AtomicU64,
+) -> ProbeSegment {
+    let start = range.start;
+    let mut seg = ProbeSegment {
+        start,
+        len: 0,
+        docs: Vec::new(),
+        prefix_dead: 0,
+        suffix_dead: 0,
+        all_dead: true,
+        internal_stop: None,
+    };
+    let mut run = 0u64;
+    for index in range {
+        progress.fetch_add(1, Ordering::Relaxed);
+        seg.len += 1;
+        match service.visit(&index_to_code(index)) {
+            Some(doc) => {
+                if seg.all_dead {
+                    seg.prefix_dead = run;
+                    seg.all_dead = false;
+                }
+                run = 0;
+                seg.docs.push((index, doc));
+            }
+            None => {
+                run += 1;
+                if run == limit {
+                    if seg.all_dead {
+                        seg.prefix_dead = run;
+                    } else {
+                        seg.internal_stop = Some(index);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    if seg.all_dead {
+        seg.prefix_dead = seg.len;
+    }
+    seg.suffix_dead = if seg.all_dead { seg.len } else { run };
+    seg
+}
+
+/// One window of the sharded walk: `window` consecutive IDs starting at
+/// `base`, chunked contiguously across shards. Merge concatenates the
+/// per-shard segments in shard-index (= ID) order; the carry fold
+/// happens in the driver.
+struct WindowTask<'a> {
+    service: &'a ShortlinkService,
+    base: u64,
+    window: usize,
+    limit: u64,
+}
+
+impl ShardedTask for WindowTask<'_> {
+    type Output = Vec<ProbeSegment>;
+
+    fn len(&self) -> usize {
+        self.window
+    }
+
+    fn run_shard(&self, range: Range<usize>, progress: &AtomicU64) -> Vec<ProbeSegment> {
+        let range = self.base + range.start as u64..self.base + range.end as u64;
+        vec![probe_segment(self.service, range, self.limit, progress)]
+    }
+
+    fn merge(&self, acc: &mut Vec<ProbeSegment>, mut next: Vec<ProbeSegment>) {
+        acc.append(&mut next);
+    }
+}
+
+/// Default per-shard probes per window. Windows much smaller than this
+/// spend their time on spawn/merge overhead; the final window overshoots
+/// the stopping point by at most `shards × chunk` discarded probes.
+const DEFAULT_CHUNK: usize = 4_096;
+
+/// Walks the ID space across `executor`'s shards, stopping after
+/// `dead_run_limit` consecutive dead codes exactly like
+/// [`enumerate_links`] — same `docs` (and order), same `probed` — for
+/// any shard count.
+pub fn enumerate_links_sharded(
+    service: &ShortlinkService,
+    dead_run_limit: u64,
+    executor: &ParallelExecutor,
+) -> EnumerationRun {
+    let chunk = (dead_run_limit as usize).max(DEFAULT_CHUNK);
+    enumerate_links_windowed(service, dead_run_limit, executor, chunk)
+}
+
+/// [`enumerate_links_sharded`] with an explicit per-shard window size.
+/// Exposed so equivalence tests can force many tiny windows and exercise
+/// the cross-chunk carry; results are window-size-invariant.
+pub fn enumerate_links_windowed(
+    service: &ShortlinkService,
+    dead_run_limit: u64,
+    executor: &ParallelExecutor,
+    chunk_per_shard: usize,
+) -> EnumerationRun {
+    let shards = executor.shards();
+    let mut stats = ExecStats::zero(shards);
+    let mut docs: Vec<VisitDoc> = Vec::new();
+    if dead_run_limit == 0 {
+        // The sequential walk never probes anything.
+        return EnumerationRun {
+            enumeration: Enumeration { docs, probed: 0 },
+            stats,
+        };
+    }
+    let window = chunk_per_shard.max(1) * shards;
+    let mut base = 0u64;
+    // Dead run carried into the next segment (always < dead_run_limit).
+    let mut carry = 0u64;
+    loop {
+        let run = executor.execute(&WindowTask {
+            service,
+            base,
+            window,
+            limit: dead_run_limit,
+        });
+        stats.absorb(&run.stats);
+        for seg in run.outcome {
+            // A dead prefix completing the carried run stops the walk
+            // before anything else in this segment can.
+            let stop = if carry + seg.prefix_dead >= dead_run_limit {
+                Some(seg.start + (dead_run_limit - carry) - 1)
+            } else {
+                seg.internal_stop
+            };
+            if let Some(stop) = stop {
+                // Discard overshoot: the sequential walk ends here.
+                docs.extend(
+                    seg.docs
+                        .into_iter()
+                        .filter(|(index, _)| *index <= stop)
+                        .map(|(_, doc)| doc),
+                );
+                return EnumerationRun {
+                    enumeration: Enumeration {
+                        docs,
+                        probed: stop + 1,
+                    },
+                    stats,
+                };
+            }
+            carry = if seg.all_dead {
+                carry + seg.len
+            } else {
+                seg.suffix_dead
+            };
+            docs.extend(seg.docs.into_iter().map(|(_, doc)| doc));
+        }
+        base += window as u64;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +355,97 @@ mod tests {
         let e = enumerate_links(&service, 16);
         assert!(e.docs.is_empty());
         assert_eq!(e.probed, 16);
+    }
+
+    /// Service with live links at exactly the given indices (anything
+    /// else is dead), for exercising internal dead gaps.
+    fn gap_service(live: &[u64]) -> ShortlinkService {
+        use crate::model::LinkRecord;
+        let links = live
+            .iter()
+            .map(|&i| LinkRecord {
+                index: i,
+                code: index_to_code(i),
+                token_id: i % 7,
+                required_hashes: 512,
+                target_url: format!("https://dest.example/{i}"),
+                target_domain: "dest.example".to_string(),
+                target_categories: vec![],
+            })
+            .collect();
+        ShortlinkService::new(LinkPopulation { links, users: 8 })
+    }
+
+    fn assert_equivalent(service: &ShortlinkService, limit: u64, shards: usize, chunk: usize) {
+        let sequential = enumerate_links(service, limit);
+        let run = enumerate_links_windowed(service, limit, &ParallelExecutor::new(shards), chunk);
+        assert_eq!(
+            run.enumeration.probed, sequential.probed,
+            "probed, shards={shards} chunk={chunk} limit={limit}"
+        );
+        assert_eq!(
+            run.enumeration.docs, sequential.docs,
+            "docs, shards={shards} chunk={chunk} limit={limit}"
+        );
+        assert_eq!(run.stats.shards, shards);
+        // Shards may overshoot the stop within the last window, never
+        // undershoot it.
+        assert!(run.stats.items >= sequential.probed);
+    }
+
+    #[test]
+    fn sharded_equals_sequential_on_fixture() {
+        let service = ShortlinkService::new(LinkPopulation::generate(&ModelConfig {
+            total_links: 5_000,
+            users: 400,
+            seed: 11,
+        }));
+        for shards in [1, 2, 3, 8, 16] {
+            let sequential = enumerate_links(&service, 64);
+            let run = enumerate_links_sharded(&service, 64, &ParallelExecutor::new(shards));
+            assert_eq!(run.enumeration.probed, sequential.probed, "shards={shards}");
+            assert_eq!(run.enumeration.docs, sequential.docs, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn tiny_windows_exercise_the_carry() {
+        // Dead gaps shorter than the limit must be bridged across chunk
+        // and window boundaries; a gap reaching the limit must stop the
+        // walk at exactly the sequential index.
+        let service = gap_service(&[0, 1, 5, 6, 20, 21, 22, 47]);
+        for shards in 1..=6 {
+            for chunk in [1, 2, 3, 7, 64] {
+                for limit in [1, 2, 3, 5, 10, 26] {
+                    assert_equivalent(&service, limit, shards, chunk);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_dead_space_stops_at_limit() {
+        let service = gap_service(&[]);
+        for shards in [1, 3, 16] {
+            assert_equivalent(&service, 16, shards, 4);
+        }
+    }
+
+    #[test]
+    fn zero_limit_probes_nothing() {
+        let service = gap_service(&[0, 1, 2]);
+        let run = enumerate_links_sharded(&service, 0, &ParallelExecutor::new(4));
+        assert_eq!(run.enumeration.probed, 0);
+        assert!(run.enumeration.docs.is_empty());
+        assert_eq!(run.stats.items, 0);
+    }
+
+    #[test]
+    fn sequential_executor_matches_exactly_with_no_overshoot_waste() {
+        let service = gap_service(&[0, 3, 4]);
+        let run = enumerate_links_windowed(&service, 4, &ParallelExecutor::sequential(), 2);
+        let sequential = enumerate_links(&service, 4);
+        assert_eq!(run.enumeration.probed, sequential.probed);
+        assert_eq!(run.enumeration.docs, sequential.docs);
     }
 }

@@ -8,12 +8,25 @@
 
 const ALPHABET: &[u8; 36] = b"abcdefghijklmnopqrstuvwxyz0123456789";
 
-/// Number of codes with length exactly `len`.
+/// Longest code the scheme emits or parses. `36^13` overflows `u64`, and
+/// the whole length-≤12 space already exceeds any realistic link count
+/// (the paper's live space fits in length 4), so both directions cap
+/// here: [`code_to_index`] rejects longer codes, [`index_to_code`]
+/// saturates at the last length-12 code.
+pub const MAX_CODE_LEN: u32 = 12;
+
+/// Number of codes with length exactly `len` (saturating: `36^len`
+/// overflows `u64` from length 13 on).
 fn codes_of_len(len: u32) -> u64 {
-    36u64.pow(len)
+    36u64.checked_pow(len).unwrap_or(u64::MAX)
 }
 
 /// Converts a link index (0-based creation order) to its code.
+///
+/// Indices beyond the length-12 address space (a `u64` can exceed
+/// [`address_space`]`(12)`) saturate to the final length-12 code rather
+/// than panicking — enumeration walks never get close, but the probe
+/// layer must survive arbitrary `u64` input.
 ///
 /// ```
 /// use minedig_shortlink::{code_to_index, index_to_code};
@@ -25,7 +38,7 @@ fn codes_of_len(len: u32) -> u64 {
 /// ```
 pub fn index_to_code(mut index: u64) -> String {
     let mut len = 1u32;
-    loop {
+    while len < MAX_CODE_LEN {
         let count = codes_of_len(len);
         if index < count {
             break;
@@ -33,6 +46,7 @@ pub fn index_to_code(mut index: u64) -> String {
         index -= count;
         len += 1;
     }
+    index = index.min(codes_of_len(MAX_CODE_LEN) - 1);
     let mut code = vec![0u8; len as usize];
     for slot in code.iter_mut().rev() {
         *slot = ALPHABET[(index % 36) as usize];
@@ -44,7 +58,7 @@ pub fn index_to_code(mut index: u64) -> String {
 /// Converts a code back to its index; `None` for invalid characters or
 /// empty input.
 pub fn code_to_index(code: &str) -> Option<u64> {
-    if code.is_empty() || code.len() > 12 {
+    if code.is_empty() || code.len() > MAX_CODE_LEN as usize {
         return None;
     }
     let mut value: u64 = 0;
@@ -64,9 +78,10 @@ pub fn code_to_index(code: &str) -> Option<u64> {
 }
 
 /// Total number of codes with length at most `max_len` (the address-space
-/// size the enumerator walks).
+/// size the enumerator walks). Saturates at `u64::MAX` for `max_len`
+/// ≥ 13, where the exact count no longer fits a `u64`.
 pub fn address_space(max_len: u32) -> u64 {
-    (1..=max_len).map(codes_of_len).sum()
+    (1..=max_len).fold(0u64, |acc, len| acc.saturating_add(codes_of_len(len)))
 }
 
 #[cfg(test)]
@@ -107,6 +122,43 @@ mod tests {
         assert_eq!(code_to_index("A"), None);
         assert_eq!(code_to_index("a-b"), None);
         assert_eq!(code_to_index(&"a".repeat(13)), None);
+    }
+
+    #[test]
+    fn extreme_indices_do_not_overflow() {
+        // Regression: `codes_of_len` used unchecked `pow`, so any index
+        // past the length-12 space panicked in debug builds at len 13.
+        assert_eq!(index_to_code(u64::MAX), "9".repeat(12));
+        assert_eq!(index_to_code(u64::MAX).len(), MAX_CODE_LEN as usize);
+        // Saturation starts exactly at the end of the length-12 space.
+        let last = address_space(MAX_CODE_LEN) - 1;
+        assert_eq!(index_to_code(last), "9".repeat(12));
+        assert_eq!(code_to_index(&index_to_code(last)), Some(last));
+        assert_eq!(index_to_code(last - 1), format!("{}8", "9".repeat(11)));
+        assert_eq!(index_to_code(last + 1), index_to_code(last));
+    }
+
+    #[test]
+    fn address_space_saturates_past_len_12() {
+        // Exact below the cap…
+        assert_eq!(address_space(12), (1..=12u32).map(|l| 36u64.pow(l)).sum());
+        assert!(address_space(12) < u64::MAX);
+        // …saturating above it instead of overflowing.
+        assert_eq!(address_space(13), u64::MAX);
+        assert_eq!(address_space(u32::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn roundtrip_at_every_length_boundary() {
+        for len in 1..=MAX_CODE_LEN {
+            let first = address_space(len - 1);
+            let last = address_space(len) - 1;
+            for index in [first, last] {
+                let code = index_to_code(index);
+                assert_eq!(code.len(), len as usize, "index {index}");
+                assert_eq!(code_to_index(&code), Some(index));
+            }
+        }
     }
 
     #[test]

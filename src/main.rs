@@ -16,6 +16,7 @@ use minedig::core::scan::build_reference_db;
 use minedig::core::shortlink_study::{run_study, StudyConfig};
 use minedig::pow::hashrate::measure_hashrate;
 use minedig::pow::Variant;
+use minedig::primitives::par::ParallelExecutor;
 use minedig::shortlink::model::ModelConfig;
 use minedig::web::universe::Population;
 use minedig::web::zone::Zone;
@@ -117,10 +118,17 @@ fn cmd_scan(args: &[String]) {
 fn cmd_attribute(args: &[String]) {
     let days = arg_u64(args, 0, 7);
     let seed = arg_u64(args, 1, 2018);
-    println!("simulating {days} days of Monero with an instrumented Coinhive-style pool…");
+    // MINEDIG_SHARDS fans each poll sweep across endpoints; results are
+    // identical to sequential polling for any value.
+    let poll_shards = ParallelExecutor::from_env().shards();
+    println!(
+        "simulating {days} days of Monero with an instrumented Coinhive-style pool \
+         ({poll_shards}-shard polling)…"
+    );
     let result = run_scenario(ScenarioConfig {
         duration_days: days,
         seed,
+        poll_shards,
         ..ScenarioConfig::default()
     });
     let share = result.attributed.len() as f64 / result.total_blocks.max(1) as f64;
@@ -145,7 +153,11 @@ fn cmd_attribute(args: &[String]) {
 fn cmd_shortlink(args: &[String]) {
     let links = arg_u64(args, 0, 50_000);
     let seed = arg_u64(args, 1, 2018);
-    println!("generating {links} short links and enumerating the ID space…");
+    let enum_shards = ParallelExecutor::from_env().shards();
+    println!(
+        "generating {links} short links and enumerating the ID space \
+         ({enum_shards}-shard probing)…"
+    );
     let study = run_study(
         &StudyConfig {
             model: ModelConfig {
@@ -153,6 +165,7 @@ fn cmd_shortlink(args: &[String]) {
                 users: 12_000.min(links as usize / 4).max(100),
                 seed,
             },
+            enum_shards,
             ..StudyConfig::default()
         },
         seed,

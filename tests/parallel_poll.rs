@@ -1,0 +1,98 @@
+//! Sharded-polling equivalence properties.
+//!
+//! `Observer::poll_all_sharded` must leave the observer in **exactly**
+//! the state sequential polling produces — same current prev pointer,
+//! same root cluster, same distinct-blob diagnostics, same stats
+//! counters — for any shard count from 1 through 16, across tip changes
+//! and outage windows. Polling is fanned across endpoint ranges and the
+//! parsed observations are re-applied in endpoint order; these
+//! properties pin that ordering down.
+
+use minedig::analysis::poller::Observer;
+use minedig::chain::netsim::TipInfo;
+use minedig::chain::tx::Transaction;
+use minedig::pool::pool::{Pool, PoolConfig};
+use minedig::primitives::par::ParallelExecutor;
+use minedig::primitives::Hash32;
+use proptest::prelude::*;
+
+fn tip(height: u64, at: u64) -> TipInfo {
+    TipInfo {
+        height,
+        prev_id: Hash32::keccak(format!("prev-{height}").as_bytes()),
+        prev_timestamp: at,
+        reward: 1_000_000,
+        difficulty: 100,
+        mempool: vec![Transaction::transfer(Hash32::keccak(b"tx"))],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sharded_polling_equals_sequential(
+        shards in 1usize..=16,
+        sweeps in 1usize..30,
+        outage_at in 0usize..30,
+        retip_at in 0usize..30,
+        deobfuscate in any::<bool>(),
+    ) {
+        let pool = Pool::new(PoolConfig::default());
+        pool.announce_tip(&tip(10, 1_000));
+        let mut seq = Observer::new(pool.clone(), deobfuscate);
+        let mut par = Observer::new(pool.clone(), deobfuscate);
+        let executor = ParallelExecutor::new(shards);
+        for (i, t) in (1_000..).step_by(5).take(sweeps).enumerate() {
+            if i == retip_at {
+                pool.announce_tip(&tip(11, t));
+            }
+            pool.set_online(i != outage_at);
+            // peek_job is read-only, so both observers see the same pool
+            // state at the same virtual time.
+            seq.poll_all(t);
+            let stats = par.poll_all_sharded(t, &executor);
+            prop_assert_eq!(stats.shards, shards);
+            prop_assert_eq!(stats.items, pool.endpoint_count() as u64);
+        }
+        prop_assert_eq!(par.current_prev(), seq.current_prev());
+        prop_assert_eq!(par.current_blob_count(), seq.current_blob_count());
+        let (ss, ps) = (seq.stats().clone(), par.stats().clone());
+        prop_assert_eq!(ps.polls, ss.polls);
+        prop_assert_eq!(ps.answered, ss.answered);
+        prop_assert_eq!(ps.offline, ss.offline);
+        prop_assert_eq!(ps.other_errors, ss.other_errors);
+        prop_assert_eq!(ps.parse_failures, ss.parse_failures);
+        prop_assert_eq!(ps.max_blobs_per_prev, ss.max_blobs_per_prev);
+        // Cluster contents, via the attribution-driver API.
+        if let Some(prev) = seq.current_prev() {
+            prop_assert_eq!(par.take_cluster(&prev), seq.take_cluster(&prev));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn tipless_pool_counts_other_errors_identically(
+        shards in 1usize..=16,
+        sweeps in 1usize..10,
+    ) {
+        // A pool with no announced tip refuses every poll with NoTip —
+        // previously swallowed, now counted as other_errors on both the
+        // sequential and sharded paths.
+        let pool = Pool::new(PoolConfig::default());
+        let mut seq = Observer::new(pool.clone(), true);
+        let mut par = Observer::new(pool, true);
+        let executor = ParallelExecutor::new(shards);
+        for t in (1_000..).step_by(5).take(sweeps) {
+            seq.poll_all(t);
+            par.poll_all_sharded(t, &executor);
+        }
+        prop_assert_eq!(par.stats().other_errors, seq.stats().other_errors);
+        prop_assert!(par.stats().other_errors > 0);
+        prop_assert_eq!(par.stats().answered, 0);
+        prop_assert_eq!(par.stats().polls, par.stats().other_errors);
+    }
+}

@@ -46,7 +46,7 @@ proptest! {
         prop_assert_eq!(&run.outcome, &sequential, "shards={}", shards);
         prop_assert_eq!(run.stats.shards, shards);
         prop_assert_eq!(
-            run.stats.domains_scanned,
+            run.stats.items,
             (pop.artifacts.len() + pop.clean_sample.len()) as u64
         );
     }
