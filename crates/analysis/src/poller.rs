@@ -6,15 +6,163 @@
 //! matches that granularity — polling faster only re-reads identical
 //! blobs. The observer reverts the XOR obfuscation (which the paper had
 //! to discover first) before parsing.
+//!
+//! The observer is written against [`JobSource`] so the transport can
+//! fail: each endpoint gets a per-sweep retry budget (deterministic
+//! backoff jitter, reconnect on teardown), and an endpoint that
+//! exhausts it is marked down for the sweep — a counted observation
+//! gap, never silent data loss.
 
 use minedig_chain::blob::HashingBlob;
 use minedig_pool::obfuscation;
 use minedig_pool::pool::{JobError, Pool};
+use minedig_pool::protocol::Job;
+use minedig_primitives::fault::{Fault, FaultPlan};
 use minedig_primitives::par::{ExecStats, ParallelExecutor, ShardedTask};
+use minedig_primitives::retry::{retry, ErrorClass, RetryPolicy, Retryable, VirtualClock};
+use minedig_primitives::rng::DetRng;
 use minedig_primitives::Hash32;
 use std::collections::BTreeSet;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Why a single job fetch failed.
+///
+/// Semantic refusals come from the pool itself and retrying within the
+/// same sweep cannot change them; transport failures are artifacts of
+/// the path to the pool and are worth retrying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchError {
+    /// The pool reported itself offline (a real outage — §4.2's 6–7 May
+    /// disruption). Semantic; never retried within a sweep.
+    Offline,
+    /// The pool refused for another semantic reason (no tip announced
+    /// yet, bad endpoint index). Semantic; never retried.
+    Refused,
+    /// The request or its response timed out. Transport; transient.
+    Timeout,
+    /// The connection was torn down mid-request. Transport; transient
+    /// after a reconnect.
+    Closed,
+    /// The response arrived corrupted. Transport; transient.
+    Garbled,
+}
+
+impl Retryable for FetchError {
+    fn error_class(&self) -> ErrorClass {
+        match self {
+            FetchError::Offline | FetchError::Refused => ErrorClass::Permanent,
+            FetchError::Timeout | FetchError::Closed | FetchError::Garbled => ErrorClass::Transient,
+        }
+    }
+}
+
+/// Something the observer can request PoW jobs from.
+///
+/// The real pool implements this infallibly at the transport level;
+/// [`FaultyJobSource`] decorates any source with a seeded fault
+/// schedule for chaos testing.
+pub trait JobSource: Sync {
+    /// Number of pollable endpoints.
+    fn endpoint_count(&self) -> usize;
+    /// Requests the current job from `endpoint` at virtual time `now`.
+    /// `attempt` is the zero-based retry index within the sweep, which
+    /// fault schedules key on.
+    fn fetch_job(&self, endpoint: usize, now: u64, attempt: u32) -> Result<Job, FetchError>;
+    /// Re-establishes a torn-down connection to `endpoint`. Returns
+    /// whether a reconnect actually happened (the default source has no
+    /// connection state and returns `false`).
+    fn reconnect(&self, endpoint: usize) -> bool {
+        let _ = endpoint;
+        false
+    }
+}
+
+impl JobSource for Pool {
+    fn endpoint_count(&self) -> usize {
+        Pool::endpoint_count(self)
+    }
+
+    fn fetch_job(&self, endpoint: usize, now: u64, _attempt: u32) -> Result<Job, FetchError> {
+        self.peek_job(endpoint, now).map_err(|e| match e {
+            JobError::Offline => FetchError::Offline,
+            _ => FetchError::Refused,
+        })
+    }
+}
+
+/// A [`JobSource`] decorator injecting deterministic transport faults.
+///
+/// Faults are keyed by `(endpoint, now)`, so a schedule is a pure
+/// function of the plan seed and the sweep times — invariant under the
+/// shard count and under interleaving with other endpoints. A
+/// [`Fault::Disconnect`] marks the endpoint's connection down; every
+/// subsequent fetch fails with [`FetchError::Closed`] until
+/// [`JobSource::reconnect`] is called.
+pub struct FaultyJobSource<S: JobSource> {
+    inner: S,
+    plan: FaultPlan,
+    down: Vec<AtomicBool>,
+}
+
+impl<S: JobSource> FaultyJobSource<S> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: S, plan: FaultPlan) -> FaultyJobSource<S> {
+        let endpoints = inner.endpoint_count();
+        FaultyJobSource {
+            inner,
+            plan,
+            down: (0..endpoints).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+}
+
+impl<S: JobSource> JobSource for FaultyJobSource<S> {
+    fn endpoint_count(&self) -> usize {
+        self.inner.endpoint_count()
+    }
+
+    fn fetch_job(&self, endpoint: usize, now: u64, attempt: u32) -> Result<Job, FetchError> {
+        if self.down[endpoint].load(Ordering::Acquire) {
+            return Err(FetchError::Closed);
+        }
+        match self.plan.decide(&format!("poll.{endpoint}.{now}"), attempt) {
+            None => self.inner.fetch_job(endpoint, now, attempt),
+            // Latency alone does not change the observed job.
+            Some(Fault::Delay { .. }) => self.inner.fetch_job(endpoint, now, attempt),
+            Some(Fault::Drop) | Some(Fault::Stall) => Err(FetchError::Timeout),
+            Some(Fault::Disconnect) => {
+                self.down[endpoint].store(true, Ordering::Release);
+                Err(FetchError::Closed)
+            }
+            Some(Fault::Garble) => Err(FetchError::Garbled),
+        }
+    }
+
+    fn reconnect(&self, endpoint: usize) -> bool {
+        self.down[endpoint].swap(false, Ordering::AcqRel)
+    }
+}
+
+/// How the observer retries failed fetches within a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct PollPolicy {
+    /// Retry policy applied per endpoint per sweep.
+    pub retry: RetryPolicy,
+    /// Seed for the per-endpoint backoff jitter streams.
+    pub jitter_seed: u64,
+}
+
+impl PollPolicy {
+    /// A policy sized to outlast every transient fault of `plan`, making
+    /// a sweep provably fault-free-equivalent when nothing is permanent.
+    pub fn outlasting(plan: &FaultPlan) -> PollPolicy {
+        PollPolicy {
+            retry: RetryPolicy::attempts(plan.attempts_to_clear()),
+            jitter_seed: plan.seed(),
+        }
+    }
+}
 
 /// One observed, de-obfuscated PoW input.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,15 +191,32 @@ pub struct PollStats {
     pub other_errors: u64,
     /// Blobs that failed to parse after de-obfuscation.
     pub parse_failures: u64,
+    /// Endpoints whose transport faults exhausted the retry policy in
+    /// some sweep — marked down for that sweep, an observation gap. If
+    /// every endpoint stays down across a whole height, the attributor
+    /// judges that block with no cluster and its `gaps` counter grows.
+    pub endpoints_down: u64,
+    /// Fetch retries spent across all sweeps.
+    pub retries: u64,
+    /// Reconnects performed after torn-down connections.
+    pub reconnects: u64,
     /// Maximum distinct blobs observed for a single prev pointer.
     pub max_blobs_per_prev: usize,
 }
 
+impl PollStats {
+    /// Every poll lands in exactly one outcome counter.
+    pub fn balanced(&self) -> bool {
+        self.polls == self.answered + self.offline + self.other_errors + self.endpoints_down
+    }
+}
+
 /// The observer: polls all endpoints and maintains the *current* cluster
 /// of distinct Merkle roots per previous-block pointer.
-pub struct Observer {
-    pool: Pool,
+pub struct Observer<S: JobSource = Pool> {
+    source: S,
     deobfuscate: bool,
+    policy: PollPolicy,
     /// Roots collected for the currently-observed prev pointer.
     current_prev: Option<Hash32>,
     current_roots: BTreeSet<Hash32>,
@@ -61,18 +226,32 @@ pub struct Observer {
     stats: PollStats,
 }
 
-impl Observer {
+impl Observer<Pool> {
     /// Creates an observer for a pool. `deobfuscate` should be true once
     /// the XOR countermeasure is known (the paper's final tooling).
-    pub fn new(pool: Pool, deobfuscate: bool) -> Observer {
+    pub fn new(pool: Pool, deobfuscate: bool) -> Observer<Pool> {
+        Observer::with_source(pool, deobfuscate, PollPolicy::default())
+    }
+}
+
+impl<S: JobSource> Observer<S> {
+    /// Creates an observer over any [`JobSource`] with an explicit retry
+    /// policy — the entry point for fault-injected runs.
+    pub fn with_source(source: S, deobfuscate: bool, policy: PollPolicy) -> Observer<S> {
         Observer {
-            pool,
+            source,
             deobfuscate,
+            policy,
             current_prev: None,
             current_roots: BTreeSet::new(),
             current_blobs: BTreeSet::new(),
             stats: PollStats::default(),
         }
+    }
+
+    /// The underlying job source.
+    pub fn source(&self) -> &S {
+        &self.source
     }
 
     /// Polls every endpoint once at virtual time `now` (sequentially).
@@ -91,9 +270,10 @@ impl Observer {
     /// count. Returns the executor stats (`items` counts endpoint polls).
     pub fn poll_all_sharded(&mut self, now: u64, executor: &ParallelExecutor) -> ExecStats {
         let run = executor.execute(&PollTask {
-            pool: &self.pool,
+            source: &self.source,
             now,
             deobfuscate: self.deobfuscate,
+            policy: &self.policy,
         });
         let delta = run.outcome;
         self.stats.polls += delta.polls;
@@ -101,6 +281,9 @@ impl Observer {
         self.stats.offline += delta.offline;
         self.stats.other_errors += delta.other_errors;
         self.stats.parse_failures += delta.parse_failures;
+        self.stats.endpoints_down += delta.endpoints_down;
+        self.stats.retries += delta.retries;
+        self.stats.reconnects += delta.reconnects;
         for (bytes, blob) in delta.observations {
             self.record(bytes, blob);
         }
@@ -159,23 +342,27 @@ struct PollDelta {
     offline: u64,
     other_errors: u64,
     parse_failures: u64,
+    endpoints_down: u64,
+    retries: u64,
+    reconnects: u64,
     observations: Vec<(Vec<u8>, HashingBlob)>,
 }
 
 /// One poll sweep as a [`ShardedTask`] over the endpoint index space.
 /// Cluster state is *not* touched here — `record` has order-dependent
 /// reset semantics, so the driver applies observations after the merge.
-struct PollTask<'a> {
-    pool: &'a Pool,
+struct PollTask<'a, S: JobSource> {
+    source: &'a S,
     now: u64,
     deobfuscate: bool,
+    policy: &'a PollPolicy,
 }
 
-impl ShardedTask for PollTask<'_> {
+impl<S: JobSource> ShardedTask for PollTask<'_, S> {
     type Output = PollDelta;
 
     fn len(&self) -> usize {
-        self.pool.endpoint_count()
+        self.source.endpoint_count()
     }
 
     fn run_shard(&self, range: Range<usize>, progress: &AtomicU64) -> PollDelta {
@@ -183,9 +370,31 @@ impl ShardedTask for PollTask<'_> {
         for endpoint in range {
             progress.fetch_add(1, Ordering::Relaxed);
             delta.polls += 1;
-            match self.pool.peek_job(endpoint, self.now) {
-                Err(JobError::Offline) => delta.offline += 1,
-                Err(_) => delta.other_errors += 1,
+            let mut clock = VirtualClock::new();
+            let mut rng = DetRng::seed(self.policy.jitter_seed)
+                .derive(&format!("poll.jitter.{endpoint}.{}", self.now));
+            let mut reconnects = 0u64;
+            let outcome = retry(&self.policy.retry, &mut clock, &mut rng, |attempt| {
+                let r = self.source.fetch_job(endpoint, self.now, attempt);
+                // Reconnect eagerly on every teardown, even a final one,
+                // so the next sweep starts on a fresh connection.
+                if matches!(r, Err(FetchError::Closed)) && self.source.reconnect(endpoint) {
+                    reconnects += 1;
+                }
+                r
+            });
+            delta.retries += u64::from(outcome.retries());
+            delta.reconnects += reconnects;
+            match outcome.result {
+                Err(e) => match e.error {
+                    FetchError::Offline => delta.offline += 1,
+                    FetchError::Refused => delta.other_errors += 1,
+                    // The transport never recovered within the policy:
+                    // the endpoint is down for this sweep.
+                    FetchError::Timeout | FetchError::Closed | FetchError::Garbled => {
+                        delta.endpoints_down += 1
+                    }
+                },
                 Ok(job) => {
                     delta.answered += 1;
                     let Ok(mut bytes) = job.blob_bytes() else {
@@ -212,6 +421,9 @@ impl ShardedTask for PollTask<'_> {
         acc.offline += next.offline;
         acc.other_errors += next.other_errors;
         acc.parse_failures += next.parse_failures;
+        acc.endpoints_down += next.endpoints_down;
+        acc.retries += next.retries;
+        acc.reconnects += next.reconnects;
         acc.observations.append(&mut next.observations);
     }
 }
@@ -222,6 +434,7 @@ mod tests {
     use minedig_chain::netsim::TipInfo;
     use minedig_chain::tx::Transaction;
     use minedig_pool::pool::PoolConfig;
+    use minedig_primitives::fault::FaultConfig;
 
     fn pool_with_tip() -> Pool {
         let pool = Pool::new(PoolConfig::default());
@@ -344,6 +557,120 @@ mod tests {
         pool.set_online(true);
         obs.poll_all_sharded(1_020, &ParallelExecutor::new(4));
         assert_eq!(obs.stats().answered, 32);
+    }
+
+    #[test]
+    fn transient_faults_with_retries_match_the_clean_run() {
+        let times: Vec<u64> = (1_000..1_150).step_by(5).collect();
+        let pool = pool_with_tip();
+        let mut clean = Observer::new(pool.clone(), true);
+        for &t in &times {
+            clean.poll_all(t);
+        }
+
+        let plan = FaultPlan::transient_only(21, 0.6);
+        let source = FaultyJobSource::new(pool, plan.clone());
+        let mut obs = Observer::with_source(source, true, PollPolicy::outlasting(&plan));
+        for &t in &times {
+            obs.poll_all(t);
+        }
+
+        assert!(obs.stats().retries > 0, "p=0.6 must force retries");
+        assert_eq!(obs.current_prev(), clean.current_prev());
+        assert_eq!(obs.current_roots, clean.current_roots);
+        assert_eq!(obs.current_blobs, clean.current_blobs);
+        let (c, f) = (clean.stats().clone(), obs.stats());
+        assert_eq!(f.polls, c.polls);
+        assert_eq!(f.answered, c.answered);
+        assert_eq!(f.endpoints_down, 0, "clearing faults never exhaust");
+        assert_eq!(f.max_blobs_per_prev, c.max_blobs_per_prev);
+        assert!(f.balanced());
+    }
+
+    #[test]
+    fn permanent_faults_account_into_endpoints_down() {
+        let pool = pool_with_tip();
+        // Exclude Delay (it succeeds, just late) so every faulty
+        // endpoint genuinely fails.
+        let plan = FaultPlan::with_config(
+            9,
+            FaultConfig {
+                fault_prob: 1.0,
+                permanent_prob: 1.0,
+                kind_weights: [1.0, 0.0, 1.0, 1.0, 1.0],
+                ..FaultConfig::default()
+            },
+        );
+        let source = FaultyJobSource::new(pool, plan);
+        let mut obs = Observer::with_source(source, true, PollPolicy::default());
+        obs.poll_all(1_000);
+        let s = obs.stats();
+        assert_eq!(s.endpoints_down, 32, "every endpoint exhausts its budget");
+        assert_eq!(s.answered, 0);
+        assert!(s.retries > 0);
+        assert!(s.balanced());
+    }
+
+    #[test]
+    fn reconnects_are_counted_after_teardowns() {
+        let pool = pool_with_tip();
+        let plan = FaultPlan::with_config(
+            5,
+            FaultConfig {
+                fault_prob: 1.0,
+                permanent_prob: 0.0,
+                // Disconnect only.
+                kind_weights: [0.0, 0.0, 1.0, 0.0, 0.0],
+                ..FaultConfig::default()
+            },
+        );
+        let source = FaultyJobSource::new(pool, plan.clone());
+        let mut obs = Observer::with_source(source, true, PollPolicy::outlasting(&plan));
+        obs.poll_all(1_000);
+        let s = obs.stats();
+        assert_eq!(s.answered, 32, "faults clear within the budget");
+        assert!(s.reconnects > 0, "teardowns must have forced reconnects");
+        assert!(s.balanced());
+    }
+
+    #[test]
+    fn sharded_poll_matches_sequential_under_faults() {
+        let plan = FaultPlan::with_config(
+            13,
+            FaultConfig {
+                fault_prob: 0.5,
+                permanent_prob: 0.3,
+                ..FaultConfig::default()
+            },
+        );
+        for shards in [1, 2, 3, 5, 16] {
+            let pool = pool_with_tip();
+            let mut seq = Observer::with_source(
+                FaultyJobSource::new(pool.clone(), plan.clone()),
+                true,
+                PollPolicy::default(),
+            );
+            let mut par = Observer::with_source(
+                FaultyJobSource::new(pool, plan.clone()),
+                true,
+                PollPolicy::default(),
+            );
+            let executor = ParallelExecutor::new(shards);
+            for t in (1_000..1_100).step_by(5) {
+                seq.poll_all(t);
+                par.poll_all_sharded(t, &executor);
+            }
+            assert_eq!(par.current_prev(), seq.current_prev(), "shards={shards}");
+            assert_eq!(par.current_roots, seq.current_roots, "shards={shards}");
+            assert_eq!(par.current_blobs, seq.current_blobs, "shards={shards}");
+            let (ss, ps) = (seq.stats(), par.stats());
+            assert_eq!(ps.polls, ss.polls, "shards={shards}");
+            assert_eq!(ps.answered, ss.answered, "shards={shards}");
+            assert_eq!(ps.endpoints_down, ss.endpoints_down, "shards={shards}");
+            assert_eq!(ps.retries, ss.retries, "shards={shards}");
+            assert_eq!(ps.reconnects, ss.reconnects, "shards={shards}");
+            assert!(ps.balanced(), "shards={shards}");
+        }
     }
 
     #[test]

@@ -3,10 +3,12 @@
 
 use crate::attribution::{AttributedBlock, Attributor};
 use crate::estimate::{network_estimate, NetworkEstimate};
-use crate::poller::{Observer, PollStats};
+use crate::poller::{FaultyJobSource, JobSource, Observer, PollPolicy, PollStats};
 use minedig_chain::netsim::{Actor, MinedEvent, NetSim, NetSimConfig, SoloSource};
 use minedig_pool::pool::{Pool, PoolConfig};
+use minedig_primitives::fault::FaultPlan;
 use minedig_primitives::par::ParallelExecutor;
+use minedig_primitives::retry::RetryPolicy;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -44,6 +46,11 @@ pub struct ScenarioConfig {
     /// Shards each poll sweep fans across (1 = sequential; results are
     /// identical for any value — see `Observer::poll_all_sharded`).
     pub poll_shards: usize,
+    /// Optional transport fault schedule on the poll path (chaos
+    /// testing). `None` polls the pool directly.
+    pub poll_faults: Option<FaultPlan>,
+    /// Per-endpoint retry budget within each poll sweep.
+    pub poll_retry: RetryPolicy,
     /// Initial network difficulty.
     pub initial_difficulty: u64,
     /// Mean transfer transactions per block.
@@ -80,6 +87,8 @@ impl Default for ScenarioConfig {
             outages: vec![FIG5_OUTAGE],
             poll_interval_secs: 15,
             poll_shards: 1,
+            poll_faults: None,
+            poll_retry: RetryPolicy::default(),
             initial_difficulty: 55_400_000_000,
             mean_txs_per_block: 12.0,
             pool: PoolConfig::default(),
@@ -162,7 +171,35 @@ impl ScenarioResult {
 /// Runs the full scenario.
 pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
     let pool = Pool::new(config.pool.clone());
-    let observer = Arc::new(Mutex::new(Observer::new(pool.clone(), true)));
+    match config.poll_faults.clone() {
+        None => {
+            let policy = PollPolicy {
+                retry: config.poll_retry.clone(),
+                jitter_seed: config.seed,
+            };
+            let observer = Observer::with_source(pool.clone(), true, policy);
+            run_scenario_with(config, pool, observer)
+        }
+        Some(plan) => {
+            let policy = PollPolicy {
+                retry: config.poll_retry.clone(),
+                jitter_seed: plan.seed(),
+            };
+            let source = FaultyJobSource::new(pool.clone(), plan);
+            let observer = Observer::with_source(source, true, policy);
+            run_scenario_with(config, pool, observer)
+        }
+    }
+}
+
+/// The scenario body, generic over the observer's job source so the
+/// fault-injected and direct paths share every line of driver logic.
+fn run_scenario_with<S: JobSource + Send + 'static>(
+    config: ScenarioConfig,
+    pool: Pool,
+    observer: Observer<S>,
+) -> ScenarioResult {
+    let observer = Arc::new(Mutex::new(observer));
     let end_time = config.start_time + config.duration_days * 86_400;
 
     let config = Arc::new(config);
@@ -340,6 +377,25 @@ mod tests {
         let b = short_scenario(2, 9);
         assert_eq!(a.attributed.len(), b.attributed.len());
         assert_eq!(a.total_blocks, b.total_blocks);
+    }
+
+    #[test]
+    fn chaos_polling_with_clearing_faults_matches_clean() {
+        let clean = short_scenario(2, 9);
+        let plan = FaultPlan::transient_only(77, 0.4);
+        let faulty = run_scenario(ScenarioConfig {
+            duration_days: 2,
+            seed: 9,
+            poll_retry: RetryPolicy::attempts(plan.attempts_to_clear()),
+            poll_faults: Some(plan),
+            ..ScenarioConfig::default()
+        });
+        assert!(faulty.poll_stats.retries > 0, "p=0.4 must force retries");
+        assert_eq!(faulty.attributed, clean.attributed);
+        assert_eq!(faulty.total_blocks, clean.total_blocks);
+        assert_eq!(faulty.poll_stats.answered, clean.poll_stats.answered);
+        assert_eq!(faulty.poll_stats.endpoints_down, 0);
+        assert!(faulty.poll_stats.balanced());
     }
 
     #[test]

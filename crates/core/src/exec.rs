@@ -32,7 +32,9 @@
 //! The equivalence is enforced by proptests in `tests/` (shards 1–16,
 //! random seeds and zone sizes, both scan kinds).
 
-use crate::scan::{chrome_scan_shard, zgrab_scan_shard, ChromeScanOutcome, ZgrabScanOutcome};
+use crate::scan::{
+    chrome_scan_shard_with, zgrab_scan_shard_with, ChromeScanOutcome, FetchModel, ZgrabScanOutcome,
+};
 use minedig_primitives::par::{ExecRun, ParallelExecutor, ShardedTask};
 use minedig_wasm::sigdb::SignatureDb;
 use minedig_web::universe::{Domain, Population};
@@ -122,12 +124,25 @@ impl ScanExecutor {
     /// Sharded zgrab + NoCoin scan (§3.1); same outcome as
     /// [`crate::scan::zgrab_scan`].
     pub fn zgrab(&self, population: &Population, seed: u64) -> ScanRun<ZgrabScanOutcome> {
+        self.zgrab_with(population, seed, &FetchModel::default())
+    }
+
+    /// [`zgrab`](ScanExecutor::zgrab) with an explicit transport
+    /// [`FetchModel`]; same outcome as [`crate::scan::zgrab_scan_with`]
+    /// for any shard count (faults are keyed by domain name, so the
+    /// schedule cannot see the sharding).
+    pub fn zgrab_with(
+        &self,
+        population: &Population,
+        seed: u64,
+        model: &FetchModel,
+    ) -> ScanRun<ZgrabScanOutcome> {
         let zone = population.zone;
         let mut run = self.inner.execute(&ScanTask {
             artifacts: &population.artifacts,
             clean: &population.clean_sample,
             kernel: |artifacts: &[Domain], clean: &[Domain], progress: &AtomicU64| {
-                zgrab_scan_shard(zone, artifacts, clean, seed, progress)
+                zgrab_scan_shard_with(zone, artifacts, clean, seed, model, progress)
             },
             merge: ZgrabScanOutcome::merge,
         });
@@ -143,12 +158,25 @@ impl ScanExecutor {
         db: &SignatureDb,
         seed: u64,
     ) -> ScanRun<ChromeScanOutcome> {
+        self.chrome_with(population, db, seed, &FetchModel::default())
+    }
+
+    /// [`chrome`](ScanExecutor::chrome) with an explicit transport
+    /// [`FetchModel`]; same outcome as
+    /// [`crate::scan::chrome_scan_with`] for any shard count.
+    pub fn chrome_with(
+        &self,
+        population: &Population,
+        db: &SignatureDb,
+        seed: u64,
+        model: &FetchModel,
+    ) -> ScanRun<ChromeScanOutcome> {
         let zone = population.zone;
         self.inner.execute(&ScanTask {
             artifacts: &population.artifacts,
             clean: &population.clean_sample,
             kernel: |artifacts: &[Domain], clean: &[Domain], progress: &AtomicU64| {
-                chrome_scan_shard(zone, artifacts, clean, db, seed, progress)
+                chrome_scan_shard_with(zone, artifacts, clean, db, seed, model, progress)
             },
             merge: ChromeScanOutcome::merge,
         })
@@ -183,6 +211,27 @@ mod tests {
         let sequential = crate::scan::chrome_scan(&pop, &db, 1);
         for shards in [2, 5] {
             let run = ScanExecutor::new(shards).chrome(&pop, &db, 1);
+            assert_eq!(run.outcome, sequential, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_scan_matches_sequential_under_faults() {
+        use minedig_primitives::fault::{FaultConfig, FaultPlan};
+        let pop = Population::generate(Zone::Org, 42, 50);
+        let plan = FaultPlan::with_config(
+            17,
+            FaultConfig {
+                fault_prob: 0.5,
+                permanent_prob: 0.4,
+                ..FaultConfig::default()
+            },
+        );
+        let model = FetchModel::outlasting(plan);
+        let sequential = crate::scan::zgrab_scan_with(&pop, 1, &model);
+        assert!(sequential.fetch.unreachable > 0);
+        for shards in [2, 3, 8] {
+            let run = ScanExecutor::new(shards).zgrab_with(&pop, 1, &model);
             assert_eq!(run.outcome, sequential, "shards={shards}");
         }
     }

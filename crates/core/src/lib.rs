@@ -42,4 +42,7 @@ pub mod shortlink_study;
 
 pub use exec::{ScanExecutor, ScanRun, ScanStats};
 pub use report::Comparison;
-pub use scan::{build_reference_db, chrome_scan, zgrab_scan, ChromeScanOutcome, ZgrabScanOutcome};
+pub use scan::{
+    build_reference_db, chrome_scan, chrome_scan_with, zgrab_scan, zgrab_scan_with,
+    ChromeScanOutcome, FetchModel, FetchStats, ZgrabScanOutcome,
+};

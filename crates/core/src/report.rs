@@ -1,6 +1,7 @@
 //! Paper-vs-measured reporting used by the reproduction binaries.
 
 use crate::exec::ScanStats;
+use crate::scan::FetchStats;
 
 /// One compared quantity.
 #[derive(Clone, Debug)]
@@ -131,6 +132,30 @@ pub fn scan_stats(label: &str, stats: &ScanStats) -> String {
     out
 }
 
+/// Renders one scan's [`FetchStats`] as a Table 1-style response-rate
+/// line, e.g.
+///
+/// ```text
+/// zgrab .org: 1250 attempted, 980 responded (78.4%), 30 unreachable, 240 silent, 45 retries
+/// ```
+///
+/// The retry tail is omitted when no transport model was active.
+pub fn fetch_stats(label: &str, stats: &FetchStats) -> String {
+    let mut out = format!(
+        "{label}: {} attempted, {} responded ({:.1}%), {} unreachable, {} silent",
+        stats.attempted,
+        stats.responded,
+        stats.response_rate() * 100.0,
+        stats.unreachable,
+        stats.silent,
+    );
+    if stats.retries > 0 {
+        out.push_str(&format!(", {} retries", stats.retries));
+    }
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +229,29 @@ mod tests {
             }],
         };
         assert_eq!(scan_stats("zgrab", &single).lines().count(), 1);
+    }
+
+    #[test]
+    fn fetch_stats_renders_response_rate() {
+        let stats = FetchStats {
+            attempted: 1250,
+            responded: 980,
+            unreachable: 30,
+            silent: 240,
+            retries: 45,
+        };
+        let text = fetch_stats("zgrab .org", &stats);
+        assert!(text.contains("1250 attempted"));
+        assert!(text.contains("980 responded (78.4%)"));
+        assert!(text.contains("30 unreachable"));
+        assert!(text.contains("45 retries"));
+        // No retry tail when no transport model was active.
+        let clean = FetchStats {
+            attempted: 10,
+            responded: 10,
+            ..FetchStats::default()
+        };
+        assert!(!fetch_stats("x", &clean).contains("retries"));
     }
 
     #[test]

@@ -3,6 +3,9 @@
 use minedig_browser::loader::{load_page, LoadPolicy};
 use minedig_nocoin::list::ServiceLabel;
 use minedig_nocoin::NoCoinEngine;
+use minedig_primitives::fault::{Fault, FaultPlan};
+use minedig_primitives::retry::{retry, ErrorClass, RetryPolicy, Retryable, VirtualClock};
+use minedig_primitives::rng::DetRng;
 use minedig_wasm::corpus::generate_corpus;
 use minedig_wasm::fingerprint::fingerprint;
 use minedig_wasm::module::Module;
@@ -14,6 +17,108 @@ use minedig_web::universe::{Domain, Population};
 use minedig_web::zone::Zone;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A transport-level fetch failure (the only thing [`FetchModel`]
+/// injects). Always transient-capable: a permanent outage is a fault
+/// that never clears, surfacing as retry exhaustion.
+#[derive(Debug, Clone, Copy)]
+struct FetchFailure;
+
+impl Retryable for FetchFailure {
+    fn error_class(&self) -> ErrorClass {
+        ErrorClass::Transient
+    }
+}
+
+/// Per-domain transport model for the scan pipelines.
+///
+/// The paper's Table 1 separates the zone size from the fraction of
+/// domains that actually answered the crawl; this model reproduces that
+/// distinction. Faults are keyed by domain name, so a schedule is
+/// invariant under sharding, and each domain gets a retry budget with
+/// deterministic backoff jitter before it is declared unreachable.
+#[derive(Clone, Debug, Default)]
+pub struct FetchModel {
+    /// Optional seeded fault schedule; `None` makes every domain
+    /// reachable (the historical behavior).
+    pub faults: Option<FaultPlan>,
+    /// Retry budget per domain.
+    pub retry: RetryPolicy,
+}
+
+impl FetchModel {
+    /// A model whose retry budget outlasts every transient fault of
+    /// `plan`, making the scan provably fault-free-equivalent when the
+    /// plan has no permanent faults.
+    pub fn outlasting(plan: FaultPlan) -> FetchModel {
+        FetchModel {
+            retry: RetryPolicy::attempts(plan.attempts_to_clear()),
+            faults: Some(plan),
+        }
+    }
+
+    /// Attempts the transport leg of fetching `name`. Returns whether
+    /// the domain was reachable and how many retries that took.
+    fn reach(&self, name: &str) -> (bool, u64) {
+        let Some(plan) = &self.faults else {
+            return (true, 0);
+        };
+        let mut clock = VirtualClock::new();
+        let mut rng = DetRng::seed(plan.seed()).derive(&format!("fetch.jitter.{name}"));
+        let outcome = retry(&self.retry, &mut clock, &mut rng, |attempt| {
+            match plan.decide(&format!("fetch.{name}"), attempt) {
+                // Latency alone does not lose the page.
+                None | Some(Fault::Delay { .. }) => Ok(()),
+                Some(_) => Err(FetchFailure),
+            }
+        });
+        (outcome.result.is_ok(), u64::from(outcome.retries()))
+    }
+}
+
+/// Table 1-style response-rate accounting for one scan.
+///
+/// Invariant: `attempted == responded + unreachable + silent` — every
+/// fetch lands in exactly one outcome bucket.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Domains the scan tried to fetch (artifacts + clean sample).
+    pub attempted: u64,
+    /// Fetches that produced a page to analyze.
+    pub responded: u64,
+    /// Fetches whose transport faults exhausted the retry budget — the
+    /// domain is lost to this scan and counted here, never silently.
+    pub unreachable: u64,
+    /// Domains reached but not answering the probe (e.g. no TLS on the
+    /// zgrab path) — a property of the population, not the transport.
+    pub silent: u64,
+    /// Transport retries spent across all domains.
+    pub retries: u64,
+}
+
+impl FetchStats {
+    /// Fraction of attempted domains that produced a page.
+    pub fn response_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            return 1.0;
+        }
+        self.responded as f64 / self.attempted as f64
+    }
+
+    /// Every attempted fetch lands in exactly one outcome bucket.
+    pub fn balanced(&self) -> bool {
+        self.attempted == self.responded + self.unreachable + self.silent
+    }
+
+    /// Adds another shard's counters into this one.
+    pub fn absorb(&mut self, other: &FetchStats) {
+        self.attempted += other.attempted;
+        self.responded += other.responded;
+        self.unreachable += other.unreachable;
+        self.silent += other.silent;
+        self.retries += other.retries;
+    }
+}
 
 /// Builds the reference signature database the way the paper did: a
 /// manually-catalogued subset of the wild corpus (`coverage` of each
@@ -86,6 +191,8 @@ pub struct ZgrabScanOutcome {
     pub clean_sample_size: u64,
     /// Domains that hit, for categorization.
     pub hit_refs: Vec<DomainRef>,
+    /// Response-rate accounting for the scan's fetches.
+    pub fetch: FetchStats,
 }
 
 impl ZgrabScanOutcome {
@@ -103,6 +210,7 @@ impl ZgrabScanOutcome {
         self.clean_sample_hits += other.clean_sample_hits;
         self.clean_sample_size += other.clean_sample_size;
         self.hit_refs.extend(other.hit_refs);
+        self.fetch.absorb(&other.fetch);
     }
 }
 
@@ -121,6 +229,27 @@ pub fn zgrab_scan_shard(
     seed: u64,
     progress: &AtomicU64,
 ) -> ZgrabScanOutcome {
+    zgrab_scan_shard_with(
+        zone,
+        artifacts,
+        clean_sample,
+        seed,
+        &FetchModel::default(),
+        progress,
+    )
+}
+
+/// [`zgrab_scan_shard`] with an explicit transport [`FetchModel`]:
+/// domains whose fetch exhausts the retry budget are counted
+/// unreachable and excluded from analysis — degraded, never corrupted.
+pub fn zgrab_scan_shard_with(
+    zone: Zone,
+    artifacts: &[Domain],
+    clean_sample: &[Domain],
+    seed: u64,
+    model: &FetchModel,
+    progress: &AtomicU64,
+) -> ZgrabScanOutcome {
     let engine = NoCoinEngine::new();
     let mut outcome = ZgrabScanOutcome {
         zone,
@@ -130,12 +259,22 @@ pub fn zgrab_scan_shard(
         clean_sample_hits: 0,
         clean_sample_size: clean_sample.len() as u64,
         hit_refs: Vec::new(),
+        fetch: FetchStats::default(),
     };
     for d in artifacts {
         progress.fetch_add(1, Ordering::Relaxed);
+        outcome.fetch.attempted += 1;
+        let (reachable, retries) = model.reach(&d.name);
+        outcome.fetch.retries += retries;
+        if !reachable {
+            outcome.fetch.unreachable += 1;
+            continue;
+        }
         let Some(html) = zgrab_fetch(d, seed) else {
+            outcome.fetch.silent += 1;
             continue;
         };
+        outcome.fetch.responded += 1;
         let labels = engine.page_labels(&d.name, &html);
         if !labels.is_empty() {
             outcome.hit_domains += 1;
@@ -147,10 +286,20 @@ pub fn zgrab_scan_shard(
     }
     for d in clean_sample {
         progress.fetch_add(1, Ordering::Relaxed);
-        if let Some(html) = zgrab_fetch(d, seed) {
-            if !engine.page_labels(&d.name, &html).is_empty() {
-                outcome.clean_sample_hits += 1;
-            }
+        outcome.fetch.attempted += 1;
+        let (reachable, retries) = model.reach(&d.name);
+        outcome.fetch.retries += retries;
+        if !reachable {
+            outcome.fetch.unreachable += 1;
+            continue;
+        }
+        let Some(html) = zgrab_fetch(d, seed) else {
+            outcome.fetch.silent += 1;
+            continue;
+        };
+        outcome.fetch.responded += 1;
+        if !engine.page_labels(&d.name, &html).is_empty() {
+            outcome.clean_sample_hits += 1;
         }
     }
     outcome
@@ -160,12 +309,18 @@ pub fn zgrab_scan_shard(
 /// single-shard wrapper over [`zgrab_scan_shard`]; use
 /// [`crate::exec::ScanExecutor`] to spread the same scan across threads.
 pub fn zgrab_scan(population: &Population, seed: u64) -> ZgrabScanOutcome {
+    zgrab_scan_with(population, seed, &FetchModel::default())
+}
+
+/// [`zgrab_scan`] with an explicit transport [`FetchModel`].
+pub fn zgrab_scan_with(population: &Population, seed: u64, model: &FetchModel) -> ZgrabScanOutcome {
     let progress = AtomicU64::new(0);
-    let mut outcome = zgrab_scan_shard(
+    let mut outcome = zgrab_scan_shard_with(
         population.zone,
         &population.artifacts,
         &population.clean_sample,
         seed,
+        model,
         &progress,
     );
     outcome.total_domains = population.total;
@@ -200,6 +355,10 @@ pub struct ChromeScanOutcome {
     pub nocoin_refs: Vec<DomainRef>,
     /// Signature-found miner domains, for Table 3 categorization.
     pub miner_refs: Vec<DomainRef>,
+    /// Response-rate accounting for the scan's fetches (the browser
+    /// path has no TLS gate, so `silent` stays zero: every reachable
+    /// domain loads).
+    pub fetch: FetchStats,
 }
 
 impl ChromeScanOutcome {
@@ -221,6 +380,7 @@ impl ChromeScanOutcome {
         self.clean_sample_miner_hits += other.clean_sample_miner_hits;
         self.nocoin_refs.extend(other.nocoin_refs);
         self.miner_refs.extend(other.miner_refs);
+        self.fetch.absorb(&other.fetch);
     }
 }
 
@@ -235,6 +395,29 @@ pub fn chrome_scan_shard(
     clean_sample: &[Domain],
     db: &SignatureDb,
     seed: u64,
+    progress: &AtomicU64,
+) -> ChromeScanOutcome {
+    chrome_scan_shard_with(
+        zone,
+        artifacts,
+        clean_sample,
+        db,
+        seed,
+        &FetchModel::default(),
+        progress,
+    )
+}
+
+/// [`chrome_scan_shard`] with an explicit transport [`FetchModel`]:
+/// domains whose load exhausts the retry budget are counted
+/// unreachable and never loaded.
+pub fn chrome_scan_shard_with(
+    zone: Zone,
+    artifacts: &[Domain],
+    clean_sample: &[Domain],
+    db: &SignatureDb,
+    seed: u64,
+    model: &FetchModel,
     progress: &AtomicU64,
 ) -> ChromeScanOutcome {
     let engine = NoCoinEngine::new();
@@ -255,9 +438,18 @@ pub fn chrome_scan_shard(
         clean_sample_miner_hits: 0,
         nocoin_refs: Vec::new(),
         miner_refs: Vec::new(),
+        fetch: FetchStats::default(),
     };
 
     let mut scan_domain = |d: &Domain, clean: bool| {
+        outcome.fetch.attempted += 1;
+        let (reachable, retries) = model.reach(&d.name);
+        outcome.fetch.retries += retries;
+        if !reachable {
+            outcome.fetch.unreachable += 1;
+            return;
+        }
+        outcome.fetch.responded += 1;
         let page = synthesize_page(d, seed);
         let capture = load_page(&page, &policy);
         let nocoin_hit = !engine.page_labels(&d.name, &capture.final_html).is_empty();
@@ -353,13 +545,24 @@ pub fn chrome_scan_shard(
 /// single-shard wrapper over [`chrome_scan_shard`]; use
 /// [`crate::exec::ScanExecutor`] to spread the same scan across threads.
 pub fn chrome_scan(population: &Population, db: &SignatureDb, seed: u64) -> ChromeScanOutcome {
+    chrome_scan_with(population, db, seed, &FetchModel::default())
+}
+
+/// [`chrome_scan`] with an explicit transport [`FetchModel`].
+pub fn chrome_scan_with(
+    population: &Population,
+    db: &SignatureDb,
+    seed: u64,
+    model: &FetchModel,
+) -> ChromeScanOutcome {
     let progress = AtomicU64::new(0);
-    chrome_scan_shard(
+    chrome_scan_shard_with(
         population.zone,
         &population.artifacts,
         &population.clean_sample,
         db,
         seed,
+        model,
         &progress,
     )
 }
@@ -469,6 +672,74 @@ mod tests {
         // jsMiner (no Wasm) and never-loading pages cost a little recall.
         let recall = out.miner_wasm_domains as f64 / truth;
         assert!(recall > 0.9, "recall {recall}");
+    }
+
+    #[test]
+    fn zgrab_fetch_accounting_balances_when_clean() {
+        let pop = small_org();
+        let out = zgrab_scan(&pop, 1);
+        let f = &out.fetch;
+        assert!(f.balanced());
+        assert_eq!(f.unreachable, 0);
+        assert_eq!(f.retries, 0);
+        assert_eq!(
+            f.attempted,
+            (pop.artifacts.len() + pop.clean_sample.len()) as u64
+        );
+        assert!(f.silent > 0, "the TLS gate must silence some domains");
+        assert!(f.response_rate() < 1.0);
+    }
+
+    #[test]
+    fn transient_faults_with_retries_match_the_clean_scan() {
+        let pop = small_org();
+        let clean = zgrab_scan(&pop, 1);
+        let plan = FaultPlan::transient_only(31, 0.5);
+        let faulty = zgrab_scan_with(&pop, 1, &FetchModel::outlasting(plan));
+        assert!(faulty.fetch.retries > 0, "p=0.5 must force retries");
+        let mut normalized = faulty.clone();
+        normalized.fetch.retries = 0;
+        assert_eq!(normalized, clean, "clearing faults must cost nothing");
+
+        let db = build_reference_db(0.7);
+        let clean_ch = chrome_scan(&pop, &db, 1);
+        let plan = FaultPlan::transient_only(32, 0.5);
+        let faulty_ch = chrome_scan_with(&pop, &db, 1, &FetchModel::outlasting(plan));
+        assert!(faulty_ch.fetch.retries > 0);
+        let mut normalized = faulty_ch.clone();
+        normalized.fetch.retries = 0;
+        assert_eq!(normalized, clean_ch);
+    }
+
+    #[test]
+    fn permanent_faults_degrade_into_unreachable_counts() {
+        use minedig_primitives::fault::FaultConfig;
+        let pop = small_org();
+        let clean = zgrab_scan(&pop, 1);
+        let plan = FaultPlan::with_config(
+            8,
+            FaultConfig {
+                fault_prob: 0.4,
+                permanent_prob: 1.0,
+                // Exclude Delay: a permanently-delayed fetch still lands.
+                kind_weights: [1.0, 0.0, 1.0, 1.0, 1.0],
+                ..FaultConfig::default()
+            },
+        );
+        let faulty = zgrab_scan_with(&pop, 1, &FetchModel::outlasting(plan));
+        let f = &faulty.fetch;
+        assert!(f.balanced());
+        assert!(
+            f.unreachable > 0,
+            "p=0.4 permanent faults must lose domains"
+        );
+        assert_eq!(f.attempted, clean.fetch.attempted);
+        // Unreachable domains can only shrink the hit set, never corrupt it.
+        assert!(faulty.hit_domains <= clean.hit_domains);
+        assert!(f.response_rate() < clean.fetch.response_rate());
+        let faulty_labels: u64 = faulty.label_counts.values().sum();
+        let clean_labels: u64 = clean.label_counts.values().sum();
+        assert!(faulty_labels <= clean_labels);
     }
 
     #[test]

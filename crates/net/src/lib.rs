@@ -12,6 +12,8 @@
 //! * [`wsframe`] — RFC 6455-style frame encoding/decoding (FIN/opcode,
 //!   client masking, 7/16/64-bit lengths) used on the TCP path,
 //! * [`frame`] — a simple length-prefixed codec for tests and fuzzing,
+//! * [`fault`] — a fault-injecting [`transport::Transport`] decorator
+//!   driven by a seeded, reproducible fault schedule (chaos testing),
 //! * [`transport`] — the blocking [`transport::Transport`] trait with an
 //!   in-process crossbeam channel implementation (deterministic tests),
 //! * [`tcp`] — real `std::net` sockets: a thread-per-connection server and
@@ -20,11 +22,13 @@
 //!   payloads) is served best by plain threads rather than an async
 //!   runtime.
 
+pub mod fault;
 pub mod frame;
 pub mod json;
 pub mod tcp;
 pub mod transport;
 pub mod wsframe;
 
+pub use fault::{FaultStats, FaultyTransport};
 pub use json::Value;
 pub use transport::{channel_pair, ChannelTransport, Transport, TransportError};

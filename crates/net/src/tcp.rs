@@ -114,8 +114,8 @@ impl TcpTransport {
     }
 }
 
-impl Transport for TcpTransport {
-    fn send(&mut self, message: &[u8]) -> Result<(), TransportError> {
+impl TcpTransport {
+    fn write_text_frame(&mut self, message: &[u8]) -> Result<(), TransportError> {
         let mask = if self.is_client {
             Some(self.next_mask())
         } else {
@@ -125,8 +125,26 @@ impl Transport for TcpTransport {
         encode_ws(&mut out, Opcode::Text, message, mask);
         self.stream.write_all(&out).map_err(|e| match e.kind() {
             ErrorKind::BrokenPipe | ErrorKind::ConnectionReset => TransportError::Closed,
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportError::Timeout,
             _ => TransportError::Io(e.to_string()),
         })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, message: &[u8]) -> Result<(), TransportError> {
+        self.write_text_frame(message)
+    }
+
+    fn send_timeout(&mut self, message: &[u8], timeout: Duration) -> Result<(), TransportError> {
+        // Map the deadline onto the socket's write timeout for this one
+        // send, then restore unbounded writes.
+        self.stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let result = self.write_text_frame(message);
+        let _ = self.stream.set_write_timeout(None);
+        result
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, TransportError> {

@@ -4,7 +4,9 @@
 //! [`Transport`] so the same code runs over deterministic in-process
 //! channels in tests and over real TCP sockets in the examples.
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{
+    bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
+};
 use std::time::Duration;
 
 /// Transport errors.
@@ -34,11 +36,21 @@ impl std::error::Error for TransportError {}
 pub trait Transport: Send {
     /// Sends one message.
     fn send(&mut self, message: &[u8]) -> Result<(), TransportError>;
+    /// Sends one message, waiting at most `timeout` for back-pressure
+    /// to clear; a still-full channel yields [`TransportError::Timeout`]
+    /// instead of wedging the sender forever.
+    fn send_timeout(&mut self, message: &[u8], timeout: Duration) -> Result<(), TransportError>;
     /// Receives one message, blocking until available.
     fn recv(&mut self) -> Result<Vec<u8>, TransportError>;
     /// Receives one message, waiting at most `timeout`.
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError>;
 }
+
+/// Deadline applied by [`ChannelTransport`]'s plain `send` when the
+/// bounded channel is full: one stalled consumer surfaces as a
+/// [`TransportError::Timeout`] here rather than wedging the sender
+/// indefinitely.
+pub const DEFAULT_SEND_DEADLINE: Duration = Duration::from_secs(5);
 
 /// In-process transport over a pair of crossbeam channels.
 pub struct ChannelTransport {
@@ -61,11 +73,18 @@ pub fn channel_pair() -> (ChannelTransport, ChannelTransport) {
 
 impl Transport for ChannelTransport {
     fn send(&mut self, message: &[u8]) -> Result<(), TransportError> {
-        // Block on a full channel unless the peer is gone.
+        self.send_timeout(message, DEFAULT_SEND_DEADLINE)
+    }
+
+    fn send_timeout(&mut self, message: &[u8], timeout: Duration) -> Result<(), TransportError> {
+        // Fast path; wait out back-pressure only up to the deadline.
         match self.tx.try_send(message.to_vec()) {
             Ok(()) => Ok(()),
             Err(TrySendError::Disconnected(_)) => Err(TransportError::Closed),
-            Err(TrySendError::Full(m)) => self.tx.send(m).map_err(|_| TransportError::Closed),
+            Err(TrySendError::Full(m)) => self.tx.send_timeout(m, timeout).map_err(|e| match e {
+                SendTimeoutError::Timeout(_) => TransportError::Timeout,
+                SendTimeoutError::Disconnected(_) => TransportError::Closed,
+            }),
         }
     }
 
@@ -116,6 +135,36 @@ mod tests {
             c.recv_timeout(Duration::from_millis(5)),
             Err(TransportError::Closed)
         );
+    }
+
+    #[test]
+    fn send_timeout_reports_timeout_on_stalled_consumer() {
+        let (mut a, b) = channel_pair();
+        // Fill the bounded channel without anyone draining it.
+        for _ in 0..2048 {
+            match a.send_timeout(b"spam", Duration::from_millis(1)) {
+                Ok(()) => continue,
+                Err(e) => {
+                    assert_eq!(e, TransportError::Timeout);
+                    drop(b);
+                    return;
+                }
+            }
+        }
+        panic!("bounded channel never exerted back-pressure");
+    }
+
+    #[test]
+    fn send_timeout_succeeds_once_consumer_drains() {
+        let (mut a, mut b) = channel_pair();
+        while a.send_timeout(b"x", Duration::from_millis(1)).is_ok() {}
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            b.recv().unwrap();
+            b
+        });
+        a.send_timeout(b"y", Duration::from_secs(5)).unwrap();
+        let _b = t.join().unwrap();
     }
 
     #[test]

@@ -21,6 +21,7 @@ use minedig_pow::{check_hash, slow_hash, Variant};
 use minedig_primitives::{DetRng, Hash32};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Pool configuration. Defaults model Coinhive as measured by the paper.
@@ -72,27 +73,65 @@ struct IssuedJob {
     height: u64,
 }
 
-struct Inner {
-    config: PoolConfig,
-    tag: MinerTag,
-    backends: Vec<Backend>,
+/// Immutable snapshot of the current tip, swapped wholesale on
+/// `announce_tip`. Readers clone the `Arc` out of a tiny critical
+/// section and then work lock-free.
+struct TipState {
+    /// Monotone tip generation; per-backend caches self-invalidate by
+    /// comparing against it, so a new tip needs no global cache sweep.
+    epoch: u64,
     tip: Option<TipInfo>,
-    tip_seen_at: u64,
-    tip_tx_hashes: Vec<Hash32>,
-    /// blob cache per (backend, version) for the current height.
-    blob_cache: HashMap<(u16, u32), Vec<u8>>,
+    seen_at: u64,
+    tx_hashes: Vec<Hash32>,
+}
+
+/// One backend plus its own blob cache — the per-backend lock that lets
+/// `poll_all_sharded` shards overlap peek work instead of serializing
+/// on a single pool-wide mutex.
+struct BackendSlot {
+    backend: Backend,
+    cache: Mutex<BackendCache>,
+}
+
+#[derive(Default)]
+struct BackendCache {
+    /// Tip epoch these blobs were built for; a mismatch clears lazily.
+    epoch: u64,
+    /// Cached blob per template version at the current epoch.
+    blobs: HashMap<u32, Vec<u8>>,
+}
+
+/// Mutable state of the mining protocol proper: issued jobs, revenue
+/// ledger, pool RNG. Touched only by miners/accounting, never by the
+/// observer's peek path.
+struct MiningState {
     jobs: HashMap<String, IssuedJob>,
     job_counter: u64,
     ledger: Ledger,
     rng: DetRng,
-    online: bool,
     blocks_won: u64,
 }
 
+struct Shared {
+    config: PoolConfig,
+    tag: MinerTag,
+    online: AtomicBool,
+    tip: Mutex<Arc<TipState>>,
+    backends: Vec<BackendSlot>,
+    mining: Mutex<MiningState>,
+}
+
 /// The pool handle. Clone freely; all clones share state.
+///
+/// Lock granularity (lock order is tip → backend cache → mining, and no
+/// path holds two of the same tier): the online flag is an atomic, the
+/// tip is an `Arc` snapshot behind its own mutex, each backend guards
+/// its own blob cache, and the job/ledger state has a separate lock —
+/// so concurrent peeks of different backends share nothing but the tip
+/// snapshot.
 #[derive(Clone)]
 pub struct Pool {
-    inner: Arc<Mutex<Inner>>,
+    shared: Arc<Shared>,
 }
 
 /// Why a job request yielded nothing.
@@ -121,136 +160,160 @@ impl Pool {
     pub fn new(config: PoolConfig) -> Pool {
         let tag = MinerTag::from_label(&config.name);
         let backends = (0..config.backends)
-            .map(|index| Backend {
-                index,
-                pool_tag: tag,
-                seed: config.seed,
+            .map(|index| BackendSlot {
+                backend: Backend {
+                    index,
+                    pool_tag: tag,
+                    seed: config.seed,
+                },
+                cache: Mutex::new(BackendCache::default()),
             })
             .collect();
         let rng = DetRng::seed(config.seed).derive("pool");
         Pool {
-            inner: Arc::new(Mutex::new(Inner {
+            shared: Arc::new(Shared {
                 config,
                 tag,
+                online: AtomicBool::new(true),
+                tip: Mutex::new(Arc::new(TipState {
+                    epoch: 0,
+                    tip: None,
+                    seen_at: 0,
+                    tx_hashes: Vec::new(),
+                })),
                 backends,
-                tip: None,
-                tip_seen_at: 0,
-                tip_tx_hashes: Vec::new(),
-                blob_cache: HashMap::new(),
-                jobs: HashMap::new(),
-                job_counter: 0,
-                ledger: Ledger::new(),
-                rng,
-                online: true,
-                blocks_won: 0,
-            })),
+                mining: Mutex::new(MiningState {
+                    jobs: HashMap::new(),
+                    job_counter: 0,
+                    ledger: Ledger::new(),
+                    rng,
+                    blocks_won: 0,
+                }),
+            }),
         }
+    }
+
+    /// Snapshot of the current tip state (cheap: one short lock, one
+    /// `Arc` clone).
+    fn tip_state(&self) -> Arc<TipState> {
+        self.shared.tip.lock().clone()
     }
 
     /// Total number of WebSocket-style endpoints.
     pub fn endpoint_count(&self) -> usize {
-        let inner = self.inner.lock();
-        (inner.config.backends * inner.config.endpoints_per_backend) as usize
+        let config = &self.shared.config;
+        (config.backends * config.endpoints_per_backend) as usize
     }
 
     /// Endpoint host names, enumerable the way the paper enumerated
     /// Coinhive's (from the JavaScript or DNS).
     pub fn endpoint_names(&self) -> Vec<String> {
-        let inner = self.inner.lock();
-        let n = (inner.config.backends * inner.config.endpoints_per_backend) as usize;
-        (0..n)
-            .map(|i| format!("ws{:03}.{}.com", i + 1, inner.config.name))
+        (0..self.endpoint_count())
+            .map(|i| format!("ws{:03}.{}.com", i + 1, self.shared.config.name))
             .collect()
     }
 
     /// The pool's Coinbase tag.
     pub fn tag(&self) -> MinerTag {
-        self.inner.lock().tag
+        self.shared.tag
     }
 
     /// Toggles outage state.
     pub fn set_online(&self, online: bool) {
-        self.inner.lock().online = online;
+        self.shared.online.store(online, Ordering::SeqCst);
     }
 
     /// True when serving jobs.
     pub fn is_online(&self) -> bool {
-        self.inner.lock().online
+        self.shared.online.load(Ordering::SeqCst)
     }
 
     /// Announces a new chain tip (also done via the `TemplateSource`
     /// adapter when plugged into the netsim).
     pub fn announce_tip(&self, tip: &TipInfo) {
-        let mut inner = self.inner.lock();
-        inner.tip_seen_at = tip.prev_timestamp;
-        inner.tip_tx_hashes = tip.mempool.iter().map(|t| t.hash()).collect();
-        inner.tip = Some(tip.clone());
-        inner.blob_cache.clear();
-        inner.jobs.clear();
+        let mut guard = self.shared.tip.lock();
+        let epoch = guard.epoch + 1;
+        *guard = Arc::new(TipState {
+            epoch,
+            tip: Some(tip.clone()),
+            seen_at: tip.prev_timestamp,
+            tx_hashes: tip.mempool.iter().map(|t| t.hash()).collect(),
+        });
+        drop(guard);
+        // Backend blob caches invalidate lazily via the epoch; issued
+        // jobs are dropped now so stale shares are rejected.
+        self.shared.mining.lock().jobs.clear();
     }
 
-    fn version_at(inner: &Inner, now: u64) -> u32 {
-        let tip_at = inner.tip_seen_at;
-        let elapsed = now.saturating_sub(tip_at);
-        let v = elapsed / inner.config.template_refresh_secs.max(1);
-        (v as u32).min(inner.config.max_templates_per_height - 1)
+    fn version_at(config: &PoolConfig, tip: &TipState, now: u64) -> u32 {
+        let elapsed = now.saturating_sub(tip.seen_at);
+        let v = elapsed / config.template_refresh_secs.max(1);
+        (v as u32).min(config.max_templates_per_height - 1)
     }
 
-    fn blob_for(inner: &mut Inner, backend_idx: u16, version: u32) -> Vec<u8> {
-        if let Some(blob) = inner.blob_cache.get(&(backend_idx, version)) {
+    fn blob_for(shared: &Shared, tip: &TipState, backend_idx: u16, version: u32) -> Vec<u8> {
+        let slot = &shared.backends[backend_idx as usize];
+        let mut cache = slot.cache.lock();
+        if cache.epoch != tip.epoch {
+            cache.blobs.clear();
+            cache.epoch = tip.epoch;
+        }
+        if let Some(blob) = cache.blobs.get(&version) {
             return blob.clone();
         }
-        let tip = inner.tip.as_ref().expect("blob_for without tip").clone();
-        let timestamp = inner.tip_seen_at + version as u64 * inner.config.template_refresh_secs;
-        let backend = inner.backends[backend_idx as usize].clone();
-        let coinbase_hash = backend.template(&tip, version, timestamp).miner_tx.hash();
-        let root = block_tree_hash(coinbase_hash, &inner.tip_tx_hashes);
+        let info = tip.tip.as_ref().expect("blob_for without tip");
+        let timestamp = tip.seen_at + version as u64 * shared.config.template_refresh_secs;
+        let coinbase_hash = slot
+            .backend
+            .template(info, version, timestamp)
+            .miner_tx
+            .hash();
+        let root = block_tree_hash(coinbase_hash, &tip.tx_hashes);
         let blob = HashingBlob {
             major_version: 7,
             minor_version: 7,
             timestamp,
-            prev_id: tip.prev_id,
+            prev_id: info.prev_id,
             nonce: 0,
             merkle_root: root,
-            tx_count: 1 + inner.tip_tx_hashes.len() as u64,
+            tx_count: 1 + tip.tx_hashes.len() as u64,
         }
         .to_bytes();
-        inner
-            .blob_cache
-            .insert((backend_idx, version), blob.clone());
+        cache.blobs.insert(version, blob.clone());
         blob
     }
 
-    fn backend_of_endpoint(inner: &Inner, endpoint: usize) -> Result<u16, JobError> {
-        let total = (inner.config.backends * inner.config.endpoints_per_backend) as usize;
+    fn backend_of_endpoint(config: &PoolConfig, endpoint: usize) -> Result<u16, JobError> {
+        let total = (config.backends * config.endpoints_per_backend) as usize;
         if endpoint >= total {
             return Err(JobError::BadEndpoint(endpoint));
         }
-        Ok((endpoint / inner.config.endpoints_per_backend as usize) as u16)
+        Ok((endpoint / config.endpoints_per_backend as usize) as u16)
     }
 
     /// Observer-style job fetch: returns the blob currently served by the
     /// given endpoint *without* registering a job for share submission —
     /// this is what the paper's 500 ms poller does.
     pub fn peek_job(&self, endpoint: usize, now: u64) -> Result<Job, JobError> {
-        let mut inner = self.inner.lock();
-        if !inner.online {
+        let shared = &*self.shared;
+        if !self.is_online() {
             return Err(JobError::Offline);
         }
-        if inner.tip.is_none() {
+        let tip = self.tip_state();
+        let Some(info) = tip.tip.as_ref() else {
             return Err(JobError::NoTip);
-        }
-        let backend = Self::backend_of_endpoint(&inner, endpoint)?;
-        let version = Self::version_at(&inner, now);
-        let mut blob = Self::blob_for(&mut inner, backend, version);
-        if inner.config.obfuscate {
+        };
+        let backend = Self::backend_of_endpoint(&shared.config, endpoint)?;
+        let version = Self::version_at(&shared.config, &tip, now);
+        let mut blob = Self::blob_for(shared, &tip, backend, version);
+        if shared.config.obfuscate {
             obfuscation::xor_blob(&mut blob);
         }
-        let height = inner.tip.as_ref().unwrap().height;
+        let height = info.height;
         Ok(Job::from_blob(
             format!("peek-{height}-{backend}-{version}"),
             &blob,
-            inner.config.share_difficulty,
+            shared.config.share_difficulty,
             height,
         ))
     }
@@ -258,21 +321,23 @@ impl Pool {
     /// Miner-style job fetch: registers the job so shares can be
     /// validated and credited.
     pub fn issue_job(&self, endpoint: usize, now: u64) -> Result<Job, JobError> {
-        let mut inner = self.inner.lock();
-        if !inner.online {
+        let shared = &*self.shared;
+        if !self.is_online() {
             return Err(JobError::Offline);
         }
-        if inner.tip.is_none() {
+        let tip = self.tip_state();
+        let Some(info) = tip.tip.as_ref() else {
             return Err(JobError::NoTip);
-        }
-        let backend = Self::backend_of_endpoint(&inner, endpoint)?;
-        let version = Self::version_at(&inner, now);
-        let true_blob = Self::blob_for(&mut inner, backend, version);
-        let height = inner.tip.as_ref().unwrap().height;
-        inner.job_counter += 1;
-        let job_id = format!("j{}-{height}-{backend}", inner.job_counter);
-        let share_difficulty = inner.config.share_difficulty;
-        inner.jobs.insert(
+        };
+        let backend = Self::backend_of_endpoint(&shared.config, endpoint)?;
+        let version = Self::version_at(&shared.config, &tip, now);
+        let true_blob = Self::blob_for(shared, &tip, backend, version);
+        let height = info.height;
+        let share_difficulty = shared.config.share_difficulty;
+        let mut mining = shared.mining.lock();
+        mining.job_counter += 1;
+        let job_id = format!("j{}-{height}-{backend}", mining.job_counter);
+        mining.jobs.insert(
             job_id.clone(),
             IssuedJob {
                 blob: true_blob.clone(),
@@ -280,8 +345,9 @@ impl Pool {
                 height,
             },
         );
+        drop(mining);
         let mut wire_blob = true_blob;
-        if inner.config.obfuscate {
+        if shared.config.obfuscate {
             obfuscation::xor_blob(&mut wire_blob);
         }
         Ok(Job::from_blob(job_id, &wire_blob, share_difficulty, height))
@@ -296,16 +362,17 @@ impl Pool {
         nonce: u32,
         result: &Hash32,
     ) -> Result<u64, String> {
-        let mut inner = self.inner.lock();
-        let current_height = inner.tip.as_ref().map(|t| t.height);
-        let (blob, share_difficulty) = match inner.jobs.get(job_id) {
+        let tip = self.tip_state();
+        let current_height = tip.tip.as_ref().map(|t| t.height);
+        let mut mining = self.shared.mining.lock();
+        let (blob, share_difficulty) = match mining.jobs.get(job_id) {
             None => {
-                inner.ledger.record_rejected();
+                mining.ledger.record_rejected();
                 return Err("unknown or stale job".to_string());
             }
             Some(job) => {
                 if Some(job.height) != current_height {
-                    inner.ledger.record_rejected();
+                    mining.ledger.record_rejected();
                     return Err("stale height".to_string());
                 }
                 (job.blob.clone(), job.share_difficulty)
@@ -314,44 +381,46 @@ impl Pool {
         // Reconstruct the blob with the claimed nonce and verify.
         let parsed = HashingBlob::parse(&blob).expect("issued blob parses");
         let mined = parsed.with_nonce(nonce).to_bytes();
-        let variant = inner.config.pow_variant;
+        let variant = self.shared.config.pow_variant;
         let hash = slow_hash(&mined, variant);
         if hash != *result {
-            inner.ledger.record_rejected();
+            mining.ledger.record_rejected();
             return Err("result hash mismatch".to_string());
         }
         if !check_hash(&hash, share_difficulty) {
-            inner.ledger.record_rejected();
+            mining.ledger.record_rejected();
             return Err("low difficulty share".to_string());
         }
-        Ok(inner.ledger.credit_share(token, share_difficulty))
+        Ok(mining.ledger.credit_share(token, share_difficulty))
     }
 
     /// Read access to the ledger (clone) for analyses and tests.
     pub fn ledger(&self) -> Ledger {
-        self.inner.lock().ledger.clone()
+        self.shared.mining.lock().ledger.clone()
     }
 
     /// Number of blocks this pool has won.
     pub fn blocks_won(&self) -> u64 {
-        self.inner.lock().blocks_won
+        self.shared.mining.lock().blocks_won
     }
 
     /// Builds the winning block at `found_at` and settles the ledger.
     /// Used by the `TemplateSource` adapter.
     pub fn win_block(&self, found_at: u64) -> Block {
-        let mut inner = self.inner.lock();
-        let tip = inner.tip.clone().expect("win_block without tip");
-        let version = Self::version_at(&inner, found_at);
-        let n_backends = inner.config.backends as u64;
-        let backend_idx = inner.rng.gen_range(n_backends) as usize;
-        let timestamp = inner.tip_seen_at + version as u64 * inner.config.template_refresh_secs;
-        let backend = inner.backends[backend_idx].clone();
-        let mut block = backend.template(&tip, version, timestamp);
-        block.header.nonce = inner.rng.next_u32();
-        let fee = inner.config.fee_fraction;
-        inner.ledger.distribute(tip.reward, fee);
-        inner.blocks_won += 1;
+        let shared = &*self.shared;
+        let tip = self.tip_state();
+        let info = tip.tip.clone().expect("win_block without tip");
+        let version = Self::version_at(&shared.config, &tip, found_at);
+        let timestamp = tip.seen_at + version as u64 * shared.config.template_refresh_secs;
+        let mut mining = shared.mining.lock();
+        let n_backends = shared.config.backends as u64;
+        let backend_idx = mining.rng.gen_range(n_backends) as usize;
+        let backend = shared.backends[backend_idx].backend.clone();
+        let mut block = backend.template(&info, version, timestamp);
+        block.header.nonce = mining.rng.next_u32();
+        let fee = shared.config.fee_fraction;
+        mining.ledger.distribute(info.reward, fee);
+        mining.blocks_won += 1;
         block
     }
 
@@ -375,7 +444,7 @@ impl Pool {
                     reason: e.to_string(),
                 },
                 Ok(ClientMsg::Auth { token: t }) => {
-                    let hashes = self.inner.lock().ledger.lifetime_hashes(&t);
+                    let hashes = self.shared.mining.lock().ledger.lifetime_hashes(&t);
                     token = Some(t);
                     ServerMsg::Authed { hashes }
                 }
@@ -650,7 +719,35 @@ mod tests {
 
     /// Test helper: credit shares without grinding PoW.
     fn credit_via_internal(p: &Pool, token: &Token, hashes: u64) {
-        p.inner.lock().ledger.credit_share(token, hashes);
+        p.shared.mining.lock().ledger.credit_share(token, hashes);
+    }
+
+    #[test]
+    fn concurrent_peeks_race_tip_announcements_safely() {
+        // The split-lock structure must stay coherent when peeks of
+        // different backends overlap a tip swap: every job returned is
+        // for one of the announced heights, never a torn mix.
+        let p = pool();
+        p.announce_tip(&tip(1, 100));
+        let peekers: Vec<_> = (0..4)
+            .map(|t| {
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    for s in 0..200u64 {
+                        let endpoint = (t * 7 + s as usize) % 32;
+                        if let Ok(job) = p.peek_job(endpoint, 100 + s) {
+                            assert!((1..=8).contains(&job.height), "height {}", job.height);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in 2..=8u64 {
+            p.announce_tip(&tip(h, 100 + h * 20));
+        }
+        for t in peekers {
+            t.join().unwrap();
+        }
     }
 
     #[test]

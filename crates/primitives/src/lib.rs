@@ -12,17 +12,21 @@
 //! Everything here is implemented from scratch on top of `std` so that the
 //! rest of the workspace stays dependency-light and fully deterministic.
 
+pub mod fault;
 pub mod hex;
 pub mod keccak;
 pub mod par;
+pub mod retry;
 pub mod rng;
 pub mod sha256;
 pub mod stats;
 pub mod varint;
 
+pub use fault::{Fault, FaultConfig, FaultPlan};
 pub use hex::{from_hex, to_hex};
 pub use keccak::{keccak1600, keccak256, sha3_256};
 pub use par::{ExecRun, ExecStats, ParallelExecutor, ShardStats, ShardedTask};
+pub use retry::{retry, Clock, ErrorClass, GiveUp, RetryPolicy, Retryable, VirtualClock};
 pub use rng::DetRng;
 pub use sha256::sha256;
 

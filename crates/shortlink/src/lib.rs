@@ -20,6 +20,10 @@
 //!   and hash-count-gated redirect release,
 //! * [`enumerate`] — the researcher's ID-space walk producing the Fig 3 /
 //!   Fig 4 datasets (biased and user-bias-removed),
+//! * [`probe`] — the transport abstraction under the walk: probes can
+//!   fail (distinctly from finding a dead ID), faults are injected on a
+//!   seeded schedule, and retries follow the shared
+//!   [`minedig_primitives::retry::RetryPolicy`],
 //! * [`resolve`] — the non-browser resolver: real PoW through the pool's
 //!   miner client (including the XOR de-obfuscation) or an accounted fast
 //!   path for bulk studies.
@@ -27,9 +31,11 @@
 pub mod enumerate;
 pub mod ids;
 pub mod model;
+pub mod probe;
 pub mod resolve;
 pub mod service;
 
 pub use ids::{code_to_index, index_to_code};
 pub use model::{LinkPopulation, LinkRecord, ModelConfig};
+pub use probe::{FaultyProber, LinkProber, ProbeError, ProbePolicy};
 pub use service::{ShortlinkService, VisitDoc};

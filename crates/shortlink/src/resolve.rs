@@ -30,6 +30,10 @@ pub struct ResolveReport {
     pub resolved: Vec<(String, String)>,
     /// Links skipped because they exceeded the per-link budget.
     pub skipped_over_budget: u64,
+    /// Codes whose visit produced no document (dead or unknown links in
+    /// the study input) — dropped from the Table 4/5 studies, but no
+    /// longer silently.
+    pub visit_failures: u64,
     /// Total hashes the run accounted for.
     pub hashes_spent: u64,
 }
@@ -45,6 +49,7 @@ pub fn resolve_accounted(
     let mut report = ResolveReport::default();
     for code in codes {
         let Some(doc) = service.visit(code) else {
+            report.visit_failures += 1;
             continue;
         };
         if doc.required_hashes > budget_per_link {
@@ -162,9 +167,26 @@ mod tests {
             report.resolved.len() as u64 + report.skipped_over_budget,
             3_000
         );
+        assert_eq!(report.visit_failures, 0);
         // Spent hashes == sum of requirements of resolved links.
         assert!(report.hashes_spent >= report.resolved.len() as u64 * 256);
         assert!(report.hashes_spent <= report.resolved.len() as u64 * 10_000);
+    }
+
+    #[test]
+    fn dead_codes_are_counted_not_swallowed() {
+        let mut service = service_with(10);
+        let codes: Vec<String> = ["a", "zzzz", "!!!", "b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let report = resolve_accounted(&mut service, &codes, u64::MAX);
+        assert_eq!(report.visit_failures, 2, "zzzz and !!! have no document");
+        assert_eq!(
+            report.resolved.len() as u64 + report.skipped_over_budget + report.visit_failures,
+            4,
+            "every input code lands in exactly one counter"
+        );
     }
 
     #[test]

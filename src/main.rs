@@ -11,11 +11,12 @@
 use minedig::analysis::economics::{pool_revenue, ExchangeRate};
 use minedig::analysis::scenario::{run_scenario, ScenarioConfig};
 use minedig::core::exec::ScanExecutor;
-use minedig::core::report::{comparison_table, scan_stats, Comparison};
-use minedig::core::scan::build_reference_db;
+use minedig::core::report::{comparison_table, fetch_stats, scan_stats, Comparison};
+use minedig::core::scan::{build_reference_db, FetchModel};
 use minedig::core::shortlink_study::{run_study, StudyConfig};
 use minedig::pow::hashrate::measure_hashrate;
 use minedig::pow::Variant;
+use minedig::primitives::fault::FaultPlan;
 use minedig::primitives::par::ParallelExecutor;
 use minedig::shortlink::model::ModelConfig;
 use minedig::web::universe::Population;
@@ -72,21 +73,34 @@ fn cmd_scan(args: &[String]) {
         population.true_active_miners()
     );
 
+    // MINEDIG_FAULT_SEED injects a reproducible transport fault
+    // schedule; the retry budget outlasts its transient faults, so only
+    // permanent ones surface (as unreachable counts).
+    let model = match FaultPlan::from_env() {
+        Some(plan) => {
+            println!("fault injection on (seed {})", plan.seed());
+            FetchModel::outlasting(plan)
+        }
+        None => FetchModel::default(),
+    };
+
     // Sharded across MINEDIG_SHARDS workers (default: all cores);
     // outcomes are bit-identical to a sequential scan.
     let executor = ScanExecutor::from_env();
-    let zg_run = executor.zgrab(&population, seed);
+    let zg_run = executor.zgrab_with(&population, seed, &model);
     let zg = zg_run.outcome;
     println!(
         "zgrab + NoCoin (TLS-only, 256 kB): {} domains flagged, 0 FPs on {} clean samples",
         zg.hit_domains, zg.clean_sample_size
     );
     print!("{}", scan_stats("zgrab", &zg_run.stats));
+    print!("{}", fetch_stats("zgrab fetches", &zg.fetch));
 
     if zone.chrome_scanned() {
         let db = build_reference_db(0.7);
-        let ch_run = executor.chrome(&population, &db, seed);
+        let ch_run = executor.chrome_with(&population, &db, seed, &model);
         print!("{}", scan_stats("chrome", &ch_run.stats));
+        print!("{}", fetch_stats("chrome fetches", &ch_run.outcome.fetch));
         let ch = ch_run.outcome;
         let rows = vec![
             Comparison::new(
@@ -125,12 +139,24 @@ fn cmd_attribute(args: &[String]) {
         "simulating {days} days of Monero with an instrumented Coinhive-style pool \
          ({poll_shards}-shard polling)…"
     );
-    let result = run_scenario(ScenarioConfig {
+    let mut config = ScenarioConfig {
         duration_days: days,
         seed,
         poll_shards,
         ..ScenarioConfig::default()
-    });
+    };
+    if let Some(plan) = FaultPlan::from_env() {
+        println!("fault injection on (seed {})", plan.seed());
+        config.poll_retry =
+            minedig::primitives::retry::RetryPolicy::attempts(plan.attempts_to_clear());
+        config.poll_faults = Some(plan);
+    }
+    let result = run_scenario(config);
+    let ps = &result.poll_stats;
+    println!(
+        "polls: {} issued, {} answered, {} offline, {} retries, {} endpoint-sweeps down",
+        ps.polls, ps.answered, ps.offline, ps.retries, ps.endpoints_down
+    );
     let share = result.attributed.len() as f64 / result.total_blocks.max(1) as f64;
     println!(
         "blocks: {} total, {} attributed to the pool ({:.2}%, paper: 1.18%)",

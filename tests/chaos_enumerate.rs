@@ -1,0 +1,120 @@
+//! Chaos properties of the §4.1 shortlink enumeration.
+//!
+//! A transient probe failure must never truncate the dead-run stop
+//! heuristic (the paper's walk survived `cnhv.co` throttling): with an
+//! outlasting retry budget the walk is bit-identical to the fault-free
+//! one, and the windowed-sharded walk stays bit-identical to the
+//! sequential walk under *any* fault schedule, permanent faults
+//! included.
+//!
+//! `MINEDIG_FAULT_SEED` offsets every fault-plan seed (the CI chaos
+//! matrix axis).
+
+use minedig::primitives::fault::{FaultConfig, FaultPlan, FAULT_SEED_ENV};
+use minedig::primitives::par::ParallelExecutor;
+use minedig::shortlink::enumerate::{
+    enumerate_links, enumerate_links_windowed_with, enumerate_links_with,
+};
+use minedig::shortlink::model::{LinkPopulation, ModelConfig};
+use minedig::shortlink::probe::{FaultyProber, ProbePolicy};
+use minedig::shortlink::service::ShortlinkService;
+use proptest::prelude::*;
+
+fn base_seed() -> u64 {
+    std::env::var(FAULT_SEED_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn service(links: u64, seed: u64) -> ShortlinkService {
+    ShortlinkService::new(LinkPopulation::generate(&ModelConfig {
+        total_links: links,
+        // The model needs more users than its explicitly-shared head.
+        users: (links as usize / 4).clamp(11, 100),
+        seed,
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Clearing faults + an outlasting retry budget reproduce the
+    // fault-free walk bit-identically, and the windowed-sharded walk
+    // matches the faulty sequential walk exactly.
+    #[test]
+    fn clearing_faults_cost_nothing(
+        links in 1u64..400,
+        seed in 0u64..1_000_000,
+        limit in 1u64..30,
+        fault_off in 0u64..1_000,
+        prob in 0.1f64..0.9,
+        shards in 1usize..=16,
+        chunk in 1usize..64,
+    ) {
+        let svc = service(links, seed);
+        let reference = enumerate_links(&svc, limit);
+        let plan = FaultPlan::transient_only(base_seed().wrapping_add(fault_off), prob);
+        let policy = ProbePolicy::outlasting(&plan);
+        let prober = FaultyProber::new(&svc, plan);
+        let faulty = enumerate_links_with(&prober, limit, &policy);
+        prop_assert_eq!(&faulty.docs, &reference.docs);
+        prop_assert_eq!(faulty.probed, reference.probed);
+        prop_assert_eq!(faulty.failed_probes, 0, "clearing faults never exhaust");
+        let run = enumerate_links_windowed_with(
+            &prober,
+            limit,
+            &ParallelExecutor::new(shards),
+            chunk,
+            &policy,
+        );
+        prop_assert_eq!(&run.enumeration.docs, &faulty.docs, "shards={}", shards);
+        prop_assert_eq!(run.enumeration.probed, faulty.probed);
+        prop_assert_eq!(run.enumeration.probe_retries, faulty.probe_retries);
+        prop_assert_eq!(run.enumeration.failed_probes, 0);
+    }
+
+    // Under mixed (partially permanent) faults the sharded walk still
+    // matches the sequential walk bit-for-bit, and every lost probe is
+    // accounted in `failed_probes` exactly once.
+    #[test]
+    fn sharded_walk_survives_permanent_faults(
+        links in 1u64..300,
+        seed in 0u64..1_000_000,
+        limit in 1u64..20,
+        fault_off in 0u64..1_000,
+        permanent in 0.1f64..0.8,
+        shards in 1usize..=16,
+        chunk in 1usize..48,
+    ) {
+        let svc = service(links, seed);
+        let plan = FaultPlan::with_config(
+            base_seed().wrapping_add(fault_off),
+            FaultConfig {
+                fault_prob: 0.4,
+                permanent_prob: permanent,
+                ..FaultConfig::default()
+            },
+        );
+        let policy = ProbePolicy::outlasting(&plan);
+        let prober = FaultyProber::new(&svc, plan);
+        let sequential = enumerate_links_with(&prober, limit, &policy);
+        // Accounting: every probe is a doc, a failure, or a confirmed
+        // dead ID — and the walk only ends on `limit` consecutive deads.
+        let dead = sequential.probed
+            - sequential.docs.len() as u64
+            - sequential.failed_probes;
+        prop_assert!(dead >= limit);
+        let run = enumerate_links_windowed_with(
+            &prober,
+            limit,
+            &ParallelExecutor::new(shards),
+            chunk,
+            &policy,
+        );
+        prop_assert_eq!(&run.enumeration.docs, &sequential.docs, "shards={}", shards);
+        prop_assert_eq!(run.enumeration.probed, sequential.probed);
+        prop_assert_eq!(run.enumeration.failed_probes, sequential.failed_probes);
+        prop_assert_eq!(run.enumeration.probe_retries, sequential.probe_retries);
+    }
+}

@@ -1,0 +1,140 @@
+//! Chaos properties of the §4.2 endpoint observer and the full
+//! attribution scenario.
+//!
+//! With retries sized to outlast every transient fault, polling through
+//! a faulty transport yields the exact clusters, attribution, and
+//! counters of the fault-free run; endpoints that exhaust the budget
+//! are accounted as per-sweep observation gaps (`endpoints_down`), and
+//! the sharded sweep stays identical to the sequential one under any
+//! schedule.
+//!
+//! `MINEDIG_FAULT_SEED` offsets every fault-plan seed (the CI chaos
+//! matrix axis).
+
+use minedig::analysis::poller::{FaultyJobSource, Observer, PollPolicy};
+use minedig::analysis::scenario::{run_scenario, ScenarioConfig};
+use minedig::chain::netsim::TipInfo;
+use minedig::chain::tx::Transaction;
+use minedig::pool::pool::{Pool, PoolConfig};
+use minedig::primitives::fault::{FaultConfig, FaultPlan, FAULT_SEED_ENV};
+use minedig::primitives::par::ParallelExecutor;
+use minedig::primitives::retry::RetryPolicy;
+use minedig::primitives::Hash32;
+
+fn base_seed() -> u64 {
+    std::env::var(FAULT_SEED_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn pool_with_tip() -> Pool {
+    let pool = Pool::new(PoolConfig::default());
+    pool.announce_tip(&TipInfo {
+        height: 10,
+        prev_id: Hash32::keccak(b"prev-10"),
+        prev_timestamp: 1_000,
+        reward: 1_000_000,
+        difficulty: 100,
+        mempool: vec![Transaction::transfer(Hash32::keccak(b"m"))],
+    });
+    pool
+}
+
+/// Clearing faults + outlasting retries reproduce the clean observer
+/// run exactly, across several schedules.
+#[test]
+fn clearing_faults_reproduce_the_clean_observation() {
+    for off in 0..4u64 {
+        let pool = pool_with_tip();
+        let mut clean = Observer::new(pool.clone(), true);
+        let plan = FaultPlan::transient_only(base_seed().wrapping_add(off), 0.5);
+        let mut faulty = Observer::with_source(
+            FaultyJobSource::new(pool, plan.clone()),
+            true,
+            PollPolicy::outlasting(&plan),
+        );
+        for t in (1_000..1_150).step_by(5) {
+            clean.poll_all(t);
+            faulty.poll_all(t);
+        }
+        assert!(faulty.stats().retries > 0, "off={off}");
+        assert_eq!(faulty.current_prev(), clean.current_prev(), "off={off}");
+        assert_eq!(
+            faulty.current_blob_count(),
+            clean.current_blob_count(),
+            "off={off}"
+        );
+        let (c, f) = (clean.stats(), faulty.stats());
+        assert_eq!(f.answered, c.answered, "off={off}");
+        assert_eq!(f.endpoints_down, 0, "off={off}");
+        assert_eq!(f.max_blobs_per_prev, c.max_blobs_per_prev, "off={off}");
+        assert!(f.balanced(), "off={off}");
+    }
+}
+
+/// Under mixed (partially permanent) faults the sharded sweep matches
+/// the sequential sweep for shards 1–16, and the degradation counters
+/// balance.
+#[test]
+fn sharded_sweeps_survive_permanent_faults() {
+    let plan = FaultPlan::with_config(
+        base_seed().wrapping_add(40),
+        FaultConfig {
+            fault_prob: 0.5,
+            permanent_prob: 0.3,
+            ..FaultConfig::default()
+        },
+    );
+    for shards in 1..=16usize {
+        let pool = pool_with_tip();
+        let mut seq = Observer::with_source(
+            FaultyJobSource::new(pool.clone(), plan.clone()),
+            true,
+            PollPolicy::default(),
+        );
+        let mut par = Observer::with_source(
+            FaultyJobSource::new(pool, plan.clone()),
+            true,
+            PollPolicy::default(),
+        );
+        let executor = ParallelExecutor::new(shards);
+        for t in (1_000..1_100).step_by(5) {
+            seq.poll_all(t);
+            par.poll_all_sharded(t, &executor);
+        }
+        assert_eq!(par.current_prev(), seq.current_prev(), "shards={shards}");
+        let (ss, ps) = (seq.stats(), par.stats());
+        assert_eq!(ps.answered, ss.answered, "shards={shards}");
+        assert_eq!(ps.endpoints_down, ss.endpoints_down, "shards={shards}");
+        assert_eq!(ps.retries, ss.retries, "shards={shards}");
+        assert_eq!(ps.reconnects, ss.reconnects, "shards={shards}");
+        assert!(ps.balanced(), "shards={shards}");
+    }
+}
+
+/// The headline invariant end-to-end: a full attribution scenario over
+/// a faulty-but-clearing transport attributes exactly the same blocks
+/// as the fault-free scenario.
+#[test]
+fn scenario_attribution_is_fault_free_equivalent() {
+    let clean = run_scenario(ScenarioConfig {
+        duration_days: 1,
+        seed: 11,
+        ..ScenarioConfig::default()
+    });
+    let plan = FaultPlan::transient_only(base_seed().wrapping_add(101), 0.35);
+    let faulty = run_scenario(ScenarioConfig {
+        duration_days: 1,
+        seed: 11,
+        poll_retry: RetryPolicy::attempts(plan.attempts_to_clear()),
+        poll_faults: Some(plan),
+        ..ScenarioConfig::default()
+    });
+    assert!(faulty.poll_stats.retries > 0);
+    assert_eq!(faulty.attributed, clean.attributed);
+    assert_eq!(faulty.total_blocks, clean.total_blocks);
+    assert_eq!(faulty.poll_stats.answered, clean.poll_stats.answered);
+    assert_eq!(faulty.poll_stats.endpoints_down, 0);
+    assert!(faulty.poll_stats.balanced());
+}

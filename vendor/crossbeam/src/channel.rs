@@ -47,6 +47,16 @@ pub enum TrySendError<T> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
 
+/// Error for [`Sender::send_timeout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The timeout elapsed with the channel still full; the message is
+    /// handed back.
+    Timeout(T),
+    /// Every receiver is gone; the message is handed back.
+    Disconnected(T),
+}
+
 /// Error for [`Receiver::recv`]: channel empty and every sender is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
@@ -95,6 +105,32 @@ impl<T> Sender<T> {
                 return Ok(());
             }
             s = self.chan.writable.wait(s).unwrap();
+        }
+    }
+
+    /// Sends, blocking at most `timeout` while the channel is full.
+    pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.chan.state.lock().unwrap();
+        loop {
+            if s.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(msg));
+            }
+            if s.queue.len() < self.chan.capacity {
+                s.queue.push_back(msg);
+                drop(s);
+                self.chan.readable.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(msg));
+            }
+            let (guard, result) = self.chan.writable.wait_timeout(s, deadline - now).unwrap();
+            s = guard;
+            if result.timed_out() && s.queue.len() >= self.chan.capacity && s.receivers > 0 {
+                return Err(SendTimeoutError::Timeout(msg));
+            }
         }
     }
 }
@@ -236,6 +272,32 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(5)),
             Err(RecvTimeoutError::Disconnected)
         );
+    }
+
+    #[test]
+    fn send_timeout_expires_on_full_channel() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        assert_eq!(
+            tx.send_timeout(2, Duration::from_millis(5)),
+            Err(SendTimeoutError::Timeout(2))
+        );
+        drop(rx);
+        assert_eq!(
+            tx.send_timeout(3, Duration::from_millis(5)),
+            Err(SendTimeoutError::Disconnected(3))
+        );
+    }
+
+    #[test]
+    fn send_timeout_unblocks_when_space_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send_timeout(2, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
     }
 
     #[test]
