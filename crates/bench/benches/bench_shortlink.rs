@@ -38,13 +38,7 @@ fn bench_resolve(c: &mut Criterion) {
     group.bench_function("resolve_accounted", |b| {
         b.iter_batched(
             || ShortlinkService::new(LinkPopulation::generate(&config())),
-            |mut service| {
-                black_box(
-                    resolve_accounted(&mut service, &codes, 10_000)
-                        .resolved
-                        .len(),
-                )
-            },
+            |service| black_box(resolve_accounted(&service, &codes, 10_000).resolved.len()),
             criterion::BatchSize::LargeInput,
         )
     });

@@ -1,0 +1,210 @@
+//! Smoke-sized barrier-vs-streaming comparison of the pipelined
+//! workloads, writing wall-clock, stage occupancy and fingerprint-cache
+//! hit rates to `BENCH_pipeline.json` (override with `MINEDIG_BENCH_OUT`).
+//!
+//! "Barrier" means run each stage to completion before the next starts
+//! (the sequential/sharded executors); "streaming" pushes every item
+//! through all stages as it arrives, so stage N+1 begins while stage N
+//! is still producing. Outcomes are bit-identical by construction — the
+//! pipeline's reorder buffer folds in sequence order — so only the
+//! timings and the occupancy shape differ.
+
+use minedig_bench::env_u64;
+use minedig_core::exec::{chrome_scan_streaming, zgrab_scan_streaming, ScanExecutor};
+use minedig_core::scan::{build_reference_db, FetchModel};
+use minedig_core::shortlink_study::{run_study, run_study_streaming, StudyConfig};
+use minedig_primitives::pipeline::{PipelineExecutor, PipelineStats};
+use minedig_shortlink::model::ModelConfig;
+use minedig_wasm::cache::FingerprintCache;
+use minedig_web::universe::Population;
+use minedig_web::zone::Zone;
+use std::hint::black_box;
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
+const CAPACITY: usize = 128;
+
+struct StreamRun {
+    workers: usize,
+    secs: f64,
+    overlapped: bool,
+    /// (occupancy, steals, backpressure waits) per processing stage.
+    stages: Vec<(f64, u64, u64)>,
+}
+
+struct Workload {
+    name: &'static str,
+    items: u64,
+    barrier_secs: f64,
+    streaming: Vec<StreamRun>,
+}
+
+fn time<T, F: FnMut() -> T>(mut f: F) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn stream_run(workers: usize, secs: f64, stats: &PipelineStats) -> StreamRun {
+    StreamRun {
+        workers,
+        secs,
+        overlapped: stats.strictly_overlapped(),
+        stages: stats
+            .stages
+            .iter()
+            .map(|s| (s.occupancy(stats.elapsed), s.steals, s.backpressure_waits))
+            .collect(),
+    }
+}
+
+fn main() {
+    let seed = env_u64("MINEDIG_SEED", 2018);
+    let mut workloads = Vec::new();
+
+    // §3.1: zgrab fetch → NoCoin match, single processing stage.
+    let population = Population::generate(Zone::Com, seed, 60_000);
+    let domains = (population.artifacts.len() + population.clean_sample.len()) as u64;
+    let model = FetchModel::default();
+    let (_, barrier_secs) =
+        time(|| black_box(ScanExecutor::new(8).zgrab_with(&population, seed, &model)));
+    let mut streaming = Vec::new();
+    for workers in WORKER_COUNTS {
+        let pipe = PipelineExecutor::new(workers, CAPACITY);
+        let (run, secs) = time(|| zgrab_scan_streaming(&population, seed, &model, &pipe));
+        black_box(&run.outcome);
+        streaming.push(stream_run(workers, secs, &run.stats));
+    }
+    workloads.push(Workload {
+        name: "zgrab_scan",
+        items: domains,
+        barrier_secs,
+        streaming,
+    });
+
+    // §3.2: chrome fetch → Wasm fingerprint, two stages sharing the
+    // content-addressed fingerprint memo.
+    let db = build_reference_db(0.7);
+    let (_, barrier_secs) =
+        time(|| black_box(ScanExecutor::new(8).chrome_with(&population, &db, seed, &model)));
+    let cache = FingerprintCache::new();
+    let mut streaming = Vec::new();
+    for workers in WORKER_COUNTS {
+        let pipe = PipelineExecutor::new(workers, CAPACITY);
+        let (run, secs) =
+            time(|| chrome_scan_streaming(&population, &db, seed, &model, Some(&cache), &pipe));
+        black_box(&run.outcome);
+        streaming.push(stream_run(workers, secs, &run.stats));
+    }
+    workloads.push(Workload {
+        name: "chrome_scan",
+        items: domains,
+        barrier_secs,
+        streaming,
+    });
+
+    // §4.1: shortlink enumerate → resolve. Barrier = the batch study
+    // (enumerate everything, then resolve); streaming overlaps
+    // resolution with the ID-space walk.
+    let config = StudyConfig {
+        model: ModelConfig {
+            total_links: 120_000,
+            users: 8_000,
+            seed,
+        },
+        ..StudyConfig::default()
+    };
+    let (batch, barrier_secs) = time(|| run_study(&config, seed));
+    let items = batch.enumeration.probed;
+    black_box(&batch);
+    let mut streaming = Vec::new();
+    for workers in WORKER_COUNTS {
+        let pipe = PipelineExecutor::new(workers, CAPACITY);
+        let (streamed, secs) = time(|| run_study_streaming(&config, seed, &pipe));
+        black_box(&streamed.result);
+        let mut run = stream_run(workers, secs, &streamed.enum_stats);
+        // The resolver rides outside the enumeration pipeline; its
+        // overlap evidence is the streaming headline here.
+        run.overlapped = streamed.overlapped();
+        streaming.push(run);
+    }
+    workloads.push(Workload {
+        name: "enumerate_resolve",
+        items,
+        barrier_secs,
+        streaming,
+    });
+
+    // Human summary…
+    for w in &workloads {
+        println!("{} ({} items):", w.name, w.items);
+        println!("  barrier: {:.3}s", w.barrier_secs);
+        for r in &w.streaming {
+            let occ: Vec<String> = r
+                .stages
+                .iter()
+                .map(|(o, st, bp)| format!("{:.0}% (steals {st}, waits {bp})", o * 100.0))
+                .collect();
+            println!(
+                "  streaming x{}: {:.3}s ({}, occupancy {})",
+                r.workers,
+                r.secs,
+                if r.overlapped {
+                    "overlapped"
+                } else {
+                    "serialized"
+                },
+                occ.join(" / ")
+            );
+        }
+    }
+    println!(
+        "fingerprint cache: {} hits / {} misses ({:.1}% hit rate, {} modules)",
+        cache.hits(),
+        cache.misses(),
+        cache.hit_rate() * 100.0,
+        cache.entries()
+    );
+
+    // …and the machine-readable map.
+    let mut json = String::from("{\n  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"items\": {}, \"barrier_secs\": {:.6}, \"streaming\": [",
+            w.name, w.items, w.barrier_secs
+        ));
+        for (j, r) in w.streaming.iter().enumerate() {
+            let stages: Vec<String> = r
+                .stages
+                .iter()
+                .map(|(o, st, bp)| {
+                    format!(
+                        "{{\"occupancy\": {o:.4}, \"steals\": {st}, \"backpressure_waits\": {bp}}}"
+                    )
+                })
+                .collect();
+            json.push_str(&format!(
+                "{{\"workers\": {}, \"secs\": {:.6}, \"overlapped\": {}, \"stages\": [{}]}}{}",
+                r.workers,
+                r.secs,
+                r.overlapped,
+                stages.join(", "),
+                if j + 1 == w.streaming.len() { "" } else { ", " }
+            ));
+        }
+        json.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 == workloads.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"fingerprint_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"entries\": {}}}\n}}\n",
+        cache.hits(),
+        cache.misses(),
+        cache.hit_rate(),
+        cache.entries()
+    ));
+    let out = std::env::var("MINEDIG_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -1,11 +1,16 @@
 //! Figure 2: NoCoin-detected miners on Alexa and .com/.net/.org, two scan
 //! dates each, with the share of the top filter targets.
+//!
+//! The second scan date is churn-aware and incremental: the first scan
+//! retains every per-domain verdict, and only the domains that churned
+//! in (fresh arrivals) are re-probed — bit-identical to re-scanning the
+//! whole second population.
 
 use minedig_bench::seed;
-use minedig_core::exec::ScanExecutor;
-use minedig_core::report::{bar_chart, comparison_table, scan_stats, Comparison};
+use minedig_core::report::{bar_chart, comparison_table, Comparison};
+use minedig_core::scan::{zgrab_scan_retaining, FetchModel};
 use minedig_nocoin::list::ServiceLabel;
-use minedig_web::churn::{second_scan, DEFAULT_REMOVAL_RATE};
+use minedig_web::churn::{second_scan_with_delta, DEFAULT_REMOVAL_RATE};
 use minedig_web::universe::Population;
 use minedig_web::zone::Zone;
 
@@ -21,18 +26,22 @@ fn main() {
     let seed = seed();
     println!("Figure 2 — NoCoin detected miners (zgrab, TLS-only, 256 kB)\n");
 
-    let executor = ScanExecutor::from_env();
+    let model = FetchModel::default();
     let mut rows = Vec::new();
     for (zone, paper_first, paper_second) in PAPER {
         let population = Population::generate(zone, seed, 500);
-        let first_run = executor.zgrab(&population, seed);
-        eprint!(
-            "{}",
-            scan_stats(&format!("zgrab scan 1 {}", zone.label()), &first_run.stats)
+        let memo = zgrab_scan_retaining(&population, seed, &model);
+        let first = memo.first.clone();
+        let (population2, delta) = second_scan_with_delta(&population, seed, DEFAULT_REMOVAL_RATE);
+        let (second, rescan) = memo.rescan(&population2, &delta, &model);
+        eprintln!(
+            "zgrab scan 2 {}: incremental — {} verdicts reused, {} fresh probes \
+             ({} removed between dates)",
+            zone.label(),
+            rescan.reused,
+            rescan.probed,
+            delta.removed
         );
-        let first = first_run.outcome;
-        let population2 = second_scan(&population, seed, DEFAULT_REMOVAL_RATE);
-        let second = executor.zgrab(&population2, seed).outcome;
 
         rows.push(Comparison::new(
             &format!("{} scan 1", zone.label()),

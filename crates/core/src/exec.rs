@@ -33,12 +33,17 @@
 //! random seeds and zone sizes, both scan kinds).
 
 use crate::scan::{
-    chrome_scan_shard_with, zgrab_scan_shard_with, ChromeScanOutcome, FetchModel, ZgrabScanOutcome,
+    chrome_classify_domain, chrome_fetch_domain, chrome_fold, chrome_scan_shard_with, zgrab_fold,
+    zgrab_probe_domain, zgrab_scan_shard_with, ChromeFetched, ChromeProbeCtx, ChromeScanOutcome,
+    ChromeVerdict, FetchModel, ZgrabProbeCtx, ZgrabScanOutcome, ZgrabVerdict,
 };
+use minedig_nocoin::NoCoinEngine;
 use minedig_primitives::par::{ExecRun, ParallelExecutor, ShardedTask};
+use minedig_primitives::pipeline::{PipelineExecutor, PipelineRun, PipelineStage};
+use minedig_wasm::cache::FingerprintCache;
 use minedig_wasm::sigdb::SignatureDb;
 use minedig_web::universe::{Domain, Population};
-use std::ops::Range;
+use std::ops::{ControlFlow, Range};
 use std::sync::atomic::AtomicU64;
 
 pub use minedig_primitives::par::{ExecStats, ShardStats};
@@ -183,6 +188,136 @@ impl ScanExecutor {
     }
 }
 
+/// The zgrab probe as a [`PipelineStage`]: items are `(domain, clean)`
+/// pairs borrowed from the population, verdicts flow to the in-order
+/// fold at the sink.
+struct ZgrabStage<'a> {
+    ctx: &'a ZgrabProbeCtx<'a>,
+}
+
+impl<'a> PipelineStage for ZgrabStage<'a> {
+    type In = (&'a Domain, bool);
+    type Out = (ZgrabVerdict, bool);
+    type Scratch = ();
+
+    fn scratch(&self) {}
+
+    fn process(&self, (d, clean): Self::In, _scratch: &mut ()) -> Self::Out {
+        (zgrab_probe_domain(self.ctx, d), clean)
+    }
+}
+
+/// Stage 1 of the streaming Chrome scan: transport reach plus the
+/// instrumented browser load, emitting the capture downstream.
+struct ChromeFetchStage<'a> {
+    ctx: &'a ChromeProbeCtx<'a>,
+}
+
+impl<'a> PipelineStage for ChromeFetchStage<'a> {
+    type In = (&'a Domain, bool);
+    type Out = (&'a Domain, bool, ChromeFetched);
+    type Scratch = ();
+
+    fn scratch(&self) {}
+
+    fn process(&self, (d, clean): Self::In, _scratch: &mut ()) -> Self::Out {
+        let fetched = chrome_fetch_domain(self.ctx, d);
+        (d, clean, fetched)
+    }
+}
+
+/// Stage 2 of the streaming Chrome scan: NoCoin labeling plus Wasm
+/// fingerprinting, with a per-worker scratch encode buffer and the
+/// shared fingerprint memo (when the context carries one).
+struct ChromeClassifyStage<'a> {
+    ctx: &'a ChromeProbeCtx<'a>,
+}
+
+impl<'a> PipelineStage for ChromeClassifyStage<'a> {
+    type In = (&'a Domain, bool, ChromeFetched);
+    type Out = (ChromeVerdict, bool);
+    type Scratch = Vec<u8>;
+
+    fn scratch(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn process(&self, (d, clean, fetched): Self::In, scratch: &mut Vec<u8>) -> Self::Out {
+        (chrome_classify_domain(self.ctx, d, fetched, scratch), clean)
+    }
+}
+
+/// Iterates a population in scan order: artifact domains, then the
+/// clean sample, each tagged with its clean flag.
+fn population_items(population: &Population) -> impl Iterator<Item = (&Domain, bool)> + Send {
+    population
+        .artifacts
+        .iter()
+        .map(|d| (d, false))
+        .chain(population.clean_sample.iter().map(|d| (d, true)))
+}
+
+/// Streaming zgrab + NoCoin scan (§3.1): probes overlap the fold rather
+/// than running chunk-then-barrier. Bit-identical to
+/// [`crate::scan::zgrab_scan_with`] for any worker count and channel
+/// capacity — the probe is keyed by `(seed, domain name)` and the sink
+/// folds in population order.
+pub fn zgrab_scan_streaming(
+    population: &Population,
+    seed: u64,
+    model: &FetchModel,
+    pipe: &PipelineExecutor,
+) -> PipelineRun<ZgrabScanOutcome> {
+    let engine = NoCoinEngine::new();
+    let ctx = ZgrabProbeCtx {
+        seed,
+        model,
+        engine: &engine,
+    };
+    let stage = ZgrabStage { ctx: &ctx };
+    let mut run = pipe.run(
+        population_items(population),
+        &stage,
+        ZgrabScanOutcome::empty(population.zone),
+        |acc, (verdict, clean)| {
+            zgrab_fold(acc, verdict, clean);
+            ControlFlow::Continue(())
+        },
+    );
+    run.outcome.total_domains = population.total;
+    run
+}
+
+/// Streaming instrumented-browser scan (§3.2): browser loads and Wasm
+/// classification run as two overlapped stages, so fingerprinting of
+/// early domains proceeds while later domains are still loading.
+/// Bit-identical to [`crate::scan::chrome_scan_with`] for any worker
+/// count and channel capacity, with or without the fingerprint memo
+/// (`cache` stores pure per-module fingerprints only).
+pub fn chrome_scan_streaming(
+    population: &Population,
+    db: &SignatureDb,
+    seed: u64,
+    model: &FetchModel,
+    cache: Option<&FingerprintCache>,
+    pipe: &PipelineExecutor,
+) -> PipelineRun<ChromeScanOutcome> {
+    let engine = NoCoinEngine::new();
+    let ctx = ChromeProbeCtx::new(seed, model, &engine, db, cache);
+    let fetch = ChromeFetchStage { ctx: &ctx };
+    let classify = ChromeClassifyStage { ctx: &ctx };
+    pipe.run2(
+        population_items(population),
+        &fetch,
+        &classify,
+        ChromeScanOutcome::empty(population.zone),
+        |acc, (verdict, clean)| {
+            chrome_fold(acc, verdict, clean);
+            ControlFlow::Continue(())
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +392,63 @@ mod tests {
         let pop = Population::generate(Zone::Org, 3, 2);
         let sequential = crate::scan::zgrab_scan(&pop, 3);
         let run = ScanExecutor::new(64).zgrab(&pop, 3);
+        assert_eq!(run.outcome, sequential);
+    }
+
+    #[test]
+    fn streaming_zgrab_matches_sequential() {
+        let pop = Population::generate(Zone::Org, 42, 50);
+        let sequential = crate::scan::zgrab_scan(&pop, 1);
+        for workers in [1, 2, 7] {
+            for capacity in [1, 64] {
+                let pipe = PipelineExecutor::new(workers, capacity);
+                let run = zgrab_scan_streaming(&pop, 1, &FetchModel::default(), &pipe);
+                assert_eq!(run.outcome, sequential, "workers={workers} cap={capacity}");
+                assert_eq!(
+                    run.stats.items,
+                    (pop.artifacts.len() + pop.clean_sample.len()) as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_chrome_matches_sequential_and_caches_fingerprints() {
+        let pop = Population::generate(Zone::Org, 42, 50);
+        let db = build_reference_db(0.7);
+        let sequential = crate::scan::chrome_scan(&pop, &db, 1);
+        let cache = FingerprintCache::new();
+        for workers in [1, 3] {
+            let pipe = PipelineExecutor::new(workers, 8);
+            let run =
+                chrome_scan_streaming(&pop, &db, 1, &FetchModel::default(), Some(&cache), &pipe);
+            assert_eq!(run.outcome, sequential, "workers={workers}");
+            assert_eq!(run.stats.stages.len(), 2);
+        }
+        // Miners redeploy identical modules across domains, so the memo
+        // must answer a healthy share of lookups — and the second scan
+        // reuses the first scan's entries wholesale.
+        assert!(cache.hit_rate() > 0.0, "hit rate {}", cache.hit_rate());
+        assert!(cache.hits() > cache.entries() as u64);
+    }
+
+    #[test]
+    fn streaming_scan_matches_sequential_under_faults() {
+        use minedig_primitives::fault::{FaultConfig, FaultPlan};
+        let pop = Population::generate(Zone::Org, 42, 50);
+        let plan = FaultPlan::with_config(
+            17,
+            FaultConfig {
+                fault_prob: 0.5,
+                permanent_prob: 0.4,
+                ..FaultConfig::default()
+            },
+        );
+        let model = FetchModel::outlasting(plan);
+        let sequential = crate::scan::zgrab_scan_with(&pop, 1, &model);
+        assert!(sequential.fetch.unreachable > 0);
+        let pipe = PipelineExecutor::new(4, 16);
+        let run = zgrab_scan_streaming(&pop, 1, &model, &pipe);
         assert_eq!(run.outcome, sequential);
     }
 }

@@ -40,9 +40,10 @@ pub mod report;
 pub mod scan;
 pub mod shortlink_study;
 
-pub use exec::{ScanExecutor, ScanRun, ScanStats};
+pub use exec::{chrome_scan_streaming, zgrab_scan_streaming, ScanExecutor, ScanRun, ScanStats};
 pub use report::Comparison;
 pub use scan::{
     build_reference_db, chrome_scan, chrome_scan_with, zgrab_scan, zgrab_scan_with,
     ChromeScanOutcome, FetchModel, FetchStats, ZgrabScanOutcome,
 };
+pub use shortlink_study::{run_study, run_study_streaming, StreamingStudy, StudyConfig};

@@ -2,6 +2,9 @@
 
 use crate::exec::ScanStats;
 use crate::scan::FetchStats;
+use minedig_analysis::poller::PollStats;
+use minedig_primitives::pipeline::PipelineStats;
+use minedig_shortlink::enumerate::Enumeration;
 
 /// One compared quantity.
 #[derive(Clone, Debug)]
@@ -156,6 +159,154 @@ pub fn fetch_stats(label: &str, stats: &FetchStats) -> String {
     out
 }
 
+/// One measurement campaign's transport-health counters, normalized
+/// into common columns so the zone scans, the link-space enumeration and
+/// the pool polling can sit side by side in one table.
+///
+/// The mapping per source:
+/// * fetch campaigns — `succeeded` counts every domain the transport
+///   reached (responding *or* silent; silence is a property of the
+///   population, not degradation), `lost` the retry-exhausted ones;
+/// * enumeration — `lost` is the probes that exhausted their retries
+///   (neutral to the dead run, but gone from the dataset);
+/// * polling — `lost` is outage-refused polls plus endpoint-sweeps that
+///   exhausted their retries.
+#[derive(Clone, Debug)]
+pub struct CampaignHealth {
+    /// Campaign label, e.g. `"zgrab .org"`.
+    pub campaign: String,
+    /// Units of work attempted (fetches, probes, polls).
+    pub attempted: u64,
+    /// Units the transport delivered a usable observation for.
+    pub succeeded: u64,
+    /// Units permanently lost to transport degradation.
+    pub lost: u64,
+    /// Transient faults recovered by retrying.
+    pub retries: u64,
+    /// Connections re-established after teardowns.
+    pub reconnects: u64,
+}
+
+impl CampaignHealth {
+    /// Health row of a scan's fetch campaign.
+    pub fn from_fetch(campaign: &str, stats: &FetchStats) -> CampaignHealth {
+        CampaignHealth {
+            campaign: campaign.to_string(),
+            attempted: stats.attempted,
+            succeeded: stats.responded + stats.silent,
+            lost: stats.unreachable,
+            retries: stats.retries,
+            reconnects: 0,
+        }
+    }
+
+    /// Health row of a link-space enumeration.
+    pub fn from_enumeration(campaign: &str, e: &Enumeration) -> CampaignHealth {
+        CampaignHealth {
+            campaign: campaign.to_string(),
+            attempted: e.probed,
+            succeeded: e.probed - e.failed_probes,
+            lost: e.failed_probes,
+            retries: e.probe_retries,
+            reconnects: 0,
+        }
+    }
+
+    /// Health row of a pool-polling campaign.
+    pub fn from_polls(campaign: &str, stats: &PollStats) -> CampaignHealth {
+        CampaignHealth {
+            campaign: campaign.to_string(),
+            attempted: stats.polls,
+            succeeded: stats.answered,
+            lost: stats.offline + stats.endpoints_down,
+            retries: stats.retries,
+            reconnects: stats.reconnects,
+        }
+    }
+
+    /// Fraction of attempted units permanently lost.
+    pub fn loss_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// Renders campaign health rows as one aligned cross-campaign table —
+/// the single place to read how much every measurement lost to (or
+/// recovered from) transport degradation.
+pub fn degradation_summary(rows: &[CampaignHealth]) -> String {
+    let mut out = String::new();
+    out.push_str("== campaign degradation ==\n");
+    let width = rows
+        .iter()
+        .map(|r| r.campaign.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    out.push_str(&format!(
+        "{:<width$} {:>10} {:>10} {:>8} {:>8} {:>10} {:>7}\n",
+        "campaign", "attempted", "succeeded", "lost", "retries", "reconnects", "loss"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<width$} {:>10} {:>10} {:>8} {:>8} {:>10} {:>6.2}%\n",
+            r.campaign,
+            r.attempted,
+            r.succeeded,
+            r.lost,
+            r.retries,
+            r.reconnects,
+            r.loss_rate() * 100.0
+        ));
+    }
+    out
+}
+
+/// Renders a streaming run's [`PipelineStats`] as a summary line plus a
+/// per-stage breakdown with occupancy, steals and backpressure, e.g.
+///
+/// ```text
+/// enumerate: 4 workers ×1 stage, 50256 items in 0.42s (119657 items/s), overlapped
+///   stage 0: 50412 items, occupancy 63%, 118 steals, 2 backpressure waits
+///   sink:    50256 items, occupancy 22%
+/// ```
+pub fn pipeline_stats(label: &str, stats: &PipelineStats) -> String {
+    let mut out = format!(
+        "{label}: {} worker{} ×{} stage{}, {} items in {:.2}s ({:.0} items/s), {}\n",
+        stats.workers,
+        if stats.workers == 1 { "" } else { "s" },
+        stats.stages.len(),
+        if stats.stages.len() == 1 { "" } else { "s" },
+        stats.items,
+        stats.elapsed.as_secs_f64(),
+        stats.items_per_sec(),
+        if stats.strictly_overlapped() {
+            "overlapped"
+        } else {
+            "serialized"
+        },
+    );
+    for s in &stats.stages {
+        out.push_str(&format!(
+            "  stage {}: {} items, occupancy {:.0}%, {} steals, {} backpressure waits\n",
+            s.stage,
+            s.items,
+            s.occupancy(stats.elapsed) * 100.0,
+            s.steals,
+            s.backpressure_waits,
+        ));
+    }
+    out.push_str(&format!(
+        "  sink:    {} items, occupancy {:.0}%\n",
+        stats.sink.items,
+        stats.sink.occupancy(stats.elapsed) * 100.0,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +403,103 @@ mod tests {
             ..FetchStats::default()
         };
         assert!(!fetch_stats("x", &clean).contains("retries"));
+    }
+
+    #[test]
+    fn degradation_rows_normalize_all_three_sources() {
+        let fetch = CampaignHealth::from_fetch(
+            "zgrab .org",
+            &FetchStats {
+                attempted: 1250,
+                responded: 980,
+                unreachable: 30,
+                silent: 240,
+                retries: 45,
+            },
+        );
+        assert_eq!(fetch.succeeded, 1220, "silent domains were reached");
+        assert_eq!(fetch.lost, 30);
+        assert!((fetch.loss_rate() - 0.024).abs() < 1e-9);
+
+        let e = Enumeration {
+            docs: Vec::new(),
+            probed: 5_064,
+            failed_probes: 12,
+            probe_retries: 88,
+        };
+        let enum_row = CampaignHealth::from_enumeration("shortlink enum", &e);
+        assert_eq!(enum_row.attempted, 5_064);
+        assert_eq!(enum_row.succeeded, 5_052);
+        assert_eq!(enum_row.retries, 88);
+
+        let polls = CampaignHealth::from_polls(
+            "pool polling",
+            &PollStats {
+                polls: 10_000,
+                answered: 9_700,
+                offline: 200,
+                endpoints_down: 100,
+                retries: 340,
+                reconnects: 17,
+                ..PollStats::default()
+            },
+        );
+        assert_eq!(polls.lost, 300, "outages + exhausted endpoints");
+        assert_eq!(polls.reconnects, 17);
+
+        let table = degradation_summary(&[fetch, enum_row, polls]);
+        assert!(table.contains("campaign"));
+        assert!(table.contains("zgrab .org"));
+        assert!(table.contains("shortlink enum"));
+        assert!(table.contains("pool polling"));
+        assert!(table.contains("2.40%"));
+        assert_eq!(table.lines().count(), 5, "header line + 3 rows + title");
+    }
+
+    #[test]
+    fn empty_campaign_has_zero_loss() {
+        let row = CampaignHealth::from_fetch("empty", &FetchStats::default());
+        assert_eq!(row.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn pipeline_stats_render_stages_and_sink() {
+        use minedig_primitives::pipeline::{PipelineStats, StageStats};
+        let stats = PipelineStats {
+            workers: 4,
+            capacity: 64,
+            items: 1_000,
+            elapsed: Duration::from_millis(500),
+            stages: vec![StageStats {
+                stage: 0,
+                workers: 4,
+                items: 1_010,
+                steals: 7,
+                backpressure_waits: 2,
+                busy: Duration::from_millis(900),
+                first_input: Some(Duration::from_millis(1)),
+                last_output: Some(Duration::from_millis(480)),
+                per_worker: vec![253, 252, 253, 252],
+            }],
+            sink: StageStats {
+                stage: 1,
+                workers: 1,
+                items: 1_000,
+                steals: 0,
+                backpressure_waits: 0,
+                busy: Duration::from_millis(100),
+                first_input: Some(Duration::from_millis(2)),
+                last_output: Some(Duration::from_millis(490)),
+                per_worker: vec![1_000],
+            },
+            feed_waits: 0,
+        };
+        let text = pipeline_stats("enumerate", &stats);
+        assert!(text.contains("4 workers ×1 stage"));
+        assert!(text.contains("overlapped"));
+        assert!(text.contains("stage 0: 1010 items"));
+        assert!(text.contains("7 steals"));
+        assert!(text.contains("sink:    1000 items"));
     }
 
     #[test]

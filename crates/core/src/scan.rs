@@ -1,16 +1,19 @@
 //! The §3 measurement pipelines.
 
+use minedig_browser::devtools::Capture;
 use minedig_browser::loader::{load_page, LoadPolicy};
 use minedig_nocoin::list::ServiceLabel;
 use minedig_nocoin::NoCoinEngine;
 use minedig_primitives::fault::{Fault, FaultPlan};
 use minedig_primitives::retry::{retry, ErrorClass, RetryPolicy, Retryable, VirtualClock};
 use minedig_primitives::rng::DetRng;
+use minedig_wasm::cache::FingerprintCache;
 use minedig_wasm::corpus::generate_corpus;
-use minedig_wasm::fingerprint::fingerprint;
+use minedig_wasm::fingerprint::{fingerprint, fingerprint_with};
 use minedig_wasm::module::Module;
 use minedig_wasm::sigdb::{SignatureDb, WasmClass};
 use minedig_web::category::Category;
+use minedig_web::churn::ChurnDelta;
 use minedig_web::deploy::{ArtifactKind, Hosting};
 use minedig_web::page::{synthesize_page, zgrab_fetch, CORPUS_SEED};
 use minedig_web::universe::{Domain, Population};
@@ -195,7 +198,121 @@ pub struct ZgrabScanOutcome {
     pub fetch: FetchStats,
 }
 
+/// Per-domain verdict of the zgrab probe stage.
+///
+/// A pure function of `(domain, seed, model)` — never of scan order — so
+/// any execution strategy (sequential loop, sharded executor, streaming
+/// pipeline) that folds verdicts in population order reproduces the same
+/// [`ZgrabScanOutcome`] bit for bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZgrabVerdict {
+    /// Transport retries spent reaching the domain.
+    pub retries: u64,
+    /// What the probe saw.
+    pub probe: ZgrabProbe,
+}
+
+/// The four ways a zgrab probe of one domain can end.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ZgrabProbe {
+    /// Transport faults exhausted the retry budget.
+    Unreachable,
+    /// Reachable, but the TLS gate filtered it — no page to analyze.
+    Silent,
+    /// Page fetched; no NoCoin label matched.
+    Clean,
+    /// Page fetched and labeled by the NoCoin list.
+    Hit {
+        /// Matched service labels.
+        labels: Vec<ServiceLabel>,
+        /// Reference kept for Table 3 categorization.
+        dref: DomainRef,
+    },
+}
+
+/// Shared read-only context for [`zgrab_probe_domain`] calls.
+pub struct ZgrabProbeCtx<'a> {
+    /// Scan seed (page synthesis derives from `(seed, domain name)`).
+    pub seed: u64,
+    /// Transport model with fault schedule and retry budget.
+    pub model: &'a FetchModel,
+    /// NoCoin matcher shared across workers (it is read-only).
+    pub engine: &'a NoCoinEngine,
+}
+
+/// Probes one domain through the zgrab path: transport reach, TLS-gated
+/// fetch, NoCoin labeling. This is the per-item stage kernel every zgrab
+/// execution strategy shares.
+pub fn zgrab_probe_domain(ctx: &ZgrabProbeCtx<'_>, d: &Domain) -> ZgrabVerdict {
+    let (reachable, retries) = ctx.model.reach(&d.name);
+    if !reachable {
+        return ZgrabVerdict {
+            retries,
+            probe: ZgrabProbe::Unreachable,
+        };
+    }
+    let Some(html) = zgrab_fetch(d, ctx.seed) else {
+        return ZgrabVerdict {
+            retries,
+            probe: ZgrabProbe::Silent,
+        };
+    };
+    let labels = ctx.engine.page_labels(&d.name, &html);
+    let probe = if labels.is_empty() {
+        ZgrabProbe::Clean
+    } else {
+        ZgrabProbe::Hit {
+            labels,
+            dref: domain_ref(d),
+        }
+    };
+    ZgrabVerdict { retries, probe }
+}
+
+/// Folds one domain's verdict into the running outcome. `clean` says the
+/// domain came from the clean sample (counts toward the FP-rate figures
+/// instead of the hit figures). Folding verdicts in population order is
+/// the *only* order-sensitive step of a scan.
+pub fn zgrab_fold(outcome: &mut ZgrabScanOutcome, verdict: ZgrabVerdict, clean: bool) {
+    if clean {
+        outcome.clean_sample_size += 1;
+    }
+    outcome.fetch.attempted += 1;
+    outcome.fetch.retries += verdict.retries;
+    match verdict.probe {
+        ZgrabProbe::Unreachable => outcome.fetch.unreachable += 1,
+        ZgrabProbe::Silent => outcome.fetch.silent += 1,
+        ZgrabProbe::Clean => outcome.fetch.responded += 1,
+        ZgrabProbe::Hit { labels, dref } => {
+            outcome.fetch.responded += 1;
+            if clean {
+                outcome.clean_sample_hits += 1;
+            } else {
+                outcome.hit_domains += 1;
+                outcome.hit_refs.push(dref);
+                for l in labels {
+                    *outcome.label_counts.entry(l).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+}
+
 impl ZgrabScanOutcome {
+    /// An all-zero outcome for `zone`, ready to fold verdicts into.
+    pub fn empty(zone: Zone) -> ZgrabScanOutcome {
+        ZgrabScanOutcome {
+            zone,
+            total_domains: 0,
+            hit_domains: 0,
+            label_counts: BTreeMap::new(),
+            clean_sample_hits: 0,
+            clean_sample_size: 0,
+            hit_refs: Vec::new(),
+            fetch: FetchStats::default(),
+        }
+    }
+
     /// Folds another shard's partial outcome into this one. Counters and
     /// label counts are additive; refs concatenate, so merging shards in
     /// shard-index order reproduces the sequential scan's ref order
@@ -251,56 +368,19 @@ pub fn zgrab_scan_shard_with(
     progress: &AtomicU64,
 ) -> ZgrabScanOutcome {
     let engine = NoCoinEngine::new();
-    let mut outcome = ZgrabScanOutcome {
-        zone,
-        total_domains: 0,
-        hit_domains: 0,
-        label_counts: BTreeMap::new(),
-        clean_sample_hits: 0,
-        clean_sample_size: clean_sample.len() as u64,
-        hit_refs: Vec::new(),
-        fetch: FetchStats::default(),
+    let ctx = ZgrabProbeCtx {
+        seed,
+        model,
+        engine: &engine,
     };
+    let mut outcome = ZgrabScanOutcome::empty(zone);
     for d in artifacts {
         progress.fetch_add(1, Ordering::Relaxed);
-        outcome.fetch.attempted += 1;
-        let (reachable, retries) = model.reach(&d.name);
-        outcome.fetch.retries += retries;
-        if !reachable {
-            outcome.fetch.unreachable += 1;
-            continue;
-        }
-        let Some(html) = zgrab_fetch(d, seed) else {
-            outcome.fetch.silent += 1;
-            continue;
-        };
-        outcome.fetch.responded += 1;
-        let labels = engine.page_labels(&d.name, &html);
-        if !labels.is_empty() {
-            outcome.hit_domains += 1;
-            outcome.hit_refs.push(domain_ref(d));
-            for l in labels {
-                *outcome.label_counts.entry(l).or_insert(0) += 1;
-            }
-        }
+        zgrab_fold(&mut outcome, zgrab_probe_domain(&ctx, d), false);
     }
     for d in clean_sample {
         progress.fetch_add(1, Ordering::Relaxed);
-        outcome.fetch.attempted += 1;
-        let (reachable, retries) = model.reach(&d.name);
-        outcome.fetch.retries += retries;
-        if !reachable {
-            outcome.fetch.unreachable += 1;
-            continue;
-        }
-        let Some(html) = zgrab_fetch(d, seed) else {
-            outcome.fetch.silent += 1;
-            continue;
-        };
-        outcome.fetch.responded += 1;
-        if !engine.page_labels(&d.name, &html).is_empty() {
-            outcome.clean_sample_hits += 1;
-        }
+        zgrab_fold(&mut outcome, zgrab_probe_domain(&ctx, d), true);
     }
     outcome
 }
@@ -325,6 +405,109 @@ pub fn zgrab_scan_with(population: &Population, seed: u64, model: &FetchModel) -
     );
     outcome.total_domains = population.total;
     outcome
+}
+
+/// A first-date zgrab scan that retains every per-domain verdict, so a
+/// second-date rescan can reuse the verdicts of unchanged domains
+/// instead of re-probing them (the Fig 2 two-date measurement).
+///
+/// Reuse is sound because a [`ZgrabVerdict`] is a pure function of
+/// `(domain, seed, model)`: a survivor keeps its name, so a fresh probe
+/// at the same seed and model would reproduce the retained verdict bit
+/// for bit.
+pub struct ZgrabRescanMemo {
+    /// The first scan's outcome.
+    pub first: ZgrabScanOutcome,
+    seed: u64,
+    artifact_verdicts: Vec<ZgrabVerdict>,
+    clean_verdicts: Vec<ZgrabVerdict>,
+}
+
+/// How much probing an incremental rescan avoided.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RescanStats {
+    /// Domains whose first-scan verdict was reused unprobed.
+    pub reused: u64,
+    /// Domains actually probed (fresh arrivals).
+    pub probed: u64,
+}
+
+/// Runs the first-date scan of a two-date campaign, memoizing verdicts
+/// for [`ZgrabRescanMemo::rescan`].
+pub fn zgrab_scan_retaining(
+    population: &Population,
+    seed: u64,
+    model: &FetchModel,
+) -> ZgrabRescanMemo {
+    let engine = NoCoinEngine::new();
+    let ctx = ZgrabProbeCtx {
+        seed,
+        model,
+        engine: &engine,
+    };
+    let mut outcome = ZgrabScanOutcome::empty(population.zone);
+    let mut artifact_verdicts = Vec::with_capacity(population.artifacts.len());
+    for d in &population.artifacts {
+        let verdict = zgrab_probe_domain(&ctx, d);
+        zgrab_fold(&mut outcome, verdict.clone(), false);
+        artifact_verdicts.push(verdict);
+    }
+    let mut clean_verdicts = Vec::with_capacity(population.clean_sample.len());
+    for d in &population.clean_sample {
+        let verdict = zgrab_probe_domain(&ctx, d);
+        zgrab_fold(&mut outcome, verdict.clone(), true);
+        clean_verdicts.push(verdict);
+    }
+    outcome.total_domains = population.total;
+    ZgrabRescanMemo {
+        first: outcome,
+        seed,
+        artifact_verdicts,
+        clean_verdicts,
+    }
+}
+
+impl ZgrabRescanMemo {
+    /// Scans the second-date population incrementally: survivors and the
+    /// (unchanged) clean sample fold their retained first-scan verdicts;
+    /// only the fresh arrivals are probed. With the same `model` the
+    /// first scan ran under, the outcome is bit-identical to a full
+    /// [`zgrab_scan_with`] of `second` — verdicts are keyed by domain
+    /// name, and folding happens in the same population order.
+    pub fn rescan(
+        &self,
+        second: &Population,
+        delta: &ChurnDelta,
+        model: &FetchModel,
+    ) -> (ZgrabScanOutcome, RescanStats) {
+        assert_eq!(
+            self.clean_verdicts.len(),
+            second.clean_sample.len(),
+            "the clean sample is fixed across scan dates"
+        );
+        let engine = NoCoinEngine::new();
+        let ctx = ZgrabProbeCtx {
+            seed: self.seed,
+            model,
+            engine: &engine,
+        };
+        let mut outcome = ZgrabScanOutcome::empty(second.zone);
+        let mut stats = RescanStats::default();
+        for &src in &delta.survivors {
+            zgrab_fold(&mut outcome, self.artifact_verdicts[src].clone(), false);
+            stats.reused += 1;
+        }
+        for d in &second.artifacts[delta.survivors.len()..] {
+            zgrab_fold(&mut outcome, zgrab_probe_domain(&ctx, d), false);
+            stats.probed += 1;
+        }
+        for verdict in &self.clean_verdicts {
+            zgrab_fold(&mut outcome, verdict.clone(), true);
+            stats.reused += 1;
+        }
+        outcome.total_domains = second.total;
+        (outcome, stats)
+    }
 }
 
 /// Outcome of the instrumented-browser scan of one zone (§3.2).
@@ -361,7 +544,272 @@ pub struct ChromeScanOutcome {
     pub fetch: FetchStats,
 }
 
+/// Per-domain verdict of the Chrome probe stage. Like [`ZgrabVerdict`],
+/// a pure function of `(domain, seed, model, db)` so every execution
+/// strategy folding verdicts in population order agrees bit for bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChromeVerdict {
+    /// Transport retries spent reaching the domain.
+    pub retries: u64,
+    /// `None` when transport faults exhausted the retry budget.
+    pub analysis: Option<ChromeAnalysis>,
+}
+
+/// Everything the instrumented-browser load of one domain produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChromeAnalysis {
+    /// Post-execution HTML hit the NoCoin list.
+    pub nocoin_hit: bool,
+    /// The page compiled at least one Wasm module.
+    pub has_wasm: bool,
+    /// At least one dump classified as a miner.
+    pub miner: bool,
+    /// Class labels of all classified dumps, sorted and deduplicated.
+    pub classes: Vec<String>,
+    /// Dumps the signature DB could not classify (including clean-sample
+    /// domains' dumps, matching the sequential kernel's accounting).
+    pub unclassified: u64,
+    /// Reference for Table 3 categorization; `Some` iff the domain hit
+    /// NoCoin or ran miner Wasm.
+    pub dref: Option<DomainRef>,
+}
+
+/// Shared read-only context for [`chrome_probe_domain`] calls.
+pub struct ChromeProbeCtx<'a> {
+    /// Scan seed (page synthesis and load behavior derive from
+    /// `(seed, domain name)`).
+    pub seed: u64,
+    /// Transport model with fault schedule and retry budget.
+    pub model: &'a FetchModel,
+    /// NoCoin matcher shared across workers.
+    pub engine: &'a NoCoinEngine,
+    /// Reference signature database.
+    pub db: &'a SignatureDb,
+    /// Browser load policy (seeded with `seed`).
+    pub policy: LoadPolicy,
+    /// Optional fingerprint memo shared across workers. The memo stores
+    /// only the fingerprint — classification stays per-domain because it
+    /// depends on the page's WebSocket backend — so enabling it cannot
+    /// change any outcome.
+    pub cache: Option<&'a FingerprintCache>,
+}
+
+impl<'a> ChromeProbeCtx<'a> {
+    /// Builds a context with the default load policy for `seed`.
+    pub fn new(
+        seed: u64,
+        model: &'a FetchModel,
+        engine: &'a NoCoinEngine,
+        db: &'a SignatureDb,
+        cache: Option<&'a FingerprintCache>,
+    ) -> ChromeProbeCtx<'a> {
+        ChromeProbeCtx {
+            seed,
+            model,
+            engine,
+            db,
+            policy: LoadPolicy {
+                seed,
+                ..LoadPolicy::default()
+            },
+            cache,
+        }
+    }
+}
+
+/// The fetch half of the Chrome probe: transport reach plus the
+/// instrumented browser load. Split from classification so the two can
+/// run as overlapped pipeline stages.
+#[derive(Debug)]
+pub struct ChromeFetched {
+    /// Transport retries spent reaching the domain.
+    pub retries: u64,
+    /// The browser capture; `None` when the retry budget was exhausted.
+    pub capture: Option<Capture>,
+}
+
+/// Fetches one domain through the instrumented-browser path: transport
+/// reach, page synthesis, full load with devtools capture.
+pub fn chrome_fetch_domain(ctx: &ChromeProbeCtx<'_>, d: &Domain) -> ChromeFetched {
+    let (reachable, retries) = ctx.model.reach(&d.name);
+    if !reachable {
+        return ChromeFetched {
+            retries,
+            capture: None,
+        };
+    }
+    let page = synthesize_page(d, ctx.seed);
+    ChromeFetched {
+        retries,
+        capture: Some(load_page(&page, &ctx.policy)),
+    }
+}
+
+/// The classification half of the Chrome probe: NoCoin labeling plus
+/// Wasm fingerprinting of the capture's dumps. `scratch` is a per-worker
+/// reusable encode buffer (allocated once per worker, not per dump).
+pub fn chrome_classify_domain(
+    ctx: &ChromeProbeCtx<'_>,
+    d: &Domain,
+    fetched: ChromeFetched,
+    scratch: &mut Vec<u8>,
+) -> ChromeVerdict {
+    let retries = fetched.retries;
+    let Some(capture) = fetched.capture else {
+        return ChromeVerdict {
+            retries,
+            analysis: None,
+        };
+    };
+    let nocoin_hit = !ctx
+        .engine
+        .page_labels(&d.name, &capture.final_html)
+        .is_empty();
+    // The page's WebSocket backend, the paper's strongest family
+    // signal ("categorized them, e.g., through their Websocket
+    // communication backend").
+    let ws_family = capture
+        .websocket_urls()
+        .iter()
+        .find_map(|u| minedig_web::page::family_for_ws_url(u));
+    let has_ws = !capture.websocket_urls().is_empty();
+    let mut miner = false;
+    let mut classes: Vec<String> = Vec::new();
+    let mut unclassified = 0u64;
+    for dump in &capture.wasm_dumps {
+        let fp = match ctx.cache {
+            Some(cache) => cache.fingerprint(dump, scratch),
+            None => Module::parse(dump)
+                .ok()
+                .map(|m| fingerprint_with(&m, scratch)),
+        };
+        let Some(fp) = fp else {
+            unclassified += 1;
+            continue;
+        };
+        // Priority: exact signature → known backend → instruction-mix
+        // similarity (miners with an unknown backend land in the
+        // paper's "UnknownWSS" class).
+        let class = match ctx.db.classify(&fp) {
+            Some(m) if m.kind == minedig_wasm::sigdb::MatchKind::Exact => Some(m.class),
+            other => match ws_family {
+                Some(f) => Some(WasmClass::Miner(f)),
+                None => match other {
+                    Some(m) if m.class.is_miner() && has_ws => Some(WasmClass::Miner(
+                        minedig_wasm::sigdb::MinerFamily::UnknownWss,
+                    )),
+                    Some(m) => Some(m.class),
+                    None if has_ws && fp.features.has_hash_name_hint() => Some(WasmClass::Miner(
+                        minedig_wasm::sigdb::MinerFamily::UnknownWss,
+                    )),
+                    None => None,
+                },
+            },
+        };
+        match class {
+            Some(c) => {
+                if matches!(c, WasmClass::Miner(_)) {
+                    miner = true;
+                }
+                classes.push(c.label());
+            }
+            None => unclassified += 1,
+        }
+    }
+    classes.sort();
+    classes.dedup();
+    let dref = (nocoin_hit || miner).then(|| domain_ref(d));
+    ChromeVerdict {
+        retries,
+        analysis: Some(ChromeAnalysis {
+            nocoin_hit,
+            has_wasm: !capture.wasm_dumps.is_empty(),
+            miner,
+            classes,
+            unclassified,
+            dref,
+        }),
+    }
+}
+
+/// Loads and classifies one domain through the instrumented-browser
+/// path: [`chrome_fetch_domain`] composed with
+/// [`chrome_classify_domain`]. This is the per-item kernel every Chrome
+/// execution strategy shares.
+pub fn chrome_probe_domain(
+    ctx: &ChromeProbeCtx<'_>,
+    d: &Domain,
+    scratch: &mut Vec<u8>,
+) -> ChromeVerdict {
+    chrome_classify_domain(ctx, d, chrome_fetch_domain(ctx, d), scratch)
+}
+
+/// Folds one domain's Chrome verdict into the running outcome; the
+/// Chrome counterpart of [`zgrab_fold`].
+pub fn chrome_fold(outcome: &mut ChromeScanOutcome, verdict: ChromeVerdict, clean: bool) {
+    outcome.fetch.attempted += 1;
+    outcome.fetch.retries += verdict.retries;
+    let Some(a) = verdict.analysis else {
+        outcome.fetch.unreachable += 1;
+        return;
+    };
+    outcome.fetch.responded += 1;
+    // Unclassifiable dumps count for clean-sample domains too, exactly
+    // as the pre-refactor kernel did.
+    outcome.unclassified_wasm += a.unclassified;
+    if clean {
+        if a.miner {
+            outcome.clean_sample_miner_hits += 1;
+        }
+        return;
+    }
+    if a.nocoin_hit {
+        outcome.nocoin_domains += 1;
+        outcome
+            .nocoin_refs
+            .push(a.dref.clone().expect("dref accompanies every NoCoin hit"));
+    }
+    if a.has_wasm {
+        outcome.wasm_domains += 1;
+    }
+    for c in a.classes {
+        *outcome.class_counts.entry(c).or_insert(0) += 1;
+    }
+    if a.miner {
+        outcome.miner_wasm_domains += 1;
+        outcome
+            .miner_refs
+            .push(a.dref.expect("dref accompanies every miner"));
+        if a.nocoin_hit {
+            outcome.blocked_by_nocoin += 1;
+        } else {
+            outcome.missed_by_nocoin += 1;
+        }
+    } else if a.nocoin_hit {
+        outcome.nocoin_without_wasm += 1;
+    }
+}
+
 impl ChromeScanOutcome {
+    /// An all-zero outcome for `zone`, ready to fold verdicts into.
+    pub fn empty(zone: Zone) -> ChromeScanOutcome {
+        ChromeScanOutcome {
+            zone,
+            nocoin_domains: 0,
+            wasm_domains: 0,
+            miner_wasm_domains: 0,
+            blocked_by_nocoin: 0,
+            missed_by_nocoin: 0,
+            nocoin_without_wasm: 0,
+            class_counts: BTreeMap::new(),
+            unclassified_wasm: 0,
+            clean_sample_miner_hits: 0,
+            nocoin_refs: Vec::new(),
+            miner_refs: Vec::new(),
+            fetch: FetchStats::default(),
+        }
+    }
+
     /// Folds another shard's partial outcome into this one (same
     /// order-independent counter addition as [`ZgrabScanOutcome::merge`];
     /// ref vectors concatenate in shard-index order).
@@ -421,121 +869,24 @@ pub fn chrome_scan_shard_with(
     progress: &AtomicU64,
 ) -> ChromeScanOutcome {
     let engine = NoCoinEngine::new();
-    let policy = LoadPolicy {
-        seed,
-        ..LoadPolicy::default()
-    };
-    let mut outcome = ChromeScanOutcome {
-        zone,
-        nocoin_domains: 0,
-        wasm_domains: 0,
-        miner_wasm_domains: 0,
-        blocked_by_nocoin: 0,
-        missed_by_nocoin: 0,
-        nocoin_without_wasm: 0,
-        class_counts: BTreeMap::new(),
-        unclassified_wasm: 0,
-        clean_sample_miner_hits: 0,
-        nocoin_refs: Vec::new(),
-        miner_refs: Vec::new(),
-        fetch: FetchStats::default(),
-    };
-
-    let mut scan_domain = |d: &Domain, clean: bool| {
-        outcome.fetch.attempted += 1;
-        let (reachable, retries) = model.reach(&d.name);
-        outcome.fetch.retries += retries;
-        if !reachable {
-            outcome.fetch.unreachable += 1;
-            return;
-        }
-        outcome.fetch.responded += 1;
-        let page = synthesize_page(d, seed);
-        let capture = load_page(&page, &policy);
-        let nocoin_hit = !engine.page_labels(&d.name, &capture.final_html).is_empty();
-        // The page's WebSocket backend, the paper's strongest family
-        // signal ("categorized them, e.g., through their Websocket
-        // communication backend").
-        let ws_family = capture
-            .websocket_urls()
-            .iter()
-            .find_map(|u| minedig_web::page::family_for_ws_url(u));
-        let has_ws = !capture.websocket_urls().is_empty();
-        let mut miner_here = false;
-        let mut classes_here: Vec<String> = Vec::new();
-        for dump in &capture.wasm_dumps {
-            let Ok(module) = Module::parse(dump) else {
-                outcome.unclassified_wasm += 1;
-                continue;
-            };
-            let fp = fingerprint(&module);
-            // Priority: exact signature → known backend → instruction-mix
-            // similarity (miners with an unknown backend land in the
-            // paper's "UnknownWSS" class).
-            let class = match db.classify(&fp) {
-                Some(m) if m.kind == minedig_wasm::sigdb::MatchKind::Exact => Some(m.class),
-                other => match ws_family {
-                    Some(f) => Some(WasmClass::Miner(f)),
-                    None => match other {
-                        Some(m) if m.class.is_miner() && has_ws => Some(WasmClass::Miner(
-                            minedig_wasm::sigdb::MinerFamily::UnknownWss,
-                        )),
-                        Some(m) => Some(m.class),
-                        None if has_ws && fp.features.has_hash_name_hint() => Some(
-                            WasmClass::Miner(minedig_wasm::sigdb::MinerFamily::UnknownWss),
-                        ),
-                        None => None,
-                    },
-                },
-            };
-            match class {
-                Some(c) => {
-                    if matches!(c, WasmClass::Miner(_)) {
-                        miner_here = true;
-                    }
-                    classes_here.push(c.label());
-                }
-                None => outcome.unclassified_wasm += 1,
-            }
-        }
-        if clean {
-            if miner_here {
-                outcome.clean_sample_miner_hits += 1;
-            }
-            return;
-        }
-        if nocoin_hit {
-            outcome.nocoin_domains += 1;
-            outcome.nocoin_refs.push(domain_ref(d));
-        }
-        if !capture.wasm_dumps.is_empty() {
-            outcome.wasm_domains += 1;
-        }
-        classes_here.sort();
-        classes_here.dedup();
-        for c in classes_here {
-            *outcome.class_counts.entry(c).or_insert(0) += 1;
-        }
-        if miner_here {
-            outcome.miner_wasm_domains += 1;
-            outcome.miner_refs.push(domain_ref(d));
-            if nocoin_hit {
-                outcome.blocked_by_nocoin += 1;
-            } else {
-                outcome.missed_by_nocoin += 1;
-            }
-        } else if nocoin_hit {
-            outcome.nocoin_without_wasm += 1;
-        }
-    };
-
+    let ctx = ChromeProbeCtx::new(seed, model, &engine, db, None);
+    let mut scratch = Vec::new();
+    let mut outcome = ChromeScanOutcome::empty(zone);
     for d in artifacts {
         progress.fetch_add(1, Ordering::Relaxed);
-        scan_domain(d, false);
+        chrome_fold(
+            &mut outcome,
+            chrome_probe_domain(&ctx, d, &mut scratch),
+            false,
+        );
     }
     for d in clean_sample {
         progress.fetch_add(1, Ordering::Relaxed);
-        scan_domain(d, true);
+        chrome_fold(
+            &mut outcome,
+            chrome_probe_domain(&ctx, d, &mut scratch),
+            true,
+        );
     }
     outcome
 }
@@ -618,6 +969,48 @@ mod tests {
             .copied()
             .unwrap_or(0);
         assert!(coinhive as f64 / out.hit_domains as f64 > 0.5);
+    }
+
+    #[test]
+    fn incremental_rescan_is_identical_to_a_full_second_scan() {
+        use minedig_web::churn::{second_scan_with_delta, DEFAULT_REMOVAL_RATE};
+        let first = small_org();
+        let (second, delta) = second_scan_with_delta(&first, 7, DEFAULT_REMOVAL_RATE);
+        let model = FetchModel::default();
+        let memo = zgrab_scan_retaining(&first, 1, &model);
+        assert_eq!(memo.first, zgrab_scan_with(&first, 1, &model));
+        let (incremental, stats) = memo.rescan(&second, &delta, &model);
+        let full = zgrab_scan_with(&second, 1, &model);
+        assert_eq!(incremental, full);
+        assert_eq!(stats.probed, delta.arrivals as u64);
+        assert_eq!(
+            stats.reused,
+            delta.survivors.len() as u64 + second.clean_sample.len() as u64
+        );
+        assert!(stats.reused > stats.probed, "churn reuse must dominate");
+    }
+
+    #[test]
+    fn incremental_rescan_matches_under_fault_schedules() {
+        use minedig_web::churn::second_scan_with_delta;
+        let first = small_org();
+        let (second, delta) = second_scan_with_delta(&first, 11, 0.2);
+        let plan = FaultPlan::with_config(
+            13,
+            minedig_primitives::fault::FaultConfig {
+                fault_prob: 0.4,
+                permanent_prob: 0.3,
+                ..minedig_primitives::fault::FaultConfig::default()
+            },
+        );
+        let model = FetchModel::outlasting(plan);
+        let memo = zgrab_scan_retaining(&first, 3, &model);
+        let (incremental, _) = memo.rescan(&second, &delta, &model);
+        assert_eq!(incremental, zgrab_scan_with(&second, 3, &model));
+        assert!(
+            incremental.fetch.unreachable > 0,
+            "permanent faults must surface"
+        );
     }
 
     #[test]

@@ -2,14 +2,19 @@
 //! distributions, resolve the cheap links and categorize destinations.
 
 use minedig_primitives::par::ParallelExecutor;
+use minedig_primitives::pipeline::{PipelineExecutor, PipelineStats, StageStats};
 use minedig_primitives::stats::{top1_share, top_k_for_share, Ecdf, Pow2Histogram};
 use minedig_primitives::DetRng;
-use minedig_shortlink::enumerate::{enumerate_links_sharded, Enumeration};
+use minedig_shortlink::enumerate::{
+    enumerate_links_sharded, enumerate_links_streaming_with, Enumeration,
+};
 use minedig_shortlink::model::{LinkPopulation, ModelConfig};
-use minedig_shortlink::resolve::resolve_accounted;
+use minedig_shortlink::probe::ProbePolicy;
+use minedig_shortlink::resolve::{resolve_accounted, resolve_step, ResolveReport};
 use minedig_shortlink::service::ShortlinkService;
 use minedig_web::category::Category;
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 /// Study configuration.
 #[derive(Clone, Debug)]
@@ -67,13 +72,151 @@ pub struct StudyResult {
     pub tail_classified_fraction: f64,
 }
 
+/// Dead-run limit of the study's enumeration walk.
+const STUDY_DEAD_RUN_LIMIT: u64 = 256;
+
+/// True when `doc` belongs to the unbiased-below-budget resolve set:
+/// first sighting of its `(token, requirement)` pair, and affordable.
+/// Both [`run_study`] and [`run_study_streaming`] filter through this,
+/// in enumeration (= ID) order, so they resolve the same code sequence.
+fn tail_filter(
+    seen: &mut std::collections::HashSet<(u64, u64)>,
+    doc: &minedig_shortlink::service::VisitDoc,
+    budget: u64,
+) -> bool {
+    seen.insert((doc.token_id, doc.required_hashes)) && doc.required_hashes < budget
+}
+
 /// Runs the full §4.1 study.
 pub fn run_study(config: &StudyConfig, seed: u64) -> StudyResult {
     let population = LinkPopulation::generate(&config.model);
-    let mut service = ShortlinkService::new(population);
+    let service = ShortlinkService::new(population);
     let executor = ParallelExecutor::new(config.enum_shards);
-    let enumeration = enumerate_links_sharded(&service, 256, &executor).enumeration;
+    let enumeration =
+        enumerate_links_sharded(&service, STUDY_DEAD_RUN_LIMIT, &executor).enumeration;
 
+    // Resolve the unbiased < budget dataset…
+    let mut seen = std::collections::HashSet::new();
+    let unbiased_codes: Vec<String> = enumeration
+        .docs
+        .iter()
+        .filter(|d| tail_filter(&mut seen, d, config.resolve_budget))
+        .map(|d| d.code.clone())
+        .collect();
+    let tail_report = resolve_accounted(&service, &unbiased_codes, config.resolve_budget);
+    finish_study(&service, enumeration, tail_report, config, seed)
+}
+
+/// A [`StudyResult`] produced by [`run_study_streaming`], plus the
+/// evidence that resolution overlapped enumeration: the enumeration
+/// pipeline's stats and the resolver thread's synthesized stage stats.
+pub struct StreamingStudy {
+    /// The study outputs — bit-identical to [`run_study`].
+    pub result: StudyResult,
+    /// The enumeration pipeline's stats (probe stage + dead-run sink).
+    pub enum_stats: PipelineStats,
+    /// The resolver thread, presented as one more pipeline stage: it
+    /// consumes codes the enumeration sink emits and resolves them FIFO.
+    pub resolver: StageStats,
+}
+
+impl StreamingStudy {
+    /// True when resolution demonstrably began before the enumeration's
+    /// probe stage finished its last probe. The resolver clock starts
+    /// *before* the pipeline's internal clock, so its offsets are
+    /// overestimates — a `true` here is conservative evidence of
+    /// overlap, never an artifact of clock skew.
+    pub fn overlapped(&self) -> bool {
+        match (
+            self.resolver.first_input,
+            self.enum_stats.stages[0].last_output,
+        ) {
+            (Some(first_resolve), Some(last_probe)) => first_resolve < last_probe,
+            _ => false,
+        }
+    }
+}
+
+/// [`run_study`] with the enumerate→resolve edge streamed: link probes
+/// fan across `pipe`'s workers, the dead-run sink replays the sequential
+/// walk in ID order, and every document that passes the unbiased-tail
+/// filter is handed to a resolver thread *while enumeration is still
+/// probing*. The resolver applies [`resolve_step`] FIFO, so the resolve
+/// sequence — and with it every ledger write, budget cut-off and study
+/// statistic — matches the batch run exactly.
+pub fn run_study_streaming(
+    config: &StudyConfig,
+    seed: u64,
+    pipe: &PipelineExecutor,
+) -> StreamingStudy {
+    let population = LinkPopulation::generate(&config.model);
+    let service = ShortlinkService::new(population);
+    let budget = config.resolve_budget;
+
+    let t0 = Instant::now();
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    let (enum_run, tail_report, resolver) = std::thread::scope(|scope| {
+        let service_ref = &service;
+        let resolver = scope.spawn(move || {
+            let mut report = ResolveReport::default();
+            let mut stats = StageStats {
+                stage: 1,
+                workers: 1,
+                items: 0,
+                steals: 0,
+                backpressure_waits: 0,
+                busy: Duration::ZERO,
+                first_input: None,
+                last_output: None,
+                per_worker: vec![0],
+            };
+            while let Ok(code) = rx.recv() {
+                let started = t0.elapsed();
+                stats.first_input.get_or_insert(started);
+                resolve_step(service_ref, &mut report, &code, budget);
+                let finished = t0.elapsed();
+                stats.last_output = Some(finished);
+                stats.busy += finished.saturating_sub(started);
+                stats.items += 1;
+                stats.per_worker[0] += 1;
+            }
+            (report, stats)
+        });
+        let mut seen = std::collections::HashSet::new();
+        let enum_run = enumerate_links_streaming_with(
+            &service,
+            STUDY_DEAD_RUN_LIMIT,
+            pipe,
+            &ProbePolicy::default(),
+            |doc| {
+                if tail_filter(&mut seen, doc, budget) {
+                    let _ = tx.send(doc.code.clone());
+                }
+            },
+        );
+        drop(tx);
+        let (report, stats) = resolver.join().expect("resolver thread");
+        (enum_run, report, stats)
+    });
+
+    let result = finish_study(&service, enum_run.outcome, tail_report, config, seed);
+    StreamingStudy {
+        result,
+        enum_stats: enum_run.stats,
+        resolver,
+    }
+}
+
+/// The analysis common to batch and streaming studies: Fig 3/4 statistics
+/// from the enumeration, the Table 4 top-10 sampling (resolved here), and
+/// the Table 5 categorization of the already-resolved tail.
+fn finish_study(
+    service: &ShortlinkService,
+    enumeration: Enumeration,
+    tail_report: ResolveReport,
+    config: &StudyConfig,
+    seed: u64,
+) -> StudyResult {
     let links_per_token = enumeration.links_per_token();
     let top1 = top1_share(&links_per_token);
     let users85 = top_k_for_share(links_per_token.clone(), 0.85);
@@ -89,18 +232,7 @@ pub fn run_study(config: &StudyConfig, seed: u64) -> StudyResult {
     let cdf_unbiased = Ecdf::new(unbiased.iter().map(log2).collect());
     let le1024 = unbiased.iter().filter(|&&h| h <= 1024).count() as f64 / unbiased.len() as f64;
 
-    // Resolve: (a) the unbiased < budget dataset…
-    let mut seen = std::collections::HashSet::new();
-    let unbiased_codes: Vec<String> = enumeration
-        .docs
-        .iter()
-        .filter(|d| seen.insert((d.token_id, d.required_hashes)))
-        .filter(|d| d.required_hashes < config.resolve_budget)
-        .map(|d| d.code.clone())
-        .collect();
-    let tail_report = resolve_accounted(&mut service, &unbiased_codes, config.resolve_budget);
-
-    // …and (b) a random sample of each top-10 user's links (Table 4).
+    // Table 4: a random sample of each top-10 user's links.
     let mut rng = DetRng::seed(seed).derive("shortlink.study.sample");
     let top_tokens = enumeration.top_tokens(10);
     let mut top10_codes = Vec::new();
@@ -117,7 +249,7 @@ pub fn run_study(config: &StudyConfig, seed: u64) -> StudyResult {
     }
     // Table 4 samples are resolved regardless of cost in the paper's
     // method (they come from the top users, whose links are cheap).
-    let top10_report = resolve_accounted(&mut service, &top10_codes, u64::MAX);
+    let top10_report = resolve_accounted(service, &top10_codes, u64::MAX);
     let mut domain_counts: BTreeMap<String, u64> = BTreeMap::new();
     for (_code, url) in &top10_report.resolved {
         let domain = url
@@ -166,7 +298,9 @@ pub fn run_study(config: &StudyConfig, seed: u64) -> StudyResult {
         cdf_biased,
         cdf_unbiased,
         unbiased_le_1024: le1024,
-        hashes_spent: tail_report.hashes_spent + top10_report.hashes_spent,
+        hashes_spent: tail_report
+            .hashes_spent
+            .saturating_add(top10_report.hashes_spent),
         top10_domains,
         tail_categories,
         tail_classified_fraction,
@@ -218,6 +352,60 @@ mod tests {
         assert_eq!(par.links_per_token, seq.links_per_token);
         assert_eq!(par.hashes_spent, seq.hashes_spent);
         assert_eq!(par.top10_domains, seq.top10_domains);
+    }
+
+    #[test]
+    fn streaming_study_equals_batch_study() {
+        let config = StudyConfig {
+            model: ModelConfig {
+                total_links: 10_000,
+                users: 800,
+                seed: 9,
+            },
+            resolve_budget: 10_000,
+            per_user_sample: 100,
+            enum_shards: 1,
+        };
+        let batch = run_study(&config, 9);
+        for workers in [1usize, 2, 6] {
+            let streamed = run_study_streaming(&config, 9, &PipelineExecutor::new(workers, 64));
+            let s = &streamed.result;
+            assert_eq!(
+                s.enumeration.probed, batch.enumeration.probed,
+                "w={workers}"
+            );
+            assert_eq!(s.enumeration.docs, batch.enumeration.docs, "w={workers}");
+            assert_eq!(s.links_per_token, batch.links_per_token, "w={workers}");
+            assert_eq!(s.hashes_spent, batch.hashes_spent, "w={workers}");
+            assert_eq!(s.top10_domains, batch.top10_domains, "w={workers}");
+            assert_eq!(s.tail_categories, batch.tail_categories, "w={workers}");
+            assert_eq!(
+                s.tail_classified_fraction, batch.tail_classified_fraction,
+                "w={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_study_overlaps_resolution_with_enumeration() {
+        let config = StudyConfig {
+            model: ModelConfig {
+                total_links: 20_000,
+                users: 1_500,
+                seed: 9,
+            },
+            resolve_budget: 10_000,
+            per_user_sample: 100,
+            enum_shards: 1,
+        };
+        let streamed = run_study_streaming(&config, 9, &PipelineExecutor::new(4, 64));
+        assert!(streamed.resolver.items > 0, "the tail set is non-empty");
+        assert!(
+            streamed.overlapped(),
+            "resolution must begin before the last probe: resolver first_input={:?}, probe last_output={:?}",
+            streamed.resolver.first_input,
+            streamed.enum_stats.stages[0].last_output,
+        );
     }
 
     #[test]

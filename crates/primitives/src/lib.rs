@@ -16,6 +16,7 @@ pub mod fault;
 pub mod hex;
 pub mod keccak;
 pub mod par;
+pub mod pipeline;
 pub mod retry;
 pub mod rng;
 pub mod sha256;
@@ -26,6 +27,7 @@ pub use fault::{Fault, FaultConfig, FaultPlan};
 pub use hex::{from_hex, to_hex};
 pub use keccak::{keccak1600, keccak256, sha3_256};
 pub use par::{ExecRun, ExecStats, ParallelExecutor, ShardStats, ShardedTask};
+pub use pipeline::{PipelineExecutor, PipelineRun, PipelineStage, PipelineStats, StageStats};
 pub use retry::{retry, Clock, ErrorClass, GiveUp, RetryPolicy, Retryable, VirtualClock};
 pub use rng::DetRng;
 pub use sha256::sha256;

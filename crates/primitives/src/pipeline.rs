@@ -1,0 +1,722 @@
+//! Streaming multi-stage execution with deterministic reorder.
+//!
+//! [`crate::par::ParallelExecutor`] is a chunk-then-barrier model: every
+//! stage of a workload must finish before the next begins, so the slowest
+//! shard idles every other core and downstream work cannot start until
+//! upstream work is *entirely* done. The paper's campaigns are
+//! producer/consumer shaped — page loads feeding Wasm fingerprinting
+//! (§3), ID-space enumeration feeding link resolution (§4.1) — and
+//! [`PipelineExecutor`] runs them that way: items flow through bounded
+//! channels between stages, each stage is a pool of work-stealing
+//! consumers, and a sequence-numbered reorder buffer at the sink releases
+//! outputs in submission order.
+//!
+//! ## Determinism contract
+//!
+//! The sink observes **exactly the sequential fold** for any worker count
+//! and any channel capacity, provided the stages satisfy the same
+//! contract [`crate::par::ShardedTask`] established:
+//!
+//! 1. [`PipelineStage::process`] is a pure function of the item (all
+//!    per-item randomness keyed by item identity, never by processing
+//!    order or worker identity), and
+//! 2. the fold consumes outputs in sequence order — which the reorder
+//!    buffer guarantees structurally.
+//!
+//! Early termination composes with this: the fold can return
+//! [`ControlFlow::Break`], which stops the pipeline at exactly the item
+//! the sequential loop would have stopped at. Items already in flight
+//! past the break point are discarded (bounded by the channel capacities
+//! plus one in-flight item per worker), mirroring the windowed
+//! enumerator's discarded overshoot.
+//!
+//! ## Observability
+//!
+//! Each stage (and the sink) reports [`StageStats`]: items, per-worker
+//! spread, *steals* (items processed off a worker's round-robin affinity
+//! — evidence the shared channel rebalanced load), *backpressure waits*
+//! (sends that found the downstream channel full), busy time, and
+//! first-input/last-output offsets from the run start. The offsets make
+//! stage overlap measurable even on a single core: if stage *k+1*'s
+//! first input precedes stage *k*'s last output, the stages genuinely
+//! interleaved rather than running as barriers.
+
+use std::collections::BTreeMap;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+
+/// One processing stage of a pipeline: a pure per-item function plus a
+/// per-worker scratch allocation reused across items.
+pub trait PipelineStage: Sync {
+    /// Item consumed by this stage.
+    type In: Send;
+    /// Item produced by this stage.
+    type Out: Send;
+    /// Per-worker reusable state (buffers, caches); created once per
+    /// worker, threaded through every `process` call on that worker.
+    type Scratch;
+
+    /// Allocates one worker's scratch state.
+    fn scratch(&self) -> Self::Scratch;
+
+    /// Processes one item. Must be a pure function of `item` (modulo
+    /// `scratch` reuse): any randomness keyed by item identity, never by
+    /// processing order.
+    fn process(&self, item: Self::In, scratch: &mut Self::Scratch) -> Self::Out;
+}
+
+/// Per-stage counters, read back after a run completes.
+#[derive(Clone, Debug)]
+pub struct StageStats {
+    /// Stage index (0-based; the sink reports separately).
+    pub stage: usize,
+    /// Workers the stage ran with.
+    pub workers: usize,
+    /// Items the stage processed.
+    pub items: u64,
+    /// Items a worker processed off its round-robin affinity
+    /// (`seq % workers != worker`): the shared channel handing work to
+    /// whichever worker was free, i.e. load actually rebalanced.
+    pub steals: u64,
+    /// Downstream sends that found the channel full and had to block —
+    /// backpressure events, not deadlocks.
+    pub backpressure_waits: u64,
+    /// Total time workers spent inside `process` (summed across workers).
+    pub busy: Duration,
+    /// Offset from run start when the stage began its first item.
+    pub first_input: Option<Duration>,
+    /// Offset from run start when the stage finished its last item.
+    pub last_output: Option<Duration>,
+    /// Items per worker, in worker-index order.
+    pub per_worker: Vec<u64>,
+}
+
+impl StageStats {
+    /// Fraction of `workers × wall` the stage spent busy. Values near 1
+    /// mean the stage was the bottleneck; near 0, it was starved.
+    pub fn occupancy(&self, wall: Duration) -> f64 {
+        let denom = self.workers as f64 * wall.as_secs_f64();
+        if denom > 0.0 {
+            self.busy.as_secs_f64() / denom
+        } else {
+            0.0
+        }
+    }
+
+    /// Wall-clock span from the stage's first input to its last output.
+    pub fn active_span(&self) -> Duration {
+        match (self.first_input, self.last_output) {
+            (Some(first), Some(last)) => last.saturating_sub(first),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+/// Observability for one pipeline run: the per-stage streaming analog of
+/// [`crate::par::ExecStats`].
+#[derive(Clone, Debug)]
+pub struct PipelineStats {
+    /// Workers per processing stage.
+    pub workers: usize,
+    /// Capacity of each inter-stage channel.
+    pub capacity: usize,
+    /// Items the sink folded (the sequential-equivalent item count;
+    /// stages may process more when an early stop discards overshoot).
+    pub items: u64,
+    /// End-to-end wall time.
+    pub elapsed: Duration,
+    /// Processing stages, in pipeline order.
+    pub stages: Vec<StageStats>,
+    /// The in-order fold at the end of the pipeline (always 1 worker).
+    pub sink: StageStats,
+    /// Times the feeder blocked pushing into the first channel.
+    pub feed_waits: u64,
+}
+
+impl PipelineStats {
+    /// Aggregate rate in sink-folded items per second of wall time.
+    pub fn items_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.items as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// True when every consecutive stage pair (including the sink)
+    /// genuinely interleaved: the later stage began its first item before
+    /// the earlier stage finished its last. This is the observable
+    /// refutation of barrier execution, valid even on one core.
+    pub fn strictly_overlapped(&self) -> bool {
+        let mut chain: Vec<&StageStats> = self.stages.iter().collect();
+        chain.push(&self.sink);
+        chain
+            .windows(2)
+            .all(|pair| match (pair[1].first_input, pair[0].last_output) {
+                (Some(later_first), Some(earlier_last)) => later_first < earlier_last,
+                _ => false,
+            })
+    }
+}
+
+/// A pipeline outcome plus the [`PipelineStats`] of producing it.
+#[derive(Clone, Debug)]
+pub struct PipelineRun<A> {
+    /// The sink's final accumulator, bit-identical to the sequential
+    /// fold for any worker count and channel capacity.
+    pub outcome: A,
+    /// How the work streamed and how fast it went.
+    pub stats: PipelineStats,
+}
+
+/// Default per-channel capacity: deep enough to keep workers busy across
+/// item-cost variance, shallow enough to bound memory and overshoot.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Shared atomic counters one stage's workers write into.
+struct StageMetrics {
+    items: AtomicU64,
+    steals: AtomicU64,
+    backpressure: AtomicU64,
+    busy_nanos: AtomicU64,
+    /// Nanosecond offset of the first item's start (`u64::MAX` = none).
+    first_input: AtomicU64,
+    /// Nanosecond offset of the last item's end (0 = none until set).
+    last_output: AtomicU64,
+    per_worker: Vec<AtomicU64>,
+}
+
+impl StageMetrics {
+    fn new(workers: usize) -> StageMetrics {
+        StageMetrics {
+            items: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            backpressure: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            first_input: AtomicU64::new(u64::MAX),
+            last_output: AtomicU64::new(0),
+            per_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn into_stats(self, stage: usize) -> StageStats {
+        let items = self.items.load(Ordering::Relaxed);
+        let first = self.first_input.load(Ordering::Relaxed);
+        let last = self.last_output.load(Ordering::Relaxed);
+        StageStats {
+            stage,
+            workers: self.per_worker.len(),
+            items,
+            steals: self.steals.load(Ordering::Relaxed),
+            backpressure_waits: self.backpressure.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+            first_input: (first != u64::MAX).then(|| Duration::from_nanos(first)),
+            last_output: (items > 0).then(|| Duration::from_nanos(last)),
+            per_worker: self
+                .per_worker
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Sends with backpressure accounting: a non-blocking attempt first, then
+/// a blocking send counted as one backpressure wait. Returns `false` when
+/// the downstream receivers are gone (the pipeline is shutting down).
+fn send_counted<T>(tx: &Sender<T>, msg: T, backpressure: &AtomicU64) -> bool {
+    match tx.try_send(msg) {
+        Ok(()) => true,
+        Err(TrySendError::Full(msg)) => {
+            backpressure.fetch_add(1, Ordering::Relaxed);
+            tx.send(msg).is_ok()
+        }
+        Err(TrySendError::Disconnected(_)) => false,
+    }
+}
+
+/// One stage worker: pull from the shared channel (work stealing), run
+/// the stage, push downstream. Exits when the input drains or the
+/// downstream disconnects (early stop cascading backwards).
+fn stage_worker<S: PipelineStage>(
+    stage: &S,
+    rx: Receiver<(u64, S::In)>,
+    tx: Sender<(u64, S::Out)>,
+    metrics: &StageMetrics,
+    worker: usize,
+    workers: usize,
+    t0: Instant,
+) {
+    let mut scratch = stage.scratch();
+    while let Ok((seq, item)) = rx.recv() {
+        let began = t0.elapsed();
+        metrics
+            .first_input
+            .fetch_min(began.as_nanos() as u64, Ordering::Relaxed);
+        let out = stage.process(item, &mut scratch);
+        let ended = t0.elapsed();
+        metrics.items.fetch_add(1, Ordering::Relaxed);
+        metrics.per_worker[worker].fetch_add(1, Ordering::Relaxed);
+        if seq % workers as u64 != worker as u64 {
+            metrics.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        metrics
+            .busy_nanos
+            .fetch_add((ended - began).as_nanos() as u64, Ordering::Relaxed);
+        metrics
+            .last_output
+            .fetch_max(ended.as_nanos() as u64, Ordering::Relaxed);
+        if !send_counted(&tx, (seq, out), &metrics.backpressure) {
+            break;
+        }
+    }
+}
+
+/// The feeder: assigns sequence numbers and pushes the source into the
+/// first channel, stopping when the pipeline disconnects (early stop) or
+/// the source ends.
+fn feed<T: Send>(source: impl Iterator<Item = T>, tx: Sender<(u64, T)>, waits: &AtomicU64) {
+    for (seq, item) in (0u64..).zip(source) {
+        if !send_counted(&tx, (seq, item), waits) {
+            break;
+        }
+    }
+}
+
+/// The sink: reorders outputs into sequence order and folds them. On
+/// `Break` it simply returns — dropping its receiver unblocks and
+/// terminates every upstream worker and the feeder.
+fn run_sink<Out, A>(
+    rx: Receiver<(u64, Out)>,
+    acc: &mut A,
+    mut fold: impl FnMut(&mut A, Out) -> ControlFlow<()>,
+    metrics: &StageMetrics,
+    t0: Instant,
+) {
+    let mut reorder: BTreeMap<u64, Out> = BTreeMap::new();
+    let mut next_seq = 0u64;
+    'pipeline: while let Ok((seq, out)) = rx.recv() {
+        reorder.insert(seq, out);
+        while let Some(out) = reorder.remove(&next_seq) {
+            let began = t0.elapsed();
+            metrics
+                .first_input
+                .fetch_min(began.as_nanos() as u64, Ordering::Relaxed);
+            let flow = fold(acc, out);
+            let ended = t0.elapsed();
+            metrics.items.fetch_add(1, Ordering::Relaxed);
+            metrics.per_worker[0].fetch_add(1, Ordering::Relaxed);
+            metrics
+                .busy_nanos
+                .fetch_add((ended - began).as_nanos() as u64, Ordering::Relaxed);
+            metrics
+                .last_output
+                .fetch_max(ended.as_nanos() as u64, Ordering::Relaxed);
+            next_seq += 1;
+            if flow.is_break() {
+                break 'pipeline;
+            }
+        }
+    }
+}
+
+/// Runs streaming pipelines with a fixed worker count per stage and a
+/// fixed inter-stage channel capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineExecutor {
+    workers: usize,
+    capacity: usize,
+}
+
+impl PipelineExecutor {
+    /// Executor with `workers` consumers per stage and channels holding
+    /// `capacity` in-flight items (both clamped to at least 1).
+    pub fn new(workers: usize, capacity: usize) -> PipelineExecutor {
+        PipelineExecutor {
+            workers: workers.max(1),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// One worker per stage with the default capacity — the streaming
+    /// (still overlapped!) analog of a sequential run.
+    pub fn sequential() -> PipelineExecutor {
+        PipelineExecutor::new(1, DEFAULT_CAPACITY)
+    }
+
+    /// Worker count from `MINEDIG_SHARDS` (default: available
+    /// parallelism), capacity from `MINEDIG_PIPE_CAP` (default
+    /// [`DEFAULT_CAPACITY`]).
+    pub fn from_env() -> PipelineExecutor {
+        let workers = std::env::var("MINEDIG_SHARDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        let capacity = std::env::var("MINEDIG_PIPE_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CAPACITY);
+        PipelineExecutor::new(workers, capacity)
+    }
+
+    /// Configured workers per stage.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Configured channel capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Streams `source` through one stage into an in-order fold.
+    ///
+    /// Equivalent to `for item in source { fold(&mut acc, stage(item)) }`
+    /// — bit-identically, for any worker count and capacity — but with
+    /// the stage running concurrently with both the source iterator and
+    /// the fold. `fold` returning [`ControlFlow::Break`] stops the
+    /// pipeline exactly where the sequential loop would have stopped.
+    pub fn run<S, I, A, F>(&self, source: I, stage: &S, mut acc: A, fold: F) -> PipelineRun<A>
+    where
+        S: PipelineStage,
+        I: IntoIterator<Item = S::In>,
+        I::IntoIter: Send,
+        F: FnMut(&mut A, S::Out) -> ControlFlow<()>,
+    {
+        let t0 = Instant::now();
+        let feed_waits = AtomicU64::new(0);
+        let metrics = StageMetrics::new(self.workers);
+        let sink_metrics = StageMetrics::new(1);
+        let (tx0, rx0) = bounded::<(u64, S::In)>(self.capacity);
+        let (tx1, rx1) = bounded::<(u64, S::Out)>(self.capacity);
+        let source = source.into_iter();
+
+        std::thread::scope(|s| {
+            s.spawn(|| feed(source, tx0, &feed_waits));
+            for w in 0..self.workers {
+                let (rx, tx) = (rx0.clone(), tx1.clone());
+                let metrics = &metrics;
+                s.spawn(move || stage_worker(stage, rx, tx, metrics, w, self.workers, t0));
+            }
+            drop(rx0);
+            drop(tx1);
+            run_sink(rx1, &mut acc, fold, &sink_metrics, t0);
+        });
+
+        let sink = sink_metrics.into_stats(1);
+        PipelineRun {
+            outcome: acc,
+            stats: PipelineStats {
+                workers: self.workers,
+                capacity: self.capacity,
+                items: sink.items,
+                elapsed: t0.elapsed(),
+                stages: vec![metrics.into_stats(0)],
+                sink,
+                feed_waits: feed_waits.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// Streams `source` through two chained stages into an in-order
+    /// fold: same contract as [`run`](PipelineExecutor::run), with both
+    /// stages (and the source, and the fold) overlapping.
+    pub fn run2<S1, S2, I, A, F>(
+        &self,
+        source: I,
+        stage1: &S1,
+        stage2: &S2,
+        mut acc: A,
+        fold: F,
+    ) -> PipelineRun<A>
+    where
+        S1: PipelineStage,
+        S2: PipelineStage<In = S1::Out>,
+        I: IntoIterator<Item = S1::In>,
+        I::IntoIter: Send,
+        F: FnMut(&mut A, S2::Out) -> ControlFlow<()>,
+    {
+        let t0 = Instant::now();
+        let feed_waits = AtomicU64::new(0);
+        let metrics1 = StageMetrics::new(self.workers);
+        let metrics2 = StageMetrics::new(self.workers);
+        let sink_metrics = StageMetrics::new(1);
+        let (tx0, rx0) = bounded::<(u64, S1::In)>(self.capacity);
+        let (tx1, rx1) = bounded::<(u64, S1::Out)>(self.capacity);
+        let (tx2, rx2) = bounded::<(u64, S2::Out)>(self.capacity);
+        let source = source.into_iter();
+
+        std::thread::scope(|s| {
+            s.spawn(|| feed(source, tx0, &feed_waits));
+            for w in 0..self.workers {
+                let (rx, tx) = (rx0.clone(), tx1.clone());
+                let metrics = &metrics1;
+                s.spawn(move || stage_worker(stage1, rx, tx, metrics, w, self.workers, t0));
+            }
+            for w in 0..self.workers {
+                let (rx, tx) = (rx1.clone(), tx2.clone());
+                let metrics = &metrics2;
+                s.spawn(move || stage_worker(stage2, rx, tx, metrics, w, self.workers, t0));
+            }
+            drop(rx0);
+            drop(tx1);
+            drop(rx1);
+            drop(tx2);
+            run_sink(rx2, &mut acc, fold, &sink_metrics, t0);
+        });
+
+        let sink = sink_metrics.into_stats(2);
+        PipelineRun {
+            outcome: acc,
+            stats: PipelineStats {
+                workers: self.workers,
+                capacity: self.capacity,
+                items: sink.items,
+                elapsed: t0.elapsed(),
+                stages: vec![metrics1.into_stats(0), metrics2.into_stats(1)],
+                sink,
+                feed_waits: feed_waits.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// A stateless [`PipelineStage`] from a plain function, for workloads
+/// whose scratch is trivial.
+pub struct FnStage<In, Out, F: Fn(In) -> Out + Sync> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(In) -> Out>,
+}
+
+impl<In, Out, F: Fn(In) -> Out + Sync> FnStage<In, Out, F> {
+    /// Wraps `f` as a scratchless stage.
+    pub fn new(f: F) -> FnStage<In, Out, F> {
+        FnStage {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<In: Send, Out: Send, F: Fn(In) -> Out + Sync> PipelineStage for FnStage<In, Out, F> {
+    type In = In;
+    type Out = Out;
+    type Scratch = ();
+
+    fn scratch(&self) {}
+
+    fn process(&self, item: In, _scratch: &mut ()) -> Out {
+        (self.f)(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn collect_fold<T>(acc: &mut Vec<T>, item: T) -> ControlFlow<()> {
+        acc.push(item);
+        ControlFlow::Continue(())
+    }
+
+    #[test]
+    fn outputs_arrive_in_submission_order_for_any_width() {
+        let stage = FnStage::new(|i: u64| i * i);
+        let expected: Vec<u64> = (0..500).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 16] {
+            for capacity in [1, 2, 7, 64] {
+                let run = PipelineExecutor::new(workers, capacity).run(
+                    0..500u64,
+                    &stage,
+                    Vec::new(),
+                    collect_fold,
+                );
+                assert_eq!(run.outcome, expected, "workers={workers} cap={capacity}");
+                assert_eq!(run.stats.items, 500);
+                assert_eq!(run.stats.stages[0].items, 500);
+                let spread: u64 = run.stats.stages[0].per_worker.iter().sum();
+                assert_eq!(spread, 500);
+            }
+        }
+    }
+
+    #[test]
+    fn two_stage_chain_composes_in_order() {
+        let double = FnStage::new(|i: u64| i * 2);
+        let stringify = FnStage::new(|i: u64| format!("#{i}"));
+        let expected: Vec<String> = (0..200).map(|i| format!("#{}", i * 2)).collect();
+        for workers in [1, 4] {
+            let run = PipelineExecutor::new(workers, 8).run2(
+                0..200u64,
+                &double,
+                &stringify,
+                Vec::new(),
+                collect_fold,
+            );
+            assert_eq!(run.outcome, expected, "workers={workers}");
+            assert_eq!(run.stats.stages.len(), 2);
+            assert_eq!(run.stats.stages[1].items, 200);
+        }
+    }
+
+    #[test]
+    fn early_break_stops_at_the_sequential_item() {
+        // Infinite source: only an early stop can end this run, and the
+        // fold must see exactly 0..=42 like the sequential loop.
+        let stage = FnStage::new(|i: u64| i);
+        for workers in [1, 3, 8] {
+            let run = PipelineExecutor::new(workers, 4).run(
+                0u64..,
+                &stage,
+                Vec::new(),
+                |acc: &mut Vec<u64>, i| {
+                    acc.push(i);
+                    if i == 42 {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                },
+            );
+            let expected: Vec<u64> = (0..=42).collect();
+            assert_eq!(run.outcome, expected, "workers={workers}");
+            assert_eq!(run.stats.items, 43);
+            // The stage overshoots (bounded in-flight work past the
+            // break), but everything past the break is discarded: the
+            // fold saw exactly the sequential prefix.
+            assert!(run.stats.stages[0].items >= 43);
+        }
+    }
+
+    #[test]
+    fn empty_source_folds_nothing() {
+        let stage = FnStage::new(|i: u64| i);
+        let run =
+            PipelineExecutor::new(4, 8).run(std::iter::empty(), &stage, Vec::new(), collect_fold);
+        assert!(run.outcome.is_empty());
+        assert_eq!(run.stats.items, 0);
+        assert_eq!(run.stats.sink.first_input, None);
+    }
+
+    #[test]
+    fn scratch_is_allocated_once_per_worker() {
+        struct CountingStage {
+            allocations: AtomicUsize,
+        }
+        impl PipelineStage for CountingStage {
+            type In = u64;
+            type Out = u64;
+            type Scratch = Vec<u8>;
+            fn scratch(&self) -> Vec<u8> {
+                self.allocations.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(64)
+            }
+            fn process(&self, item: u64, scratch: &mut Vec<u8>) -> u64 {
+                scratch.clear();
+                scratch.extend_from_slice(&item.to_le_bytes());
+                scratch.iter().map(|&b| u64::from(b)).sum()
+            }
+        }
+        let stage = CountingStage {
+            allocations: AtomicUsize::new(0),
+        };
+        let run = PipelineExecutor::new(3, 8).run(0..1000u64, &stage, 0u64, |acc, v| {
+            *acc += v;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(run.stats.items, 1000);
+        assert_eq!(
+            stage.allocations.load(Ordering::Relaxed),
+            3,
+            "one scratch per worker, not per item"
+        );
+    }
+
+    #[test]
+    fn stages_overlap_even_sequentially() {
+        // With more items than fit in the channels, the sink must start
+        // folding while the stage is still processing — streaming, not
+        // barrier, even with one worker on one core.
+        let stage = FnStage::new(|i: u64| i + 1);
+        let run = PipelineExecutor::new(1, 4).run(0..10_000u64, &stage, 0u64, |acc, v| {
+            *acc += v;
+            ControlFlow::Continue(())
+        });
+        assert!(
+            run.stats.strictly_overlapped(),
+            "sink first_input {:?} vs stage last_output {:?}",
+            run.stats.sink.first_input,
+            run.stats.stages[0].last_output
+        );
+    }
+
+    #[test]
+    fn backpressure_is_counted_not_fatal() {
+        // A deliberately slow sink with capacity 1 forces the stage (and
+        // feeder) to block on full channels.
+        let stage = FnStage::new(|i: u64| i);
+        let run = PipelineExecutor::new(2, 1).run(0..300u64, &stage, 0u64, |acc, v| {
+            std::thread::sleep(Duration::from_micros(50));
+            *acc += v;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(run.outcome, (0..300).sum::<u64>());
+        assert!(
+            run.stats.stages[0].backpressure_waits + run.stats.feed_waits > 0,
+            "capacity-1 channels with a slow sink must record backpressure"
+        );
+    }
+
+    #[test]
+    fn work_stealing_spreads_uneven_items() {
+        // Item 0 is enormously slower than the rest; with 2 workers the
+        // other worker must pick up nearly everything else (steals > 0
+        // records the rebalancing).
+        let stage = FnStage::new(|i: u64| {
+            if i == 0 {
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            i
+        });
+        let run = PipelineExecutor::new(2, 4).run(0..200u64, &stage, Vec::new(), collect_fold);
+        assert_eq!(run.outcome.len(), 200);
+        let stats = &run.stats.stages[0];
+        assert!(
+            stats.steals > 0,
+            "uneven load must be rebalanced through the shared channel: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn executor_clamps_and_reports_config() {
+        let exec = PipelineExecutor::new(0, 0);
+        assert_eq!(exec.workers(), 1);
+        assert_eq!(exec.capacity(), 1);
+        assert_eq!(PipelineExecutor::sequential().workers(), 1);
+    }
+
+    #[test]
+    fn occupancy_and_span_are_sane() {
+        let stage = FnStage::new(|i: u64| {
+            std::thread::sleep(Duration::from_micros(20));
+            i
+        });
+        let run = PipelineExecutor::new(2, 8).run(0..100u64, &stage, 0u64, |acc, v| {
+            *acc += v;
+            ControlFlow::Continue(())
+        });
+        let occ = run.stats.stages[0].occupancy(run.stats.elapsed);
+        assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ}");
+        assert!(run.stats.stages[0].active_span() > Duration::ZERO);
+        assert!(run.stats.items_per_sec() > 0.0);
+    }
+}

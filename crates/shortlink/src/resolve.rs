@@ -38,32 +38,47 @@ pub struct ResolveReport {
     pub hashes_spent: u64,
 }
 
+/// Resolves one code in accounted mode into `report` — the per-item step
+/// [`resolve_accounted`] folds over its input, exposed so streaming
+/// drivers can resolve links as enumeration emits them.
+pub fn resolve_step(
+    service: &ShortlinkService,
+    report: &mut ResolveReport,
+    code: &str,
+    budget_per_link: u64,
+) {
+    let Some(doc) = service.visit(code) else {
+        report.visit_failures += 1;
+        return;
+    };
+    if doc.required_hashes > budget_per_link {
+        report.skipped_over_budget += 1;
+        return;
+    }
+    // Saturating: an unlimited-budget run over infeasible (~1e19 hash)
+    // links can exceed u64 in aggregate; the tally caps rather than
+    // wrapping.
+    report.hashes_spent = report.hashes_spent.saturating_add(doc.required_hashes);
+    match service.redeem(code, doc.required_hashes) {
+        Ok(url) => report.resolved.push((code.to_string(), url)),
+        Err(RedeemError::UnknownCode) => {}
+        Err(RedeemError::NotEnoughHashes { .. }) => {
+            unreachable!("accounted mode supplies the exact requirement")
+        }
+    }
+}
+
 /// Resolves `codes` in accounted mode: every link whose requirement is at
 /// most `budget_per_link` hashes is "computed" and redeemed; the total
 /// hash cost is tallied (the paper's 61.5 M figure for <10 K-hash links).
 pub fn resolve_accounted(
-    service: &mut ShortlinkService,
+    service: &ShortlinkService,
     codes: &[String],
     budget_per_link: u64,
 ) -> ResolveReport {
     let mut report = ResolveReport::default();
     for code in codes {
-        let Some(doc) = service.visit(code) else {
-            report.visit_failures += 1;
-            continue;
-        };
-        if doc.required_hashes > budget_per_link {
-            report.skipped_over_budget += 1;
-            continue;
-        }
-        report.hashes_spent += doc.required_hashes;
-        match service.redeem(code, doc.required_hashes) {
-            Ok(url) => report.resolved.push((code.clone(), url)),
-            Err(RedeemError::UnknownCode) => {}
-            Err(RedeemError::NotEnoughHashes { .. }) => {
-                unreachable!("accounted mode supplies the exact requirement")
-            }
-        }
+        resolve_step(service, &mut report, code, budget_per_link);
     }
     report
 }
@@ -103,7 +118,7 @@ impl std::error::Error for ResolveError {}
 /// that is the monetization), grinds real shares until the requirement is
 /// met, then redeems the redirect.
 pub fn resolve_with_pool<T: Transport>(
-    service: &mut ShortlinkService,
+    service: &ShortlinkService,
     pool: &Pool,
     transport: T,
     code: &str,
@@ -135,6 +150,43 @@ pub fn resolve_with_pool<T: Transport>(
         .map_err(|_| ResolveError::UnknownCode)
 }
 
+/// [`resolve_with_pool`] with reconnect-and-retry: each attempt mines
+/// over a fresh transport from `connect` (which receives the attempt
+/// number — chaos suites use it to label fault schedules per attempt),
+/// so an injected disconnect or stall costs one attempt, not the link.
+/// Returns the destination plus the number of retries it took. Unknown
+/// codes fail immediately; transport-level failures retry until
+/// `max_attempts` connections have been spent, returning the last error.
+pub fn resolve_with_pool_retrying<T, F>(
+    service: &ShortlinkService,
+    pool: &Pool,
+    mut connect: F,
+    code: &str,
+    max_local_hashes: u64,
+    max_attempts: u32,
+) -> Result<(String, u32), ResolveError>
+where
+    T: Transport,
+    F: FnMut(u32) -> Option<T>,
+{
+    let mut last = ResolveError::Miner(MinerError::Transport(
+        minedig_net::transport::TransportError::Closed,
+    ));
+    for attempt in 0..max_attempts {
+        // A failed connect consumes the attempt like a torn session.
+        let Some(transport) = connect(attempt) else {
+            continue;
+        };
+        match resolve_with_pool(service, pool, transport, code, max_local_hashes) {
+            Ok(url) => return Ok((url, attempt)),
+            // Permanent: retrying cannot make a dead code live.
+            Err(ResolveError::UnknownCode) => return Err(ResolveError::UnknownCode),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,9 +207,9 @@ mod tests {
 
     #[test]
     fn accounted_resolution_respects_budget() {
-        let mut service = service_with(3_000);
+        let service = service_with(3_000);
         let codes: Vec<String> = (0..3_000u64).map(crate::ids::index_to_code).collect();
-        let report = resolve_accounted(&mut service, &codes, 10_000);
+        let report = resolve_accounted(&service, &codes, 10_000);
         assert!(!report.resolved.is_empty());
         assert!(
             report.skipped_over_budget > 0,
@@ -175,12 +227,12 @@ mod tests {
 
     #[test]
     fn dead_codes_are_counted_not_swallowed() {
-        let mut service = service_with(10);
+        let service = service_with(10);
         let codes: Vec<String> = ["a", "zzzz", "!!!", "b"]
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let report = resolve_accounted(&mut service, &codes, u64::MAX);
+        let report = resolve_accounted(&service, &codes, u64::MAX);
         assert_eq!(report.visit_failures, 2, "zzzz and !!! have no document");
         assert_eq!(
             report.resolved.len() as u64 + report.skipped_over_budget + report.visit_failures,
@@ -191,9 +243,9 @@ mod tests {
 
     #[test]
     fn accounted_resolution_returns_real_targets() {
-        let mut service = service_with(100);
+        let service = service_with(100);
         let codes = vec!["a".to_string()];
-        let report = resolve_accounted(&mut service, &codes, u64::MAX);
+        let report = resolve_accounted(&service, &codes, u64::MAX);
         assert_eq!(report.resolved.len(), 1);
         assert!(report.resolved[0].1.starts_with("https://"));
     }
@@ -201,7 +253,7 @@ mod tests {
     /// Full stack: pool + miner + service with real (Test-variant) PoW.
     #[test]
     fn end_to_end_pow_resolution() {
-        let mut service = ShortlinkService::new(LinkPopulation {
+        let service = ShortlinkService::new(LinkPopulation {
             links: vec![crate::model::LinkRecord {
                 index: 0,
                 code: "a".into(),
@@ -229,7 +281,7 @@ mod tests {
         let p2 = pool.clone();
         let handle = std::thread::spawn(move || p2.serve(&mut server_t, 0, || 120));
 
-        let url = resolve_with_pool(&mut service, &pool, client_t, "a", 100_000).unwrap();
+        let url = resolve_with_pool(&service, &pool, client_t, "a", 100_000).unwrap();
         assert_eq!(url, "https://youtu.be/dQw4w9WgXcQ");
         // The creator got credited at least the requirement.
         let creator = Token::from_index(3);
@@ -239,10 +291,10 @@ mod tests {
 
     #[test]
     fn unknown_code_fails_cleanly() {
-        let mut service = service_with(10);
+        let service = service_with(10);
         let pool = Pool::new(PoolConfig::default());
         let (client_t, _server) = channel_pair();
-        let err = resolve_with_pool(&mut service, &pool, client_t, "zzzz", 10).unwrap_err();
+        let err = resolve_with_pool(&service, &pool, client_t, "zzzz", 10).unwrap_err();
         assert!(matches!(err, ResolveError::UnknownCode));
     }
 }

@@ -6,6 +6,7 @@
 //! seen enough credited hashes for the visit.
 
 use crate::model::{LinkPopulation, LinkRecord};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// The document returned when visiting a short link before solving it
@@ -44,12 +45,19 @@ impl std::fmt::Display for RedeemError {
 }
 
 /// The service: link table + per-creator credited-hash totals.
+///
+/// The link table is immutable after construction; only the credited-hash
+/// ledger mutates, behind a mutex, so visits and redeems can run from any
+/// thread. Because [`visit`](ShortlinkService::visit) never reads the
+/// ledger and [`redeem`](ShortlinkService::redeem) only accumulates
+/// per-creator totals, interleaving resolution with enumeration cannot
+/// change any scraped document or any redeem outcome.
 pub struct ShortlinkService {
     by_index: Vec<LinkRecord>,
     by_code: HashMap<String, usize>,
     /// Hashes credited to link creators through visits (the creator's
     /// revenue share ledger lives in the pool; this tracks volume).
-    creator_hashes: HashMap<u64, u64>,
+    creator_hashes: Mutex<HashMap<u64, u64>>,
 }
 
 impl ShortlinkService {
@@ -64,7 +72,7 @@ impl ShortlinkService {
         ShortlinkService {
             by_index: population.links,
             by_code,
-            creator_hashes: HashMap::new(),
+            creator_hashes: Mutex::new(HashMap::new()),
         }
     }
 
@@ -87,7 +95,7 @@ impl ShortlinkService {
     /// Redeems a link after `credited_hashes` have been computed for this
     /// visit. On success returns the destination URL and credits the
     /// creator.
-    pub fn redeem(&mut self, code: &str, credited_hashes: u64) -> Result<String, RedeemError> {
+    pub fn redeem(&self, code: &str, credited_hashes: u64) -> Result<String, RedeemError> {
         let index = *self.by_code.get(code).ok_or(RedeemError::UnknownCode)?;
         let link = self.by_index.get(index).ok_or(RedeemError::UnknownCode)?;
         if credited_hashes < link.required_hashes {
@@ -95,13 +103,21 @@ impl ShortlinkService {
                 missing: link.required_hashes - credited_hashes,
             });
         }
-        *self.creator_hashes.entry(link.token_id).or_insert(0) += link.required_hashes;
+        // Saturating: a creator with several ~1e19-hash links redeemed
+        // under an unlimited budget would wrap a plain sum.
+        let mut ledger = self.creator_hashes.lock();
+        let credited = ledger.entry(link.token_id).or_insert(0);
+        *credited = credited.saturating_add(link.required_hashes);
         Ok(link.target_url.clone())
     }
 
     /// Total hashes credited to a creator through redeemed links.
     pub fn creator_hashes(&self, token_id: u64) -> u64 {
-        self.creator_hashes.get(&token_id).copied().unwrap_or(0)
+        self.creator_hashes
+            .lock()
+            .get(&token_id)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Read access to a link record (analysis side).
@@ -144,7 +160,7 @@ mod tests {
 
     #[test]
     fn redeem_requires_full_hash_count() {
-        let mut s = service();
+        let s = service();
         let doc = s.visit("b").unwrap();
         let need = doc.required_hashes;
         match s.redeem("b", need - 1) {
@@ -157,7 +173,7 @@ mod tests {
 
     #[test]
     fn redeem_credits_creator() {
-        let mut s = service();
+        let s = service();
         let doc = s.visit("c").unwrap();
         assert_eq!(s.creator_hashes(doc.token_id), 0);
         s.redeem("c", doc.required_hashes).unwrap();
@@ -166,7 +182,7 @@ mod tests {
 
     #[test]
     fn unknown_code_redeem_fails() {
-        let mut s = service();
+        let s = service();
         assert_eq!(s.redeem("zzzz", u64::MAX), Err(RedeemError::UnknownCode));
     }
 

@@ -11,7 +11,7 @@
 //! names (identifies the *family* even for unseen builds).
 
 use crate::module::Module;
-use crate::opcode::{encode_body, InstrClass};
+use crate::opcode::{encode_body_into, InstrClass};
 use minedig_primitives::sha256::Sha256;
 use minedig_primitives::Hash32;
 
@@ -102,6 +102,12 @@ pub struct Fingerprint {
 
 /// Computes the fingerprint of a module.
 pub fn fingerprint(module: &Module) -> Fingerprint {
+    fingerprint_with(module, &mut Vec::new())
+}
+
+/// Computes the fingerprint of a module, reusing `scratch` for the
+/// length-prefixed body encoding instead of allocating per function.
+pub fn fingerprint_with(module: &Module, scratch: &mut Vec<u8>) -> Fingerprint {
     let mut hasher = Sha256::new();
     let mut features = Features {
         functions: module.functions.len() as u32,
@@ -114,9 +120,9 @@ pub fn fingerprint(module: &Module) -> Fingerprint {
     for f in &module.functions {
         // Strict order, length-prefixed so function boundaries are
         // unambiguous in the hash input.
-        let body = encode_body(&f.body);
-        hasher.update(&(body.len() as u64).to_le_bytes());
-        hasher.update(&body);
+        encode_body_into(&f.body, scratch);
+        hasher.update(&(scratch.len() as u64).to_le_bytes());
+        hasher.update(scratch);
         for instr in &f.body {
             features.total_instrs += 1;
             match instr.class() {

@@ -23,6 +23,7 @@
 //! * [`sigdb`] — the signature database mapping fingerprints to miner
 //!   families (exact hash first, feature-similarity fallback).
 
+pub mod cache;
 pub mod corpus;
 pub mod fingerprint;
 pub mod interp;
@@ -31,6 +32,7 @@ pub mod opcode;
 pub mod sigdb;
 pub mod validate;
 
-pub use fingerprint::{fingerprint, Fingerprint};
+pub use cache::FingerprintCache;
+pub use fingerprint::{fingerprint, fingerprint_with, Fingerprint};
 pub use module::{Module, ModuleBuilder};
 pub use sigdb::{MinerFamily, SignatureDb};

@@ -440,12 +440,20 @@ pub fn decode_body(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
     Ok(out)
 }
 
+/// Encodes an instruction sequence into a caller-provided buffer.
+///
+/// Clears `out` first; lets hot loops reuse one allocation across bodies.
+pub fn encode_body_into(instrs: &[Instr], out: &mut Vec<u8>) {
+    out.clear();
+    for i in instrs {
+        i.encode(out);
+    }
+}
+
 /// Encodes an instruction sequence.
 pub fn encode_body(instrs: &[Instr]) -> Vec<u8> {
     let mut out = Vec::new();
-    for i in instrs {
-        i.encode(&mut out);
-    }
+    encode_body_into(instrs, &mut out);
     out
 }
 

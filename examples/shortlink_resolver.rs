@@ -44,7 +44,7 @@ fn main() {
     println!("pool endpoint listening on {}", server.addr());
 
     // A short link requiring 64 credited hashes.
-    let mut service = ShortlinkService::new(LinkPopulation {
+    let service = ShortlinkService::new(LinkPopulation {
         links: vec![LinkRecord {
             index: 0,
             code: "3w88o".into(), // the paper's own example link id
@@ -64,8 +64,7 @@ fn main() {
 
     let transport = TcpTransport::connect(server.addr()).expect("connect");
     println!("grinding real CryptoNight-style shares (Test variant)…");
-    let url =
-        resolve_with_pool(&mut service, &pool, transport, "3w88o", 1_000_000).expect("resolve");
+    let url = resolve_with_pool(&service, &pool, transport, "3w88o", 1_000_000).expect("resolve");
     println!("redirect released: {url}");
 
     let creator = minedig::pool::protocol::Token::from_index(7);

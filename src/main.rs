@@ -7,17 +7,26 @@
 //! minedig shortlink [links] [seed]          §4.1 link-space study
 //! minedig hashrate                          local CryptoNight throughput
 //! ```
+//!
+//! `MINEDIG_STREAM=1 minedig shortlink …` runs the study through the
+//! streaming pipeline (probes fan across `MINEDIG_SHARDS` workers while
+//! a resolver thread consumes the unbiased tail as it is discovered) —
+//! same outputs, overlapped wall-clock, plus pipeline stats.
 
 use minedig::analysis::economics::{pool_revenue, ExchangeRate};
 use minedig::analysis::scenario::{run_scenario, ScenarioConfig};
 use minedig::core::exec::ScanExecutor;
-use minedig::core::report::{comparison_table, fetch_stats, scan_stats, Comparison};
+use minedig::core::report::{
+    comparison_table, degradation_summary, fetch_stats, pipeline_stats, scan_stats, CampaignHealth,
+    Comparison,
+};
 use minedig::core::scan::{build_reference_db, FetchModel};
-use minedig::core::shortlink_study::{run_study, StudyConfig};
+use minedig::core::shortlink_study::{run_study, run_study_streaming, StudyConfig, StudyResult};
 use minedig::pow::hashrate::measure_hashrate;
 use minedig::pow::Variant;
 use minedig::primitives::fault::FaultPlan;
 use minedig::primitives::par::ParallelExecutor;
+use minedig::primitives::pipeline::PipelineExecutor;
 use minedig::shortlink::model::ModelConfig;
 use minedig::web::universe::Population;
 use minedig::web::zone::Zone;
@@ -96,12 +105,15 @@ fn cmd_scan(args: &[String]) {
     print!("{}", scan_stats("zgrab", &zg_run.stats));
     print!("{}", fetch_stats("zgrab fetches", &zg.fetch));
 
+    let mut health = vec![CampaignHealth::from_fetch("zgrab", &zg.fetch)];
+
     if zone.chrome_scanned() {
         let db = build_reference_db(0.7);
         let ch_run = executor.chrome_with(&population, &db, seed, &model);
         print!("{}", scan_stats("chrome", &ch_run.stats));
         print!("{}", fetch_stats("chrome fetches", &ch_run.outcome.fetch));
         let ch = ch_run.outcome;
+        health.push(CampaignHealth::from_fetch("chrome", &ch.fetch));
         let rows = vec![
             Comparison::new(
                 "NoCoin hits (post-exec HTML)",
@@ -127,6 +139,7 @@ fn cmd_scan(args: &[String]) {
     } else {
         println!("(zone not part of the paper's Chrome measurement — §3.2 covers Alexa and .org)");
     }
+    print!("{}", degradation_summary(&health));
 }
 
 fn cmd_attribute(args: &[String]) {
@@ -174,28 +187,54 @@ fn cmd_attribute(args: &[String]) {
         "revenue: {:.1} XMR ≈ {:.0} USD gross, pool keeps {:.0} USD (30%)",
         revenue.xmr, revenue.usd_gross, revenue.usd_pool_cut
     );
+    print!(
+        "{}",
+        degradation_summary(&[CampaignHealth::from_polls("pool polling", ps)])
+    );
 }
 
 fn cmd_shortlink(args: &[String]) {
     let links = arg_u64(args, 0, 50_000);
     let seed = arg_u64(args, 1, 2018);
     let enum_shards = ParallelExecutor::from_env().shards();
-    println!(
-        "generating {links} short links and enumerating the ID space \
-         ({enum_shards}-shard probing)…"
-    );
-    let study = run_study(
-        &StudyConfig {
-            model: ModelConfig {
-                total_links: links,
-                users: 12_000.min(links as usize / 4).max(100),
-                seed,
-            },
-            enum_shards,
-            ..StudyConfig::default()
+    let config = StudyConfig {
+        model: ModelConfig {
+            total_links: links,
+            users: 12_000.min(links as usize / 4).max(100),
+            seed,
         },
-        seed,
-    );
+        enum_shards,
+        ..StudyConfig::default()
+    };
+    let study: StudyResult = if std::env::var("MINEDIG_STREAM").is_ok() {
+        let pipe = PipelineExecutor::from_env();
+        println!(
+            "generating {links} short links; streaming enumerate→resolve \
+             across {} pipeline workers…",
+            pipe.workers()
+        );
+        let streamed = run_study_streaming(&config, seed, &pipe);
+        print!("{}", pipeline_stats("enumerate", &streamed.enum_stats));
+        println!(
+            "resolver: {} links resolved concurrently, overlap with enumeration: {}",
+            streamed.resolver.items,
+            if streamed.overlapped() { "yes" } else { "no" }
+        );
+        print!(
+            "{}",
+            degradation_summary(&[CampaignHealth::from_enumeration(
+                "shortlink enum",
+                &streamed.result.enumeration,
+            )])
+        );
+        streamed.result
+    } else {
+        println!(
+            "generating {links} short links and enumerating the ID space \
+             ({enum_shards}-shard probing)…"
+        );
+        run_study(&config, seed)
+    };
     println!(
         "top-1 user owns {:.1}% of links; {} users own 85% (paper: 1/3 and 10)",
         study.top1_share * 100.0,

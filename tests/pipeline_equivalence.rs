@@ -1,0 +1,218 @@
+//! Property tests of the streaming pipeline's determinism contract: for
+//! any worker count (1–16), any channel capacity, and any fault
+//! schedule, the streaming execution of a workload is **bit-identical**
+//! to the sequential run — and to the sharded executor, since both
+//! reduce to the same per-item kernels folded in the same order.
+//!
+//! `MINEDIG_FAULT_SEED` offsets every fault-plan seed, so the CI chaos
+//! matrix exercises a different schedule per job without touching the
+//! test code.
+
+use minedig::core::exec::{chrome_scan_streaming, zgrab_scan_streaming, ScanExecutor};
+use minedig::core::scan::{build_reference_db, chrome_scan_with, zgrab_scan_with, FetchModel};
+use minedig::core::shortlink_study::{run_study, run_study_streaming, StudyConfig};
+use minedig::primitives::fault::{FaultConfig, FaultPlan, FAULT_SEED_ENV};
+use minedig::primitives::par::ParallelExecutor;
+use minedig::primitives::pipeline::PipelineExecutor;
+use minedig::shortlink::enumerate::{
+    enumerate_links_streaming_with, enumerate_links_windowed_with, enumerate_links_with,
+};
+use minedig::shortlink::model::{LinkPopulation, ModelConfig};
+use minedig::shortlink::probe::{FaultyProber, ProbePolicy};
+use minedig::shortlink::resolve::{resolve_accounted, resolve_step, ResolveReport};
+use minedig::shortlink::service::ShortlinkService;
+use minedig::wasm::cache::FingerprintCache;
+use minedig::wasm::sigdb::SignatureDb;
+use minedig::web::universe::Population;
+use minedig::web::zone::Zone;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Base fault seed from the environment (the CI matrix axis).
+fn base_seed() -> u64 {
+    std::env::var(FAULT_SEED_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn db() -> &'static SignatureDb {
+    static DB: OnceLock<SignatureDb> = OnceLock::new();
+    DB.get_or_init(|| build_reference_db(0.7))
+}
+
+/// A mixed fault plan: some faults clear under retries, some are
+/// permanent. Delay is excluded so a permanent fault means a *lost*
+/// fetch, mirroring the chaos suites.
+fn mixed_plan(offset: u64, permanent: f64) -> FaultPlan {
+    FaultPlan::with_config(
+        base_seed().wrapping_add(offset),
+        FaultConfig {
+            fault_prob: 0.5,
+            permanent_prob: permanent,
+            kind_weights: [1.0, 0.0, 1.0, 1.0, 1.0],
+            ..FaultConfig::default()
+        },
+    )
+}
+
+const CAPACITIES: [usize; 4] = [1, 4, 64, 256];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // zgrab: streaming == sequential == sharded, under mixed chaos.
+    #[test]
+    fn zgrab_streaming_is_bit_identical(
+        seed in 0u64..1_000_000,
+        clean in 0usize..120,
+        fault_off in 0u64..1_000,
+        permanent in 0.0f64..0.6,
+        workers in 1usize..=16,
+        cap_ix in 0usize..CAPACITIES.len(),
+        shards in 1usize..=8,
+    ) {
+        let pop = Population::generate(Zone::Org, seed, clean);
+        let model = FetchModel::outlasting(mixed_plan(fault_off, permanent));
+        let sequential = zgrab_scan_with(&pop, seed, &model);
+        let pipe = PipelineExecutor::new(workers, CAPACITIES[cap_ix]);
+        let streamed = zgrab_scan_streaming(&pop, seed, &model, &pipe);
+        prop_assert_eq!(
+            &streamed.outcome, &sequential,
+            "workers={} cap={}", workers, CAPACITIES[cap_ix]
+        );
+        let sharded = ScanExecutor::new(shards).zgrab_with(&pop, seed, &model);
+        prop_assert_eq!(&sharded.outcome, &sequential, "shards={}", shards);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // chrome (two-stage fetch→fingerprint pipeline, with the shared
+    // fingerprint cache): streaming == sequential == sharded.
+    #[test]
+    fn chrome_streaming_is_bit_identical(
+        seed in 0u64..1_000_000,
+        clean in 0usize..60,
+        fault_off in 0u64..1_000,
+        permanent in 0.0f64..0.5,
+        workers in 1usize..=16,
+        cap_ix in 0usize..CAPACITIES.len(),
+        shards in 1usize..=8,
+    ) {
+        let pop = Population::generate(Zone::Org, seed, clean);
+        let model = FetchModel::outlasting(mixed_plan(fault_off, permanent));
+        let sequential = chrome_scan_with(&pop, db(), seed, &model);
+        let cache = FingerprintCache::new();
+        let pipe = PipelineExecutor::new(workers, CAPACITIES[cap_ix]);
+        let streamed = chrome_scan_streaming(&pop, db(), seed, &model, Some(&cache), &pipe);
+        prop_assert_eq!(
+            &streamed.outcome, &sequential,
+            "workers={} cap={}", workers, CAPACITIES[cap_ix]
+        );
+        let sharded = ScanExecutor::new(shards).chrome_with(&pop, db(), seed, &model);
+        prop_assert_eq!(&sharded.outcome, &sequential, "shards={}", shards);
+    }
+
+    // enumerate→resolve: the streamed walk (probes on pipeline workers,
+    // resolution FIFO as documents arrive) produces the same
+    // enumeration AND the same resolve report as the sequential
+    // enumerate-then-resolve, and the sharded walk agrees too — under
+    // mixed fault schedules on the probe path.
+    #[test]
+    fn enumerate_resolve_streaming_is_bit_identical(
+        links in 200u64..1_500,
+        users in 20usize..150,
+        model_seed in 0u64..1_000_000,
+        fault_off in 0u64..1_000,
+        permanent in 0.0f64..0.5,
+        limit in 1u64..96,
+        budget in 256u64..20_000,
+        workers in 1usize..=16,
+        cap_ix in 0usize..CAPACITIES.len(),
+        shards in 1usize..=8,
+    ) {
+        let service = ShortlinkService::new(LinkPopulation::generate(&ModelConfig {
+            total_links: links,
+            users,
+            seed: model_seed,
+        }));
+        let plan = mixed_plan(fault_off, permanent);
+        let prober = FaultyProber::new(&service, plan.clone());
+        let policy = ProbePolicy::outlasting(&plan);
+
+        // Reference: enumerate fully, then resolve the live codes.
+        let sequential = enumerate_links_with(&prober, limit, &policy);
+        let codes: Vec<String> =
+            sequential.docs.iter().map(|d| d.code.clone()).collect();
+        let batch_report = resolve_accounted(&service, &codes, budget);
+
+        // Streaming: resolve each doc the moment the sink folds it.
+        let mut streamed_report = ResolveReport::default();
+        let pipe = PipelineExecutor::new(workers, CAPACITIES[cap_ix]);
+        let streamed = enumerate_links_streaming_with(
+            &prober,
+            limit,
+            &pipe,
+            &policy,
+            |doc| resolve_step(&service, &mut streamed_report, &doc.code, budget),
+        );
+        prop_assert_eq!(streamed.outcome.docs, sequential.docs);
+        prop_assert_eq!(streamed.outcome.probed, sequential.probed);
+        prop_assert_eq!(streamed.outcome.failed_probes, sequential.failed_probes);
+        prop_assert_eq!(streamed.outcome.probe_retries, sequential.probe_retries);
+        prop_assert_eq!(streamed_report.resolved, batch_report.resolved);
+        prop_assert_eq!(streamed_report.hashes_spent, batch_report.hashes_spent);
+        prop_assert_eq!(
+            streamed_report.skipped_over_budget,
+            batch_report.skipped_over_budget
+        );
+
+        // The sharded walk folds the same verdicts in the same order.
+        let sharded = enumerate_links_windowed_with(
+            &prober,
+            limit,
+            &ParallelExecutor::new(shards),
+            7,
+            &policy,
+        );
+        prop_assert_eq!(sharded.enumeration.docs, sequential.docs);
+        prop_assert_eq!(sharded.enumeration.probed, sequential.probed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    // The whole §4.1 study through the streaming pipeline equals the
+    // batch study, for any worker count and capacity.
+    #[test]
+    fn streaming_study_is_bit_identical(
+        links in 1_000u64..6_000,
+        study_seed in 0u64..1_000_000,
+        workers in 1usize..=16,
+        cap_ix in 0usize..CAPACITIES.len(),
+    ) {
+        let config = StudyConfig {
+            model: ModelConfig {
+                total_links: links,
+                users: (links as usize / 12).max(20),
+                seed: study_seed,
+            },
+            per_user_sample: 50,
+            ..StudyConfig::default()
+        };
+        let batch = run_study(&config, study_seed);
+        let pipe = PipelineExecutor::new(workers, CAPACITIES[cap_ix]);
+        let streamed = run_study_streaming(&config, study_seed, &pipe);
+        prop_assert_eq!(
+            streamed.result.enumeration.docs,
+            batch.enumeration.docs
+        );
+        prop_assert_eq!(streamed.result.links_per_token, batch.links_per_token);
+        prop_assert_eq!(streamed.result.hashes_spent, batch.hashes_spent);
+        prop_assert_eq!(streamed.result.top10_domains, batch.top10_domains);
+        prop_assert_eq!(streamed.result.tail_categories, batch.tail_categories);
+    }
+}

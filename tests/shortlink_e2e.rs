@@ -25,12 +25,12 @@ fn enumerate_then_resolve_cheap_links() {
         .iter()
         .filter(|l| l.required_hashes <= 10_000)
         .count();
-    let mut service = ShortlinkService::new(pop);
+    let service = ShortlinkService::new(pop);
     let e = enumerate_links(&service, 128);
     assert_eq!(e.docs.len(), 8_000);
 
     let all_codes: Vec<String> = e.docs.iter().map(|d| d.code.clone()).collect();
-    let report = resolve_accounted(&mut service, &all_codes, 10_000);
+    let report = resolve_accounted(&service, &all_codes, 10_000);
     assert_eq!(report.resolved.len(), truth_cheap);
     assert_eq!(report.skipped_over_budget as usize, 8_000 - truth_cheap);
     // Every resolved URL is well-formed.
@@ -59,7 +59,7 @@ fn real_pow_resolution_over_tcp_credits_the_creator() {
     })
     .unwrap();
 
-    let mut service = ShortlinkService::new(LinkPopulation {
+    let service = ShortlinkService::new(LinkPopulation {
         links: vec![minedig::shortlink::model::LinkRecord {
             index: 0,
             code: "a".into(),
@@ -73,7 +73,7 @@ fn real_pow_resolution_over_tcp_credits_the_creator() {
     });
 
     let transport = TcpTransport::connect(server.addr()).unwrap();
-    let url = resolve_with_pool(&mut service, &pool, transport, "a", 500_000).unwrap();
+    let url = resolve_with_pool(&service, &pool, transport, "a", 500_000).unwrap();
     assert_eq!(url, "https://zippyshare.com/file");
     let creator = Token::from_index(11);
     assert!(pool.ledger().lifetime_hashes(&creator) >= 24);
@@ -83,7 +83,7 @@ fn real_pow_resolution_over_tcp_credits_the_creator() {
 fn infeasible_link_cannot_be_resolved_within_budget() {
     // The 10^19-hash links from Fig 4's tail: the resolver must give up
     // cleanly rather than grind forever.
-    let mut service = ShortlinkService::new(LinkPopulation {
+    let service = ShortlinkService::new(LinkPopulation {
         links: vec![minedig::shortlink::model::LinkRecord {
             index: 0,
             code: "a".into(),
@@ -95,7 +95,7 @@ fn infeasible_link_cannot_be_resolved_within_budget() {
         }],
         users: 1,
     });
-    let report = resolve_accounted(&mut service, &["a".to_string()], 10_000);
+    let report = resolve_accounted(&service, &["a".to_string()], 10_000);
     assert!(report.resolved.is_empty());
     assert_eq!(report.skipped_over_budget, 1);
     assert_eq!(report.hashes_spent, 0);

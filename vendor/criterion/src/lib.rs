@@ -190,11 +190,7 @@ impl BenchmarkGroup<'_> {
         f: impl FnOnce(&mut Bencher),
     ) -> &mut Self {
         let id = id.into();
-        run_one(
-            &format!("{}/{}", self.name, id.label),
-            self.throughput,
-            f,
-        );
+        run_one(&format!("{}/{}", self.name, id.label), self.throughput, f);
         self
     }
 

@@ -196,11 +196,7 @@ impl<T> Receiver<T> {
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
-            let (guard, result) = self
-                .chan
-                .readable
-                .wait_timeout(s, deadline - now)
-                .unwrap();
+            let (guard, result) = self.chan.readable.wait_timeout(s, deadline - now).unwrap();
             s = guard;
             if result.timed_out() && s.queue.is_empty() && s.senders > 0 {
                 return Err(RecvTimeoutError::Timeout);

@@ -55,9 +55,7 @@ fn parse_pattern(pattern: &str) -> Vec<Piece> {
                         chars[i]
                     };
                     // Range `a-z` when a dash sits between two members.
-                    if chars.get(i + 1) == Some(&'-')
-                        && i + 2 < chars.len()
-                        && chars[i + 2] != ']'
+                    if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() && chars[i + 2] != ']'
                     {
                         let end = chars[i + 2];
                         for v in c as u32..=end as u32 {
