@@ -1,0 +1,162 @@
+//! Smoke-sized concurrency sweep of the cooperative async backend,
+//! writing concurrency→wall-time plus executor counters to
+//! `BENCH_async.json` (override with `MINEDIG_BENCH_OUT`).
+//!
+//! Outcomes are identical across concurrency levels by construction —
+//! every workload folds through the executor's reorder buffer — so only
+//! the timings and the scheduling counters vary. The headline column is
+//! `virtual_ms`: simulated network latency the timer wheel skips over
+//! instead of sleeping through, which is why the budget can be hundreds
+//! of tasks on a single thread.
+
+use minedig_bench::env_u64;
+use minedig_core::exec::{chrome_scan_async, zgrab_scan_async};
+use minedig_core::scan::{build_reference_db, FetchModel};
+use minedig_core::shortlink_study::{run_study_async, StudyConfig};
+use minedig_primitives::aexec::{AsyncExecutor, AsyncStats};
+use minedig_shortlink::model::ModelConfig;
+use minedig_web::universe::Population;
+use minedig_web::zone::Zone;
+use std::hint::black_box;
+
+const CONCURRENCY_LEVELS: [usize; 4] = [1, 16, 64, 256];
+
+struct AsyncRunRow {
+    concurrency: usize,
+    secs: f64,
+    high_water: u64,
+    polls: u64,
+    timer_fires: u64,
+    virtual_ms: u64,
+}
+
+struct Workload {
+    name: &'static str,
+    items: u64,
+    runs: Vec<AsyncRunRow>,
+}
+
+fn row(stats: &AsyncStats) -> AsyncRunRow {
+    AsyncRunRow {
+        concurrency: stats.concurrency,
+        secs: stats.elapsed.as_secs_f64(),
+        high_water: stats.in_flight_high_water,
+        polls: stats.polls,
+        timer_fires: stats.timer_fires,
+        virtual_ms: stats.virtual_ms,
+    }
+}
+
+fn main() {
+    let seed = env_u64("MINEDIG_SEED", 2018);
+    let mut workloads = Vec::new();
+
+    // §3.1: zgrab fetch → NoCoin match as cooperative tasks.
+    let population = Population::generate(Zone::Org, seed, 20_000);
+    let domains = (population.artifacts.len() + population.clean_sample.len()) as u64;
+    let model = FetchModel::default();
+    let mut runs = Vec::new();
+    for concurrency in CONCURRENCY_LEVELS {
+        let run = zgrab_scan_async(&population, seed, &model, &AsyncExecutor::new(concurrency));
+        black_box(&run.outcome);
+        runs.push(row(&run.stats));
+    }
+    workloads.push(Workload {
+        name: "zgrab_scan",
+        items: domains,
+        runs,
+    });
+
+    // §3.2: chrome load → Wasm fingerprint on the same fan-out.
+    let db = build_reference_db(0.7);
+    let mut runs = Vec::new();
+    for concurrency in CONCURRENCY_LEVELS {
+        let run = chrome_scan_async(
+            &population,
+            &db,
+            seed,
+            &model,
+            None,
+            &AsyncExecutor::new(concurrency),
+        );
+        black_box(&run.outcome);
+        runs.push(row(&run.stats));
+    }
+    workloads.push(Workload {
+        name: "chrome_scan",
+        items: domains,
+        runs,
+    });
+
+    // §4.1: the enumerate→resolve study over the async walk.
+    let config = StudyConfig {
+        model: ModelConfig {
+            total_links: 120_000,
+            users: 8_000,
+            seed,
+        },
+        ..StudyConfig::default()
+    };
+    let mut items = 0u64;
+    let mut runs = Vec::new();
+    for concurrency in CONCURRENCY_LEVELS {
+        let run = run_study_async(&config, seed, &AsyncExecutor::new(concurrency));
+        items = run.result.enumeration.probed;
+        black_box(&run.result);
+        runs.push(row(&run.enum_stats));
+    }
+    workloads.push(Workload {
+        name: "enumerate_resolve",
+        items,
+        runs,
+    });
+
+    // Human summary…
+    for w in &workloads {
+        println!("{} ({} items):", w.name, w.items);
+        let base = w.runs[0].secs;
+        for r in &w.runs {
+            println!(
+                "  {} in flight: {:.3}s (vs sequential {:.2}x), high water {}, \
+                 {} polls, {} timer fires, {}ms virtual",
+                r.concurrency,
+                r.secs,
+                base / r.secs.max(1e-9),
+                r.high_water,
+                r.polls,
+                r.timer_fires,
+                r.virtual_ms,
+            );
+        }
+    }
+
+    // …and the machine-readable map.
+    let mut json = String::from("{\n  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"items\": {}, \"runs\": [",
+            w.name, w.items
+        ));
+        for (j, r) in w.runs.iter().enumerate() {
+            json.push_str(&format!(
+                "{{\"concurrency\": {}, \"secs\": {:.6}, \"high_water\": {}, \
+                 \"polls\": {}, \"timer_fires\": {}, \"virtual_ms\": {}}}{}",
+                r.concurrency,
+                r.secs,
+                r.high_water,
+                r.polls,
+                r.timer_fires,
+                r.virtual_ms,
+                if j + 1 == w.runs.len() { "" } else { ", " }
+            ));
+        }
+        json.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 == workloads.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = std::env::var("MINEDIG_BENCH_OUT").unwrap_or_else(|_| "BENCH_async.json".into());
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+}

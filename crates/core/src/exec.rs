@@ -33,17 +33,21 @@
 //! random seeds and zone sizes, both scan kinds).
 
 use crate::scan::{
-    chrome_classify_domain, chrome_fetch_domain, chrome_fold, chrome_scan_shard_with, zgrab_fold,
-    zgrab_probe_domain, zgrab_scan_shard_with, ChromeFetched, ChromeProbeCtx, ChromeScanOutcome,
-    ChromeVerdict, FetchModel, ZgrabProbeCtx, ZgrabScanOutcome, ZgrabVerdict,
+    chrome_classify_domain, chrome_fetch_domain, chrome_fold, chrome_scan_shard_with,
+    crawl_latency_ms, zgrab_fold, zgrab_probe_domain, zgrab_scan_shard_with, ChromeFetched,
+    ChromeProbeCtx, ChromeScanOutcome, ChromeVerdict, FetchModel, ZgrabProbeCtx, ZgrabScanOutcome,
+    ZgrabVerdict,
 };
 use minedig_nocoin::NoCoinEngine;
+use minedig_primitives::aexec::{AsyncExecutor, AsyncRun};
 use minedig_primitives::par::{ExecRun, ParallelExecutor, ShardedTask};
 use minedig_primitives::pipeline::{PipelineExecutor, PipelineRun, PipelineStage};
 use minedig_wasm::cache::FingerprintCache;
 use minedig_wasm::sigdb::SignatureDb;
 use minedig_web::universe::{Domain, Population};
+use std::cell::RefCell;
 use std::ops::{ControlFlow, Range};
+use std::rc::Rc;
 use std::sync::atomic::AtomicU64;
 
 pub use minedig_primitives::par::{ExecStats, ShardStats};
@@ -318,6 +322,90 @@ pub fn chrome_scan_streaming(
     )
 }
 
+/// Async zgrab + NoCoin scan (§3.1): every domain becomes one
+/// cooperative task on the single-threaded executor, with up to the
+/// executor's concurrency budget in flight at once. The per-domain
+/// network wait is modeled as virtual latency ([`crawl_latency_ms`]), so
+/// a fleet of slow fetches overlaps instead of serializing — exactly how
+/// the paper's crawler keeps thousands of connections open per core.
+///
+/// Bit-identical to [`crate::scan::zgrab_scan_with`] for any
+/// concurrency, fault schedule, or poll order: the probe is keyed by
+/// `(seed, domain name)` and completions fold through the executor's
+/// reorder buffer in population order.
+pub fn zgrab_scan_async(
+    population: &Population,
+    seed: u64,
+    model: &FetchModel,
+    aexec: &AsyncExecutor,
+) -> AsyncRun<ZgrabScanOutcome> {
+    let engine = NoCoinEngine::new();
+    let ctx = ZgrabProbeCtx {
+        seed,
+        model,
+        engine: &engine,
+    };
+    let ctx = &ctx;
+    let mut run = aexec.run_ordered(
+        population_items(population),
+        |actx, (d, clean)| {
+            let delay = crawl_latency_ms(model, &d.name);
+            async move {
+                actx.sleep_ms(delay).await;
+                (zgrab_probe_domain(ctx, d), clean)
+            }
+        },
+        ZgrabScanOutcome::empty(population.zone),
+        |acc, (verdict, clean)| {
+            zgrab_fold(acc, verdict, clean);
+            ControlFlow::Continue(())
+        },
+    );
+    run.outcome.total_domains = population.total;
+    run
+}
+
+/// Async instrumented-browser scan (§3.2): the browser load awaits its
+/// virtual network latency while other domains' loads and
+/// classifications proceed on the same thread. All tasks share one
+/// scratch encode buffer (the executor polls one task at a time, and the
+/// buffer is never held across an await), so concurrency costs no
+/// per-task allocation.
+///
+/// Bit-identical to [`crate::scan::chrome_scan_with`] for any
+/// concurrency and fault schedule, with or without the fingerprint memo.
+pub fn chrome_scan_async(
+    population: &Population,
+    db: &SignatureDb,
+    seed: u64,
+    model: &FetchModel,
+    cache: Option<&FingerprintCache>,
+    aexec: &AsyncExecutor,
+) -> AsyncRun<ChromeScanOutcome> {
+    let engine = NoCoinEngine::new();
+    let ctx = ChromeProbeCtx::new(seed, model, &engine, db, cache);
+    let ctx = &ctx;
+    let scratch = Rc::new(RefCell::new(Vec::new()));
+    aexec.run_ordered(
+        population_items(population),
+        |actx, (d, clean)| {
+            let delay = crawl_latency_ms(model, &d.name);
+            let scratch = Rc::clone(&scratch);
+            async move {
+                actx.sleep_ms(delay).await;
+                let fetched = chrome_fetch_domain(ctx, d);
+                let verdict = chrome_classify_domain(ctx, d, fetched, &mut scratch.borrow_mut());
+                (verdict, clean)
+            }
+        },
+        ChromeScanOutcome::empty(population.zone),
+        |acc, (verdict, clean)| {
+            chrome_fold(acc, verdict, clean);
+            ControlFlow::Continue(())
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +518,61 @@ mod tests {
         // reuses the first scan's entries wholesale.
         assert!(cache.hit_rate() > 0.0, "hit rate {}", cache.hit_rate());
         assert!(cache.hits() > cache.entries() as u64);
+    }
+
+    #[test]
+    fn async_zgrab_matches_sequential() {
+        let pop = Population::generate(Zone::Org, 42, 50);
+        let sequential = crate::scan::zgrab_scan(&pop, 1);
+        for concurrency in [1, 2, 16, 256] {
+            let aexec = AsyncExecutor::new(concurrency);
+            let run = zgrab_scan_async(&pop, 1, &FetchModel::default(), &aexec);
+            assert_eq!(run.outcome, sequential, "concurrency={concurrency}");
+            assert_eq!(
+                run.stats.completed,
+                (pop.artifacts.len() + pop.clean_sample.len()) as u64
+            );
+            assert_eq!(
+                run.stats.in_flight_high_water,
+                (concurrency as u64).min(run.stats.tasks)
+            );
+        }
+    }
+
+    #[test]
+    fn async_chrome_matches_sequential_and_caches_fingerprints() {
+        let pop = Population::generate(Zone::Org, 42, 50);
+        let db = build_reference_db(0.7);
+        let sequential = crate::scan::chrome_scan(&pop, &db, 1);
+        let cache = FingerprintCache::new();
+        for concurrency in [1, 32] {
+            let aexec = AsyncExecutor::new(concurrency);
+            let run = chrome_scan_async(&pop, &db, 1, &FetchModel::default(), Some(&cache), &aexec);
+            assert_eq!(run.outcome, sequential, "concurrency={concurrency}");
+        }
+        assert!(cache.hit_rate() > 0.0, "hit rate {}", cache.hit_rate());
+    }
+
+    #[test]
+    fn async_scan_matches_sequential_under_faults() {
+        use minedig_primitives::fault::{FaultConfig, FaultPlan};
+        let pop = Population::generate(Zone::Org, 42, 50);
+        let plan = FaultPlan::with_config(
+            17,
+            FaultConfig {
+                fault_prob: 0.5,
+                permanent_prob: 0.4,
+                ..FaultConfig::default()
+            },
+        );
+        let model = FetchModel::outlasting(plan);
+        let sequential = crate::scan::zgrab_scan_with(&pop, 1, &model);
+        assert!(sequential.fetch.unreachable > 0);
+        let run = zgrab_scan_async(&pop, 1, &model, &AsyncExecutor::new(64));
+        assert_eq!(run.outcome, sequential);
+        // Injected delays and stalls surface as virtual latency, never
+        // wall time.
+        assert!(run.stats.virtual_ms > 0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::exec::ScanStats;
 use crate::scan::FetchStats;
 use minedig_analysis::poller::PollStats;
+use minedig_primitives::aexec::AsyncStats;
 use minedig_primitives::pipeline::PipelineStats;
 use minedig_shortlink::enumerate::Enumeration;
 
@@ -303,6 +304,28 @@ pub fn pipeline_stats(label: &str, stats: &PipelineStats) -> String {
         "  sink:    {} items, occupancy {:.0}%\n",
         stats.sink.items,
         stats.sink.occupancy(stats.elapsed) * 100.0,
+    ));
+    out
+}
+
+/// Renders one async run's [`AsyncStats`], e.g.
+///
+/// ```text
+/// zgrab .org async: 256 in flight budget (high water 256), 1250 tasks in 0.31s (4032 tasks/s)
+///   12890 polls, 11640 wakeups, 1250 timer fires, 0 io repolls, 81250ms virtual latency
+/// ```
+pub fn async_stats(label: &str, stats: &AsyncStats) -> String {
+    let mut out = format!(
+        "{label}: {} in flight budget (high water {}), {} tasks in {:.2}s ({:.0} tasks/s)\n",
+        stats.concurrency,
+        stats.in_flight_high_water,
+        stats.completed,
+        stats.elapsed.as_secs_f64(),
+        stats.tasks_per_sec(),
+    );
+    out.push_str(&format!(
+        "  {} polls, {} wakeups, {} timer fires, {} io repolls, {}ms virtual latency\n",
+        stats.polls, stats.wakeups, stats.timer_fires, stats.io_repolls, stats.virtual_ms,
     ));
     out
 }

@@ -1,12 +1,14 @@
 //! §4.1 as a pipeline: enumerate the link space, compute the Fig 3/4
 //! distributions, resolve the cheap links and categorize destinations.
 
+use minedig_primitives::aexec::{AsyncExecutor, AsyncStats};
 use minedig_primitives::par::ParallelExecutor;
 use minedig_primitives::pipeline::{PipelineExecutor, PipelineStats, StageStats};
 use minedig_primitives::stats::{top1_share, top_k_for_share, Ecdf, Pow2Histogram};
 use minedig_primitives::DetRng;
 use minedig_shortlink::enumerate::{
-    enumerate_links_sharded, enumerate_links_streaming_with, Enumeration,
+    enumerate_links_async_with, enumerate_links_sharded, enumerate_links_streaming_with,
+    Enumeration,
 };
 use minedig_shortlink::model::{LinkPopulation, ModelConfig};
 use minedig_shortlink::probe::ProbePolicy;
@@ -207,6 +209,50 @@ pub fn run_study_streaming(
     }
 }
 
+/// A [`StudyResult`] produced by [`run_study_async`], plus the async
+/// executor's stats for the enumeration walk.
+pub struct AsyncStudy {
+    /// The study outputs — bit-identical to [`run_study`].
+    pub result: StudyResult,
+    /// The cooperative executor's stats: in-flight high water, polls,
+    /// virtual milliseconds of simulated probe latency, and so on.
+    pub enum_stats: AsyncStats,
+}
+
+/// [`run_study`] with the ID-space enumeration fanned across the
+/// cooperative async executor: up to the executor's concurrency budget
+/// of probes await their virtual round-trips at once on a single
+/// thread — the paper's crawl posture (§4.1: 1.7 M IDs walked by a
+/// handful of machines holding many connections each). The dead-run
+/// sink folds in strict ID order and the unbiased-tail filter sees
+/// documents in that order, so every downstream statistic is
+/// bit-identical to [`run_study`] for any concurrency.
+pub fn run_study_async(config: &StudyConfig, seed: u64, aexec: &AsyncExecutor) -> AsyncStudy {
+    let population = LinkPopulation::generate(&config.model);
+    let service = ShortlinkService::new(population);
+    let budget = config.resolve_budget;
+
+    let mut seen = std::collections::HashSet::new();
+    let mut unbiased_codes: Vec<String> = Vec::new();
+    let enum_run = enumerate_links_async_with(
+        &service,
+        STUDY_DEAD_RUN_LIMIT,
+        aexec,
+        &ProbePolicy::default(),
+        |doc| {
+            if tail_filter(&mut seen, doc, budget) {
+                unbiased_codes.push(doc.code.clone());
+            }
+        },
+    );
+    let tail_report = resolve_accounted(&service, &unbiased_codes, budget);
+    let result = finish_study(&service, enum_run.outcome, tail_report, config, seed);
+    AsyncStudy {
+        result,
+        enum_stats: enum_run.stats,
+    }
+}
+
 /// The analysis common to batch and streaming studies: Fig 3/4 statistics
 /// from the enumeration, the Table 4 top-10 sampling (resolved here), and
 /// the Table 5 categorization of the already-resolved tail.
@@ -382,6 +428,41 @@ mod tests {
             assert_eq!(
                 s.tail_classified_fraction, batch.tail_classified_fraction,
                 "w={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn async_study_equals_batch_study() {
+        let config = StudyConfig {
+            model: ModelConfig {
+                total_links: 10_000,
+                users: 800,
+                seed: 9,
+            },
+            resolve_budget: 10_000,
+            per_user_sample: 100,
+            enum_shards: 1,
+        };
+        let batch = run_study(&config, 9);
+        for concurrency in [1usize, 16, 256] {
+            let run = run_study_async(&config, 9, &AsyncExecutor::new(concurrency));
+            let s = &run.result;
+            assert_eq!(
+                s.enumeration.probed, batch.enumeration.probed,
+                "c={concurrency}"
+            );
+            assert_eq!(
+                s.enumeration.docs, batch.enumeration.docs,
+                "c={concurrency}"
+            );
+            assert_eq!(s.links_per_token, batch.links_per_token, "c={concurrency}");
+            assert_eq!(s.hashes_spent, batch.hashes_spent, "c={concurrency}");
+            assert_eq!(s.top10_domains, batch.top10_domains, "c={concurrency}");
+            assert_eq!(s.tail_categories, batch.tail_categories, "c={concurrency}");
+            assert_eq!(
+                run.enum_stats.in_flight_high_water, concurrency as u64,
+                "the walk saturates the budget, c={concurrency}"
             );
         }
     }

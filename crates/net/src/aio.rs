@@ -1,0 +1,150 @@
+//! Async adapters plugging [`Transport`]s into the cooperative executor.
+//!
+//! The runtime in `minedig_primitives::aexec` abstracts I/O as
+//! [`IoPoll`]: a source the executor re-polls on its idle sweeps. This
+//! module adapts the blocking [`Transport`] trait onto that interface
+//! with zero-timeout receives — `recv_timeout(Duration::ZERO)` either
+//! returns a ready message immediately or reports
+//! [`TransportError::Timeout`], which maps to `Poll::Pending`.
+//!
+//! Because [`FaultyTransport`](crate::fault::FaultyTransport) is itself
+//! a [`Transport`], the same adapter carries fault-injected endpoints:
+//! an injected delay or stall surfaces as extra pending polls, a
+//! disconnect as an error value — the async task observes exactly what a
+//! blocking caller would, just without parking a thread per connection.
+
+use crate::transport::{Transport, TransportError};
+use minedig_primitives::aexec::IoPoll;
+use std::task::Poll;
+use std::time::Duration;
+
+/// An [`IoPoll`] source that completes with the next message received on
+/// a transport. Build one with [`recv_ready`], await it via
+/// [`Ctx::io`](minedig_primitives::aexec::Ctx::io).
+pub struct RecvReady<'a, T: Transport> {
+    transport: &'a mut T,
+}
+
+/// Readiness-based receive: resolves to the next inbound message, or the
+/// transport's terminal error. A [`TransportError::Timeout`] from the
+/// zero-timeout poll means "nothing yet" and keeps the source pending —
+/// it is never surfaced as a result.
+pub fn recv_ready<T: Transport>(transport: &mut T) -> RecvReady<'_, T> {
+    RecvReady { transport }
+}
+
+impl<T: Transport> IoPoll for RecvReady<'_, T> {
+    type Out = Result<Vec<u8>, TransportError>;
+
+    fn poll_io(&mut self) -> Poll<Self::Out> {
+        match self.transport.recv_timeout(Duration::ZERO) {
+            Err(TransportError::Timeout) => Poll::Pending,
+            other => Poll::Ready(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultyTransport;
+    use crate::transport::channel_pair;
+    use minedig_primitives::aexec::{block_on, AsyncExecutor};
+    use minedig_primitives::fault::FaultPlan;
+    use std::ops::ControlFlow;
+
+    #[test]
+    fn recv_ready_completes_when_a_message_is_already_buffered() {
+        let (mut a, mut b) = channel_pair();
+        a.send(b"job").unwrap();
+        let got = block_on(|ctx| {
+            let source = recv_ready(&mut b);
+            async move { ctx.io(source).await }
+        });
+        assert_eq!(got.unwrap(), b"job");
+    }
+
+    #[test]
+    fn recv_ready_waits_for_a_cross_thread_sender() {
+        let (mut a, mut b) = channel_pair();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            a.send(b"late").unwrap();
+            a // keep the channel open until after the send
+        });
+        let got = block_on(|ctx| {
+            let source = recv_ready(&mut b);
+            async move { ctx.io(source).await }
+        });
+        assert_eq!(got.unwrap(), b"late");
+        drop(sender.join().unwrap());
+    }
+
+    #[test]
+    fn recv_ready_surfaces_closure_as_an_error() {
+        let (a, mut b) = channel_pair();
+        drop(a);
+        let got = block_on(|ctx| {
+            let source = recv_ready(&mut b);
+            async move { ctx.io(source).await }
+        });
+        assert_eq!(got.unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn faulty_transport_rides_the_same_adapter() {
+        // A fault-free plan (probability 0) delivers everything; the
+        // point is that the decorated transport satisfies the adapter.
+        let (mut a, b) = channel_pair();
+        let mut faulty = FaultyTransport::new(b, FaultPlan::transient_only(5, 0.0), "aio");
+        a.send(b"one").unwrap();
+        a.send(b"two").unwrap();
+        let got = block_on(|ctx| async move {
+            let first = ctx.io(recv_ready(&mut faulty)).await;
+            let second = ctx.io(recv_ready(&mut faulty)).await;
+            (first, second)
+        });
+        assert_eq!(got.0.unwrap(), b"one");
+        assert_eq!(got.1.unwrap(), b"two");
+    }
+
+    #[test]
+    fn many_receives_interleave_on_one_thread() {
+        // A token ring of 8 transports, one async task each, all in
+        // flight at once on the single executor thread. Only the last
+        // task's inbox is seeded; every other task must park on the
+        // idle I/O sweep until its predecessor forwards the token —
+        // no real threads, so the whole schedule is deterministic.
+        const N: usize = 8;
+        let mut locals = Vec::new();
+        let mut peers = Vec::new();
+        for _ in 0..N {
+            let (local, peer) = channel_pair();
+            locals.push(local);
+            peers.push(peer);
+        }
+        peers[N - 1].send(b"token").unwrap();
+        // Task i receives on local i and forwards to inbox (i+1) % N.
+        peers.rotate_left(1);
+        let items = locals.iter_mut().zip(peers).enumerate();
+        let run = AsyncExecutor::new(N).run_ordered(
+            items,
+            |ctx, (i, (local, mut next))| async move {
+                let msg = ctx.io(recv_ready(local)).await.unwrap();
+                let _ = next.send(&msg);
+                (i, msg)
+            },
+            Vec::new(),
+            |acc: &mut Vec<(usize, Vec<u8>)>, out| {
+                acc.push(out);
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(run.outcome.len(), N);
+        for (i, msg) in run.outcome.iter().enumerate() {
+            assert_eq!(msg, &(i, b"token".to_vec()));
+        }
+        assert_eq!(run.stats.in_flight_high_water, N as u64);
+        assert!(run.stats.io_repolls > 0, "receives must park on the sweep");
+    }
+}

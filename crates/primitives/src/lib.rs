@@ -12,6 +12,7 @@
 //! Everything here is implemented from scratch on top of `std` so that the
 //! rest of the workspace stays dependency-light and fully deterministic.
 
+pub mod aexec;
 pub mod fault;
 pub mod hex;
 pub mod keccak;
@@ -23,6 +24,7 @@ pub mod sha256;
 pub mod stats;
 pub mod varint;
 
+pub use aexec::{AsyncExecutor, AsyncRun, AsyncStats, IoPoll};
 pub use fault::{Fault, FaultConfig, FaultPlan};
 pub use hex::{from_hex, to_hex};
 pub use keccak::{keccak1600, keccak256, sha3_256};

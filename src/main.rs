@@ -12,18 +12,26 @@
 //! streaming pipeline (probes fan across `MINEDIG_SHARDS` workers while
 //! a resolver thread consumes the unbiased tail as it is discovered) —
 //! same outputs, overlapped wall-clock, plus pipeline stats.
+//!
+//! `MINEDIG_ASYNC=1` switches `scan` and `shortlink` to the cooperative
+//! async backend instead: up to `MINEDIG_CONCURRENCY` fetches (default
+//! 256) await their simulated network latency at once on a single
+//! thread — same outputs for any concurrency, plus executor stats.
 
 use minedig::analysis::economics::{pool_revenue, ExchangeRate};
 use minedig::analysis::scenario::{run_scenario, ScenarioConfig};
-use minedig::core::exec::ScanExecutor;
+use minedig::core::exec::{chrome_scan_async, zgrab_scan_async, ScanExecutor};
 use minedig::core::report::{
-    comparison_table, degradation_summary, fetch_stats, pipeline_stats, scan_stats, CampaignHealth,
-    Comparison,
+    async_stats, comparison_table, degradation_summary, fetch_stats, pipeline_stats, scan_stats,
+    CampaignHealth, Comparison,
 };
 use minedig::core::scan::{build_reference_db, FetchModel};
-use minedig::core::shortlink_study::{run_study, run_study_streaming, StudyConfig, StudyResult};
+use minedig::core::shortlink_study::{
+    run_study, run_study_async, run_study_streaming, StudyConfig, StudyResult,
+};
 use minedig::pow::hashrate::measure_hashrate;
 use minedig::pow::Variant;
+use minedig::primitives::aexec::AsyncExecutor;
 use minedig::primitives::fault::FaultPlan;
 use minedig::primitives::par::ParallelExecutor;
 use minedig::primitives::pipeline::PipelineExecutor;
@@ -93,26 +101,47 @@ fn cmd_scan(args: &[String]) {
         None => FetchModel::default(),
     };
 
-    // Sharded across MINEDIG_SHARDS workers (default: all cores);
-    // outcomes are bit-identical to a sequential scan.
+    // MINEDIG_ASYNC=1 fans fetches out as cooperative tasks on one
+    // thread; otherwise the scan shards across MINEDIG_SHARDS workers
+    // (default: all cores). Either way, outcomes are bit-identical to a
+    // sequential scan.
+    let async_exec = std::env::var("MINEDIG_ASYNC")
+        .is_ok()
+        .then(AsyncExecutor::from_env);
     let executor = ScanExecutor::from_env();
-    let zg_run = executor.zgrab_with(&population, seed, &model);
-    let zg = zg_run.outcome;
+    let (zg, zg_stats) = match &async_exec {
+        Some(aexec) => {
+            let run = zgrab_scan_async(&population, seed, &model, aexec);
+            (run.outcome, async_stats("zgrab", &run.stats))
+        }
+        None => {
+            let run = executor.zgrab_with(&population, seed, &model);
+            (run.outcome, scan_stats("zgrab", &run.stats))
+        }
+    };
     println!(
         "zgrab + NoCoin (TLS-only, 256 kB): {} domains flagged, 0 FPs on {} clean samples",
         zg.hit_domains, zg.clean_sample_size
     );
-    print!("{}", scan_stats("zgrab", &zg_run.stats));
+    print!("{zg_stats}");
     print!("{}", fetch_stats("zgrab fetches", &zg.fetch));
 
     let mut health = vec![CampaignHealth::from_fetch("zgrab", &zg.fetch)];
 
     if zone.chrome_scanned() {
         let db = build_reference_db(0.7);
-        let ch_run = executor.chrome_with(&population, &db, seed, &model);
-        print!("{}", scan_stats("chrome", &ch_run.stats));
-        print!("{}", fetch_stats("chrome fetches", &ch_run.outcome.fetch));
-        let ch = ch_run.outcome;
+        let (ch, ch_stats) = match &async_exec {
+            Some(aexec) => {
+                let run = chrome_scan_async(&population, &db, seed, &model, None, aexec);
+                (run.outcome, async_stats("chrome", &run.stats))
+            }
+            None => {
+                let run = executor.chrome_with(&population, &db, seed, &model);
+                (run.outcome, scan_stats("chrome", &run.stats))
+            }
+        };
+        print!("{ch_stats}");
+        print!("{}", fetch_stats("chrome fetches", &ch.fetch));
         health.push(CampaignHealth::from_fetch("chrome", &ch.fetch));
         let rows = vec![
             Comparison::new(
@@ -206,7 +235,24 @@ fn cmd_shortlink(args: &[String]) {
         enum_shards,
         ..StudyConfig::default()
     };
-    let study: StudyResult = if std::env::var("MINEDIG_STREAM").is_ok() {
+    let study: StudyResult = if std::env::var("MINEDIG_ASYNC").is_ok() {
+        let aexec = AsyncExecutor::from_env();
+        println!(
+            "generating {links} short links; async enumeration with up to \
+             {} probes in flight…",
+            aexec.concurrency()
+        );
+        let run = run_study_async(&config, seed, &aexec);
+        print!("{}", async_stats("enumerate", &run.enum_stats));
+        print!(
+            "{}",
+            degradation_summary(&[CampaignHealth::from_enumeration(
+                "shortlink enum",
+                &run.result.enumeration,
+            )])
+        );
+        run.result
+    } else if std::env::var("MINEDIG_STREAM").is_ok() {
         let pipe = PipelineExecutor::from_env();
         println!(
             "generating {links} short links; streaming enumerate→resolve \

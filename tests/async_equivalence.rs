@@ -1,0 +1,262 @@
+//! Equivalence properties of the cooperative async backend.
+//!
+//! Headline invariant: the async executor produces **bit-identical**
+//! outcomes to the sequential kernels — and therefore to the sharded
+//! and streaming backends, which carry the same guarantee — for any
+//! concurrency, fault schedule, or poll order. Probes derive all
+//! randomness (including their virtual latency) from stable keys, and
+//! the fold consumes completions through a reorder buffer in item
+//! order, so scheduling cannot leak into results.
+//!
+//! `MINEDIG_CONCURRENCY` and `MINEDIG_FAULT_SEED` are the CI matrix
+//! axes: every job re-proves the invariant at a different in-flight
+//! budget against a different fault schedule.
+
+use minedig::core::exec::{
+    chrome_scan_async, zgrab_scan_async, zgrab_scan_streaming, ScanExecutor,
+};
+use minedig::core::scan::{
+    build_reference_db, chrome_scan, chrome_scan_with, zgrab_scan_with, FetchModel,
+};
+use minedig::core::shortlink_study::{run_study, run_study_async, StudyConfig};
+use minedig::primitives::aexec::{AsyncExecutor, DEFAULT_CONCURRENCY};
+use minedig::primitives::fault::{FaultConfig, FaultPlan, FAULT_SEED_ENV};
+use minedig::primitives::pipeline::PipelineExecutor;
+use minedig::shortlink::enumerate::{
+    enumerate_links_async_with, enumerate_links_sharded_with, enumerate_links_with,
+};
+use minedig::shortlink::model::ModelConfig;
+use minedig::shortlink::probe::{FaultyProber, ProbePolicy};
+use minedig::shortlink::service::ShortlinkService;
+use minedig::shortlink::LinkPopulation;
+use minedig::wasm::sigdb::SignatureDb;
+use minedig::web::universe::Population;
+use minedig::web::zone::Zone;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Base fault seed from the environment (the CI matrix axis).
+fn base_seed() -> u64 {
+    std::env::var(FAULT_SEED_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn zone(ix: u8) -> Zone {
+    match ix % 4 {
+        0 => Zone::Alexa,
+        1 => Zone::Com,
+        2 => Zone::Net,
+        _ => Zone::Org,
+    }
+}
+
+fn db() -> &'static SignatureDb {
+    static DB: OnceLock<SignatureDb> = OnceLock::new();
+    DB.get_or_init(|| build_reference_db(0.7))
+}
+
+/// A mixed chaos plan: half the operations fault, some permanently.
+fn mixed_plan(fault_off: u64, permanent: f64) -> FaultPlan {
+    FaultPlan::with_config(
+        base_seed().wrapping_add(fault_off),
+        FaultConfig {
+            fault_prob: 0.5,
+            permanent_prob: permanent,
+            ..FaultConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Async ≡ sequential ≡ sharded ≡ streaming for the zgrab scan,
+    // under mixed (clearing + permanent) chaos, at any concurrency.
+    #[test]
+    fn async_zgrab_equals_every_other_backend(
+        seed in 0u64..1_000_000,
+        zone_ix in 0u8..4,
+        clean in 0usize..150,
+        fault_off in 0u64..1_000,
+        permanent in 0.0f64..0.9,
+        concurrency in 1usize..=256,
+    ) {
+        let pop = Population::generate(zone(zone_ix), seed, clean);
+        let model = FetchModel::outlasting(mixed_plan(fault_off, permanent));
+        let sequential = zgrab_scan_with(&pop, seed, &model);
+        let run = zgrab_scan_async(&pop, seed, &model, &AsyncExecutor::new(concurrency));
+        prop_assert_eq!(&run.outcome, &sequential, "concurrency={}", concurrency);
+        prop_assert_eq!(
+            run.stats.completed,
+            (pop.artifacts.len() + pop.clean_sample.len()) as u64
+        );
+        let sharded = ScanExecutor::new(1 + concurrency % 8).zgrab_with(&pop, seed, &model);
+        prop_assert_eq!(&sharded.outcome, &sequential);
+        let pipe = PipelineExecutor::new(1 + concurrency % 4, 16);
+        let streamed = zgrab_scan_streaming(&pop, seed, &model, &pipe);
+        prop_assert_eq!(&streamed.outcome, &sequential);
+    }
+
+    // The same four-way equivalence for the enumerate walk, with
+    // transport faults keyed by link code.
+    #[test]
+    fn async_enumerate_equals_every_other_backend(
+        links in 100u64..2_000,
+        users in 10usize..200,
+        seed in 0u64..1_000_000,
+        fault_off in 0u64..1_000,
+        limit in 1u64..64,
+        concurrency in 1usize..=256,
+    ) {
+        let service = ShortlinkService::new(LinkPopulation::generate(&ModelConfig {
+            total_links: links,
+            users,
+            seed,
+        }));
+        let plan = mixed_plan(fault_off, 0.4);
+        let prober = FaultyProber::new(&service, plan.clone());
+        let policy = ProbePolicy::outlasting(&plan);
+        let sequential = enumerate_links_with(&prober, limit, &policy);
+        let mut streamed_docs = Vec::new();
+        let run = enumerate_links_async_with(
+            &prober,
+            limit,
+            &AsyncExecutor::new(concurrency),
+            &policy,
+            |doc| streamed_docs.push(doc.clone()),
+        );
+        prop_assert_eq!(&run.outcome.docs, &sequential.docs, "concurrency={}", concurrency);
+        prop_assert_eq!(run.outcome.probed, sequential.probed);
+        prop_assert_eq!(run.outcome.failed_probes, sequential.failed_probes);
+        prop_assert_eq!(run.outcome.probe_retries, sequential.probe_retries);
+        prop_assert_eq!(&streamed_docs, &sequential.docs, "on_doc sees ID order");
+        let sharded = enumerate_links_sharded_with(
+            &prober,
+            limit,
+            &minedig::primitives::par::ParallelExecutor::new(1 + concurrency % 8),
+            &policy,
+        );
+        prop_assert_eq!(&sharded.enumeration.docs, &sequential.docs);
+        prop_assert_eq!(sharded.enumeration.probed, sequential.probed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // The chrome pipeline (Alexa/.org only, matching §3.2's coverage):
+    // async ≡ sequential under transient chaos.
+    #[test]
+    fn async_chrome_equals_sequential_under_faults(
+        seed in 0u64..1_000_000,
+        alexa in any::<bool>(),
+        clean in 0usize..80,
+        fault_off in 0u64..1_000,
+        prob in 0.1f64..0.9,
+        concurrency in 1usize..=256,
+    ) {
+        let z = if alexa { Zone::Alexa } else { Zone::Org };
+        let pop = Population::generate(z, seed, clean);
+        let plan = FaultPlan::transient_only(base_seed().wrapping_add(fault_off), prob);
+        let model = FetchModel::outlasting(plan);
+        let reference = chrome_scan(&pop, db(), seed);
+        let faulty = chrome_scan_with(&pop, db(), seed, &model);
+        let mut normalized = faulty.clone();
+        normalized.fetch.retries = 0;
+        prop_assert_eq!(&normalized, &reference);
+        let run = chrome_scan_async(
+            &pop,
+            db(),
+            seed,
+            &model,
+            None,
+            &AsyncExecutor::new(concurrency),
+        );
+        prop_assert_eq!(&run.outcome, &faulty, "concurrency={}", concurrency);
+    }
+}
+
+// The full §4.1 study through the async walk matches the batch study at
+// the CI matrix's configured concurrency (MINEDIG_CONCURRENCY, default
+// 256) and fault seed.
+#[test]
+fn async_study_matches_batch_at_env_concurrency() {
+    let config = StudyConfig {
+        model: ModelConfig {
+            total_links: 8_000,
+            users: 600,
+            seed: 9_u64.wrapping_add(base_seed()),
+        },
+        resolve_budget: 10_000,
+        per_user_sample: 100,
+        enum_shards: 1,
+    };
+    let batch = run_study(&config, 9);
+    let aexec = AsyncExecutor::from_env();
+    let run = run_study_async(&config, 9, &aexec);
+    assert_eq!(run.result.enumeration.probed, batch.enumeration.probed);
+    assert_eq!(run.result.enumeration.docs, batch.enumeration.docs);
+    assert_eq!(run.result.links_per_token, batch.links_per_token);
+    assert_eq!(run.result.hashes_spent, batch.hashes_spent);
+    assert_eq!(run.result.top10_domains, batch.top10_domains);
+    assert_eq!(run.result.tail_categories, batch.tail_categories);
+    assert_eq!(run.enum_stats.concurrency, aexec.concurrency());
+}
+
+// A stalling fault schedule must starve no task: every spawned fetch
+// completes (stalls surface as virtual latency the timer wheel skips
+// over, costing no wall time), and the outcome still matches the
+// sequential run bit for bit.
+#[test]
+fn stalling_faults_starve_no_task() {
+    let pop = Population::generate(Zone::Org, 7, 100);
+    // All faults are stalls, none permanent: every fetch eventually
+    // lands after its stall windows.
+    let plan = FaultPlan::with_config(
+        base_seed().wrapping_add(0xA11),
+        FaultConfig {
+            fault_prob: 0.8,
+            permanent_prob: 0.0,
+            // Only Stall carries weight (kinds: Drop, Delay,
+            // Disconnect, Garble, Stall).
+            kind_weights: [0.0, 0.0, 0.0, 0.0, 1.0],
+            ..FaultConfig::default()
+        },
+    );
+    let model = FetchModel::outlasting(plan);
+    let sequential = zgrab_scan_with(&pop, 7, &model);
+    let run = zgrab_scan_async(&pop, 7, &model, &AsyncExecutor::new(64));
+    assert_eq!(run.outcome, sequential);
+    let total = (pop.artifacts.len() + pop.clean_sample.len()) as u64;
+    assert_eq!(run.stats.completed, total, "no task may starve");
+    assert_eq!(run.stats.tasks, total);
+    assert!(
+        run.stats.timer_fires >= total,
+        "every fetch slept at least once"
+    );
+    assert!(
+        run.stats.virtual_ms >= minedig::core::scan::STALL_LATENCY_MS,
+        "stalls must surface as virtual latency"
+    );
+}
+
+// The in-flight high water at the default budget exceeds the machine's
+// core count: concurrency is an I/O property, not a CPU property.
+#[test]
+fn default_concurrency_outstrips_core_count() {
+    let pop = Population::generate(Zone::Org, 42, 400);
+    let aexec = AsyncExecutor::new(DEFAULT_CONCURRENCY);
+    let run = zgrab_scan_async(&pop, 42, &FetchModel::default(), &aexec);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    assert!(
+        run.stats.in_flight_high_water > cores,
+        "high water {} must exceed {} cores",
+        run.stats.in_flight_high_water,
+        cores
+    );
+    assert_eq!(run.stats.in_flight_high_water, DEFAULT_CONCURRENCY as u64);
+}

@@ -8,13 +8,15 @@
 //!
 //! `MINEDIG_FAULT_SEED` offsets every fault-plan seed, so the CI chaos
 //! matrix exercises a different schedule per job without touching the
-//! test code.
+//! test code. `MINEDIG_STREAM=1` additionally replays every property
+//! through the streaming pipeline backend.
 
-use minedig::core::exec::ScanExecutor;
+use minedig::core::exec::{chrome_scan_streaming, zgrab_scan_streaming, ScanExecutor};
 use minedig::core::scan::{
     build_reference_db, chrome_scan, chrome_scan_with, zgrab_scan, zgrab_scan_with, FetchModel,
 };
 use minedig::primitives::fault::{FaultConfig, FaultPlan, FAULT_SEED_ENV};
+use minedig::primitives::pipeline::PipelineExecutor;
 use minedig::wasm::sigdb::SignatureDb;
 use minedig::web::universe::Population;
 use minedig::web::zone::Zone;
@@ -27,6 +29,14 @@ fn base_seed() -> u64 {
         .ok()
         .and_then(|s| s.trim().parse().ok())
         .unwrap_or(0)
+}
+
+/// When `MINEDIG_STREAM` is set (the chaos job's streaming axis), a
+/// pipeline to replay each property through the streaming backend.
+fn stream_pipe(workers: usize) -> Option<PipelineExecutor> {
+    std::env::var("MINEDIG_STREAM")
+        .is_ok()
+        .then(|| PipelineExecutor::new(workers, 16))
 }
 
 fn zone(ix: u8) -> Zone {
@@ -67,6 +77,10 @@ proptest! {
         prop_assert_eq!(&normalized, &reference);
         let run = ScanExecutor::new(shards).zgrab_with(&pop, seed, &model);
         prop_assert_eq!(&run.outcome, &faulty, "shards={}", shards);
+        if let Some(pipe) = stream_pipe(1 + shards % 4) {
+            let streamed = zgrab_scan_streaming(&pop, seed, &model, &pipe);
+            prop_assert_eq!(&streamed.outcome, &faulty, "streaming");
+        }
     }
 
     // Permanent faults lose exactly the domains whose fault schedule
@@ -107,6 +121,10 @@ proptest! {
         );
         let run = ScanExecutor::new(shards).zgrab_with(&pop, seed, &model);
         prop_assert_eq!(&run.outcome, &out, "shards={}", shards);
+        if let Some(pipe) = stream_pipe(1 + shards % 4) {
+            let streamed = zgrab_scan_streaming(&pop, seed, &model, &pipe);
+            prop_assert_eq!(&streamed.outcome, &out, "streaming");
+        }
     }
 }
 
@@ -135,5 +153,9 @@ proptest! {
         prop_assert_eq!(&normalized, &reference);
         let run = ScanExecutor::new(shards).chrome_with(&pop, db(), seed, &model);
         prop_assert_eq!(&run.outcome, &faulty, "shards={}", shards);
+        if let Some(pipe) = stream_pipe(1 + shards % 4) {
+            let streamed = chrome_scan_streaming(&pop, db(), seed, &model, None, &pipe);
+            prop_assert_eq!(&streamed.outcome, &faulty, "streaming");
+        }
     }
 }
