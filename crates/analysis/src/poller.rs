@@ -14,17 +14,22 @@
 //! gap, never silent data loss.
 
 use minedig_chain::blob::HashingBlob;
+use minedig_net::transport::{Transport, TransportError};
 use minedig_pool::obfuscation;
 use minedig_pool::pool::{JobError, Pool};
-use minedig_pool::protocol::Job;
+use minedig_pool::protocol::{ClientMsg, Job, ServerMsg};
+use minedig_primitives::aexec::{AsyncExecutor, AsyncStats, IdleWait, IoPoll, YieldBackoff};
 use minedig_primitives::fault::{Fault, FaultPlan};
 use minedig_primitives::par::{ExecStats, ParallelExecutor, ShardedTask};
-use minedig_primitives::retry::{retry, ErrorClass, RetryPolicy, Retryable, VirtualClock};
+use minedig_primitives::retry::{retry, Clock, ErrorClass, RetryPolicy, Retryable, VirtualClock};
 use minedig_primitives::rng::DetRng;
 use minedig_primitives::Hash32;
+use parking_lot::Mutex;
 use std::collections::BTreeSet;
-use std::ops::Range;
+use std::ops::{ControlFlow, Range};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::task::Poll;
+use std::time::Duration;
 
 /// Why a single job fetch failed.
 ///
@@ -141,6 +146,206 @@ impl<S: JobSource> JobSource for FaultyJobSource<S> {
 
     fn reconnect(&self, endpoint: usize) -> bool {
         self.down[endpoint].swap(false, Ordering::AcqRel)
+    }
+}
+
+/// A [`JobSource`] whose fetches can be split into a request phase and a
+/// readiness-polled reply phase, so the cooperative executor can hold
+/// every endpoint's fetch in flight at once on one thread.
+///
+/// Contract: `begin_fetch(e, now, a)` followed by polling
+/// `poll_fetch(e, now, a)` to `Ready` must produce the same result (and
+/// consume the same fault/randomness draws) as one synchronous
+/// `fetch_job(e, now, a)` call — that is what keeps the async sweep
+/// bit-identical to the sequential and sharded ones. An error from
+/// `begin_fetch` is the attempt's result; `poll_fetch` is never called
+/// for it.
+pub trait AsyncJobSource: JobSource {
+    /// Issues the request for one fetch attempt. An `Err` fails the
+    /// attempt immediately (fault schedules surface here, so no async
+    /// task ever hangs on an injected fault).
+    fn begin_fetch(&self, endpoint: usize, now: u64, attempt: u32) -> Result<(), FetchError>;
+    /// Polls for the attempt's reply: `Pending` while the wire is quiet.
+    fn poll_fetch(&self, endpoint: usize, now: u64, attempt: u32) -> Poll<Result<Job, FetchError>>;
+}
+
+impl AsyncJobSource for Pool {
+    fn begin_fetch(&self, _endpoint: usize, _now: u64, _attempt: u32) -> Result<(), FetchError> {
+        Ok(())
+    }
+
+    /// In-process pools answer instantly — the async sweep degenerates
+    /// to the sequential one with executor bookkeeping.
+    fn poll_fetch(&self, endpoint: usize, now: u64, attempt: u32) -> Poll<Result<Job, FetchError>> {
+        Poll::Ready(JobSource::fetch_job(self, endpoint, now, attempt))
+    }
+}
+
+impl<S: AsyncJobSource> AsyncJobSource for FaultyJobSource<S> {
+    /// The identical fault mapping as the synchronous
+    /// [`JobSource::fetch_job`] — same decide key, same draw per attempt
+    /// — applied at request time so injected faults resolve
+    /// synchronously and only genuine wire waits reach the executor's
+    /// idle sweep.
+    fn begin_fetch(&self, endpoint: usize, now: u64, attempt: u32) -> Result<(), FetchError> {
+        if self.down[endpoint].load(Ordering::Acquire) {
+            return Err(FetchError::Closed);
+        }
+        match self.plan.decide(&format!("poll.{endpoint}.{now}"), attempt) {
+            None | Some(Fault::Delay { .. }) => self.inner.begin_fetch(endpoint, now, attempt),
+            Some(Fault::Drop) | Some(Fault::Stall) => Err(FetchError::Timeout),
+            Some(Fault::Disconnect) => {
+                self.down[endpoint].store(true, Ordering::Release);
+                Err(FetchError::Closed)
+            }
+            Some(Fault::Garble) => Err(FetchError::Garbled),
+        }
+    }
+
+    fn poll_fetch(&self, endpoint: usize, now: u64, attempt: u32) -> Poll<Result<Job, FetchError>> {
+        self.inner.poll_fetch(endpoint, now, attempt)
+    }
+}
+
+/// A [`JobSource`] speaking the pool's wire protocol over real
+/// transports: one connection per endpoint, each fetch a
+/// [`ClientMsg::Peek`] request/reply exchange.
+///
+/// Any transport error tears the endpoint's connection down (a stray
+/// late reply would desynchronise the request/reply pairing), mapping to
+/// a transient [`FetchError`] so the observer's retry loop redials via
+/// [`JobSource::reconnect`]. Semantic pool errors leave the connection
+/// up and classify exactly like the in-process source: a reason
+/// mentioning "offline" is an outage, anything else a refusal.
+pub struct WireJobSource<T: Transport> {
+    endpoints: Vec<Mutex<Option<T>>>,
+    connect: Box<dyn Fn(usize) -> Option<T> + Send + Sync>,
+    reply_timeout: Duration,
+}
+
+fn map_transport(e: TransportError) -> FetchError {
+    match e {
+        TransportError::Timeout => FetchError::Timeout,
+        _ => FetchError::Closed,
+    }
+}
+
+impl<T: Transport> WireJobSource<T> {
+    /// Dials all `endpoints` connections eagerly via `connect` (failed
+    /// dials start as down; the first sweep's retry loop redials them).
+    /// Blocking fetches wait up to `reply_timeout` for each reply.
+    pub fn new(
+        endpoints: usize,
+        reply_timeout: Duration,
+        connect: impl Fn(usize) -> Option<T> + Send + Sync + 'static,
+    ) -> WireJobSource<T> {
+        let slots = (0..endpoints).map(|e| Mutex::new(connect(e))).collect();
+        WireJobSource {
+            endpoints: slots,
+            connect: Box::new(connect),
+            reply_timeout,
+        }
+    }
+
+    /// Parses one reply frame; tears down on anything undecodable.
+    fn classify_reply(slot: &mut Option<T>, raw: &[u8]) -> Result<Job, FetchError> {
+        match ServerMsg::decode(raw) {
+            Ok(ServerMsg::Job(job)) => Ok(job),
+            Ok(ServerMsg::Error { reason }) => {
+                if reason.contains("offline") {
+                    Err(FetchError::Offline)
+                } else {
+                    Err(FetchError::Refused)
+                }
+            }
+            Ok(_) | Err(_) => {
+                *slot = None;
+                Err(FetchError::Garbled)
+            }
+        }
+    }
+}
+
+impl<T: Transport> JobSource for WireJobSource<T> {
+    fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    fn fetch_job(&self, endpoint: usize, now: u64, _attempt: u32) -> Result<Job, FetchError> {
+        let mut slot = self.endpoints[endpoint].lock();
+        let Some(t) = slot.as_mut() else {
+            return Err(FetchError::Closed);
+        };
+        let msg = ClientMsg::Peek {
+            endpoint: endpoint as u64,
+            now,
+        };
+        if let Err(e) = t.send(&msg.encode()) {
+            *slot = None;
+            return Err(map_transport(e));
+        }
+        match t.recv_timeout(self.reply_timeout) {
+            Ok(raw) => Self::classify_reply(&mut slot, &raw),
+            Err(e) => {
+                *slot = None;
+                Err(map_transport(e))
+            }
+        }
+    }
+
+    fn reconnect(&self, endpoint: usize) -> bool {
+        let mut slot = self.endpoints[endpoint].lock();
+        if slot.is_some() {
+            return false;
+        }
+        match (self.connect)(endpoint) {
+            Some(t) => {
+                *slot = Some(t);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl<T: Transport> AsyncJobSource for WireJobSource<T> {
+    fn begin_fetch(&self, endpoint: usize, now: u64, _attempt: u32) -> Result<(), FetchError> {
+        let mut slot = self.endpoints[endpoint].lock();
+        let Some(t) = slot.as_mut() else {
+            return Err(FetchError::Closed);
+        };
+        let msg = ClientMsg::Peek {
+            endpoint: endpoint as u64,
+            now,
+        };
+        if let Err(e) = t.send(&msg.encode()) {
+            *slot = None;
+            return Err(map_transport(e));
+        }
+        Ok(())
+    }
+
+    fn poll_fetch(
+        &self,
+        endpoint: usize,
+        now: u64,
+        _attempt: u32,
+    ) -> Poll<Result<Job, FetchError>> {
+        let _ = now;
+        let mut slot = self.endpoints[endpoint].lock();
+        let Some(t) = slot.as_mut() else {
+            return Poll::Ready(Err(FetchError::Closed));
+        };
+        // The executor's readiness probe: zero timeout means "nothing on
+        // the wire yet", anything else resolves the attempt.
+        match t.recv_timeout(Duration::ZERO) {
+            Err(TransportError::Timeout) => Poll::Pending,
+            Ok(raw) => Poll::Ready(Self::classify_reply(&mut slot, &raw)),
+            Err(e) => {
+                *slot = None;
+                Poll::Ready(Err(map_transport(e)))
+            }
+        }
     }
 }
 
@@ -275,7 +480,13 @@ impl<S: JobSource> Observer<S> {
             deobfuscate: self.deobfuscate,
             policy: &self.policy,
         });
-        let delta = run.outcome;
+        self.absorb_delta(run.outcome);
+        run.stats
+    }
+
+    /// Applies one sweep's merged delta: counters add, observations run
+    /// through [`record`](Observer::record) in endpoint order.
+    fn absorb_delta(&mut self, delta: PollDelta) {
         self.stats.polls += delta.polls;
         self.stats.answered += delta.answered;
         self.stats.offline += delta.offline;
@@ -287,7 +498,6 @@ impl<S: JobSource> Observer<S> {
         for (bytes, blob) in delta.observations {
             self.record(bytes, blob);
         }
-        run.stats
     }
 
     fn record(&mut self, bytes: Vec<u8>, blob: HashingBlob) {
@@ -330,6 +540,145 @@ impl<S: JobSource> Observer<S> {
     /// Poll statistics.
     pub fn stats(&self) -> &PollStats {
         &self.stats
+    }
+}
+
+/// One endpoint's in-flight fetch attempt as an executor I/O source.
+struct FetchReady<'s, S: AsyncJobSource> {
+    source: &'s S,
+    endpoint: usize,
+    now: u64,
+    attempt: u32,
+}
+
+impl<S: AsyncJobSource> IoPoll for FetchReady<'_, S> {
+    type Out = Result<Job, FetchError>;
+
+    fn poll_io(&mut self) -> Poll<Self::Out> {
+        self.source
+            .poll_fetch(self.endpoint, self.now, self.attempt)
+    }
+}
+
+impl<S: AsyncJobSource> Observer<S> {
+    /// Polls every endpoint once at virtual time `now` with all fetches
+    /// in flight at once on the cooperative executor — one thread,
+    /// `in_flight_high_water == min(endpoints, concurrency)`.
+    ///
+    /// Each endpoint's task replicates the sharded sweep's per-endpoint
+    /// body step for step — same retry/backoff/deadline decisions on a
+    /// private virtual clock, same jitter stream, same reconnect and
+    /// accounting rules — and completions fold in endpoint order, so
+    /// clusters and [`PollStats`] are bit-identical to
+    /// [`poll_all`](Observer::poll_all) and
+    /// [`poll_all_sharded`](Observer::poll_all_sharded) for any
+    /// concurrency, including under fault schedules.
+    pub fn poll_all_async(&mut self, now: u64, executor: &AsyncExecutor) -> AsyncStats {
+        self.poll_all_async_idle(now, executor, &mut YieldBackoff)
+    }
+
+    /// [`poll_all_async`](Observer::poll_all_async) with an explicit
+    /// [`IdleWait`] — real-socket runs park on a transport's
+    /// `TcpParker` instead of spinning between readiness sweeps.
+    pub fn poll_all_async_idle(
+        &mut self,
+        now: u64,
+        executor: &AsyncExecutor,
+        idle: &mut dyn IdleWait,
+    ) -> AsyncStats {
+        let source = &self.source;
+        let policy = &self.policy;
+        let deobfuscate = self.deobfuscate;
+        let run = executor.run_ordered_with(
+            0..source.endpoint_count(),
+            |ctx, endpoint| async move {
+                let mut delta = PollDelta {
+                    polls: 1,
+                    ..PollDelta::default()
+                };
+                // Async mirror of `retry()` over the same per-endpoint
+                // virtual clock and jitter stream as `run_shard`: the
+                // only difference is that the wire wait between request
+                // and reply suspends the task instead of the thread.
+                let mut clock = VirtualClock::new();
+                let mut rng = DetRng::seed(policy.jitter_seed)
+                    .derive(&format!("poll.jitter.{endpoint}.{now}"));
+                let max_attempts = policy.retry.max_attempts.max(1);
+                let mut attempts = 0u32;
+                let outcome = loop {
+                    let result = match source.begin_fetch(endpoint, now, attempts) {
+                        Ok(()) => {
+                            ctx.io(FetchReady {
+                                source,
+                                endpoint,
+                                now,
+                                attempt: attempts,
+                            })
+                            .await
+                        }
+                        Err(e) => Err(e),
+                    };
+                    if matches!(result, Err(FetchError::Closed)) && source.reconnect(endpoint) {
+                        delta.reconnects += 1;
+                    }
+                    attempts += 1;
+                    let error = match result {
+                        Ok(job) => break Ok(job),
+                        Err(e) => e,
+                    };
+                    if error.error_class() == ErrorClass::Permanent || attempts >= max_attempts {
+                        break Err(error);
+                    }
+                    let backoff = policy.retry.backoff_ms(attempts, &mut rng);
+                    if let Some(deadline) = policy.retry.deadline_ms {
+                        if clock.now_ms().saturating_add(backoff) > deadline {
+                            break Err(error);
+                        }
+                    }
+                    clock.sleep_ms(backoff);
+                };
+                delta.retries += u64::from(attempts.saturating_sub(1));
+                match outcome {
+                    Err(FetchError::Offline) => delta.offline += 1,
+                    Err(FetchError::Refused) => delta.other_errors += 1,
+                    Err(FetchError::Timeout)
+                    | Err(FetchError::Closed)
+                    | Err(FetchError::Garbled) => delta.endpoints_down += 1,
+                    Ok(job) => {
+                        delta.answered += 1;
+                        match job.blob_bytes() {
+                            Err(_) => delta.parse_failures += 1,
+                            Ok(mut bytes) => {
+                                if deobfuscate {
+                                    obfuscation::xor_blob(&mut bytes);
+                                }
+                                match HashingBlob::parse(&bytes) {
+                                    Err(_) => delta.parse_failures += 1,
+                                    Ok(blob) => delta.observations.push((bytes, blob)),
+                                }
+                            }
+                        }
+                    }
+                }
+                delta
+            },
+            PollDelta::default(),
+            |acc: &mut PollDelta, mut next: PollDelta| {
+                acc.polls += next.polls;
+                acc.answered += next.answered;
+                acc.offline += next.offline;
+                acc.other_errors += next.other_errors;
+                acc.parse_failures += next.parse_failures;
+                acc.endpoints_down += next.endpoints_down;
+                acc.retries += next.retries;
+                acc.reconnects += next.reconnects;
+                acc.observations.append(&mut next.observations);
+                ControlFlow::Continue(())
+            },
+            idle,
+        );
+        self.absorb_delta(run.outcome);
+        run.stats
     }
 }
 
@@ -671,6 +1020,140 @@ mod tests {
             assert_eq!(ps.reconnects, ss.reconnects, "shards={shards}");
             assert!(ps.balanced(), "shards={shards}");
         }
+    }
+
+    #[test]
+    fn async_poll_matches_sequential() {
+        for concurrency in [1usize, 8, 256] {
+            let pool = pool_with_tip();
+            let mut seq = Observer::new(pool.clone(), true);
+            let mut asy = Observer::new(pool, true);
+            let executor = AsyncExecutor::new(concurrency);
+            for t in (1_000..1_150).step_by(5) {
+                seq.poll_all(t);
+                let stats = asy.poll_all_async(t, &executor);
+                assert_eq!(stats.tasks, 32, "concurrency={concurrency}");
+                // Every endpoint's fetch is genuinely in flight at once
+                // (up to the budget) on the single executor thread.
+                assert_eq!(
+                    stats.in_flight_high_water,
+                    32.min(concurrency) as u64,
+                    "concurrency={concurrency}"
+                );
+            }
+            assert_eq!(asy.current_prev(), seq.current_prev(), "c={concurrency}");
+            assert_eq!(asy.current_roots, seq.current_roots, "c={concurrency}");
+            assert_eq!(asy.current_blobs, seq.current_blobs, "c={concurrency}");
+            let (ss, als) = (seq.stats(), asy.stats());
+            assert_eq!(als.polls, ss.polls, "c={concurrency}");
+            assert_eq!(als.answered, ss.answered, "c={concurrency}");
+            assert_eq!(als.max_blobs_per_prev, ss.max_blobs_per_prev);
+            assert!(als.balanced());
+        }
+    }
+
+    #[test]
+    fn async_poll_matches_sequential_under_faults() {
+        let plan = FaultPlan::with_config(
+            13,
+            FaultConfig {
+                fault_prob: 0.5,
+                permanent_prob: 0.3,
+                ..FaultConfig::default()
+            },
+        );
+        for concurrency in [1usize, 8, 256] {
+            let pool = pool_with_tip();
+            let mut seq = Observer::with_source(
+                FaultyJobSource::new(pool.clone(), plan.clone()),
+                true,
+                PollPolicy::default(),
+            );
+            let mut asy = Observer::with_source(
+                FaultyJobSource::new(pool, plan.clone()),
+                true,
+                PollPolicy::default(),
+            );
+            let executor = AsyncExecutor::new(concurrency);
+            for t in (1_000..1_100).step_by(5) {
+                seq.poll_all(t);
+                asy.poll_all_async(t, &executor);
+            }
+            assert_eq!(asy.current_prev(), seq.current_prev(), "c={concurrency}");
+            assert_eq!(asy.current_roots, seq.current_roots, "c={concurrency}");
+            assert_eq!(asy.current_blobs, seq.current_blobs, "c={concurrency}");
+            let (ss, als) = (seq.stats(), asy.stats());
+            assert_eq!(als.polls, ss.polls, "c={concurrency}");
+            assert_eq!(als.answered, ss.answered, "c={concurrency}");
+            assert_eq!(als.endpoints_down, ss.endpoints_down, "c={concurrency}");
+            assert_eq!(als.retries, ss.retries, "c={concurrency}");
+            assert_eq!(als.reconnects, ss.reconnects, "c={concurrency}");
+            assert!(als.balanced(), "c={concurrency}");
+        }
+    }
+
+    fn wire_over_channels(pool: &Pool) -> WireJobSource<minedig_net::transport::ChannelTransport> {
+        let pool = pool.clone();
+        WireJobSource::new(32, Duration::from_secs(5), move |endpoint| {
+            let (client, mut server) = minedig_net::transport::channel_pair();
+            let p = pool.clone();
+            // Serve threads exit when the client side drops. The session
+            // clock is irrelevant: peeks carry their own timestamp.
+            std::thread::spawn(move || p.serve(&mut server, endpoint, || 0));
+            Some(client)
+        })
+    }
+
+    #[test]
+    fn wire_source_matches_the_in_process_source() {
+        let pool = pool_with_tip();
+        let mut direct = Observer::new(pool.clone(), true);
+        let mut wired =
+            Observer::with_source(wire_over_channels(&pool), true, PollPolicy::default());
+        for t in (1_000..1_100).step_by(5) {
+            direct.poll_all(t);
+            wired.poll_all(t);
+        }
+        assert_eq!(wired.current_prev(), direct.current_prev());
+        assert_eq!(wired.current_roots, direct.current_roots);
+        assert_eq!(wired.current_blobs, direct.current_blobs);
+        assert_eq!(wired.stats().answered, direct.stats().answered);
+        assert_eq!(wired.stats().polls, direct.stats().polls);
+        assert!(wired.stats().balanced());
+    }
+
+    #[test]
+    fn wire_source_classifies_semantic_errors_like_the_pool() {
+        // No tip announced → every peek refused; an outage → offline.
+        let pool = Pool::new(PoolConfig::default());
+        let mut wired =
+            Observer::with_source(wire_over_channels(&pool), true, PollPolicy::default());
+        wired.poll_all(1_000);
+        assert_eq!(wired.stats().other_errors, 32);
+        pool.set_online(false);
+        wired.poll_all(1_020);
+        assert_eq!(wired.stats().offline, 32);
+        assert!(wired.stats().balanced());
+    }
+
+    #[test]
+    fn async_wire_poll_matches_the_blocking_wire_poll() {
+        let pool = pool_with_tip();
+        let mut blocking =
+            Observer::with_source(wire_over_channels(&pool), true, PollPolicy::default());
+        let mut asynced =
+            Observer::with_source(wire_over_channels(&pool), true, PollPolicy::default());
+        let executor = AsyncExecutor::new(64);
+        for t in (1_000..1_100).step_by(5) {
+            blocking.poll_all(t);
+            let stats = asynced.poll_all_async(t, &executor);
+            assert_eq!(stats.in_flight_high_water, 32);
+        }
+        assert_eq!(asynced.current_prev(), blocking.current_prev());
+        assert_eq!(asynced.current_roots, blocking.current_roots);
+        assert_eq!(asynced.current_blobs, blocking.current_blobs);
+        assert_eq!(asynced.stats().answered, blocking.stats().answered);
+        assert!(asynced.stats().balanced());
     }
 
     #[test]

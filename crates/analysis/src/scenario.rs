@@ -3,9 +3,10 @@
 
 use crate::attribution::{AttributedBlock, Attributor};
 use crate::estimate::{network_estimate, NetworkEstimate};
-use crate::poller::{FaultyJobSource, JobSource, Observer, PollPolicy, PollStats};
+use crate::poller::{AsyncJobSource, FaultyJobSource, Observer, PollPolicy, PollStats};
 use minedig_chain::netsim::{Actor, MinedEvent, NetSim, NetSimConfig, SoloSource};
 use minedig_pool::pool::{Pool, PoolConfig};
+use minedig_primitives::aexec::{AsyncExecutor, AsyncStats};
 use minedig_primitives::fault::FaultPlan;
 use minedig_primitives::par::ParallelExecutor;
 use minedig_primitives::retry::RetryPolicy;
@@ -46,6 +47,12 @@ pub struct ScenarioConfig {
     /// Shards each poll sweep fans across (1 = sequential; results are
     /// identical for any value — see `Observer::poll_all_sharded`).
     pub poll_shards: usize,
+    /// When set, poll sweeps run on the cooperative async executor with
+    /// this in-flight budget instead of sharding: every endpoint's fetch
+    /// in flight at once on one thread, results identical to the
+    /// sequential and sharded sweeps for any value — see
+    /// `Observer::poll_all_async`.
+    pub poll_async: Option<usize>,
     /// Optional transport fault schedule on the poll path (chaos
     /// testing). `None` polls the pool directly.
     pub poll_faults: Option<FaultPlan>,
@@ -87,6 +94,7 @@ impl Default for ScenarioConfig {
             outages: vec![FIG5_OUTAGE],
             poll_interval_secs: 15,
             poll_shards: 1,
+            poll_async: None,
             poll_faults: None,
             poll_retry: RetryPolicy::default(),
             initial_difficulty: 55_400_000_000,
@@ -145,6 +153,9 @@ pub struct ScenarioResult {
     pub network: NetworkEstimate,
     /// Observer poll statistics.
     pub poll_stats: PollStats,
+    /// Aggregate async-executor statistics across all poll sweeps, when
+    /// `poll_async` was set.
+    pub poll_async_stats: Option<AsyncStats>,
     /// Scenario window `[start, end)`.
     pub window: (u64, u64),
 }
@@ -194,13 +205,16 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
 
 /// The scenario body, generic over the observer's job source so the
 /// fault-injected and direct paths share every line of driver logic.
-fn run_scenario_with<S: JobSource + Send + 'static>(
+/// The source must be async-capable so `poll_async` can route sweeps
+/// through the cooperative executor.
+fn run_scenario_with<S: AsyncJobSource + Send + 'static>(
     config: ScenarioConfig,
     pool: Pool,
     observer: Observer<S>,
 ) -> ScenarioResult {
     let observer = Arc::new(Mutex::new(observer));
     let end_time = config.start_time + config.duration_days * 86_400;
+    let async_stats: Arc<Mutex<AsyncStats>> = Arc::new(Mutex::new(AsyncStats::default()));
 
     let config = Arc::new(config);
     let pool_actor = Actor {
@@ -239,13 +253,26 @@ fn run_scenario_with<S: JobSource + Send + 'static>(
         let config = config.clone();
         let interval = config.poll_interval_secs.max(1);
         let executor = ParallelExecutor::new(config.poll_shards);
+        let async_exec = config.poll_async.map(AsyncExecutor::new);
+        let async_stats = async_stats.clone();
         sim.set_interval_hook(Box::new(move |from, to| {
             let mut obs = observer.lock();
+            // Sharded and async sweeps are bit-identical; the async path
+            // additionally aggregates its executor stats for the report.
+            let sweep = |obs: &mut Observer<S>, t: u64| match &async_exec {
+                Some(aexec) => {
+                    let s = obs.poll_all_async(t, aexec);
+                    async_stats.lock().absorb(&s);
+                }
+                None => {
+                    obs.poll_all_sharded(t, &executor);
+                }
+            };
             let mut t = from - from % interval + interval;
             let mut polled_end = false;
             while t <= to {
                 pool.set_online(!config.in_outage(t));
-                obs.poll_all_sharded(t, &executor);
+                sweep(&mut obs, t);
                 polled_end = t == to;
                 t += interval;
             }
@@ -254,7 +281,7 @@ fn run_scenario_with<S: JobSource + Send + 'static>(
             // version active at block-discovery time was always observed.
             pool.set_online(!config.in_outage(to));
             if !polled_end && !config.in_outage(to) {
-                obs.poll_all_sharded(to, &executor);
+                sweep(&mut obs, to);
             }
         }));
     }
@@ -290,6 +317,7 @@ fn run_scenario_with<S: JobSource + Send + 'static>(
         total_blocks,
         network,
         poll_stats,
+        poll_async_stats: config.poll_async.map(|_| async_stats.lock().clone()),
         window: (config.start_time, end_time),
     }
 }
@@ -396,6 +424,62 @@ mod tests {
         assert_eq!(faulty.poll_stats.answered, clean.poll_stats.answered);
         assert_eq!(faulty.poll_stats.endpoints_down, 0);
         assert!(faulty.poll_stats.balanced());
+    }
+
+    #[test]
+    fn async_polling_does_not_change_the_scenario() {
+        let seq = short_scenario(2, 9);
+        let asy = run_scenario(ScenarioConfig {
+            duration_days: 2,
+            seed: 9,
+            poll_async: Some(64),
+            ..ScenarioConfig::default()
+        });
+        assert_eq!(asy.attributed, seq.attributed);
+        assert_eq!(asy.total_blocks, seq.total_blocks);
+        assert_eq!(asy.poll_stats.polls, seq.poll_stats.polls);
+        assert_eq!(asy.poll_stats.answered, seq.poll_stats.answered);
+        assert_eq!(asy.poll_stats.offline, seq.poll_stats.offline);
+        assert_eq!(
+            asy.poll_stats.max_blobs_per_prev,
+            seq.poll_stats.max_blobs_per_prev
+        );
+        let stats = asy.poll_async_stats.expect("async stats reported");
+        // Every sweep held all 32 endpoint fetches in flight at once.
+        assert_eq!(stats.in_flight_high_water, 32);
+        assert_eq!(stats.tasks, seq.poll_stats.polls);
+        assert!(seq.poll_async_stats.is_none());
+    }
+
+    #[test]
+    fn async_polling_matches_under_fault_schedules() {
+        let plan = FaultPlan::transient_only(77, 0.4);
+        let base = ScenarioConfig {
+            duration_days: 2,
+            seed: 9,
+            poll_retry: RetryPolicy::attempts(plan.attempts_to_clear()),
+            poll_faults: Some(plan.clone()),
+            ..ScenarioConfig::default()
+        };
+        let seq = run_scenario(ScenarioConfig {
+            poll_faults: Some(plan.clone()),
+            ..base
+        });
+        let asy = run_scenario(ScenarioConfig {
+            duration_days: 2,
+            seed: 9,
+            poll_retry: RetryPolicy::attempts(plan.attempts_to_clear()),
+            poll_faults: Some(plan),
+            poll_async: Some(256),
+            ..ScenarioConfig::default()
+        });
+        assert!(asy.poll_stats.retries > 0, "p=0.4 must force retries");
+        assert_eq!(asy.attributed, seq.attributed);
+        assert_eq!(asy.total_blocks, seq.total_blocks);
+        assert_eq!(asy.poll_stats.answered, seq.poll_stats.answered);
+        assert_eq!(asy.poll_stats.retries, seq.poll_stats.retries);
+        assert_eq!(asy.poll_stats.reconnects, seq.poll_stats.reconnects);
+        assert!(asy.poll_stats.balanced());
     }
 
     #[test]

@@ -9,6 +9,31 @@
 //! networking guides: one OS thread per connection (connection counts in
 //! this workload are tiny — the paper's observer opens 32), a shared
 //! shutdown flag, and explicit timeouts everywhere.
+//!
+//! ## Zero-timeout polls and the mode cache
+//!
+//! `recv_timeout(Duration::ZERO)` / `send_timeout(Duration::ZERO)` are
+//! the cooperative executor's readiness probes (`crate::aio`), so they
+//! must mean "try once, never block" — but std rejects
+//! `set_read_timeout(Some(Duration::ZERO))` with `InvalidInput`. Zero
+//! timeouts therefore run the socket in nonblocking mode and translate
+//! `WouldBlock` to [`TransportError::Timeout`]. The kernel-visible mode
+//! (O_NONBLOCK, SO_RCVTIMEO/SO_SNDTIMEO) is cached in [`SockMode`] so a
+//! poll loop issuing thousands of zero-timeout receives pays the
+//! `setsockopt` once, not per call; blocking operations restore their
+//! mode lazily through the same cache. The cache is shared with
+//! [`TcpParker`]s cloned off the transport, because a dup'd fd shares
+//! those flags with the original socket.
+//!
+//! ## Partial writes
+//!
+//! A send that times out mid-frame must not corrupt framing: the encoded
+//! frame is queued in a pending-output buffer and the unwritten tail is
+//! resumed by the next send (of any kind) before new bytes are written.
+//! From the peer's perspective every accepted frame arrives exactly once
+//! and intact; from the caller's, a `Timeout` from `send_timeout` means
+//! "queued but not yet fully on the wire", and it drains as soon as a
+//! later send (or reconnect teardown) runs.
 
 use crate::transport::{Transport, TransportError};
 use crate::wsframe::{decode_ws, encode_ws, Opcode, WsFrame};
@@ -21,13 +46,73 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Sentinel for "no timeout set" in the microsecond caches.
+const TIMEOUT_UNSET: u64 = u64::MAX;
+
+fn timeout_us(t: Option<Duration>) -> u64 {
+    match t {
+        None => TIMEOUT_UNSET,
+        Some(d) => (d.as_micros().min(TIMEOUT_UNSET as u128 - 1)) as u64,
+    }
+}
+
+/// Cached kernel-visible socket mode. O_NONBLOCK and the SO_*TIMEO
+/// options live on the socket, not the fd, so a [`TcpParker`] cloned
+/// from a transport shares this cache with it — whichever side changes
+/// the mode records it here, and the other side trusts the cache instead
+/// of re-issuing the syscall.
+struct SockMode {
+    nonblocking: AtomicBool,
+    read_timeout_us: AtomicU64,
+    write_timeout_us: AtomicU64,
+}
+
+impl SockMode {
+    fn new() -> SockMode {
+        SockMode {
+            nonblocking: AtomicBool::new(false),
+            read_timeout_us: AtomicU64::new(TIMEOUT_UNSET),
+            write_timeout_us: AtomicU64::new(TIMEOUT_UNSET),
+        }
+    }
+}
+
+/// Pending output: encoded frame bytes not yet accepted by the kernel.
+/// Consumed from the front via an offset so resuming a half-written
+/// 32 MiB frame does not memmove the tail on every write.
+#[derive(Default)]
+struct OutBuf {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl OutBuf {
+    fn is_empty(&self) -> bool {
+        self.head >= self.buf.len()
+    }
+
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.head.min(self.buf.len())..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.head += n;
+        if self.head >= self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        }
+    }
+}
+
 /// A [`Transport`] over a TCP stream speaking WebSocket-style frames.
 pub struct TcpTransport {
     stream: TcpStream,
     inbuf: BytesMut,
+    outbuf: OutBuf,
     /// Clients mask their frames; servers do not.
     is_client: bool,
     mask_counter: u64,
+    mode: Arc<SockMode>,
 }
 
 impl TcpTransport {
@@ -37,8 +122,10 @@ impl TcpTransport {
         Ok(TcpTransport {
             stream,
             inbuf: BytesMut::with_capacity(8 * 1024),
+            outbuf: OutBuf::default(),
             is_client: false,
             mask_counter: 0,
+            mode: Arc::new(SockMode::new()),
         })
     }
 
@@ -49,8 +136,20 @@ impl TcpTransport {
         Ok(TcpTransport {
             stream,
             inbuf: BytesMut::with_capacity(8 * 1024),
+            outbuf: OutBuf::default(),
             is_client: true,
             mask_counter: 0x9e3779b97f4a7c15,
+            mode: Arc::new(SockMode::new()),
+        })
+    }
+
+    /// A [`TcpParker`] sharing this transport's socket: the executor's
+    /// idle sweep can block on it until the socket turns readable,
+    /// instead of spinning on zero-timeout polls.
+    pub fn parker(&self) -> std::io::Result<TcpParker> {
+        Ok(TcpParker {
+            stream: self.stream.try_clone()?,
+            mode: self.mode.clone(),
         })
     }
 
@@ -64,10 +163,67 @@ impl TcpTransport {
         ((self.mask_counter >> 32) as u32).to_be_bytes()
     }
 
+    fn ensure_nonblocking(&mut self) -> Result<(), TransportError> {
+        if !self.mode.nonblocking.load(Ordering::Relaxed) {
+            self.stream
+                .set_nonblocking(true)
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+            self.mode.nonblocking.store(true, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn ensure_blocking(&mut self) -> Result<(), TransportError> {
+        if self.mode.nonblocking.load(Ordering::Relaxed) {
+            self.stream
+                .set_nonblocking(false)
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+            self.mode.nonblocking.store(false, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Applies `timeout` as the socket read timeout, skipping the
+    /// syscall when the cached value already matches. `timeout` must not
+    /// be `Some(Duration::ZERO)` (std rejects it) — zero-timeout receives
+    /// take the nonblocking path instead.
+    fn ensure_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        let us = timeout_us(timeout);
+        if self.mode.read_timeout_us.load(Ordering::Relaxed) != us {
+            self.stream
+                .set_read_timeout(timeout)
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+            self.mode.read_timeout_us.store(us, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn ensure_write_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        let us = timeout_us(timeout);
+        if self.mode.write_timeout_us.load(Ordering::Relaxed) != us {
+            self.stream
+                .set_write_timeout(timeout)
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+            self.mode.write_timeout_us.store(us, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Puts the socket in the right mode for a receive with `timeout`:
+    /// `Some(ZERO)` → nonblocking probe, anything else → blocking with
+    /// the (cached) read timeout.
+    fn enter_read_mode(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        match timeout {
+            Some(t) if t.is_zero() => self.ensure_nonblocking(),
+            other => {
+                self.ensure_blocking()?;
+                self.ensure_read_timeout(other)
+            }
+        }
+    }
+
     fn read_frame(&mut self, timeout: Option<Duration>) -> Result<WsFrame, TransportError> {
-        self.stream
-            .set_read_timeout(timeout)
-            .map_err(|e| TransportError::Io(e.to_string()))?;
+        self.enter_read_mode(timeout)?;
         let mut chunk = [0u8; 4096];
         loop {
             match decode_ws(&mut self.inbuf) {
@@ -78,6 +234,7 @@ impl TcpTransport {
             match self.stream.read(&mut chunk) {
                 Ok(0) => return Err(TransportError::Closed),
                 Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     return Err(TransportError::Timeout)
                 }
@@ -95,56 +252,83 @@ impl TcpTransport {
             match frame.opcode {
                 Opcode::Text | Opcode::Binary => return Ok(frame.payload),
                 Opcode::Ping => {
-                    // Answer pings transparently.
-                    let mask = if self.is_client {
-                        Some(self.next_mask())
-                    } else {
-                        None
-                    };
-                    let mut out = BytesMut::new();
-                    encode_ws(&mut out, Opcode::Pong, &frame.payload, mask);
-                    self.stream
-                        .write_all(&out)
-                        .map_err(|e| TransportError::Io(e.to_string()))?;
+                    // Answer pings transparently through the pending
+                    // buffer: if the socket cannot take the pong right
+                    // now it rides out with the next send.
+                    self.queue_frame(Opcode::Pong, &frame.payload);
+                    self.flush_pending()?;
                 }
                 Opcode::Pong => {}
                 Opcode::Close => return Err(TransportError::Closed),
             }
         }
     }
-}
 
-impl TcpTransport {
-    fn write_text_frame(&mut self, message: &[u8]) -> Result<(), TransportError> {
+    /// Encodes `payload` as a frame at the tail of the pending buffer.
+    fn queue_frame(&mut self, opcode: Opcode, payload: &[u8]) {
         let mask = if self.is_client {
             Some(self.next_mask())
         } else {
             None
         };
-        let mut out = BytesMut::new();
-        encode_ws(&mut out, Opcode::Text, message, mask);
-        self.stream.write_all(&out).map_err(|e| match e.kind() {
-            ErrorKind::BrokenPipe | ErrorKind::ConnectionReset => TransportError::Closed,
-            ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportError::Timeout,
-            _ => TransportError::Io(e.to_string()),
-        })
+        let mut encoded = BytesMut::new();
+        encode_ws(&mut encoded, opcode, payload, mask);
+        self.outbuf.buf.extend_from_slice(&encoded);
+    }
+
+    /// Writes as much pending output as the socket will take right now.
+    /// Returns `Ok(true)` when fully drained; `Ok(false)` means the
+    /// socket stopped accepting bytes (timeout/would-block) and the
+    /// unwritten tail stays queued for the next send.
+    fn flush_pending(&mut self) -> Result<bool, TransportError> {
+        while !self.outbuf.is_empty() {
+            match self.stream.write(self.outbuf.pending()) {
+                Ok(0) => return Err(TransportError::Closed),
+                Ok(n) => self.outbuf.consume(n),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(false)
+                }
+                Err(e)
+                    if e.kind() == ErrorKind::BrokenPipe
+                        || e.kind() == ErrorKind::ConnectionReset =>
+                {
+                    return Err(TransportError::Closed)
+                }
+                Err(e) => return Err(TransportError::Io(e.to_string())),
+            }
+        }
+        Ok(true)
+    }
+
+    fn send_with_mode(
+        &mut self,
+        message: &[u8],
+        timeout: Option<Duration>,
+    ) -> Result<(), TransportError> {
+        match timeout {
+            Some(t) if t.is_zero() => self.ensure_nonblocking()?,
+            other => {
+                self.ensure_blocking()?;
+                self.ensure_write_timeout(other)?;
+            }
+        }
+        self.queue_frame(Opcode::Text, message);
+        if self.flush_pending()? {
+            Ok(())
+        } else {
+            Err(TransportError::Timeout)
+        }
     }
 }
 
 impl Transport for TcpTransport {
     fn send(&mut self, message: &[u8]) -> Result<(), TransportError> {
-        self.write_text_frame(message)
+        self.send_with_mode(message, None)
     }
 
     fn send_timeout(&mut self, message: &[u8], timeout: Duration) -> Result<(), TransportError> {
-        // Map the deadline onto the socket's write timeout for this one
-        // send, then restore unbounded writes.
-        self.stream
-            .set_write_timeout(Some(timeout))
-            .map_err(|e| TransportError::Io(e.to_string()))?;
-        let result = self.write_text_frame(message);
-        let _ = self.stream.set_write_timeout(None);
-        result
+        self.send_with_mode(message, Some(timeout))
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
@@ -153,6 +337,54 @@ impl Transport for TcpTransport {
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
         self.recv_data(Some(timeout))
+    }
+}
+
+/// Blocks a thread until a [`TcpTransport`]'s socket turns readable —
+/// the executor's [`IdleWait`](minedig_primitives::aexec::IdleWait)
+/// strategy for real sockets parks here between idle sweeps instead of
+/// spinning on zero-timeout polls.
+///
+/// The parker holds a dup of the transport's fd, so its blocking `peek`
+/// shares O_NONBLOCK/SO_RCVTIMEO with the transport; both sides go
+/// through the shared [`SockMode`] cache, and the transport restores its
+/// own mode (one cached syscall) on its next operation. Safe on the
+/// single-threaded executor because the parker only runs while no task
+/// is mid-operation.
+pub struct TcpParker {
+    stream: TcpStream,
+    mode: Arc<SockMode>,
+}
+
+impl TcpParker {
+    /// Waits up to `max` for readable bytes without consuming them.
+    /// Returns whether the socket looks ready (errors report ready, so
+    /// the owning transport surfaces them on its next receive).
+    pub fn wait(&self, max: Duration) -> bool {
+        let max = if max.is_zero() {
+            Duration::from_millis(1)
+        } else {
+            max
+        };
+        if self.mode.nonblocking.load(Ordering::Relaxed) {
+            if self.stream.set_nonblocking(false).is_err() {
+                return true;
+            }
+            self.mode.nonblocking.store(false, Ordering::Relaxed);
+        }
+        let us = timeout_us(Some(max));
+        if self.mode.read_timeout_us.load(Ordering::Relaxed) != us {
+            if self.stream.set_read_timeout(Some(max)).is_err() {
+                return true;
+            }
+            self.mode.read_timeout_us.store(us, Ordering::Relaxed);
+        }
+        let mut byte = [0u8; 1];
+        match self.stream.peek(&mut byte) {
+            Ok(_) => true,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => false,
+            Err(_) => true,
+        }
     }
 }
 
@@ -298,6 +530,121 @@ mod tests {
             client.recv_timeout(Duration::from_millis(30)),
             Err(TransportError::Timeout)
         );
+    }
+
+    #[test]
+    fn zero_timeout_recv_is_a_nonblocking_probe() {
+        // Regression: `set_read_timeout(Some(ZERO))` is InvalidInput in
+        // std, so this used to surface `Io`, breaking the async adapter.
+        let server = echo_server();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        for _ in 0..100 {
+            assert_eq!(
+                client.recv_timeout(Duration::ZERO),
+                Err(TransportError::Timeout),
+                "an idle socket must report Timeout, never Io"
+            );
+        }
+        // The probe must not poison later blocking operations.
+        client.send(b"after-probe").unwrap();
+        assert_eq!(client.recv().unwrap(), b"after-probe");
+        // And once a message is in flight, the probe eventually sees it.
+        client.send(b"again").unwrap();
+        let mut got = None;
+        for _ in 0..1_000 {
+            match client.recv_timeout(Duration::ZERO) {
+                Ok(msg) => {
+                    got = Some(msg);
+                    break;
+                }
+                Err(TransportError::Timeout) => std::thread::sleep(Duration::from_millis(1)),
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert_eq!(got.as_deref(), Some(&b"again"[..]));
+    }
+
+    #[test]
+    fn zero_timeout_send_never_reports_io() {
+        // The peer never reads, so the kernel buffers fill up and the
+        // nonblocking send path must surface Timeout (not Io, and not a
+        // hang). The frame tail stays queued — dropping the transport
+        // discards it, like a reconnect would.
+        let server = TcpServer::spawn("127.0.0.1:0", |_t| {
+            std::thread::sleep(Duration::from_millis(500));
+        })
+        .unwrap();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        let chunk = vec![0x5au8; 1 << 20];
+        let mut saw_timeout = false;
+        for _ in 0..64 {
+            match client.send_timeout(&chunk, Duration::ZERO) {
+                Ok(()) => {}
+                Err(TransportError::Timeout) => {
+                    saw_timeout = true;
+                    break;
+                }
+                Err(e) => panic!("zero-timeout send must not fail with {e:?}"),
+            }
+        }
+        assert!(saw_timeout, "64 MiB must exceed the socket buffers");
+    }
+
+    #[test]
+    fn timed_out_send_resumes_without_corrupting_frames() {
+        // A huge frame times out half-written; the next (blocking) send
+        // must first finish the old frame so the peer sees both intact.
+        let gate = Arc::new(AtomicBool::new(false));
+        let gate2 = gate.clone();
+        let server = TcpServer::spawn("127.0.0.1:0", move |mut t| {
+            while !gate2.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            while let Ok(msg) = t.recv() {
+                let reply = msg.len().to_string();
+                if t.send(reply.as_bytes()).is_err() {
+                    break;
+                }
+            }
+        })
+        .unwrap();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        // 12 MiB: under the 16 MiB frame sanity cap, far over the
+        // kernel socket buffers while the peer stalls.
+        let big: Vec<u8> = (0..12 * 1024 * 1024u32).map(|i| (i % 251) as u8).collect();
+        assert_eq!(
+            client.send_timeout(&big, Duration::from_millis(50)),
+            Err(TransportError::Timeout),
+            "the frame cannot fit the kernel buffers while the peer stalls"
+        );
+        gate.store(true, Ordering::Relaxed);
+        // This blocking send drains the stale tail first, then its own
+        // frame — framing survives the earlier partial write.
+        client.send(b"tiny").unwrap();
+        assert_eq!(client.recv().unwrap(), big.len().to_string().as_bytes());
+        assert_eq!(client.recv().unwrap(), b"4");
+    }
+
+    #[test]
+    fn parker_waits_for_readability_without_consuming() {
+        let server = echo_server();
+        let addr = server.addr();
+        let mut client = TcpTransport::connect(addr).unwrap();
+        let parker = client.parker().unwrap();
+        // Nothing in flight: the wait times out.
+        assert!(!parker.wait(Duration::from_millis(20)));
+        client.send(b"wake").unwrap();
+        // The echo arrives within the wait budget…
+        let mut ready = false;
+        for _ in 0..100 {
+            if parker.wait(Duration::from_millis(10)) {
+                ready = true;
+                break;
+            }
+        }
+        assert!(ready, "echo reply must make the socket readable");
+        // …and was not consumed by the peek.
+        assert_eq!(client.recv().unwrap(), b"wake");
     }
 
     #[test]

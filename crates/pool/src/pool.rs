@@ -459,6 +459,18 @@ impl Pool {
                         },
                     },
                 },
+                // The observer's poll probe: unauthenticated (it never
+                // submits) and keyed by the observer's own virtual
+                // timestamp so a probe's answer is independent of the
+                // serving session's clock.
+                Ok(ClientMsg::Peek { endpoint, now }) => {
+                    match self.peek_job(endpoint as usize, now) {
+                        Ok(job) => ServerMsg::Job(job),
+                        Err(e) => ServerMsg::Error {
+                            reason: e.to_string(),
+                        },
+                    }
+                }
                 Ok(ClientMsg::Submit {
                     job_id,
                     nonce,
@@ -748,6 +760,45 @@ mod tests {
         for t in peekers {
             t.join().unwrap();
         }
+    }
+
+    #[test]
+    fn serve_answers_peek_without_auth() {
+        let p = pool();
+        p.announce_tip(&tip(3, 40));
+        let (mut client, mut server) = channel_pair();
+        let pool_clone = p.clone();
+        let handle = std::thread::spawn(move || {
+            pool_clone.serve(&mut server, 0, || 60);
+        });
+        // A peek needs no auth and matches the local peek bit-for-bit —
+        // the probe's own timestamp keys the job, not the session clock.
+        let r = drive_session(
+            &mut client,
+            &ClientMsg::Peek {
+                endpoint: 5,
+                now: 90,
+            },
+        )
+        .unwrap();
+        assert_eq!(r, ServerMsg::Job(p.peek_job(5, 90).unwrap()));
+        // Errors carry the JobError rendering the observer classifies on.
+        let r = drive_session(
+            &mut client,
+            &ClientMsg::Peek {
+                endpoint: 999,
+                now: 90,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            ServerMsg::Error {
+                reason: "endpoint 999 does not exist".to_string()
+            }
+        );
+        drop(client);
+        handle.join().unwrap();
     }
 
     #[test]

@@ -54,6 +54,16 @@ pub enum ClientMsg {
     },
     /// Request a (fresh) job.
     GetJob,
+    /// Observer probe: read endpoint `endpoint`'s current job as of
+    /// virtual time `now` without authenticating or mutating pool state.
+    /// This is the wire form of the §4.2 poll sweep — what the paper's
+    /// measurement client asks its 32 WebSocket endpoints every 500 ms.
+    Peek {
+        /// Endpoint index to observe.
+        endpoint: u64,
+        /// Observer's virtual timestamp (keys the job template).
+        now: u64,
+    },
     /// Submit a share result.
     Submit {
         /// Job id the share belongs to.
@@ -122,6 +132,11 @@ impl ClientMsg {
                 ("token", Value::str(&token.0)),
             ]),
             ClientMsg::GetJob => Value::object(vec![("type", Value::str("get_job"))]),
+            ClientMsg::Peek { endpoint, now } => Value::object(vec![
+                ("type", Value::str("peek")),
+                ("endpoint", Value::u64(*endpoint)),
+                ("now", Value::u64(*now)),
+            ]),
             ClientMsg::Submit {
                 job_id,
                 nonce,
@@ -146,6 +161,10 @@ impl ClientMsg {
                 token: Token(need_str(&v, "token")?),
             }),
             "get_job" => Ok(ClientMsg::GetJob),
+            "peek" => Ok(ClientMsg::Peek {
+                endpoint: need_u64(&v, "endpoint")?,
+                now: need_u64(&v, "now")?,
+            }),
             "submit" => {
                 let nonce = need_u64(&v, "nonce")?;
                 if nonce > u32::MAX as u64 {
@@ -257,6 +276,22 @@ mod tests {
     fn get_job_roundtrip() {
         let m = ClientMsg::GetJob;
         assert_eq!(ClientMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn peek_roundtrip() {
+        let m = ClientMsg::Peek {
+            endpoint: 31,
+            now: 500,
+        };
+        assert_eq!(ClientMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn peek_requires_both_fields() {
+        assert!(ClientMsg::decode(br#"{"type":"peek"}"#).is_err());
+        assert!(ClientMsg::decode(br#"{"type":"peek","endpoint":1}"#).is_err());
+        assert!(ClientMsg::decode(br#"{"type":"peek","now":1}"#).is_err());
     }
 
     #[test]

@@ -23,8 +23,13 @@
 //! * **I/O readiness** — [`IoPoll`] adapts edge-less, poll-based sources
 //!   (e.g. a non-blocking [`Transport`] receive in `minedig_net::aio`);
 //!   pending sources are re-polled in registration order whenever the
-//!   executor runs out of ready tasks and due timers, with a bounded
-//!   thread-yield so waiting on an external peer does not hot-spin.
+//!   executor runs out of ready tasks and due timers. What happens
+//!   *between* those sweeps is a pluggable [`IdleWait`] strategy:
+//!   [`YieldBackoff`] (the default) yields with a bounded escalation to
+//!   a short sleep, while [`ParkWait`] blocks on one registered
+//!   readiness source (a real socket) so waiting on an external peer
+//!   burns no CPU. The strategy only runs when nothing is schedulable,
+//!   so outcomes are identical across strategies.
 //!
 //! ## Determinism contract
 //!
@@ -230,6 +235,71 @@ impl<S: IoPoll + Unpin> Future for IoFuture<S> {
     }
 }
 
+/// Strategy for what the executor does between idle I/O sweeps — the
+/// pluggable replacement for a hard-coded backoff. When every live task
+/// is parked on a pending [`IoPoll`] source, readiness can only come
+/// from outside this thread (a peer writing to a socket), so the
+/// executor asks the strategy to burn or yield some time before the next
+/// level-triggered re-poll.
+///
+/// The strategy only ever runs when *no* task is ready and *no* virtual
+/// timer is due, so it cannot perturb the task schedule: outcomes stay
+/// bit-identical across strategies, only `io_repolls` and CPU burn
+/// change.
+pub trait IdleWait {
+    /// Called before idle sweep number `consecutive` (0 for the first
+    /// sweep after a completion, counting up while no task completes).
+    fn wait(&mut self, consecutive: u32);
+}
+
+/// Default [`IdleWait`]: yield the thread between sweeps, escalating to
+/// a 100 µs sleep once the wait has clearly left the executor's hands.
+/// Right for virtual-clock runs and cross-thread channel transports,
+/// where readiness usually arrives within a few yields.
+pub struct YieldBackoff;
+
+impl IdleWait for YieldBackoff {
+    fn wait(&mut self, consecutive: u32) {
+        if consecutive > 0 {
+            std::thread::yield_now();
+        }
+        if consecutive > 64 {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+}
+
+/// [`IdleWait`] for real-socket runs: park on a short blocking poll of
+/// one registered readiness source (e.g.
+/// `TcpParker::wait` in `minedig_net::tcp`) instead of spinning on
+/// zero-timeout receives. The closure gets the park budget and returns
+/// whether the source looked ready — the return value is advisory; the
+/// next sweep re-polls every source either way.
+///
+/// The first sweep after a completion (`consecutive == 0`) skips the
+/// park: freshly registered sources get one immediate re-poll before
+/// the executor commits to blocking.
+pub struct ParkWait<F: FnMut(Duration) -> bool> {
+    park: F,
+    budget: Duration,
+}
+
+impl<F: FnMut(Duration) -> bool> ParkWait<F> {
+    /// Parks via `park` for up to `budget` per idle sweep.
+    pub fn new(budget: Duration, park: F) -> ParkWait<F> {
+        ParkWait { park, budget }
+    }
+}
+
+impl<F: FnMut(Duration) -> bool> IdleWait for ParkWait<F> {
+    fn wait(&mut self, consecutive: u32) {
+        if consecutive == 0 {
+            return;
+        }
+        let _ready = (self.park)(self.budget);
+    }
+}
+
 /// Observability counters of one async run, the cooperative counterpart
 /// of [`ExecStats`](crate::par::ExecStats).
 #[derive(Clone, Debug, Default)]
@@ -267,6 +337,24 @@ impl AsyncStats {
             return self.completed as f64;
         }
         self.completed as f64 / secs
+    }
+
+    /// Accumulates another run's counters into this one — used by the
+    /// attribution scenario, which drives one async poll sweep per
+    /// interval and reports the aggregate. Counters and durations add;
+    /// `concurrency` and `in_flight_high_water` take the maximum (they
+    /// are per-run peaks, not totals).
+    pub fn absorb(&mut self, other: &AsyncStats) {
+        self.concurrency = self.concurrency.max(other.concurrency);
+        self.tasks += other.tasks;
+        self.completed += other.completed;
+        self.in_flight_high_water = self.in_flight_high_water.max(other.in_flight_high_water);
+        self.polls += other.polls;
+        self.wakeups += other.wakeups;
+        self.timer_fires += other.timer_fires;
+        self.io_repolls += other.io_repolls;
+        self.virtual_ms += other.virtual_ms;
+        self.elapsed += other.elapsed;
     }
 }
 
@@ -387,8 +475,9 @@ impl<'a> Runtime<'a> {
     }
 
     /// Runs one scheduler step: poll one ready task, else fire timers,
-    /// else sweep I/O waiters, else report idle.
-    fn step(&mut self) -> Step {
+    /// else sweep I/O waiters (after asking `idle` how to wait), else
+    /// report idle.
+    fn step(&mut self, idle: &mut dyn IdleWait) -> Step {
         self.drain_woken();
         if let Some(id) = self.ready.pop_front() {
             self.poll_task(id);
@@ -401,14 +490,10 @@ impl<'a> Runtime<'a> {
         if !waiters.is_empty() {
             // Level-triggered re-poll: wake every pending source. If the
             // previous sweep made no progress the readiness must come
-            // from outside this thread, so back off briefly instead of
-            // spinning on the poll loop.
-            if self.idle_sweeps > 0 {
-                std::thread::yield_now();
-            }
-            if self.idle_sweeps > 64 {
-                std::thread::sleep(Duration::from_micros(100));
-            }
+            // from outside this thread, so let the idle strategy yield,
+            // sleep, or park on a registered source instead of spinning
+            // on the poll loop.
+            idle.wait(self.idle_sweeps);
             self.idle_sweeps = self.idle_sweeps.saturating_add(1);
             self.reactor.borrow_mut().io_repolls += 1;
             for w in waiters {
@@ -457,7 +542,7 @@ where
         *slot.borrow_mut() = Some(fut.await);
     });
     while rt.has_live() {
-        if let Step::Idle = rt.step() {
+        if let Step::Idle = rt.step(&mut YieldBackoff) {
             panic!("block_on deadlocked: task pending with nothing to wake it");
         }
     }
@@ -517,7 +602,31 @@ impl AsyncExecutor {
         source: I,
         make: F,
         acc: A,
+        fold: Fold,
+    ) -> AsyncRun<A>
+    where
+        I: IntoIterator<Item = T>,
+        F: Fn(Ctx, T) -> Fut,
+        Fut: Future<Output = Out> + 'a,
+        Out: 'a,
+        Fold: FnMut(&mut A, Out) -> ControlFlow<()>,
+    {
+        self.run_ordered_with(source, make, acc, fold, &mut YieldBackoff)
+    }
+
+    /// [`run_ordered`](AsyncExecutor::run_ordered) with an explicit
+    /// [`IdleWait`] strategy — real-socket runs pass a
+    /// [`ParkWait`] blocking on one registered source so the idle sweep
+    /// parks instead of spinning. The strategy cannot change outcomes
+    /// (it only runs when nothing is schedulable), just the shape of the
+    /// wait.
+    pub fn run_ordered_with<'a, T, Out, A, I, F, Fut, Fold>(
+        &self,
+        source: I,
+        make: F,
+        acc: A,
         mut fold: Fold,
+        idle: &mut dyn IdleWait,
     ) -> AsyncRun<A>
     where
         I: IntoIterator<Item = T>,
@@ -565,7 +674,7 @@ impl AsyncExecutor {
             if broken || (!rt.has_live() && exhausted) {
                 break;
             }
-            if let Step::Idle = rt.step() {
+            if let Step::Idle = rt.step(idle) {
                 // No ready tasks, timers, or I/O — yet tasks are live.
                 // Nothing in this runtime can wake them.
                 panic!("async executor deadlocked: {} tasks stuck", rt.live);
@@ -773,6 +882,100 @@ mod tests {
         assert_eq!(AsyncExecutor::new(0).concurrency(), 1);
         assert_eq!(AsyncExecutor::sequential().concurrency(), 1);
         assert_eq!(DEFAULT_CONCURRENCY, 256);
+    }
+
+    #[test]
+    fn park_wait_parks_between_idle_sweeps_without_changing_outcomes() {
+        // A source that turns ready only after wall-clock time passes,
+        // as a real socket would; the park strategy absorbs the wait.
+        struct ReadyAfter(Instant);
+        impl IoPoll for ReadyAfter {
+            type Out = u32;
+            fn poll_io(&mut self) -> Poll<u32> {
+                if self.0.elapsed() >= Duration::from_millis(30) {
+                    Poll::Ready(9)
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+        let parks = Rc::new(RefCell::new(0u32));
+        let p = parks.clone();
+        let mut idle = ParkWait::new(Duration::from_millis(5), move |budget| {
+            *p.borrow_mut() += 1;
+            std::thread::sleep(budget);
+            false
+        });
+        let start = Instant::now();
+        let run = AsyncExecutor::new(4).run_ordered_with(
+            0u32..1,
+            |ctx, _| async move { ctx.io(ReadyAfter(Instant::now())).await },
+            Vec::new(),
+            |acc: &mut Vec<u32>, v| {
+                acc.push(v);
+                ControlFlow::Continue(())
+            },
+            &mut idle,
+        );
+        assert_eq!(run.outcome, vec![9]);
+        assert!(*parks.borrow() > 0, "the idle sweeps must have parked");
+        // ~30 ms of waiting across 5 ms parks: the sweep count is
+        // bounded by the park budget, not by how fast the CPU can spin.
+        assert!(
+            run.stats.io_repolls < 1_000,
+            "io_repolls {} suggests spinning",
+            run.stats.io_repolls
+        );
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn idle_wait_cannot_change_the_schedule() {
+        // Same run, three different idle strategies: identical outcome
+        // and identical scheduler counters (polls/wakeups/timer fires),
+        // because the strategy only runs when nothing is schedulable.
+        let run_with = |idle: &mut dyn IdleWait| {
+            AsyncExecutor::new(7).run_ordered_with(
+                0u64..50,
+                |ctx, i| async move {
+                    ctx.sleep_ms((i * 31) % 13).await;
+                    i * 7
+                },
+                0u64,
+                |acc, v| {
+                    *acc = acc.wrapping_mul(31).wrapping_add(v);
+                    ControlFlow::Continue(())
+                },
+                idle,
+            )
+        };
+        let a = run_with(&mut YieldBackoff);
+        let mut park = ParkWait::new(Duration::from_millis(1), |_| false);
+        let b = run_with(&mut park);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.stats.polls, b.stats.polls);
+        assert_eq!(a.stats.wakeups, b.stats.wakeups);
+        assert_eq!(a.stats.timer_fires, b.stats.timer_fires);
+        assert_eq!(a.stats.virtual_ms, b.stats.virtual_ms);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_peaks() {
+        let mut total = AsyncStats::default();
+        for i in 1..=3u64 {
+            let run = AsyncExecutor::new(4).run_ordered(
+                0..i,
+                |ctx, j| async move { ctx.sleep_ms(j).await },
+                (),
+                |_, _| ControlFlow::Continue(()),
+            );
+            total.absorb(&run.stats);
+        }
+        assert_eq!(total.tasks, 6);
+        assert_eq!(total.completed, 6);
+        assert_eq!(total.concurrency, 4);
+        assert!(total.in_flight_high_water <= 4);
+        assert!(total.polls >= 6);
     }
 
     #[test]

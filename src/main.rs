@@ -22,8 +22,8 @@ use minedig::analysis::economics::{pool_revenue, ExchangeRate};
 use minedig::analysis::scenario::{run_scenario, ScenarioConfig};
 use minedig::core::exec::{chrome_scan_async, zgrab_scan_async, ScanExecutor};
 use minedig::core::report::{
-    async_stats, comparison_table, degradation_summary, fetch_stats, pipeline_stats, scan_stats,
-    CampaignHealth, Comparison,
+    async_poll_summary, async_stats, comparison_table, degradation_summary, fetch_stats,
+    pipeline_stats, scan_stats, CampaignHealth, Comparison,
 };
 use minedig::core::scan::{build_reference_db, FetchModel};
 use minedig::core::shortlink_study::{
@@ -174,17 +174,30 @@ fn cmd_scan(args: &[String]) {
 fn cmd_attribute(args: &[String]) {
     let days = arg_u64(args, 0, 7);
     let seed = arg_u64(args, 1, 2018);
-    // MINEDIG_SHARDS fans each poll sweep across endpoints; results are
-    // identical to sequential polling for any value.
+    // MINEDIG_SHARDS fans each poll sweep across endpoints;
+    // MINEDIG_ASYNC=1 instead holds every endpoint's fetch in flight at
+    // once on one thread. Results are identical to sequential polling
+    // either way.
     let poll_shards = ParallelExecutor::from_env().shards();
-    println!(
-        "simulating {days} days of Monero with an instrumented Coinhive-style pool \
-         ({poll_shards}-shard polling)…"
-    );
+    let async_exec = std::env::var("MINEDIG_ASYNC")
+        .is_ok()
+        .then(AsyncExecutor::from_env);
+    match &async_exec {
+        Some(aexec) => println!(
+            "simulating {days} days of Monero with an instrumented Coinhive-style pool \
+             (async polling, {} in flight)…",
+            aexec.concurrency()
+        ),
+        None => println!(
+            "simulating {days} days of Monero with an instrumented Coinhive-style pool \
+             ({poll_shards}-shard polling)…"
+        ),
+    }
     let mut config = ScenarioConfig {
         duration_days: days,
         seed,
         poll_shards,
+        poll_async: async_exec.as_ref().map(|a| a.concurrency()),
         ..ScenarioConfig::default()
     };
     if let Some(plan) = FaultPlan::from_env() {
@@ -193,12 +206,20 @@ fn cmd_attribute(args: &[String]) {
             minedig::primitives::retry::RetryPolicy::attempts(plan.attempts_to_clear());
         config.poll_faults = Some(plan);
     }
+    let endpoints = (config.pool.backends * config.pool.endpoints_per_backend) as u64;
     let result = run_scenario(config);
     let ps = &result.poll_stats;
     println!(
         "polls: {} issued, {} answered, {} offline, {} retries, {} endpoint-sweeps down",
         ps.polls, ps.answered, ps.offline, ps.retries, ps.endpoints_down
     );
+    if let Some(stats) = &result.poll_async_stats {
+        let sweeps = stats.tasks / endpoints.max(1);
+        print!(
+            "{}",
+            async_poll_summary("pool polling (async)", sweeps, stats)
+        );
+    }
     let share = result.attributed.len() as f64 / result.total_blocks.max(1) as f64;
     println!(
         "blocks: {} total, {} attributed to the pool ({:.2}%, paper: 1.18%)",
