@@ -19,10 +19,12 @@ use minedig_pool::obfuscation;
 use minedig_pool::pool::{JobError, Pool};
 use minedig_pool::protocol::{ClientMsg, Job, ServerMsg};
 use minedig_primitives::aexec::{AsyncExecutor, AsyncStats, IdleWait, IoPoll, YieldBackoff};
+use minedig_primitives::ckpt::{Checkpointable, CkptError, SnapReader, SnapWriter, Snapshot};
 use minedig_primitives::fault::{Fault, FaultPlan};
 use minedig_primitives::par::{ExecStats, ParallelExecutor, ShardedTask};
 use minedig_primitives::retry::{retry, Clock, ErrorClass, RetryPolicy, Retryable, VirtualClock};
 use minedig_primitives::rng::DetRng;
+use minedig_primitives::supervise::{Backend, Campaign};
 use minedig_primitives::Hash32;
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -81,6 +83,19 @@ pub trait JobSource: Sync {
         let _ = endpoint;
         false
     }
+    /// Per-endpoint down flags, for checkpointing: an endpoint left
+    /// down at the end of one sweep fails its first fetch of the next,
+    /// so the flags are cross-sweep state a resumed campaign must
+    /// restore. Stateless sources return an empty vec.
+    fn connections_down(&self) -> Vec<bool> {
+        Vec::new()
+    }
+    /// Restores down flags captured by
+    /// [`connections_down`](JobSource::connections_down). Stateless
+    /// sources ignore it.
+    fn set_connections_down(&self, down: &[bool]) {
+        let _ = down;
+    }
 }
 
 impl JobSource for Pool {
@@ -135,7 +150,9 @@ impl<S: JobSource> JobSource for FaultyJobSource<S> {
             None => self.inner.fetch_job(endpoint, now, attempt),
             // Latency alone does not change the observed job.
             Some(Fault::Delay { .. }) => self.inner.fetch_job(endpoint, now, attempt),
-            Some(Fault::Drop) | Some(Fault::Stall) => Err(FetchError::Timeout),
+            // Crash never comes out of `decide` (the supervisor draws
+            // kills from its own stream); defensively a timeout.
+            Some(Fault::Drop) | Some(Fault::Stall) | Some(Fault::Crash) => Err(FetchError::Timeout),
             Some(Fault::Disconnect) => {
                 self.down[endpoint].store(true, Ordering::Release);
                 Err(FetchError::Closed)
@@ -146,6 +163,19 @@ impl<S: JobSource> JobSource for FaultyJobSource<S> {
 
     fn reconnect(&self, endpoint: usize) -> bool {
         self.down[endpoint].swap(false, Ordering::AcqRel)
+    }
+
+    fn connections_down(&self) -> Vec<bool> {
+        self.down
+            .iter()
+            .map(|d| d.load(Ordering::Acquire))
+            .collect()
+    }
+
+    fn set_connections_down(&self, down: &[bool]) {
+        for (flag, &v) in self.down.iter().zip(down) {
+            flag.store(v, Ordering::Release);
+        }
     }
 }
 
@@ -193,7 +223,7 @@ impl<S: AsyncJobSource> AsyncJobSource for FaultyJobSource<S> {
         }
         match self.plan.decide(&format!("poll.{endpoint}.{now}"), attempt) {
             None | Some(Fault::Delay { .. }) => self.inner.begin_fetch(endpoint, now, attempt),
-            Some(Fault::Drop) | Some(Fault::Stall) => Err(FetchError::Timeout),
+            Some(Fault::Drop) | Some(Fault::Stall) | Some(Fault::Crash) => Err(FetchError::Timeout),
             Some(Fault::Disconnect) => {
                 self.down[endpoint].store(true, Ordering::Release);
                 Err(FetchError::Closed)
@@ -381,7 +411,7 @@ pub struct BlobObservation {
 }
 
 /// Statistics the observer keeps.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PollStats {
     /// Total poll requests issued.
     pub polls: u64,
@@ -413,6 +443,22 @@ impl PollStats {
     /// Every poll lands in exactly one outcome counter.
     pub fn balanced(&self) -> bool {
         self.polls == self.answered + self.offline + self.other_errors + self.endpoints_down
+    }
+
+    /// Folds another run's counters into this one. Additive counters
+    /// add; `max_blobs_per_prev` takes the max (it is a high-water
+    /// mark, not a tally — summing it would double-count across a
+    /// resume). Two balanced inputs merge into a balanced output.
+    pub fn absorb(&mut self, other: &PollStats) {
+        self.polls += other.polls;
+        self.answered += other.answered;
+        self.offline += other.offline;
+        self.other_errors += other.other_errors;
+        self.parse_failures += other.parse_failures;
+        self.endpoints_down += other.endpoints_down;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
+        self.max_blobs_per_prev = self.max_blobs_per_prev.max(other.max_blobs_per_prev);
     }
 }
 
@@ -774,6 +820,182 @@ impl<S: JobSource> ShardedTask for PollTask<'_, S> {
         acc.retries += next.retries;
         acc.reconnects += next.reconnects;
         acc.observations.append(&mut next.observations);
+    }
+}
+
+/// The §4.2 poll loop as a killable, resumable
+/// [`Campaign`]: one item = one whole sweep (every endpoint polled once
+/// at virtual time `start_ms + tick × interval_ms`).
+///
+/// The snapshot is the observer's complete cross-sweep state — the
+/// tick cursor, [`PollStats`], the current prev pointer with its root
+/// and blob clusters, and the source's per-endpoint connection-down
+/// flags (an endpoint left down at the end of one sweep fails `Closed`
+/// at the start of the next, so dropping the flags would skew
+/// `retries`/`reconnects` after a resume). Because fault schedules and
+/// retry jitter are keyed by `(endpoint, now)` and sweeps fold in
+/// endpoint order, a killed-and-resumed run reproduces the
+/// uninterrupted observer bit for bit on every backend.
+///
+/// The poller has no streaming pipeline backend;
+/// [`Backend::Streaming`] maps to the sharded sweep with the same
+/// worker count.
+pub struct PollCampaign<S: AsyncJobSource> {
+    observer: Observer<S>,
+    start_ms: u64,
+    interval_ms: u64,
+    ticks: u64,
+    next_tick: u64,
+    backend: Backend,
+}
+
+impl<S: AsyncJobSource> PollCampaign<S> {
+    /// A campaign of `ticks` sweeps at `interval_ms` starting at
+    /// `start_ms`, over a freshly-initialized observer.
+    pub fn new(
+        observer: Observer<S>,
+        start_ms: u64,
+        interval_ms: u64,
+        ticks: u64,
+        backend: Backend,
+    ) -> PollCampaign<S> {
+        PollCampaign {
+            observer,
+            start_ms,
+            interval_ms,
+            ticks,
+            next_tick: 0,
+            backend,
+        }
+    }
+
+    /// The observer being driven.
+    pub fn observer(&self) -> &Observer<S> {
+        &self.observer
+    }
+}
+
+impl<S: AsyncJobSource> Checkpointable for PollCampaign<S> {
+    fn progress_key(&self) -> u64 {
+        self.next_tick
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let o = &self.observer;
+        let mut w = SnapWriter::new();
+        w.u64(self.next_tick);
+        let s = &o.stats;
+        w.u64(s.polls);
+        w.u64(s.answered);
+        w.u64(s.offline);
+        w.u64(s.other_errors);
+        w.u64(s.parse_failures);
+        w.u64(s.endpoints_down);
+        w.u64(s.retries);
+        w.u64(s.reconnects);
+        w.len(s.max_blobs_per_prev);
+        w.opt(o.current_prev.as_ref(), |w, h| w.hash(h));
+        w.len(o.current_roots.len());
+        for root in &o.current_roots {
+            w.hash(root);
+        }
+        w.len(o.current_blobs.len());
+        for blob in &o.current_blobs {
+            w.bytes(blob);
+        }
+        let down = o.source.connections_down();
+        w.len(down.len());
+        for d in down {
+            w.bool(d);
+        }
+        Snapshot::new(self.next_tick, w.finish())
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), CkptError> {
+        let mut r = SnapReader::new(&snapshot.payload);
+        let next_tick = r.u64()?;
+        if next_tick > self.ticks {
+            return Err(CkptError::Corrupt("tick cursor beyond campaign"));
+        }
+        let stats = PollStats {
+            polls: r.u64()?,
+            answered: r.u64()?,
+            offline: r.u64()?,
+            other_errors: r.u64()?,
+            parse_failures: r.u64()?,
+            endpoints_down: r.u64()?,
+            retries: r.u64()?,
+            reconnects: r.u64()?,
+            max_blobs_per_prev: r.len()?,
+        };
+        let current_prev = r.opt(|r| r.hash())?;
+        let n = r.len()?;
+        let mut current_roots = BTreeSet::new();
+        for _ in 0..n {
+            current_roots.insert(r.hash()?);
+        }
+        let n = r.len()?;
+        let mut current_blobs = BTreeSet::new();
+        for _ in 0..n {
+            current_blobs.insert(r.bytes()?);
+        }
+        let n = r.len()?;
+        let mut down = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            down.push(r.bool()?);
+        }
+        r.expect_end()?;
+        self.next_tick = next_tick;
+        self.observer.stats = stats;
+        self.observer.current_prev = current_prev;
+        self.observer.current_roots = current_roots;
+        self.observer.current_blobs = current_blobs;
+        self.observer.source.set_connections_down(&down);
+        Ok(())
+    }
+}
+
+impl<S: AsyncJobSource> Campaign for PollCampaign<S> {
+    type Output = Observer<S>;
+
+    fn is_done(&self) -> bool {
+        self.next_tick >= self.ticks
+    }
+
+    fn run_items(&mut self, budget: u64, heartbeat: &AtomicU64) {
+        for _ in 0..budget {
+            if self.is_done() {
+                return;
+            }
+            let now = self.start_ms + self.next_tick * self.interval_ms;
+            match self.backend {
+                Backend::Sequential => self.observer.poll_all(now),
+                Backend::Sharded(shards) => {
+                    self.observer
+                        .poll_all_sharded(now, &ParallelExecutor::new(shards));
+                }
+                // No streaming sweep exists; the sharded one is the
+                // closest parallel shape (documented above).
+                Backend::Streaming { workers, .. } => {
+                    self.observer
+                        .poll_all_sharded(now, &ParallelExecutor::new(workers));
+                }
+                Backend::Async { concurrency } => {
+                    self.observer
+                        .poll_all_async(now, &AsyncExecutor::new(concurrency));
+                }
+            }
+            heartbeat.fetch_add(1, Ordering::Relaxed);
+            self.next_tick += 1;
+        }
+    }
+
+    fn virtual_now_ms(&self) -> u64 {
+        self.start_ms + self.next_tick * self.interval_ms
+    }
+
+    fn finish(self) -> Observer<S> {
+        self.observer
     }
 }
 
@@ -1184,5 +1406,143 @@ mod tests {
         obs.poll_all(1_120);
         assert_eq!(obs.current_prev(), Some(Hash32::keccak(b"prev-11")));
         assert_eq!(obs.current_blob_count(), 16);
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("minedig-poll-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_observer_eq<A: JobSource, B: JobSource>(a: &Observer<A>, b: &Observer<B>, ctx: &str) {
+        assert_eq!(a.stats, b.stats, "{ctx}");
+        assert_eq!(a.current_prev, b.current_prev, "{ctx}");
+        assert_eq!(a.current_roots, b.current_roots, "{ctx}");
+        assert_eq!(a.current_blobs, b.current_blobs, "{ctx}");
+    }
+
+    const CAMPAIGN_BACKENDS: [Backend; 4] = [
+        Backend::Sequential,
+        Backend::Sharded(3),
+        Backend::Streaming {
+            workers: 2,
+            capacity: 8,
+        },
+        Backend::Async { concurrency: 8 },
+    ];
+
+    #[test]
+    fn supervised_poll_with_kills_matches_uninterrupted_on_every_backend() {
+        use minedig_primitives::ckpt::SnapshotStore;
+        use minedig_primitives::supervise::{CrashPolicy, Supervisor};
+        let pool = pool_with_tip();
+        let mut reference = Observer::new(pool.clone(), true);
+        for tick in 0..24u64 {
+            reference.poll_all(1_000 + tick * 5);
+        }
+        for backend in CAMPAIGN_BACKENDS {
+            let dir = ckpt_dir(&format!("clean-{}", backend.label()));
+            let store = SnapshotStore::open(&dir).unwrap();
+            let sup = Supervisor::new(CrashPolicy {
+                ckpt_every_items: 4,
+                ..CrashPolicy::default()
+            })
+            .with_kills(vec![2, 9, 17]);
+            let run = sup
+                .run(
+                    &store,
+                    "poll",
+                    || PollCampaign::new(Observer::new(pool.clone(), true), 1_000, 5, 24, backend),
+                    false,
+                )
+                .unwrap();
+            assert_observer_eq(&run.output, &reference, backend.label());
+            assert!(run.report.balanced(), "{:?}", run.report);
+            assert_eq!(run.report.crashes, 3, "backend={}", backend.label());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn supervised_poll_restores_connection_down_flags_under_faults() {
+        use minedig_primitives::ckpt::SnapshotStore;
+        use minedig_primitives::supervise::{CrashPolicy, Supervisor};
+        // Mixed plan with disconnects and permanent faults: endpoints
+        // can be left down across sweep boundaries, which is exactly
+        // the state the snapshot must carry for retries/reconnects to
+        // balance after a resume.
+        let plan = FaultPlan::with_config(
+            33,
+            FaultConfig {
+                fault_prob: 0.5,
+                permanent_prob: 0.5,
+                ..FaultConfig::default()
+            },
+        );
+        let pool = pool_with_tip();
+        let policy = PollPolicy {
+            retry: RetryPolicy::attempts(3),
+            jitter_seed: plan.seed(),
+        };
+        let mut reference = Observer::with_source(
+            FaultyJobSource::new(pool.clone(), plan.clone()),
+            true,
+            policy.clone(),
+        );
+        for tick in 0..24u64 {
+            reference.poll_all(1_000 + tick * 5);
+        }
+        assert!(reference.stats.reconnects > 0, "plan must tear connections");
+        for backend in CAMPAIGN_BACKENDS {
+            let dir = ckpt_dir(&format!("faulty-{}", backend.label()));
+            let store = SnapshotStore::open(&dir).unwrap();
+            let sup = Supervisor::new(CrashPolicy {
+                ckpt_every_items: 4,
+                ..CrashPolicy::default()
+            })
+            .with_kills(vec![5, 13]);
+            let run = sup
+                .run(
+                    &store,
+                    "poll-faulty",
+                    || {
+                        PollCampaign::new(
+                            Observer::with_source(
+                                FaultyJobSource::new(pool.clone(), plan.clone()),
+                                true,
+                                policy.clone(),
+                            ),
+                            1_000,
+                            5,
+                            24,
+                            backend,
+                        )
+                    },
+                    false,
+                )
+                .unwrap();
+            assert_observer_eq(&run.output, &reference, backend.label());
+            assert!(run.output.stats.balanced(), "{:?}", run.output.stats);
+            assert!(run.report.balanced(), "{:?}", run.report);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn merged_poll_stats_stay_balanced() {
+        let pool = pool_with_tip();
+        let mut a = Observer::new(pool.clone(), true);
+        a.poll_all(1_000);
+        let mut b = Observer::new(pool, true);
+        b.poll_all(1_020);
+        let mut merged = a.stats.clone();
+        merged.absorb(&b.stats);
+        assert!(a.stats.balanced() && b.stats.balanced());
+        assert!(merged.balanced());
+        assert_eq!(merged.polls, a.stats.polls + b.stats.polls);
+        assert_eq!(
+            merged.max_blobs_per_prev,
+            a.stats.max_blobs_per_prev.max(b.stats.max_blobs_per_prev)
+        );
     }
 }

@@ -33,15 +33,16 @@
 //! random seeds and zone sizes, both scan kinds).
 
 use crate::scan::{
-    chrome_classify_domain, chrome_fetch_domain, chrome_fold, chrome_scan_shard_with,
-    crawl_latency_ms, zgrab_fold, zgrab_probe_domain, zgrab_scan_shard_with, ChromeFetched,
-    ChromeProbeCtx, ChromeScanOutcome, ChromeVerdict, FetchModel, ZgrabProbeCtx, ZgrabScanOutcome,
-    ZgrabVerdict,
+    chrome_classify_domain, chrome_fetch_domain, chrome_fold, chrome_scan_shard_cached,
+    chrome_scan_shard_with, crawl_latency_ms, zgrab_fold, zgrab_probe_domain,
+    zgrab_scan_shard_with, ChromeFetched, ChromeProbeCtx, ChromeScanOutcome, ChromeVerdict,
+    FetchModel, ZgrabProbeCtx, ZgrabScanOutcome, ZgrabVerdict,
 };
 use minedig_nocoin::NoCoinEngine;
 use minedig_primitives::aexec::{AsyncExecutor, AsyncRun};
 use minedig_primitives::par::{ExecRun, ParallelExecutor, ShardedTask};
 use minedig_primitives::pipeline::{PipelineExecutor, PipelineRun, PipelineStage};
+use minedig_primitives::supervise::Backend;
 use minedig_wasm::cache::FingerprintCache;
 use minedig_wasm::sigdb::SignatureDb;
 use minedig_web::universe::{Domain, Population};
@@ -406,6 +407,193 @@ pub fn chrome_scan_async(
     )
 }
 
+/// Slices `range` of a population's scan order (artifact domains, then
+/// the clean sample) into its artifact and clean sub-slices.
+fn slice_range<'a>(
+    population: &'a Population,
+    range: &Range<usize>,
+) -> (&'a [Domain], &'a [Domain]) {
+    let split = population.artifacts.len();
+    let len = split + population.clean_sample.len();
+    let (start, end) = (range.start.min(len), range.end.min(len).max(range.start));
+    let art = &population.artifacts[start.min(split)..end.min(split)];
+    let clean = &population.clean_sample[start.max(split) - split..end.max(split) - split];
+    (art, clean)
+}
+
+/// Iterates one sub-range of a population's scan order.
+fn slice_items<'a>(
+    art: &'a [Domain],
+    clean: &'a [Domain],
+) -> impl Iterator<Item = (&'a Domain, bool)> + Send {
+    art.iter()
+        .map(|d| (d, false))
+        .chain(clean.iter().map(|d| (d, true)))
+}
+
+/// Zgrab + NoCoin scan of the sub-range `range` of `population`'s scan
+/// order on any [`Backend`], returning the partial outcome (its
+/// `total_domains` stays 0 — the caller owns zone-wide framing).
+///
+/// Because verdicts are keyed by `(seed, domain name)` and every
+/// backend folds in population order, concatenating range outcomes via
+/// [`ZgrabScanOutcome::merge`] reproduces the whole-zone scan bit for
+/// bit, regardless of how the index space is chunked or which backend
+/// ran each chunk — the property campaign checkpointing rests on.
+pub fn zgrab_scan_range(
+    population: &Population,
+    range: Range<usize>,
+    seed: u64,
+    model: &FetchModel,
+    backend: &Backend,
+) -> ZgrabScanOutcome {
+    let zone = population.zone;
+    let (art, clean) = slice_range(population, &range);
+    match *backend {
+        Backend::Sequential => {
+            zgrab_scan_shard_with(zone, art, clean, seed, model, &AtomicU64::new(0))
+        }
+        Backend::Sharded(shards) => {
+            ParallelExecutor::new(shards)
+                .execute(&ScanTask {
+                    artifacts: art,
+                    clean,
+                    kernel: |artifacts: &[Domain], clean: &[Domain], progress: &AtomicU64| {
+                        zgrab_scan_shard_with(zone, artifacts, clean, seed, model, progress)
+                    },
+                    merge: ZgrabScanOutcome::merge,
+                })
+                .outcome
+        }
+        Backend::Streaming { workers, capacity } => {
+            let engine = NoCoinEngine::new();
+            let ctx = ZgrabProbeCtx {
+                seed,
+                model,
+                engine: &engine,
+            };
+            let stage = ZgrabStage { ctx: &ctx };
+            PipelineExecutor::new(workers, capacity)
+                .run(
+                    slice_items(art, clean),
+                    &stage,
+                    ZgrabScanOutcome::empty(zone),
+                    |acc, (verdict, clean)| {
+                        zgrab_fold(acc, verdict, clean);
+                        ControlFlow::Continue(())
+                    },
+                )
+                .outcome
+        }
+        Backend::Async { concurrency } => {
+            let engine = NoCoinEngine::new();
+            let ctx = ZgrabProbeCtx {
+                seed,
+                model,
+                engine: &engine,
+            };
+            let ctx = &ctx;
+            AsyncExecutor::new(concurrency)
+                .run_ordered(
+                    slice_items(art, clean),
+                    |actx, (d, clean)| {
+                        let delay = crawl_latency_ms(model, &d.name);
+                        async move {
+                            actx.sleep_ms(delay).await;
+                            (zgrab_probe_domain(ctx, d), clean)
+                        }
+                    },
+                    ZgrabScanOutcome::empty(zone),
+                    |acc, (verdict, clean)| {
+                        zgrab_fold(acc, verdict, clean);
+                        ControlFlow::Continue(())
+                    },
+                )
+                .outcome
+        }
+    }
+}
+
+/// Instrumented-browser scan of the sub-range `range` of `population`'s
+/// scan order on any [`Backend`] — the Chrome counterpart of
+/// [`zgrab_scan_range`], with the same chunking-invariance contract.
+pub fn chrome_scan_range(
+    population: &Population,
+    range: Range<usize>,
+    db: &SignatureDb,
+    seed: u64,
+    model: &FetchModel,
+    cache: Option<&FingerprintCache>,
+    backend: &Backend,
+) -> ChromeScanOutcome {
+    let zone = population.zone;
+    let (art, clean) = slice_range(population, &range);
+    match *backend {
+        Backend::Sequential => {
+            chrome_scan_shard_cached(zone, art, clean, db, seed, model, cache, &AtomicU64::new(0))
+        }
+        Backend::Sharded(shards) => {
+            ParallelExecutor::new(shards)
+                .execute(&ScanTask {
+                    artifacts: art,
+                    clean,
+                    kernel: |artifacts: &[Domain], clean: &[Domain], progress: &AtomicU64| {
+                        chrome_scan_shard_cached(
+                            zone, artifacts, clean, db, seed, model, cache, progress,
+                        )
+                    },
+                    merge: ChromeScanOutcome::merge,
+                })
+                .outcome
+        }
+        Backend::Streaming { workers, capacity } => {
+            let engine = NoCoinEngine::new();
+            let ctx = ChromeProbeCtx::new(seed, model, &engine, db, cache);
+            let fetch = ChromeFetchStage { ctx: &ctx };
+            let classify = ChromeClassifyStage { ctx: &ctx };
+            PipelineExecutor::new(workers, capacity)
+                .run2(
+                    slice_items(art, clean),
+                    &fetch,
+                    &classify,
+                    ChromeScanOutcome::empty(zone),
+                    |acc, (verdict, clean)| {
+                        chrome_fold(acc, verdict, clean);
+                        ControlFlow::Continue(())
+                    },
+                )
+                .outcome
+        }
+        Backend::Async { concurrency } => {
+            let engine = NoCoinEngine::new();
+            let ctx = ChromeProbeCtx::new(seed, model, &engine, db, cache);
+            let ctx = &ctx;
+            let scratch = Rc::new(RefCell::new(Vec::new()));
+            AsyncExecutor::new(concurrency)
+                .run_ordered(
+                    slice_items(art, clean),
+                    |actx, (d, clean)| {
+                        let delay = crawl_latency_ms(model, &d.name);
+                        let scratch = Rc::clone(&scratch);
+                        async move {
+                            actx.sleep_ms(delay).await;
+                            let fetched = chrome_fetch_domain(ctx, d);
+                            let verdict =
+                                chrome_classify_domain(ctx, d, fetched, &mut scratch.borrow_mut());
+                            (verdict, clean)
+                        }
+                    },
+                    ChromeScanOutcome::empty(zone),
+                    |acc, (verdict, clean)| {
+                        chrome_fold(acc, verdict, clean);
+                        ControlFlow::Continue(())
+                    },
+                )
+                .outcome
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,6 +761,33 @@ mod tests {
         // Injected delays and stalls surface as virtual latency, never
         // wall time.
         assert!(run.stats.virtual_ms > 0);
+    }
+
+    #[test]
+    fn range_scans_concatenate_to_the_full_scan_on_every_backend() {
+        let pop = Population::generate(Zone::Org, 42, 50);
+        let sequential = crate::scan::zgrab_scan(&pop, 1);
+        let len = pop.artifacts.len() + pop.clean_sample.len();
+        for backend in [
+            Backend::Sequential,
+            Backend::Sharded(3),
+            Backend::Streaming {
+                workers: 2,
+                capacity: 8,
+            },
+            Backend::Async { concurrency: 16 },
+        ] {
+            let mut acc = ZgrabScanOutcome::empty(pop.zone);
+            let mut at = 0;
+            while at < len {
+                let end = (at + 37).min(len);
+                let part = zgrab_scan_range(&pop, at..end, 1, &FetchModel::default(), &backend);
+                acc.merge(part);
+                at = end;
+            }
+            acc.total_domains = pop.total;
+            assert_eq!(acc, sequential, "backend={}", backend.label());
+        }
     }
 
     #[test]

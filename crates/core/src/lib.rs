@@ -35,14 +35,16 @@
 //! ```
 
 pub mod attribute;
+pub mod campaign;
 pub mod exec;
 pub mod report;
 pub mod scan;
 pub mod shortlink_study;
 
+pub use campaign::{ChromeCampaign, ZgrabCampaign};
 pub use exec::{
-    chrome_scan_async, chrome_scan_streaming, zgrab_scan_async, zgrab_scan_streaming, ScanExecutor,
-    ScanRun, ScanStats,
+    chrome_scan_async, chrome_scan_range, chrome_scan_streaming, zgrab_scan_async,
+    zgrab_scan_range, zgrab_scan_streaming, ScanExecutor, ScanRun, ScanStats,
 };
 pub use report::Comparison;
 pub use scan::{
@@ -50,5 +52,6 @@ pub use scan::{
     ChromeScanOutcome, FetchModel, FetchStats, ZgrabScanOutcome,
 };
 pub use shortlink_study::{
-    run_study, run_study_async, run_study_streaming, AsyncStudy, StreamingStudy, StudyConfig,
+    run_study, run_study_async, run_study_streaming, run_study_supervised, AsyncStudy,
+    StreamingStudy, StudyConfig, SupervisedStudy,
 };

@@ -5,6 +5,7 @@ use crate::scan::FetchStats;
 use minedig_analysis::poller::PollStats;
 use minedig_primitives::aexec::AsyncStats;
 use minedig_primitives::pipeline::PipelineStats;
+use minedig_primitives::supervise::SuperviseReport;
 use minedig_shortlink::enumerate::Enumeration;
 
 /// One compared quantity.
@@ -349,6 +350,36 @@ pub fn async_poll_summary(label: &str, sweeps: u64, stats: &AsyncStats) -> Strin
     out
 }
 
+/// Renders a supervised run's crash/checkpoint accounting, e.g.
+///
+/// ```text
+/// zgrab .org (supervised): 1050 items over 4 attempts (3 crashes, 0 stall restarts)
+///   17 checkpoints (8531 bytes last), 42 items lost to crashes, 1008 before crash + 42 after resume [balanced]
+/// ```
+pub fn checkpoint_summary(label: &str, report: &SuperviseReport) -> String {
+    let mut out = format!(
+        "{label}: {} items over {} attempts ({} crashes, {} stall restarts)\n",
+        report.items_executed(),
+        report.attempts,
+        report.crashes,
+        report.stall_restarts,
+    );
+    out.push_str(&format!(
+        "  {} checkpoints ({} bytes last), {} items lost to crashes, {} before crash + {} after resume [{}]\n",
+        report.checkpoints,
+        report.snapshot_bytes,
+        report.items_lost,
+        report.items_before_crash,
+        report.items_after_resume,
+        if report.balanced() {
+            "balanced"
+        } else {
+            "UNBALANCED"
+        },
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +424,26 @@ mod tests {
         assert!(text.contains("13440 endpoint fetches across 420 sweeps"));
         assert!(text.contains("sweep high water 32 on one thread"));
         assert!(text.contains("57812 polls, 44110 wakeups, 902 io repolls"));
+    }
+
+    #[test]
+    fn checkpoint_summary_renders_accounting() {
+        let report = SuperviseReport {
+            attempts: 4,
+            crashes: 3,
+            checkpoints: 17,
+            snapshot_bytes: 8_531,
+            items_before_crash: 1_008,
+            items_after_resume: 42,
+            items_lost: 42,
+            start_progress: 0,
+            final_progress: 1_008,
+            ..SuperviseReport::default()
+        };
+        let text = checkpoint_summary("zgrab .org (supervised)", &report);
+        assert!(text.contains("1050 items over 4 attempts (3 crashes, 0 stall restarts)"));
+        assert!(text.contains("17 checkpoints (8531 bytes last)"));
+        assert!(text.contains("[balanced]"), "{text}");
     }
 
     #[test]

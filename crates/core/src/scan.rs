@@ -895,8 +895,35 @@ pub fn chrome_scan_shard_with(
     model: &FetchModel,
     progress: &AtomicU64,
 ) -> ChromeScanOutcome {
+    chrome_scan_shard_cached(
+        zone,
+        artifacts,
+        clean_sample,
+        db,
+        seed,
+        model,
+        None,
+        progress,
+    )
+}
+
+/// [`chrome_scan_shard_with`] sharing a [`FingerprintCache`] memo, as
+/// the streaming and async backends do. The memo stores pure
+/// per-module fingerprints only, so outcomes are identical with or
+/// without it.
+#[allow(clippy::too_many_arguments)]
+pub fn chrome_scan_shard_cached(
+    zone: Zone,
+    artifacts: &[Domain],
+    clean_sample: &[Domain],
+    db: &SignatureDb,
+    seed: u64,
+    model: &FetchModel,
+    cache: Option<&FingerprintCache>,
+    progress: &AtomicU64,
+) -> ChromeScanOutcome {
     let engine = NoCoinEngine::new();
-    let ctx = ChromeProbeCtx::new(seed, model, &engine, db, None);
+    let ctx = ChromeProbeCtx::new(seed, model, &engine, db, cache);
     let mut scratch = Vec::new();
     let mut outcome = ChromeScanOutcome::empty(zone);
     for d in artifacts {

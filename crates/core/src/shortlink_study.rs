@@ -2,9 +2,11 @@
 //! distributions, resolve the cheap links and categorize destinations.
 
 use minedig_primitives::aexec::{AsyncExecutor, AsyncStats};
+use minedig_primitives::ckpt::SnapshotStore;
 use minedig_primitives::par::ParallelExecutor;
 use minedig_primitives::pipeline::{PipelineExecutor, PipelineStats, StageStats};
 use minedig_primitives::stats::{top1_share, top_k_for_share, Ecdf, Pow2Histogram};
+use minedig_primitives::supervise::{Backend, SuperviseError, SuperviseReport, Supervisor};
 use minedig_primitives::DetRng;
 use minedig_shortlink::enumerate::{
     enumerate_links_async_with, enumerate_links_sharded, enumerate_links_streaming_with,
@@ -87,6 +89,63 @@ fn tail_filter(
     budget: u64,
 ) -> bool {
     seen.insert((doc.token_id, doc.required_hashes)) && doc.required_hashes < budget
+}
+
+/// A [`StudyResult`] produced under supervision, plus the
+/// crash/checkpoint accounting of the enumeration walk.
+pub struct SupervisedStudy {
+    /// The study outputs, identical to [`run_study`] for any kill
+    /// schedule.
+    pub result: StudyResult,
+    /// Checkpoint/restart accounting of the supervised walk.
+    pub report: SuperviseReport,
+}
+
+/// Runs the §4.1 study with the enumeration walk — the long-running,
+/// crash-exposed phase — under `supervisor`, checkpointing into `store`
+/// as snapshot `name`. With `resume` the walk continues from the latest
+/// on-disk snapshot instead of index 0. The tail resolution and
+/// analysis run after the walk completes, as in [`run_study`], so the
+/// outputs are bit-identical to an uninterrupted batch study.
+pub fn run_study_supervised(
+    config: &StudyConfig,
+    seed: u64,
+    store: &SnapshotStore,
+    name: &str,
+    supervisor: &Supervisor,
+    backend: Backend,
+    resume: bool,
+) -> Result<SupervisedStudy, SuperviseError> {
+    let population = LinkPopulation::generate(&config.model);
+    let service = ShortlinkService::new(population);
+    let policy = ProbePolicy::default();
+    let run = supervisor.run(
+        store,
+        name,
+        || {
+            minedig_shortlink::campaign::EnumCampaign::new(
+                &service,
+                &policy,
+                STUDY_DEAD_RUN_LIMIT,
+                backend,
+            )
+        },
+        resume,
+    )?;
+    let enumeration = run.output.enumeration;
+
+    let mut seen = std::collections::HashSet::new();
+    let unbiased_codes: Vec<String> = enumeration
+        .docs
+        .iter()
+        .filter(|d| tail_filter(&mut seen, d, config.resolve_budget))
+        .map(|d| d.code.clone())
+        .collect();
+    let tail_report = resolve_accounted(&service, &unbiased_codes, config.resolve_budget);
+    Ok(SupervisedStudy {
+        result: finish_study(&service, enumeration, tail_report, config, seed),
+        report: run.report,
+    })
 }
 
 /// Runs the full §4.1 study.
@@ -398,6 +457,50 @@ mod tests {
         assert_eq!(par.links_per_token, seq.links_per_token);
         assert_eq!(par.hashes_spent, seq.hashes_spent);
         assert_eq!(par.top10_domains, seq.top10_domains);
+    }
+
+    #[test]
+    fn supervised_study_with_kills_equals_batch_study() {
+        use minedig_primitives::supervise::CrashPolicy;
+        let config = StudyConfig {
+            model: ModelConfig {
+                total_links: 10_000,
+                users: 800,
+                seed: 9,
+            },
+            resolve_budget: 10_000,
+            per_user_sample: 100,
+            enum_shards: 1,
+        };
+        let batch = run_study(&config, 9);
+        let dir = std::env::temp_dir().join(format!("minedig-study-sup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open(&dir).expect("open store");
+        let supervisor = Supervisor::new(CrashPolicy {
+            ckpt_every_items: 128,
+            ..CrashPolicy::default()
+        })
+        .with_kills(vec![500, 2_000]);
+        let run = run_study_supervised(
+            &config,
+            9,
+            &store,
+            "study",
+            &supervisor,
+            Backend::Sharded(4),
+            false,
+        )
+        .expect("supervised study");
+        assert_eq!(run.report.crashes, 2);
+        assert!(run.report.balanced(), "{:?}", run.report);
+        let s = &run.result;
+        assert_eq!(s.enumeration.probed, batch.enumeration.probed);
+        assert_eq!(s.enumeration.docs, batch.enumeration.docs);
+        assert_eq!(s.links_per_token, batch.links_per_token);
+        assert_eq!(s.hashes_spent, batch.hashes_spent);
+        assert_eq!(s.top10_domains, batch.top10_domains);
+        assert_eq!(s.tail_categories, batch.tail_categories);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

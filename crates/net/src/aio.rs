@@ -12,9 +12,16 @@
 //! an injected delay or stall surfaces as extra pending polls, a
 //! disconnect as an error value — the async task observes exactly what a
 //! blocking caller would, just without parking a thread per connection.
+//!
+//! For runs over real sockets, [`MultiParkWait`] is the matching idle
+//! strategy: a `poll(2)`-style wait over every registered
+//! [`TcpParker`] that wakes the executor's sweep as soon as *any*
+//! endpoint turns readable.
 
+use crate::tcp::TcpParker;
 use crate::transport::{Transport, TransportError};
-use minedig_primitives::aexec::IoPoll;
+use minedig_primitives::aexec::{IdleWait, IoPoll};
+use std::sync::{Arc, Mutex};
 use std::task::Poll;
 use std::time::Duration;
 
@@ -41,6 +48,111 @@ impl<T: Transport> IoPoll for RecvReady<'_, T> {
             Err(TransportError::Timeout) => Poll::Pending,
             other => Poll::Ready(other),
         }
+    }
+}
+
+/// A clonable registration handle for [`MultiParkWait`]: connection
+/// factories (which run mid-sweep, while the executor owns the idle
+/// strategy) push each new socket's parker through this instead of
+/// touching the strategy directly.
+#[derive(Clone)]
+pub struct MultiParkRegistrar {
+    parkers: Arc<Mutex<Vec<TcpParker>>>,
+}
+
+impl MultiParkRegistrar {
+    /// Adds a socket to the idle strategy's watch set. Takes effect on
+    /// the next idle sweep.
+    pub fn register(&self, parker: TcpParker) {
+        self.parkers.lock().unwrap().push(parker);
+    }
+}
+
+/// A `poll(2)`-style multi-socket [`IdleWait`]: the idle sweep wakes as
+/// soon as *any* registered endpoint turns readable, instead of
+/// blocking on one designated parker's socket while the others starve.
+///
+/// The standard library exposes no multi-fd readiness syscall, so the
+/// wait budget is sliced round-robin across the registered parkers:
+/// each gets `budget / len` (floored to [`TcpParker::wait`]'s 1 ms
+/// minimum) and the sweep returns at the first parker that reports
+/// readable bytes. The rotation start advances every sweep, and picks
+/// up after the last ready socket, so detection latency is bounded by
+/// one budget for every endpoint regardless of which one the peer
+/// writes to. With no parkers registered yet the strategy degrades to
+/// a plain yield, like [`YieldBackoff`](minedig_primitives::aexec::YieldBackoff).
+///
+/// As with every [`IdleWait`], this only runs when no task is ready and
+/// no timer is due, so outcomes stay bit-identical to the other
+/// strategies — only CPU burn and `io_repolls` change.
+pub struct MultiParkWait {
+    parkers: Arc<Mutex<Vec<TcpParker>>>,
+    budget: Duration,
+    next: usize,
+    parks: u64,
+}
+
+impl MultiParkWait {
+    /// A strategy spending up to `budget` per idle sweep across all
+    /// registered sockets.
+    pub fn new(budget: Duration) -> MultiParkWait {
+        MultiParkWait {
+            parkers: Arc::new(Mutex::new(Vec::new())),
+            budget,
+            next: 0,
+            parks: 0,
+        }
+    }
+
+    /// A handle for registering sockets, usable from connection
+    /// factories while the strategy itself is lent to the executor.
+    pub fn registrar(&self) -> MultiParkRegistrar {
+        MultiParkRegistrar {
+            parkers: self.parkers.clone(),
+        }
+    }
+
+    /// Sockets currently in the watch set.
+    pub fn watched(&self) -> usize {
+        self.parkers.lock().unwrap().len()
+    }
+
+    /// Idle sweeps that actually parked on at least one socket
+    /// (observability for tests and reports).
+    pub fn parks(&self) -> u64 {
+        self.parks
+    }
+}
+
+impl IdleWait for MultiParkWait {
+    fn wait(&mut self, consecutive: u32) {
+        // Freshly registered or completed work gets one immediate
+        // re-poll before the strategy commits to blocking.
+        if consecutive == 0 {
+            return;
+        }
+        let guard = self.parkers.lock().unwrap();
+        if guard.is_empty() {
+            drop(guard);
+            std::thread::yield_now();
+            return;
+        }
+        self.parks += 1;
+        let len = guard.len();
+        // TcpParker::wait floors zero to 1 ms, so a large watch set
+        // degrades to 1 ms per socket rather than a busy spin.
+        let slice = self.budget / len as u32;
+        for step in 0..len {
+            let idx = (self.next + step) % len;
+            if guard[idx].wait(slice) {
+                // Resume after the ready socket next sweep: its bytes
+                // will be drained by the re-poll, and the remaining
+                // endpoints get first claim on the next budget.
+                self.next = (idx + 1) % len;
+                return;
+            }
+        }
+        self.next = (self.next + 1) % len;
     }
 }
 
@@ -106,6 +218,95 @@ mod tests {
         });
         assert_eq!(got.0.unwrap(), b"one");
         assert_eq!(got.1.unwrap(), b"two");
+    }
+
+    #[test]
+    fn multi_park_with_no_sockets_degrades_to_a_yield() {
+        let mut w = MultiParkWait::new(Duration::from_millis(50));
+        w.wait(0);
+        w.wait(1);
+        w.wait(7);
+        assert_eq!(w.watched(), 0);
+        assert_eq!(w.parks(), 0, "an empty watch set must never park");
+    }
+
+    #[test]
+    fn multi_park_wakes_when_any_registered_socket_turns_readable() {
+        use crate::tcp::{TcpServer, TcpTransport};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // Exactly one of the three server sessions writes (after a
+        // short delay); the others stay silent past the whole test.
+        let turn = Arc::new(AtomicU64::new(0));
+        let turn2 = turn.clone();
+        let server = TcpServer::spawn("127.0.0.1:0", move |mut t| {
+            let i = turn2.fetch_add(1, Ordering::SeqCst);
+            if i == 2 {
+                std::thread::sleep(Duration::from_millis(10));
+                let _ = t.send(b"ready");
+            }
+            std::thread::sleep(Duration::from_millis(500));
+        })
+        .expect("bind");
+
+        let mut transports: Vec<TcpTransport> = (0..3)
+            .map(|_| TcpTransport::connect(server.addr()).expect("connect"))
+            .collect();
+        let mut w = MultiParkWait::new(Duration::from_millis(240));
+        let reg = w.registrar();
+        for t in &transports {
+            reg.register(t.parker().expect("parker"));
+        }
+        assert_eq!(w.watched(), 3);
+
+        w.wait(0);
+        assert_eq!(w.parks(), 0, "sweep zero must re-poll, not park");
+
+        // The park must return once the writing socket (whichever slot
+        // it landed in) turns readable — well before silent sockets
+        // could have eaten a full budget each.
+        let start = std::time::Instant::now();
+        w.wait(1);
+        assert_eq!(w.parks(), 1);
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "park must wake on the ready socket, not drain every slice"
+        );
+        let msg = transports
+            .iter_mut()
+            .find_map(|t| t.recv_timeout(Duration::from_millis(50)).ok())
+            .expect("one socket must hold the greeting");
+        assert_eq!(msg, b"ready");
+
+        drop(server);
+    }
+
+    #[test]
+    fn multi_park_rotation_covers_silent_sockets() {
+        use crate::tcp::{TcpServer, TcpTransport};
+
+        // All-silent sockets: each sweep must consume its sliced
+        // budget and advance the rotation start so no socket is pinned
+        // as the perpetual first (and only meaningfully watched) slot.
+        let server = TcpServer::spawn("127.0.0.1:0", move |_t| {
+            std::thread::sleep(Duration::from_millis(500));
+        })
+        .expect("bind");
+        let transports: Vec<TcpTransport> = (0..2)
+            .map(|_| TcpTransport::connect(server.addr()).expect("connect"))
+            .collect();
+        let mut w = MultiParkWait::new(Duration::from_millis(8));
+        let reg = w.registrar();
+        for t in &transports {
+            reg.register(t.parker().expect("parker"));
+        }
+        assert_eq!(w.next, 0);
+        w.wait(1);
+        assert_eq!(w.next, 1, "a dry sweep must advance the rotation");
+        w.wait(2);
+        assert_eq!(w.next, 0);
+        assert_eq!(w.parks(), 2);
+        drop(server);
     }
 
     #[test]

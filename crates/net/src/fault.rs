@@ -136,7 +136,9 @@ impl<T: Transport> FaultyTransport<T> {
                 let garbled = self.garble(&key, message);
                 deliver(self, &garbled)
             }
-            Some(Fault::Stall) => {
+            // `decide` never emits Crash (process death is the
+            // supervisor's, not the transport's); defensively a stall.
+            Some(Fault::Stall) | Some(Fault::Crash) => {
                 self.stats.stalls += 1;
                 Err(TransportError::Timeout)
             }
@@ -178,7 +180,7 @@ impl<T: Transport> FaultyTransport<T> {
                 let payload = deliver(self)?;
                 Ok(self.garble(&key, &payload))
             }
-            Some(Fault::Stall) => {
+            Some(Fault::Stall) | Some(Fault::Crash) => {
                 self.stats.stalls += 1;
                 Err(TransportError::Timeout)
             }

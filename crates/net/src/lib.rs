@@ -33,7 +33,7 @@ pub mod tcp;
 pub mod transport;
 pub mod wsframe;
 
-pub use aio::{recv_ready, RecvReady};
+pub use aio::{recv_ready, MultiParkRegistrar, MultiParkWait, RecvReady};
 pub use fault::{FaultStats, FaultyTransport};
 pub use json::Value;
 pub use transport::{channel_pair, ChannelTransport, Transport, TransportError};

@@ -1,0 +1,488 @@
+//! Crash-safe campaign snapshots.
+//!
+//! Long campaigns (the 138 M-domain crawl, the 1.7 M-ID short-link
+//! enumeration, the 4-week §4.2 poll) must survive process death
+//! without losing progress. This module defines the on-disk snapshot
+//! format every campaign checkpoints through:
+//!
+//! ```text
+//! +--------+---------+--------------+-------------+---------+----------+
+//! | magic  | version | progress_key | payload_len | payload | sha-256  |
+//! | 6 B    | varint  | varint       | varint      | bytes   | 32 B     |
+//! +--------+---------+--------------+-------------+---------+----------+
+//! ```
+//!
+//! The checksum covers every preceding byte, so truncation, bit rot
+//! and partially-applied writes are all rejected at load time; writes
+//! go through a temp file in the same directory followed by an atomic
+//! `rename`, so a crash *during* checkpointing leaves the previous
+//! snapshot intact. The payload is campaign-defined and encoded with
+//! [`SnapWriter`] / decoded with [`SnapReader`] (varint integers,
+//! length-prefixed byte strings) — the same primitives the Wasm
+//! decoder uses, so there is no serialization dependency.
+//!
+//! The determinism contract: a campaign's snapshot captures *all* the
+//! state its remaining items can observe (accumulated outcome, stats,
+//! cursors, connection flags). Because every per-item result in this
+//! workspace is a pure function of stable identity (domain name, link
+//! code, `(endpoint, now)`), restoring a snapshot and re-running the
+//! suffix — on any executor backend — reproduces the uninterrupted
+//! run bit for bit.
+
+use crate::varint::{read_varint, write_varint, ByteReader, VarintError};
+use crate::Hash32;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Leading bytes of every snapshot file.
+pub const MAGIC: &[u8; 6] = b"MDCKPT";
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Why a snapshot could not be saved, loaded, or applied.
+#[derive(Debug)]
+pub enum CkptError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not one this build understands.
+    UnsupportedVersion(u64),
+    /// The file ended before the declared content did.
+    Truncated,
+    /// The SHA-256 trailer does not match the content.
+    ChecksumMismatch,
+    /// The payload decoded to something structurally invalid.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "snapshot io error: {e}"),
+            CkptError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            CkptError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            CkptError::Truncated => write!(f, "snapshot truncated"),
+            CkptError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            CkptError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<io::Error> for CkptError {
+    fn from(e: io::Error) -> CkptError {
+        CkptError::Io(e)
+    }
+}
+
+impl From<VarintError> for CkptError {
+    fn from(e: VarintError) -> CkptError {
+        match e {
+            VarintError::UnexpectedEof => CkptError::Truncated,
+            VarintError::Overflow => CkptError::Corrupt("varint overflow"),
+        }
+    }
+}
+
+/// One versioned, checksummed campaign snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Format version the payload was written under.
+    pub version: u64,
+    /// Monotone progress marker (items completed) at snapshot time —
+    /// readable without decoding the payload.
+    pub progress_key: u64,
+    /// Campaign-defined state, opaque to the store.
+    pub payload: Vec<u8>,
+}
+
+impl Snapshot {
+    /// Wraps a payload at the current [`FORMAT_VERSION`].
+    pub fn new(progress_key: u64, payload: Vec<u8>) -> Snapshot {
+        Snapshot {
+            version: FORMAT_VERSION,
+            progress_key,
+            payload,
+        }
+    }
+
+    /// Serializes the snapshot: magic, header varints, payload, then a
+    /// SHA-256 trailer over everything before it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 64);
+        out.extend_from_slice(MAGIC);
+        write_varint(&mut out, self.version);
+        write_varint(&mut out, self.progress_key);
+        write_varint(&mut out, self.payload.len() as u64);
+        out.extend_from_slice(&self.payload);
+        let digest = Hash32::sha256(&out);
+        out.extend_from_slice(&digest.0);
+        out
+    }
+
+    /// Parses and verifies a serialized snapshot, rejecting bad magic,
+    /// unknown versions, truncation, and checksum mismatches.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, CkptError> {
+        if bytes.len() < MAGIC.len() {
+            return Err(CkptError::Truncated);
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        if bytes.len() < MAGIC.len() + 32 {
+            return Err(CkptError::Truncated);
+        }
+        let (content, trailer) = bytes.split_at(bytes.len() - 32);
+        if Hash32::sha256(content).0 != trailer {
+            return Err(CkptError::ChecksumMismatch);
+        }
+        let mut pos = MAGIC.len();
+        let (version, n) = read_varint(&content[pos..])?;
+        pos += n;
+        if version != FORMAT_VERSION {
+            return Err(CkptError::UnsupportedVersion(version));
+        }
+        let (progress_key, n) = read_varint(&content[pos..])?;
+        pos += n;
+        let (len, n) = read_varint(&content[pos..])?;
+        pos += n;
+        if content.len() - pos != len as usize {
+            return Err(CkptError::Truncated);
+        }
+        Ok(Snapshot {
+            version,
+            progress_key,
+            payload: content[pos..].to_vec(),
+        })
+    }
+}
+
+/// A directory of named snapshots with atomic replace semantics.
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a snapshot directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<SnapshotStore, CkptError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore { dir })
+    }
+
+    /// Path of the snapshot named `name`.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.ckpt"))
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Atomically replaces the snapshot named `name`: the encoding is
+    /// written to a temp file in the same directory and `rename`d over
+    /// the final path, so readers (and crashes mid-write) only ever
+    /// see a complete old or complete new snapshot. Returns the number
+    /// of bytes written.
+    pub fn save(&self, name: &str, snap: &Snapshot) -> Result<u64, CkptError> {
+        let bytes = snap.encode();
+        let tmp = self.dir.join(format!(".{name}.ckpt.tmp"));
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, self.path(name))?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Loads and verifies the snapshot named `name`; `Ok(None)` if it
+    /// has never been written.
+    pub fn load(&self, name: &str) -> Result<Option<Snapshot>, CkptError> {
+        match fs::read(self.path(name)) {
+            Ok(bytes) => Snapshot::decode(&bytes).map(Some),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(CkptError::Io(e)),
+        }
+    }
+
+    /// Deletes the snapshot named `name` if present.
+    pub fn remove(&self, name: &str) -> Result<(), CkptError> {
+        match fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(CkptError::Io(e)),
+        }
+    }
+}
+
+/// Something whose progress can be captured in a [`Snapshot`] and
+/// re-applied to a freshly-initialized instance.
+///
+/// `restore` takes `&mut self` on a *new* instance (rather than acting
+/// as a constructor) because campaigns typically borrow long-lived
+/// context — populations, signature databases, job sources — that a
+/// snapshot cannot own.
+pub trait Checkpointable {
+    /// Monotone count of items completed; orders snapshots.
+    fn progress_key(&self) -> u64;
+    /// Captures all state the remaining items can observe.
+    fn snapshot(&self) -> Snapshot;
+    /// Re-applies `snap` to a freshly-initialized instance.
+    fn restore(&mut self, snap: &Snapshot) -> Result<(), CkptError>;
+}
+
+/// Payload encoder: varint integers, length-prefixed bytes/strings.
+#[derive(Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> SnapWriter {
+        SnapWriter::default()
+    }
+
+    /// Appends a varint.
+    pub fn u64(&mut self, v: u64) {
+        write_varint(&mut self.buf, v);
+    }
+
+    /// Appends a `usize` as a varint.
+    pub fn len(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a float by its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.len(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends a 32-byte hash verbatim.
+    pub fn hash(&mut self, v: &Hash32) {
+        self.buf.extend_from_slice(&v.0);
+    }
+
+    /// Appends an optional value: a presence byte, then the value.
+    pub fn opt<T>(&mut self, v: Option<&T>, mut f: impl FnMut(&mut SnapWriter, &T)) {
+        match v {
+            None => self.bool(false),
+            Some(t) => {
+                self.bool(true);
+                f(self, t);
+            }
+        }
+    }
+
+    /// The encoded payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Payload decoder mirroring [`SnapWriter`], with every read bounds-
+/// checked so corrupt payloads fail loudly instead of misparsing.
+pub struct SnapReader<'a> {
+    inner: ByteReader<'a>,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Wraps a payload.
+    pub fn new(payload: &'a [u8]) -> SnapReader<'a> {
+        SnapReader {
+            inner: ByteReader::new(payload),
+        }
+    }
+
+    /// Reads a varint.
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(self.inner.read_varint()?)
+    }
+
+    /// Reads a varint as a `usize`.
+    // Not a container accessor: `len` decodes a length field, so the
+    // `is_empty` pairing the lint wants does not apply.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&mut self) -> Result<usize, CkptError> {
+        usize::try_from(self.u64()?).map_err(|_| CkptError::Corrupt("length overflows usize"))
+    }
+
+    /// Reads a bool byte, rejecting anything but 0/1.
+    pub fn bool(&mut self) -> Result<bool, CkptError> {
+        match self.inner.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CkptError::Corrupt("invalid bool byte")),
+        }
+    }
+
+    /// Reads an IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CkptError> {
+        let raw = self.inner.read_bytes(8)?;
+        let mut bits = [0u8; 8];
+        bits.copy_from_slice(raw);
+        Ok(f64::from_bits(u64::from_le_bytes(bits)))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CkptError> {
+        let n = self.len()?;
+        Ok(self.inner.read_bytes(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CkptError> {
+        String::from_utf8(self.bytes()?).map_err(|_| CkptError::Corrupt("invalid utf-8"))
+    }
+
+    /// Reads a 32-byte hash.
+    pub fn hash(&mut self) -> Result<Hash32, CkptError> {
+        Ok(Hash32::from_slice(self.inner.read_bytes(32)?))
+    }
+
+    /// Reads an optional value written by [`SnapWriter::opt`].
+    pub fn opt<T>(
+        &mut self,
+        mut f: impl FnMut(&mut SnapReader<'a>) -> Result<T, CkptError>,
+    ) -> Result<Option<T>, CkptError> {
+        if self.bool()? {
+            Ok(Some(f(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Asserts the payload was fully consumed — trailing garbage means
+    /// the writer and reader disagree on the schema.
+    pub fn expect_end(&self) -> Result<(), CkptError> {
+        if self.inner.is_empty() {
+            Ok(())
+        } else {
+            Err(CkptError::Corrupt("trailing bytes in payload"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut w = SnapWriter::new();
+        w.u64(42);
+        w.str("hello");
+        w.bool(true);
+        w.hash(&Hash32::keccak(b"x"));
+        w.f64(0.5);
+        w.opt(Some(&7u64), |w, v| w.u64(*v));
+        w.opt::<u64>(None, |w, v| w.u64(*v));
+        Snapshot::new(17, w.finish())
+    }
+
+    #[test]
+    fn roundtrip() {
+        let snap = sample();
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        let mut r = SnapReader::new(&decoded.payload);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.str().unwrap(), "hello");
+        assert!(r.bool().unwrap());
+        assert_eq!(r.hash().unwrap(), Hash32::keccak(b"x"));
+        assert_eq!(r.f64().unwrap(), 0.5);
+        assert_eq!(r.opt(|r| r.u64()).unwrap(), Some(7));
+        assert_eq!(r.opt(|r| r.u64()).unwrap(), None);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(Snapshot::decode(&bytes), Err(CkptError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Snapshot::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_any_single_bitflip() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(Snapshot::decode(&bad).is_err(), "bitflip at {i}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let snap = Snapshot {
+            version: FORMAT_VERSION + 1,
+            progress_key: 0,
+            payload: vec![],
+        };
+        assert!(matches!(
+            Snapshot::decode(&snap.encode()),
+            Err(CkptError::UnsupportedVersion(v)) if v == FORMAT_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn store_saves_atomically_and_loads_back() {
+        let dir = std::env::temp_dir().join(format!("minedig-ckpt-test-{}", std::process::id()));
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert!(store.load("missing").unwrap().is_none());
+        let snap = sample();
+        let bytes = store.save("camp", &snap).unwrap();
+        assert_eq!(bytes, snap.encode().len() as u64);
+        assert_eq!(store.load("camp").unwrap().unwrap(), snap);
+        // Overwrite replaces wholesale.
+        let snap2 = Snapshot::new(99, vec![1, 2, 3]);
+        store.save("camp", &snap2).unwrap();
+        assert_eq!(store.load("camp").unwrap().unwrap(), snap2);
+        // No temp litter.
+        assert!(!dir.join(".camp.ckpt.tmp").exists());
+        store.remove("camp").unwrap();
+        assert!(store.load("camp").unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reader_rejects_trailing_garbage() {
+        let mut w = SnapWriter::new();
+        w.u64(1);
+        w.u64(2);
+        let payload = w.finish();
+        let mut r = SnapReader::new(&payload);
+        r.u64().unwrap();
+        assert!(r.expect_end().is_err());
+    }
+}

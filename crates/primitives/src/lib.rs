@@ -13,6 +13,7 @@
 //! rest of the workspace stays dependency-light and fully deterministic.
 
 pub mod aexec;
+pub mod ckpt;
 pub mod fault;
 pub mod hex;
 pub mod keccak;
@@ -22,9 +23,11 @@ pub mod retry;
 pub mod rng;
 pub mod sha256;
 pub mod stats;
+pub mod supervise;
 pub mod varint;
 
 pub use aexec::{AsyncExecutor, AsyncRun, AsyncStats, IoPoll};
+pub use ckpt::{Checkpointable, CkptError, SnapReader, SnapWriter, Snapshot, SnapshotStore};
 pub use fault::{Fault, FaultConfig, FaultPlan};
 pub use hex::{from_hex, to_hex};
 pub use keccak::{keccak1600, keccak256, sha3_256};
@@ -33,6 +36,7 @@ pub use pipeline::{PipelineExecutor, PipelineRun, PipelineStage, PipelineStats, 
 pub use retry::{retry, Clock, ErrorClass, GiveUp, RetryPolicy, Retryable, VirtualClock};
 pub use rng::DetRng;
 pub use sha256::sha256;
+pub use supervise::{Backend, Campaign, CrashPolicy, SuperviseReport, SupervisedRun, Supervisor};
 
 /// A 256-bit hash digest used throughout the workspace.
 ///

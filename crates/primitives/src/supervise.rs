@@ -1,0 +1,726 @@
+//! Campaign supervision: periodic checkpoints, simulated kills,
+//! stall detection, and bounded restart-with-restore.
+//!
+//! A [`Supervisor`] drives any [`Campaign`] in bounded chunks. After
+//! each chunk it may write a [`Snapshot`](crate::ckpt::Snapshot)
+//! (every K items and/or every T virtual milliseconds); before each
+//! chunk it checks whether the active crash schedule kills the process
+//! at the chunk boundary. A kill discards the in-memory campaign —
+//! exactly what `SIGKILL` would do — and the supervisor rebuilds it
+//! from the factory, restores the latest on-disk snapshot, and
+//! continues. A heartbeat watchdog catches campaigns that stop making
+//! progress without dying and recycles them the same way.
+//!
+//! Because campaign snapshots capture everything the remaining items
+//! can observe, and every per-item result is a pure function of stable
+//! identity, a supervised run killed at *any* point produces results
+//! bit-identical to an uninterrupted run — the property
+//! `tests/checkpoint_resume.rs` proves for all three campaigns on all
+//! executor backends.
+
+use crate::aexec::{AsyncExecutor, CONCURRENCY_ENV, DEFAULT_CONCURRENCY};
+use crate::ckpt::{Checkpointable, CkptError, SnapshotStore};
+use crate::fault::FaultPlan;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which executor a campaign runs its item chunks on.
+///
+/// This is plain data — each campaign interprets it by constructing
+/// its own executor — so supervision code stays independent of the
+/// concrete drivers. The §4.2 poller has no streaming pipeline
+/// backend; it maps [`Backend::Streaming`] to the sharded sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Single-threaded, in item order.
+    Sequential,
+    /// [`ParallelExecutor`](crate::par::ParallelExecutor) with this
+    /// many shards.
+    Sharded(usize),
+    /// [`PipelineExecutor`](crate::pipeline::PipelineExecutor) with
+    /// this worker count and channel capacity.
+    Streaming {
+        /// Stage worker threads.
+        workers: usize,
+        /// Per-stage channel capacity.
+        capacity: usize,
+    },
+    /// [`AsyncExecutor`](crate::aexec::AsyncExecutor) with this
+    /// in-flight budget.
+    Async {
+        /// Maximum tasks in flight at once.
+        concurrency: usize,
+    },
+}
+
+impl Backend {
+    /// Selects a backend the way the CLI does: `MINEDIG_ASYNC=1` wins,
+    /// then `MINEDIG_STREAM=1`, then `MINEDIG_SHARDS`, defaulting to
+    /// sequential.
+    pub fn from_env() -> Backend {
+        fn flag(name: &str) -> bool {
+            std::env::var(name).is_ok_and(|v| v.trim() == "1")
+        }
+        fn num(name: &str, default: usize) -> usize {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(default)
+        }
+        if flag("MINEDIG_ASYNC") {
+            Backend::Async {
+                concurrency: num(CONCURRENCY_ENV, DEFAULT_CONCURRENCY),
+            }
+        } else if flag("MINEDIG_STREAM") {
+            Backend::Streaming {
+                workers: num("MINEDIG_SHARDS", 1),
+                capacity: num("MINEDIG_PIPE_CAP", 64),
+            }
+        } else {
+            match std::env::var("MINEDIG_SHARDS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+            {
+                Some(n) if n > 1 => Backend::Sharded(n),
+                _ => Backend::Sequential,
+            }
+        }
+    }
+
+    /// Short human label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Sequential => "sequential",
+            Backend::Sharded(_) => "sharded",
+            Backend::Streaming { .. } => "streaming",
+            Backend::Async { .. } => "async",
+        }
+    }
+
+    /// Builds the async executor this backend names (async backends
+    /// only) — a helper so campaigns don't duplicate the mapping.
+    pub fn async_executor(&self) -> Option<AsyncExecutor> {
+        match self {
+            Backend::Async { concurrency } => Some(AsyncExecutor::new(*concurrency)),
+            _ => None,
+        }
+    }
+}
+
+/// Environment variable naming the snapshot directory; when set, the
+/// CLI runs its campaigns supervised and checkpointed.
+pub const CKPT_DIR_ENV: &str = "MINEDIG_CKPT_DIR";
+
+/// Environment variable overriding
+/// [`CrashPolicy::ckpt_every_items`] (the "checkpoint every K items"
+/// cadence).
+pub const CKPT_EVERY_ENV: &str = "MINEDIG_CKPT_EVERY";
+
+/// When to checkpoint and how hard to fight failure.
+#[derive(Clone, Debug)]
+pub struct CrashPolicy {
+    /// Checkpoint after at most this many items since the last one.
+    pub ckpt_every_items: u64,
+    /// Additionally checkpoint when the campaign's virtual clock has
+    /// advanced this far since the last snapshot (the poller's "every
+    /// T virtual ms"); `None` disables the time trigger.
+    pub ckpt_every_virtual_ms: Option<u64>,
+    /// Restarts (crash or stall recycles) allowed before giving up.
+    pub max_restarts: u32,
+    /// Consecutive heartbeat-silent chunks tolerated before the
+    /// campaign is declared stalled and recycled.
+    pub stall_limit: u32,
+}
+
+impl Default for CrashPolicy {
+    fn default() -> CrashPolicy {
+        CrashPolicy {
+            ckpt_every_items: 64,
+            ckpt_every_virtual_ms: None,
+            max_restarts: 16,
+            stall_limit: 3,
+        }
+    }
+}
+
+impl CrashPolicy {
+    /// The default policy with the checkpoint cadence taken from
+    /// [`CKPT_EVERY_ENV`] when that parses to a positive count.
+    pub fn from_env() -> CrashPolicy {
+        let mut policy = CrashPolicy::default();
+        if let Some(every) = std::env::var(CKPT_EVERY_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0)
+        {
+            policy.ckpt_every_items = every;
+        }
+        policy
+    }
+}
+
+/// Work accounting for one supervised run, split around crashes.
+///
+/// Every item executed lands in exactly one of two buckets: executed
+/// by an attempt that was later killed (`items_before_crash`) or by
+/// the attempt that completed (`items_after_resume`). Items executed
+/// past the last snapshot of a killed attempt are re-executed after
+/// restore and counted in `items_lost` — giving the balance identity
+/// checked by [`balanced`](SuperviseReport::balanced).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SuperviseReport {
+    /// Execution attempts, including the completing one.
+    pub attempts: u32,
+    /// Simulated kills delivered.
+    pub crashes: u32,
+    /// Heartbeat-silent chunks observed.
+    pub stalls: u32,
+    /// Recycles forced by the stall watchdog.
+    pub stall_restarts: u32,
+    /// Snapshots written.
+    pub checkpoints: u64,
+    /// Size of the last snapshot written, in bytes.
+    pub snapshot_bytes: u64,
+    /// Items executed by attempts that were later killed or recycled.
+    pub items_before_crash: u64,
+    /// Items executed by the attempt that completed.
+    pub items_after_resume: u64,
+    /// Items whose work was discarded by a kill (executed past the
+    /// snapshot restored afterwards) and re-executed.
+    pub items_lost: u64,
+    /// Progress key at the start of the run (non-zero when resuming).
+    pub start_progress: u64,
+    /// Progress key at completion.
+    pub final_progress: u64,
+}
+
+impl SuperviseReport {
+    /// Total items executed, across every attempt.
+    pub fn items_executed(&self) -> u64 {
+        self.items_before_crash + self.items_after_resume
+    }
+
+    /// The crash-accounting balance identity: every executed item
+    /// either contributed to final progress or was lost to a kill.
+    pub fn balanced(&self) -> bool {
+        self.items_executed() == (self.final_progress - self.start_progress) + self.items_lost
+    }
+
+    /// Restarts actually performed (crashes plus stall recycles).
+    pub fn restarts(&self) -> u32 {
+        self.crashes + self.stall_restarts
+    }
+}
+
+/// Why a supervised run could not complete.
+#[derive(Debug)]
+pub enum SuperviseError {
+    /// A snapshot write, read, or restore failed.
+    Ckpt(CkptError),
+    /// The crash/stall schedule outlasted
+    /// [`CrashPolicy::max_restarts`]; the report carries the partial
+    /// accounting (progress up to the last snapshot survives on disk,
+    /// so a later `--resume` run continues from there).
+    RestartsExhausted(Box<SuperviseReport>),
+}
+
+impl fmt::Display for SuperviseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuperviseError::Ckpt(e) => write!(f, "checkpoint failure: {e}"),
+            SuperviseError::RestartsExhausted(r) => {
+                write!(f, "gave up after {} restarts", r.restarts())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SuperviseError {}
+
+impl From<CkptError> for SuperviseError {
+    fn from(e: CkptError) -> SuperviseError {
+        SuperviseError::Ckpt(e)
+    }
+}
+
+/// A checkpointable unit of long-running work the supervisor can
+/// drive in bounded chunks.
+pub trait Campaign: Checkpointable {
+    /// What the campaign yields when complete.
+    type Output;
+
+    /// True once no items remain.
+    fn is_done(&self) -> bool;
+
+    /// Runs at most `budget` further items (fewer only if the campaign
+    /// finishes), bumping `heartbeat` at least once per item processed
+    /// so the stall watchdog can see liveness.
+    fn run_items(&mut self, budget: u64, heartbeat: &AtomicU64);
+
+    /// The campaign's virtual clock, for time-triggered checkpoints.
+    /// Campaigns without one report 0 (item triggers still apply).
+    fn virtual_now_ms(&self) -> u64 {
+        0
+    }
+
+    /// Consumes the finished campaign.
+    fn finish(self) -> Self::Output;
+}
+
+/// A completed supervised run.
+#[derive(Debug)]
+pub struct SupervisedRun<T> {
+    /// The campaign's output.
+    pub output: T,
+    /// Crash/checkpoint accounting.
+    pub report: SuperviseReport,
+}
+
+/// Runs campaigns under a [`CrashPolicy`], with kills drawn from a
+/// [`FaultPlan`]'s crash stream and/or an explicit kill schedule.
+#[derive(Clone, Debug, Default)]
+pub struct Supervisor {
+    policy: CrashPolicy,
+    plan: Option<FaultPlan>,
+    kills: Vec<u64>,
+}
+
+impl Supervisor {
+    /// A supervisor with the given checkpoint/restart policy and no
+    /// kill schedule.
+    pub fn new(policy: CrashPolicy) -> Supervisor {
+        Supervisor {
+            policy,
+            plan: None,
+            kills: Vec::new(),
+        }
+    }
+
+    /// Draws one simulated kill per execution attempt from `plan`'s
+    /// crash stream (see [`FaultPlan::crash_point`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Supervisor {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Kills the process when progress reaches each of `points`
+    /// (absolute item counts, deduplicated and sorted) — the
+    /// kill-at-item-k lever the resume proptests use.
+    pub fn with_kills(mut self, mut points: Vec<u64>) -> Supervisor {
+        points.sort_unstable();
+        points.dedup();
+        self.kills = points;
+        self
+    }
+
+    /// The policy this supervisor runs under.
+    pub fn policy(&self) -> &CrashPolicy {
+        &self.policy
+    }
+
+    /// The progress point at which the current attempt dies: the next
+    /// unconsumed explicit kill point if any remain, otherwise a draw
+    /// from the fault plan's crash stream (an offset from the
+    /// attempt's starting progress, horizon a few checkpoint
+    /// intervals). Explicit points fire once each.
+    fn next_kill(&self, pending: &[u64], attempt: u32, progress: u64) -> Option<u64> {
+        if let Some(&k) = pending.first() {
+            return Some(k);
+        }
+        let plan = self.plan.as_ref()?;
+        let horizon = self.policy.ckpt_every_items.max(1) * 4;
+        plan.crash_point(attempt, horizon).map(|off| progress + off)
+    }
+
+    /// Runs `init()`'s campaign to completion under the crash policy,
+    /// checkpointing into `store` under `name`. With `resume`, the
+    /// latest snapshot (if any) is restored before the first item;
+    /// without it, the run starts from scratch (and its checkpoints
+    /// overwrite any stale snapshot).
+    ///
+    /// `init` must build the campaign in its *initial* state each time
+    /// it is called — the supervisor calls it again after every kill,
+    /// exactly as a freshly exec'd process would re-enter `main`.
+    pub fn run<C: Campaign>(
+        &self,
+        store: &SnapshotStore,
+        name: &str,
+        mut init: impl FnMut() -> C,
+        resume: bool,
+    ) -> Result<SupervisedRun<C::Output>, SuperviseError> {
+        enum Recycle {
+            Kill,
+            Stall,
+        }
+
+        let mut report = SuperviseReport::default();
+        let heartbeat = AtomicU64::new(0);
+        let mut pending = self.kills.clone();
+
+        let mut campaign = init();
+        if resume {
+            if let Some(snap) = store.load(name)? {
+                campaign.restore(&snap).map_err(SuperviseError::Ckpt)?;
+            }
+        }
+        report.start_progress = campaign.progress_key();
+        report.attempts = 1;
+
+        // Progress/virtual-time of the snapshot a kill would restore.
+        let mut restore_point = campaign.progress_key();
+        let mut last_ckpt_ms = campaign.virtual_now_ms();
+        let mut attempt_items = 0u64;
+        let mut kill_at = self.next_kill(&pending, 0, restore_point);
+        let mut silent_chunks = 0u32;
+
+        loop {
+            let progress = campaign.progress_key();
+            let mut recycle = kill_at
+                .is_some_and(|k| k <= progress)
+                .then_some(Recycle::Kill);
+
+            if recycle.is_none() {
+                if campaign.is_done() {
+                    // Final snapshot: a later `--resume` of the same
+                    // campaign restores the completed state instead of
+                    // re-running anything.
+                    report.snapshot_bytes = store.save(name, &campaign.snapshot())?;
+                    report.checkpoints += 1;
+                    break;
+                }
+                let until_ckpt = self
+                    .policy
+                    .ckpt_every_items
+                    .max(1)
+                    .saturating_sub(progress - restore_point)
+                    .max(1);
+                // Never run past the kill point: a chunk ends exactly
+                // where the process is scheduled to die.
+                let budget = kill_at.map_or(until_ckpt, |k| until_ckpt.min(k - progress));
+
+                let beat_before = heartbeat.load(Ordering::Relaxed);
+                campaign.run_items(budget, &heartbeat);
+                let after = campaign.progress_key();
+                attempt_items += after - progress;
+
+                if heartbeat.load(Ordering::Relaxed) == beat_before && !campaign.is_done() {
+                    // The chunk made no observable progress: stalled.
+                    report.stalls += 1;
+                    silent_chunks += 1;
+                    if silent_chunks > self.policy.stall_limit {
+                        recycle = Some(Recycle::Stall);
+                    }
+                } else {
+                    silent_chunks = 0;
+                    if kill_at.is_some_and(|k| k <= after) {
+                        recycle = Some(Recycle::Kill);
+                    } else {
+                        let due_items =
+                            after - restore_point >= self.policy.ckpt_every_items.max(1);
+                        let due_time = self.policy.ckpt_every_virtual_ms.is_some_and(|t| {
+                            campaign.virtual_now_ms().saturating_sub(last_ckpt_ms) >= t
+                        });
+                        if due_items || due_time {
+                            report.snapshot_bytes = store.save(name, &campaign.snapshot())?;
+                            report.checkpoints += 1;
+                            restore_point = after;
+                            last_ckpt_ms = campaign.virtual_now_ms();
+                        }
+                    }
+                }
+            }
+
+            let Some(kind) = recycle else { continue };
+
+            // Simulated process death (or a stall recycle): the
+            // in-memory campaign — and everything since the last
+            // snapshot — is gone. The kill check runs *before* any
+            // checkpoint write at the same progress point, so work at
+            // the kill point itself is genuinely lost; a checkpoint
+            // never hides the crash window.
+            match kind {
+                Recycle::Kill => {
+                    report.crashes += 1;
+                    if pending.first().copied() == kill_at {
+                        pending.remove(0);
+                    }
+                }
+                Recycle::Stall => report.stall_restarts += 1,
+            }
+            report.items_before_crash += attempt_items;
+            report.items_lost += campaign.progress_key() - restore_point;
+            drop(campaign);
+            if report.restarts() > self.policy.max_restarts {
+                report.final_progress = restore_point;
+                return Err(SuperviseError::RestartsExhausted(Box::new(report)));
+            }
+            campaign = init();
+            if let Some(snap) = store.load(name)? {
+                campaign.restore(&snap).map_err(SuperviseError::Ckpt)?;
+            }
+            report.attempts += 1;
+            attempt_items = 0;
+            restore_point = campaign.progress_key();
+            last_ckpt_ms = campaign.virtual_now_ms();
+            kill_at = self.next_kill(&pending, report.attempts - 1, restore_point);
+            silent_chunks = 0;
+        }
+
+        report.items_after_resume += attempt_items;
+        report.final_progress = campaign.progress_key();
+        debug_assert!(report.balanced());
+        Ok(SupervisedRun {
+            output: campaign.finish(),
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ckpt::{SnapReader, SnapWriter, Snapshot};
+    use crate::fault::FaultConfig;
+
+    /// Toy campaign: folds a keyed hash of each index into an
+    /// accumulator — order-sensitive, so any lost or repeated item
+    /// changes the result.
+    struct HashFold {
+        total: u64,
+        done: u64,
+        acc: u64,
+        /// When set, `run_items` stops making progress at this point.
+        stall_at: Option<u64>,
+    }
+
+    impl HashFold {
+        fn new(total: u64) -> HashFold {
+            HashFold {
+                total,
+                done: 0,
+                acc: 0,
+                stall_at: None,
+            }
+        }
+
+        fn item(i: u64) -> u64 {
+            crate::Hash32::keccak(format!("item.{i}").as_bytes()).low_u64()
+        }
+    }
+
+    impl Checkpointable for HashFold {
+        fn progress_key(&self) -> u64 {
+            self.done
+        }
+
+        fn snapshot(&self) -> Snapshot {
+            let mut w = SnapWriter::new();
+            w.u64(self.done);
+            w.u64(self.acc);
+            Snapshot::new(self.done, w.finish())
+        }
+
+        fn restore(&mut self, snap: &Snapshot) -> Result<(), CkptError> {
+            let mut r = SnapReader::new(&snap.payload);
+            self.done = r.u64()?;
+            self.acc = r.u64()?;
+            r.expect_end()
+        }
+    }
+
+    impl Campaign for HashFold {
+        type Output = u64;
+
+        fn is_done(&self) -> bool {
+            self.done >= self.total
+        }
+
+        fn run_items(&mut self, budget: u64, heartbeat: &AtomicU64) {
+            for _ in 0..budget {
+                if self.is_done() || self.stall_at == Some(self.done) {
+                    return;
+                }
+                self.acc = self
+                    .acc
+                    .rotate_left(7)
+                    .wrapping_add(HashFold::item(self.done));
+                self.done += 1;
+                heartbeat.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        fn finish(self) -> u64 {
+            self.acc
+        }
+    }
+
+    fn store(tag: &str) -> SnapshotStore {
+        let dir =
+            std::env::temp_dir().join(format!("minedig-supervise-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SnapshotStore::open(dir).unwrap()
+    }
+
+    fn uninterrupted(total: u64) -> u64 {
+        let mut c = HashFold::new(total);
+        let hb = AtomicU64::new(0);
+        c.run_items(total, &hb);
+        c.finish()
+    }
+
+    #[test]
+    fn clean_run_matches_direct_execution() {
+        let st = store("clean");
+        let run = Supervisor::new(CrashPolicy::default())
+            .run(&st, "hf", || HashFold::new(500), false)
+            .unwrap();
+        assert_eq!(run.output, uninterrupted(500));
+        assert_eq!(run.report.crashes, 0);
+        assert_eq!(run.report.final_progress, 500);
+        assert!(run.report.checkpoints > 0);
+        assert!(run.report.balanced());
+    }
+
+    #[test]
+    fn kill_at_every_point_resumes_bit_identically() {
+        let want = uninterrupted(200);
+        for kill in [1u64, 17, 63, 64, 65, 100, 199] {
+            let st = store(&format!("kill{kill}"));
+            let run = Supervisor::new(CrashPolicy {
+                ckpt_every_items: 16,
+                ..CrashPolicy::default()
+            })
+            .with_kills(vec![kill])
+            .run(&st, "hf", || HashFold::new(200), false)
+            .unwrap();
+            assert_eq!(run.output, want, "kill at {kill}");
+            assert_eq!(run.report.crashes, 1, "kill at {kill}");
+            assert!(run.report.items_lost > 0, "kill at {kill} must lose work");
+            assert!(run.report.balanced(), "kill at {kill}");
+        }
+    }
+
+    #[test]
+    fn fault_plan_crash_stream_drives_kills() {
+        let plan = FaultPlan::with_config(
+            3,
+            FaultConfig {
+                crash_prob: 0.9,
+                ..FaultConfig::default()
+            },
+        );
+        let st = store("plan");
+        let run = Supervisor::new(CrashPolicy {
+            ckpt_every_items: 8,
+            max_restarts: 1_000,
+            ..CrashPolicy::default()
+        })
+        .with_fault_plan(plan)
+        .run(&st, "hf", || HashFold::new(300), false)
+        .unwrap();
+        assert_eq!(run.output, uninterrupted(300));
+        assert!(run.report.crashes > 0, "crash_prob=0.9 must kill");
+        assert!(run.report.balanced());
+    }
+
+    #[test]
+    fn restart_budget_is_enforced_and_resume_completes() {
+        let st = store("budget");
+        // Kill at every item past the first checkpoint: two restarts
+        // allowed, so the run must give up...
+        let err = Supervisor::new(CrashPolicy {
+            ckpt_every_items: 4,
+            max_restarts: 2,
+            ..CrashPolicy::default()
+        })
+        .with_kills((5..10_000).collect())
+        .run(&st, "hf", || HashFold::new(100), false)
+        .unwrap_err();
+        let SuperviseError::RestartsExhausted(report) = err else {
+            panic!("expected RestartsExhausted");
+        };
+        assert!(report.crashes > 0);
+        // ...but its surviving checkpoints feed a later clean resume.
+        let run = Supervisor::new(CrashPolicy::default())
+            .run(&st, "hf", || HashFold::new(100), true)
+            .unwrap();
+        assert_eq!(run.output, uninterrupted(100));
+        assert!(run.report.start_progress > 0, "must resume mid-way");
+        assert!(run.report.balanced());
+    }
+
+    #[test]
+    fn stall_watchdog_recycles_but_cannot_pass_a_deterministic_stall() {
+        let st = store("stall");
+        let err = Supervisor::new(CrashPolicy {
+            ckpt_every_items: 8,
+            max_restarts: 2,
+            stall_limit: 1,
+            ..CrashPolicy::default()
+        })
+        .run(
+            &st,
+            "hf",
+            || HashFold {
+                stall_at: Some(20),
+                ..HashFold::new(100)
+            },
+            false,
+        )
+        .unwrap_err();
+        let SuperviseError::RestartsExhausted(report) = err else {
+            panic!("expected RestartsExhausted");
+        };
+        assert!(report.stalls > 0);
+        assert!(report.stall_restarts > 0);
+        assert_eq!(report.crashes, 0);
+    }
+
+    #[test]
+    fn stall_watchdog_recovers_a_transient_stall() {
+        // A stall that clears on recycle (e.g. a wedged connection):
+        // model it by stalling only on the first attempt.
+        let st = store("stall2");
+        let attempt = std::cell::Cell::new(0u32);
+        let run = Supervisor::new(CrashPolicy {
+            ckpt_every_items: 8,
+            stall_limit: 1,
+            ..CrashPolicy::default()
+        })
+        .run(
+            &st,
+            "hf",
+            || {
+                let first = attempt.get() == 0;
+                attempt.set(attempt.get() + 1);
+                HashFold {
+                    stall_at: first.then_some(20),
+                    ..HashFold::new(100)
+                }
+            },
+            false,
+        )
+        .unwrap();
+        assert_eq!(run.output, uninterrupted(100));
+        assert!(run.report.stall_restarts > 0);
+        assert!(run.report.balanced());
+    }
+
+    #[test]
+    fn backend_labels() {
+        assert_eq!(Backend::Sequential.label(), "sequential");
+        assert_eq!(Backend::Sharded(4).label(), "sharded");
+        assert_eq!(
+            Backend::Streaming {
+                workers: 2,
+                capacity: 8
+            }
+            .label(),
+            "streaming"
+        );
+        assert_eq!(Backend::Async { concurrency: 16 }.label(), "async");
+        assert!(Backend::Async { concurrency: 1 }.async_executor().is_some());
+        assert!(Backend::Sequential.async_executor().is_none());
+    }
+}

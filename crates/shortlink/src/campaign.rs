@@ -1,0 +1,505 @@
+//! The §4.1 enumeration (plus optional accounted resolution) as a
+//! killable, resumable [`Campaign`].
+//!
+//! One item = one probed ID. The snapshot is the enumeration ledger so
+//! far (`docs`, counters), the current dead run, and — when resolution
+//! rides along — the accounted [`ResolveReport`]. Because probe
+//! results, retry jitter, and async latency are all keyed by link code
+//! (never probing order), re-probing `[cursor, …)` after a restore
+//! replays exactly the suffix the sequential walk would have produced,
+//! so kill-and-resume is bit-identical to an uninterrupted run on any
+//! backend — for every ledger the campaign owns. The service-side
+//! creator-hash ledger is the one exception: replaying a lost window
+//! re-redeems its links, re-crediting creators, just as a crashed
+//! real-world crawler re-pays the PoW for work it had not yet
+//! checkpointed.
+
+use crate::enumerate::Enumeration;
+use crate::ids::index_to_code;
+use crate::probe::{probe_with_retry, LinkProber, ProbeError, ProbePolicy};
+use crate::resolve::{resolve_step, ResolveReport};
+use crate::service::{ShortlinkService, VisitDoc};
+use minedig_primitives::ckpt::{Checkpointable, CkptError, SnapReader, SnapWriter, Snapshot};
+use minedig_primitives::par::{ParallelExecutor, ShardedTask};
+use minedig_primitives::pipeline::{PipelineExecutor, PipelineStage};
+use minedig_primitives::rng::DetRng;
+use minedig_primitives::supervise::{Backend, Campaign};
+use std::ops::{ControlFlow, Range};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Simulated probe round-trip, keyed by link code exactly like
+/// `enumerate::probe_latency_ms` (same seed, same distribution) so the
+/// campaign's async backend observes the same schedule.
+fn probe_latency_ms(code: &str) -> u64 {
+    1 + DetRng::seed(0x5C0DE).derive(code).gen_range(48)
+}
+
+// ---------------------------------------------------------------------
+// Snapshot codec.
+// ---------------------------------------------------------------------
+
+fn put_doc(w: &mut SnapWriter, d: &VisitDoc) {
+    w.str(&d.code);
+    w.u64(d.token_id);
+    w.u64(d.required_hashes);
+}
+
+fn take_doc(r: &mut SnapReader) -> Result<VisitDoc, CkptError> {
+    Ok(VisitDoc {
+        code: r.str()?,
+        token_id: r.u64()?,
+        required_hashes: r.u64()?,
+    })
+}
+
+/// Encodes an [`Enumeration`] into `w`.
+pub fn put_enumeration(w: &mut SnapWriter, e: &Enumeration) {
+    w.len(e.docs.len());
+    for d in &e.docs {
+        put_doc(w, d);
+    }
+    w.u64(e.probed);
+    w.u64(e.failed_probes);
+    w.u64(e.probe_retries);
+}
+
+/// Decodes an [`Enumeration`] from `r`.
+pub fn take_enumeration(r: &mut SnapReader) -> Result<Enumeration, CkptError> {
+    let n = r.len()?;
+    let mut docs = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        docs.push(take_doc(r)?);
+    }
+    Ok(Enumeration {
+        docs,
+        probed: r.u64()?,
+        failed_probes: r.u64()?,
+        probe_retries: r.u64()?,
+    })
+}
+
+/// Encodes a [`ResolveReport`] into `w`.
+pub fn put_resolve_report(w: &mut SnapWriter, rep: &ResolveReport) {
+    w.len(rep.resolved.len());
+    for (code, url) in &rep.resolved {
+        w.str(code);
+        w.str(url);
+    }
+    w.u64(rep.skipped_over_budget);
+    w.u64(rep.visit_failures);
+    w.u64(rep.hashes_spent);
+}
+
+/// Decodes a [`ResolveReport`] from `r`.
+pub fn take_resolve_report(r: &mut SnapReader) -> Result<ResolveReport, CkptError> {
+    let n = r.len()?;
+    let mut resolved = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let code = r.str()?;
+        let url = r.str()?;
+        resolved.push((code, url));
+    }
+    Ok(ResolveReport {
+        resolved,
+        skipped_over_budget: r.u64()?,
+        visit_failures: r.u64()?,
+        hashes_spent: r.u64()?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Probing one contiguous index range on any backend.
+// ---------------------------------------------------------------------
+
+type Probed = (Result<Option<VisitDoc>, ProbeError>, u32);
+
+/// Sharded sub-task: probe a chunk of the range, results in index
+/// order (the executor merges chunks in shard = index order).
+struct RangeProbeTask<'a, P: LinkProber> {
+    prober: &'a P,
+    policy: &'a ProbePolicy,
+    base: u64,
+    len: usize,
+}
+
+impl<P: LinkProber> ShardedTask for RangeProbeTask<'_, P> {
+    type Output = Vec<Probed>;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn run_shard(&self, range: Range<usize>, progress: &AtomicU64) -> Vec<Probed> {
+        let mut out = Vec::with_capacity(range.len());
+        for offset in range {
+            progress.fetch_add(1, Ordering::Relaxed);
+            let code = index_to_code(self.base + offset as u64);
+            out.push(probe_with_retry(self.prober, &code, self.policy));
+        }
+        out
+    }
+
+    fn merge(&self, acc: &mut Vec<Probed>, mut next: Vec<Probed>) {
+        acc.append(&mut next);
+    }
+}
+
+struct RangeProbeStage<'a, P: LinkProber> {
+    prober: &'a P,
+    policy: &'a ProbePolicy,
+}
+
+impl<P: LinkProber + Sync> PipelineStage for RangeProbeStage<'_, P> {
+    type In = u64;
+    type Out = Probed;
+    type Scratch = ();
+
+    fn scratch(&self) {}
+
+    fn process(&self, index: u64, _scratch: &mut ()) -> Probed {
+        probe_with_retry(self.prober, &index_to_code(index), self.policy)
+    }
+}
+
+/// Probes `[base, base + len)` on `backend`, returning results in
+/// strict index order. Every backend issues exactly `len` probes; the
+/// caller's fold decides how many of them the sequential walk would
+/// have consumed.
+fn probe_range<P: LinkProber + Sync>(
+    prober: &P,
+    policy: &ProbePolicy,
+    base: u64,
+    len: u64,
+    backend: &Backend,
+) -> Vec<Probed> {
+    let range = base..base + len;
+    match *backend {
+        Backend::Sequential => range
+            .map(|i| probe_with_retry(prober, &index_to_code(i), policy))
+            .collect(),
+        Backend::Sharded(shards) => {
+            ParallelExecutor::new(shards)
+                .execute(&RangeProbeTask {
+                    prober,
+                    policy,
+                    base,
+                    len: len as usize,
+                })
+                .outcome
+        }
+        Backend::Streaming { workers, capacity } => {
+            let stage = RangeProbeStage { prober, policy };
+            PipelineExecutor::new(workers, capacity)
+                .run(range, &stage, Vec::new(), |acc: &mut Vec<Probed>, out| {
+                    acc.push(out);
+                    ControlFlow::Continue(())
+                })
+                .outcome
+        }
+        Backend::Async { concurrency } => {
+            minedig_primitives::aexec::AsyncExecutor::new(concurrency)
+                .run_ordered(
+                    range,
+                    |actx, index| {
+                        let code = index_to_code(index);
+                        async move {
+                            actx.sleep_ms(probe_latency_ms(&code)).await;
+                            probe_with_retry(prober, &code, policy)
+                        }
+                    },
+                    Vec::new(),
+                    |acc: &mut Vec<Probed>, out| {
+                        acc.push(out);
+                        ControlFlow::Continue(())
+                    },
+                )
+                .outcome
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The campaign.
+// ---------------------------------------------------------------------
+
+/// The ID-space walk (optionally with accounted resolution riding on
+/// each live find) as a supervised campaign.
+pub struct EnumCampaign<'a, P: LinkProber + Sync> {
+    prober: &'a P,
+    policy: &'a ProbePolicy,
+    dead_run_limit: u64,
+    backend: Backend,
+    /// `Some` when accounted resolution rides along: the service to
+    /// redeem against and the per-link hash budget.
+    resolver: Option<(&'a ShortlinkService, u64)>,
+    enumeration: Enumeration,
+    resolve_report: ResolveReport,
+    dead_run: u64,
+}
+
+/// What a finished [`EnumCampaign`] yields: the enumeration plus the
+/// accounted resolution ledger (default-empty when no resolver rode
+/// along).
+#[derive(Clone, Debug)]
+pub struct EnumCampaignOutput {
+    /// The walk's ledger, identical to `enumerate_links_with`.
+    pub enumeration: Enumeration,
+    /// The accounted resolution ledger, folded in ID order.
+    pub resolve_report: ResolveReport,
+}
+
+impl<'a, P: LinkProber + Sync> EnumCampaign<'a, P> {
+    /// A fresh walk from index 0.
+    pub fn new(
+        prober: &'a P,
+        policy: &'a ProbePolicy,
+        dead_run_limit: u64,
+        backend: Backend,
+    ) -> EnumCampaign<'a, P> {
+        EnumCampaign {
+            prober,
+            policy,
+            dead_run_limit,
+            backend,
+            resolver: None,
+            enumeration: Enumeration {
+                docs: Vec::new(),
+                probed: 0,
+                failed_probes: 0,
+                probe_retries: 0,
+            },
+            resolve_report: ResolveReport::default(),
+            dead_run: 0,
+        }
+    }
+
+    /// Rides accounted resolution on the walk: every live doc is
+    /// resolved (budget permitting) against `service` as the fold
+    /// reaches it, so a checkpoint carries the resolution ledger too.
+    pub fn with_resolver(
+        mut self,
+        service: &'a ShortlinkService,
+        budget_per_link: u64,
+    ) -> EnumCampaign<'a, P> {
+        self.resolver = Some((service, budget_per_link));
+        self
+    }
+}
+
+impl<P: LinkProber + Sync> Checkpointable for EnumCampaign<'_, P> {
+    fn progress_key(&self) -> u64 {
+        self.enumeration.probed
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut w = SnapWriter::new();
+        put_enumeration(&mut w, &self.enumeration);
+        w.u64(self.dead_run);
+        w.bool(self.resolver.is_some());
+        if self.resolver.is_some() {
+            put_resolve_report(&mut w, &self.resolve_report);
+        }
+        Snapshot::new(self.enumeration.probed, w.finish())
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), CkptError> {
+        let mut r = SnapReader::new(&snapshot.payload);
+        let enumeration = take_enumeration(&mut r)?;
+        let dead_run = r.u64()?;
+        let had_resolver = r.bool()?;
+        if had_resolver != self.resolver.is_some() {
+            return Err(CkptError::Corrupt("resolver presence mismatch"));
+        }
+        let resolve_report = if had_resolver {
+            take_resolve_report(&mut r)?
+        } else {
+            ResolveReport::default()
+        };
+        r.expect_end()?;
+        if dead_run > self.dead_run_limit {
+            return Err(CkptError::Corrupt("dead run beyond limit"));
+        }
+        self.enumeration = enumeration;
+        self.dead_run = dead_run;
+        self.resolve_report = resolve_report;
+        Ok(())
+    }
+}
+
+impl<P: LinkProber + Sync> Campaign for EnumCampaign<'_, P> {
+    type Output = EnumCampaignOutput;
+
+    fn is_done(&self) -> bool {
+        self.dead_run >= self.dead_run_limit
+    }
+
+    fn run_items(&mut self, budget: u64, heartbeat: &AtomicU64) {
+        if budget == 0 || self.is_done() {
+            return;
+        }
+        let results = probe_range(
+            self.prober,
+            self.policy,
+            self.enumeration.probed,
+            budget,
+            &self.backend,
+        );
+        // The sequential dead-run fold, in index order; probes past the
+        // stop are overshoot and discarded, exactly like the windowed
+        // walk's final window.
+        let e = &mut self.enumeration;
+        for (result, retries) in results {
+            if self.dead_run >= self.dead_run_limit {
+                break;
+            }
+            e.probed += 1;
+            e.probe_retries += u64::from(retries);
+            match result {
+                Ok(Some(doc)) => {
+                    self.dead_run = 0;
+                    if let Some((service, budget_per_link)) = self.resolver {
+                        resolve_step(
+                            service,
+                            &mut self.resolve_report,
+                            &doc.code,
+                            budget_per_link,
+                        );
+                    }
+                    e.docs.push(doc);
+                }
+                Ok(None) => self.dead_run += 1,
+                // Neutral: not evidence of a dead ID, not a live link.
+                Err(_) => e.failed_probes += 1,
+            }
+            heartbeat.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn finish(self) -> EnumCampaignOutput {
+        EnumCampaignOutput {
+            enumeration: self.enumeration,
+            resolve_report: self.resolve_report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_links_with;
+    use crate::model::{LinkPopulation, ModelConfig};
+    use crate::resolve::resolve_accounted;
+    use minedig_primitives::ckpt::SnapshotStore;
+    use minedig_primitives::supervise::{CrashPolicy, Supervisor};
+
+    fn service() -> ShortlinkService {
+        ShortlinkService::new(LinkPopulation::generate(&ModelConfig {
+            total_links: 600,
+            users: 40,
+            seed: 11,
+        }))
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("minedig-enum-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_enum_eq(a: &Enumeration, b: &Enumeration) {
+        assert_eq!(a.docs, b.docs);
+        assert_eq!(a.probed, b.probed);
+        assert_eq!(a.failed_probes, b.failed_probes);
+        assert_eq!(a.probe_retries, b.probe_retries);
+    }
+
+    #[test]
+    fn supervised_walk_with_kills_matches_sequential_on_every_backend() {
+        let service = service();
+        let policy = ProbePolicy::default();
+        let expected = enumerate_links_with(&service, 32, &policy);
+        for backend in [
+            Backend::Sequential,
+            Backend::Sharded(3),
+            Backend::Streaming {
+                workers: 2,
+                capacity: 8,
+            },
+            Backend::Async { concurrency: 16 },
+        ] {
+            let dir = tmpdir(&format!("walk-{}", backend.label()));
+            let store = SnapshotStore::open(&dir).unwrap();
+            let sup = Supervisor::new(CrashPolicy {
+                ckpt_every_items: 64,
+                ..CrashPolicy::default()
+            })
+            .with_kills(vec![40, 170, 600]);
+            let run = sup
+                .run(
+                    &store,
+                    "enum",
+                    || EnumCampaign::new(&service, &policy, 32, backend),
+                    false,
+                )
+                .unwrap();
+            assert_enum_eq(&run.output.enumeration, &expected);
+            assert!(run.report.balanced(), "{:?}", run.report);
+            assert_eq!(run.report.crashes, 3, "backend={}", backend.label());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn resolution_ledger_survives_kills() {
+        let service = service();
+        let policy = ProbePolicy::default();
+        let clean = enumerate_links_with(&service, 32, &policy);
+        let codes: Vec<String> = clean.docs.iter().map(|d| d.code.clone()).collect();
+        let expected = resolve_accounted(&service, &codes, 10_000);
+        let dir = tmpdir("resolve");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let sup = Supervisor::new(CrashPolicy {
+            ckpt_every_items: 32,
+            ..CrashPolicy::default()
+        })
+        .with_kills(vec![100, 333]);
+        let run = sup
+            .run(
+                &store,
+                "enum-resolve",
+                || {
+                    EnumCampaign::new(&service, &policy, 32, Backend::Sequential)
+                        .with_resolver(&service, 10_000)
+                },
+                false,
+            )
+            .unwrap();
+        // The campaign-owned ledger is bit-identical: the restored
+        // report is the checkpointed prefix and the replayed window
+        // appends each lost doc exactly once. (The *service-side*
+        // creator ledger may double-credit replayed links — a crashed
+        // crawler really does re-pay the PoW for un-checkpointed work.)
+        assert_eq!(run.output.resolve_report.resolved, expected.resolved);
+        assert_eq!(
+            run.output.resolve_report.skipped_over_budget,
+            expected.skipped_over_budget
+        );
+        assert_eq!(
+            run.output.resolve_report.hashes_spent,
+            expected.hashes_spent
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_rejects_resolver_mismatch() {
+        let service = service();
+        let policy = ProbePolicy::default();
+        let mut with = EnumCampaign::new(&service, &policy, 8, Backend::Sequential)
+            .with_resolver(&service, 10_000);
+        with.run_items(16, &AtomicU64::new(0));
+        let snap = with.snapshot();
+        let mut without = EnumCampaign::new(&service, &policy, 8, Backend::Sequential);
+        assert!(matches!(without.restore(&snap), Err(CkptError::Corrupt(_))));
+    }
+}

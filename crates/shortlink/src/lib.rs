@@ -28,6 +28,7 @@
 //!   miner client (including the XOR de-obfuscation) or an accounted fast
 //!   path for bulk studies.
 
+pub mod campaign;
 pub mod enumerate;
 pub mod ids;
 pub mod model;
@@ -35,6 +36,7 @@ pub mod probe;
 pub mod resolve;
 pub mod service;
 
+pub use campaign::{EnumCampaign, EnumCampaignOutput};
 pub use ids::{code_to_index, index_to_code};
 pub use model::{LinkPopulation, LinkRecord, ModelConfig};
 pub use probe::{FaultyProber, LinkProber, ProbeError, ProbePolicy};

@@ -72,7 +72,9 @@ impl<P: LinkProber> LinkProber for FaultyProber<'_, P> {
             None => self.inner.probe(code, attempt),
             // Latency alone does not change the observed document.
             Some(Fault::Delay { .. }) => self.inner.probe(code, attempt),
-            Some(Fault::Drop) | Some(Fault::Stall) => Err(ProbeError::Timeout),
+            // Crash never comes out of `decide` (the supervisor draws
+            // kills from its own stream); defensively a timeout.
+            Some(Fault::Drop) | Some(Fault::Stall) | Some(Fault::Crash) => Err(ProbeError::Timeout),
             Some(Fault::Disconnect) => Err(ProbeError::Closed),
             Some(Fault::Garble) => Err(ProbeError::Garbled),
         }

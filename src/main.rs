@@ -17,44 +17,62 @@
 //! async backend instead: up to `MINEDIG_CONCURRENCY` fetches (default
 //! 256) await their simulated network latency at once on a single
 //! thread — same outputs for any concurrency, plus executor stats.
+//!
+//! `MINEDIG_CKPT_DIR=<dir>` runs `scan` and `shortlink` supervised:
+//! progress checkpoints land in `<dir>` every `MINEDIG_CKPT_EVERY`
+//! items (default 64), the Chrome scan's fingerprint memo persists
+//! across runs, and `--resume` continues a killed campaign from its
+//! latest snapshot — with results bit-identical to an uninterrupted
+//! run.
 
 use minedig::analysis::economics::{pool_revenue, ExchangeRate};
 use minedig::analysis::scenario::{run_scenario, ScenarioConfig};
+use minedig::core::campaign::{ChromeCampaign, ZgrabCampaign};
 use minedig::core::exec::{chrome_scan_async, zgrab_scan_async, ScanExecutor};
 use minedig::core::report::{
-    async_poll_summary, async_stats, comparison_table, degradation_summary, fetch_stats,
-    pipeline_stats, scan_stats, CampaignHealth, Comparison,
+    async_poll_summary, async_stats, checkpoint_summary, comparison_table, degradation_summary,
+    fetch_stats, pipeline_stats, scan_stats, CampaignHealth, Comparison,
 };
 use minedig::core::scan::{build_reference_db, FetchModel};
 use minedig::core::shortlink_study::{
-    run_study, run_study_async, run_study_streaming, StudyConfig, StudyResult,
+    run_study, run_study_async, run_study_streaming, run_study_supervised, StudyConfig, StudyResult,
 };
 use minedig::pow::hashrate::measure_hashrate;
 use minedig::pow::Variant;
 use minedig::primitives::aexec::AsyncExecutor;
+use minedig::primitives::ckpt::SnapshotStore;
 use minedig::primitives::fault::FaultPlan;
 use minedig::primitives::par::ParallelExecutor;
 use minedig::primitives::pipeline::PipelineExecutor;
+use minedig::primitives::supervise::{Backend, CrashPolicy, Supervisor, CKPT_DIR_ENV};
 use minedig::shortlink::model::ModelConfig;
+use minedig::wasm::corpus::generate_corpus;
+use minedig::wasm::{corpus_content_key, CacheWarmth, FingerprintCache};
+use minedig::web::page::CORPUS_SEED;
 use minedig::web::universe::Population;
 use minedig::web::zone::Zone;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let resume = args.iter().any(|a| a == "--resume");
+    args.retain(|a| a != "--resume");
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
-        "scan" => cmd_scan(&args[1..]),
+        "scan" => cmd_scan(&args[1..], resume),
         "attribute" => cmd_attribute(&args[1..]),
-        "shortlink" => cmd_shortlink(&args[1..]),
+        "shortlink" => cmd_shortlink(&args[1..], resume),
         "hashrate" => cmd_hashrate(),
         _ => {
             eprintln!(
                 "minedig — reproduction of 'Digging into Browser-based Crypto Mining' (IMC'18)\n\n\
                  usage:\n  \
-                 minedig scan <alexa|com|net|org> [seed]\n  \
+                 minedig scan <alexa|com|net|org> [seed] [--resume]\n  \
                  minedig attribute [days] [seed]\n  \
-                 minedig shortlink [links] [seed]\n  \
-                 minedig hashrate"
+                 minedig shortlink [links] [seed] [--resume]\n  \
+                 minedig hashrate\n\n\
+                 MINEDIG_CKPT_DIR=<dir> checkpoints scan/shortlink campaigns every\n\
+                 MINEDIG_CKPT_EVERY items (default 64); --resume continues from the\n\
+                 latest snapshot."
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
@@ -67,7 +85,29 @@ fn arg_u64(args: &[String], idx: usize, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-fn cmd_scan(args: &[String]) {
+/// The snapshot store named by `MINEDIG_CKPT_DIR`, when set.
+fn ckpt_store() -> Option<SnapshotStore> {
+    let dir = std::env::var(CKPT_DIR_ENV).ok()?;
+    match SnapshotStore::open(&dir) {
+        Ok(store) => Some(store),
+        Err(e) => {
+            eprintln!("cannot open checkpoint dir '{dir}': {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// A supervisor with the env checkpoint cadence, drawing simulated
+/// kills from the fault plan's crash stream when one is configured.
+fn supervisor_from_env() -> Supervisor {
+    let supervisor = Supervisor::new(CrashPolicy::from_env());
+    match FaultPlan::from_env() {
+        Some(plan) => supervisor.with_fault_plan(plan),
+        None => supervisor,
+    }
+}
+
+fn cmd_scan(args: &[String], resume: bool) {
     let zone = match args.first().map(String::as_str) {
         Some("alexa") => Zone::Alexa,
         Some("com") => Zone::Com,
@@ -77,6 +117,12 @@ fn cmd_scan(args: &[String]) {
             eprintln!("unknown zone '{other}' (use alexa|com|net|org)");
             std::process::exit(2);
         }
+    };
+    let zone_tag = match zone {
+        Zone::Alexa => "alexa",
+        Zone::Com => "com",
+        Zone::Net => "net",
+        Zone::Org => "org",
     };
     let seed = arg_u64(args, 1, 2018);
     println!(
@@ -100,6 +146,14 @@ fn cmd_scan(args: &[String]) {
         }
         None => FetchModel::default(),
     };
+
+    // MINEDIG_CKPT_DIR runs the scan supervised: checkpointed, resumable
+    // with --resume, and with a persistent fingerprint memo. Results are
+    // bit-identical to the unsupervised path on every backend.
+    if let Some(store) = ckpt_store() {
+        supervised_scan(&store, zone, zone_tag, seed, &population, &model, resume);
+        return;
+    }
 
     // MINEDIG_ASYNC=1 fans fetches out as cooperative tasks on one
     // thread; otherwise the scan shards across MINEDIG_SHARDS workers
@@ -143,28 +197,130 @@ fn cmd_scan(args: &[String]) {
         print!("{ch_stats}");
         print!("{}", fetch_stats("chrome fetches", &ch.fetch));
         health.push(CampaignHealth::from_fetch("chrome", &ch.fetch));
-        let rows = vec![
-            Comparison::new(
-                "NoCoin hits (post-exec HTML)",
-                0.0,
-                ch.nocoin_domains as f64,
+        print_chrome_findings(&ch);
+    } else {
+        println!("(zone not part of the paper's Chrome measurement — §3.2 covers Alexa and .org)");
+    }
+    print!("{}", degradation_summary(&health));
+}
+
+fn print_chrome_findings(ch: &minedig::core::scan::ChromeScanOutcome) {
+    let rows = vec![
+        Comparison::new(
+            "NoCoin hits (post-exec HTML)",
+            0.0,
+            ch.nocoin_domains as f64,
+        ),
+        Comparison::new("sites with Wasm", 0.0, ch.wasm_domains as f64),
+        Comparison::new("miner-Wasm sites", 0.0, ch.miner_wasm_domains as f64),
+        Comparison::new("  blocked by NoCoin", 0.0, ch.blocked_by_nocoin as f64),
+        Comparison::new("  missed by NoCoin", 0.0, ch.missed_by_nocoin as f64),
+    ];
+    // Reuse the table renderer; the 'paper' column is not meaningful
+    // for an ad-hoc zone/seed, so only print the measured side.
+    let table = comparison_table("Chrome scan", &rows);
+    for line in table.lines() {
+        // Strip the paper/delta columns for the CLI view.
+        println!("{}", line);
+    }
+    println!(
+        "top classes: {:?}",
+        ch.class_counts.iter().take(5).collect::<Vec<_>>()
+    );
+}
+
+/// The checkpointed scan: both pipelines run as supervised campaigns,
+/// the Chrome pass reuses a fingerprint memo persisted across runs, and
+/// outcomes match the unsupervised path bit for bit.
+fn supervised_scan(
+    store: &SnapshotStore,
+    zone: Zone,
+    zone_tag: &str,
+    seed: u64,
+    population: &Population,
+    model: &FetchModel,
+    resume: bool,
+) {
+    let backend = Backend::from_env();
+    let supervisor = supervisor_from_env();
+    println!(
+        "checkpointing to {} every {} items ({} backend){}",
+        store.dir().display(),
+        supervisor.policy().ckpt_every_items,
+        backend.label(),
+        if resume { ", resuming" } else { "" },
+    );
+
+    let name = format!("scan-zgrab-{zone_tag}-{seed}");
+    let run = supervisor
+        .run(
+            store,
+            &name,
+            || ZgrabCampaign::new(population, seed, model, backend),
+            resume,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("zgrab campaign failed: {e}");
+            std::process::exit(1);
+        });
+    let zg = run.output;
+    print!("{}", checkpoint_summary("zgrab", &run.report));
+    println!(
+        "zgrab + NoCoin (TLS-only, 256 kB): {} domains flagged, 0 FPs on {} clean samples",
+        zg.hit_domains, zg.clean_sample_size
+    );
+    print!("{}", fetch_stats("zgrab fetches", &zg.fetch));
+    let mut health = vec![CampaignHealth::from_fetch("zgrab", &zg.fetch)];
+
+    if zone.chrome_scanned() {
+        let db = build_reference_db(0.7);
+        // The fingerprint memo is content-addressed, so it persists
+        // across runs keyed by the module universe it was built over.
+        let corpus_key = corpus_content_key(&generate_corpus(CORPUS_SEED));
+        let (cache, warmth) = FingerprintCache::load(store, "fingerprints", corpus_key)
+            .unwrap_or_else(|e| {
+                eprintln!("discarding unreadable fingerprint memo: {e}");
+                (FingerprintCache::new(), CacheWarmth::Cold)
+            });
+        match warmth {
+            CacheWarmth::Cold => println!("fingerprint memo: cold start"),
+            CacheWarmth::Stale { found_key } => println!(
+                "fingerprint memo: stale (corpus key {found_key:#x} ≠ {corpus_key:#x}), cold start"
             ),
-            Comparison::new("sites with Wasm", 0.0, ch.wasm_domains as f64),
-            Comparison::new("miner-Wasm sites", 0.0, ch.miner_wasm_domains as f64),
-            Comparison::new("  blocked by NoCoin", 0.0, ch.blocked_by_nocoin as f64),
-            Comparison::new("  missed by NoCoin", 0.0, ch.missed_by_nocoin as f64),
-        ];
-        // Reuse the table renderer; the 'paper' column is not meaningful
-        // for an ad-hoc zone/seed, so only print the measured side.
-        let table = comparison_table("Chrome scan", &rows);
-        for line in table.lines() {
-            // Strip the paper/delta columns for the CLI view.
-            println!("{}", line);
+            CacheWarmth::Warm { entries } => {
+                println!("fingerprint memo: warm start, {entries} entries preloaded")
+            }
         }
+
+        let name = format!("scan-chrome-{zone_tag}-{seed}");
+        let run = supervisor
+            .run(
+                store,
+                &name,
+                || ChromeCampaign::new(population, &db, seed, model, Some(&cache), backend),
+                resume,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("chrome campaign failed: {e}");
+                std::process::exit(1);
+            });
+        let ch = run.output;
+        print!("{}", checkpoint_summary("chrome", &run.report));
+        print!("{}", fetch_stats("chrome fetches", &ch.fetch));
+        health.push(CampaignHealth::from_fetch("chrome", &ch.fetch));
+        print_chrome_findings(&ch);
+
         println!(
-            "top classes: {:?}",
-            ch.class_counts.iter().take(5).collect::<Vec<_>>()
+            "fingerprint memo: {} entries, hit rate {:.1}% ({:.1}% warm, {:.1}% cold)",
+            cache.entries(),
+            cache.hit_rate() * 100.0,
+            cache.warm_hit_rate() * 100.0,
+            (cache.hit_rate() - cache.warm_hit_rate()) * 100.0,
         );
+        match cache.save(store, "fingerprints", corpus_key) {
+            Ok(bytes) => println!("fingerprint memo persisted ({bytes} bytes)"),
+            Err(e) => eprintln!("could not persist fingerprint memo: {e}"),
+        }
     } else {
         println!("(zone not part of the paper's Chrome measurement — §3.2 covers Alexa and .org)");
     }
@@ -243,7 +399,7 @@ fn cmd_attribute(args: &[String]) {
     );
 }
 
-fn cmd_shortlink(args: &[String]) {
+fn cmd_shortlink(args: &[String], resume: bool) {
     let links = arg_u64(args, 0, 50_000);
     let seed = arg_u64(args, 1, 2018);
     let enum_shards = ParallelExecutor::from_env().shards();
@@ -256,7 +412,33 @@ fn cmd_shortlink(args: &[String]) {
         enum_shards,
         ..StudyConfig::default()
     };
-    let study: StudyResult = if std::env::var("MINEDIG_ASYNC").is_ok() {
+    let study: StudyResult = if let Some(store) = ckpt_store() {
+        let backend = Backend::from_env();
+        let supervisor = supervisor_from_env();
+        println!(
+            "generating {links} short links; supervised enumeration ({} backend), \
+             checkpointing to {} every {} items{}…",
+            backend.label(),
+            store.dir().display(),
+            supervisor.policy().ckpt_every_items,
+            if resume { ", resuming" } else { "" },
+        );
+        let name = format!("shortlink-{links}-{seed}");
+        let run = run_study_supervised(&config, seed, &store, &name, &supervisor, backend, resume)
+            .unwrap_or_else(|e| {
+                eprintln!("shortlink campaign failed: {e}");
+                std::process::exit(1);
+            });
+        print!("{}", checkpoint_summary("shortlink enum", &run.report));
+        print!(
+            "{}",
+            degradation_summary(&[CampaignHealth::from_enumeration(
+                "shortlink enum",
+                &run.result.enumeration,
+            )])
+        );
+        run.result
+    } else if std::env::var("MINEDIG_ASYNC").is_ok() {
         let aexec = AsyncExecutor::from_env();
         println!(
             "generating {links} short links; async enumeration with up to \

@@ -16,7 +16,7 @@
 use minedig::analysis::poller::{FaultyJobSource, Observer, PollPolicy, WireJobSource};
 use minedig::chain::netsim::TipInfo;
 use minedig::chain::tx::Transaction;
-use minedig::net::aio::recv_ready;
+use minedig::net::aio::{recv_ready, MultiParkWait};
 use minedig::net::tcp::{TcpParker, TcpServer, TcpTransport};
 use minedig::net::transport::{Transport, TransportError};
 use minedig::pool::pool::{Pool, PoolConfig};
@@ -279,6 +279,55 @@ fn idle_sweeps_park_on_the_socket_instead_of_spinning() {
     // A 100 µs spin loop would re-probe 32 sockets ~200 times while the
     // server sleeps (~6400 repolls); parking caps idle sweeps at the
     // park budget's cadence.
+    assert!(
+        stats.io_repolls < 2_000,
+        "io_repolls {} suggests the executor span instead of parking",
+        stats.io_repolls
+    );
+    assert_eq!(asynced.current_prev(), reference.current_prev());
+    assert_eq!(asynced.stats().answered, reference.stats().answered);
+}
+
+/// Same quiet-wire setup, but the idle strategy is [`MultiParkWait`]
+/// watching *every* dialed connection instead of pinning one socket:
+/// whichever endpoint's session wakes first ends the park, and the
+/// sweep still matches the in-process observation bit for bit.
+#[test]
+fn multi_park_idle_strategy_watches_every_endpoint() {
+    let pool = pool_with_tip();
+    let p = pool.clone();
+    let server = TcpServer::spawn("127.0.0.1:0", move |mut t| {
+        std::thread::sleep(Duration::from_millis(20));
+        p.serve(&mut t, 0, || 160);
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let mut idle = MultiParkWait::new(Duration::from_millis(5));
+    let registrar = idle.registrar();
+    let source = WireJobSource::new(pool.endpoint_count(), Duration::from_secs(5), move |_| {
+        let t = TcpTransport::connect(addr).ok()?;
+        if let Ok(p) = t.parker() {
+            registrar.register(p);
+        }
+        Some(t)
+    });
+
+    let mut reference = Observer::new(pool.clone(), true);
+    let mut asynced = Observer::with_source(source, true, PollPolicy::default());
+    let aexec = AsyncExecutor::new(64);
+    reference.poll_all(1_000);
+    let stats = asynced.poll_all_async_idle(1_000, &aexec, &mut idle);
+
+    assert_eq!(
+        idle.watched(),
+        pool.endpoint_count(),
+        "every dialed connection must land in the watch set"
+    );
+    assert!(
+        idle.parks() > 0,
+        "a 20 ms quiet wire must trigger idle parking"
+    );
     assert!(
         stats.io_repolls < 2_000,
         "io_repolls {} suggests the executor span instead of parking",

@@ -1,0 +1,428 @@
+//! Crash-safety properties of the supervised campaign drivers.
+//!
+//! Headline invariant: a campaign killed at **any** progress point and
+//! resumed from its latest on-disk snapshot produces results
+//! bit-identical to an uninterrupted run — for all three campaign
+//! families (§3 scans, §4.1 enumeration, §4.2 polling), on every
+//! executor backend, clean or under an injected fault schedule — and
+//! its work accounting stays balanced around the crashes
+//! (`SuperviseReport::balanced`). Snapshots themselves are covered
+//! adversarially: corrupted, truncated, or foreign bytes must be
+//! rejected loudly, never silently restored.
+//!
+//! `MINEDIG_FAULT_SEED` offsets every fault-plan seed (the CI
+//! crash-recovery matrix axis), so each job replays the properties
+//! under a different schedule without touching the test code.
+
+use minedig::analysis::poller::{FaultyJobSource, Observer, PollCampaign, PollPolicy};
+use minedig::chain::netsim::TipInfo;
+use minedig::chain::tx::Transaction;
+use minedig::core::campaign::{ChromeCampaign, ZgrabCampaign};
+use minedig::core::scan::{build_reference_db, chrome_scan_with, zgrab_scan_with, FetchModel};
+use minedig::pool::pool::{Pool, PoolConfig};
+use minedig::primitives::ckpt::{CkptError, SnapshotStore};
+use minedig::primitives::fault::{FaultPlan, FAULT_SEED_ENV};
+use minedig::primitives::supervise::{Backend, Campaign, CrashPolicy, SuperviseError, Supervisor};
+use minedig::primitives::Hash32;
+use minedig::shortlink::campaign::EnumCampaign;
+use minedig::shortlink::enumerate::enumerate_links_with;
+use minedig::shortlink::model::{LinkPopulation, ModelConfig};
+use minedig::shortlink::probe::{FaultyProber, ProbePolicy};
+use minedig::shortlink::service::ShortlinkService;
+use minedig::web::universe::Population;
+use minedig::web::zone::Zone;
+use proptest::prelude::*;
+use std::sync::atomic::AtomicU64;
+
+/// Base fault seed from the environment (the CI matrix axis).
+fn base_seed() -> u64 {
+    std::env::var(FAULT_SEED_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Maps a drawn percentage into the kill window selected by
+/// `MINEDIG_KILL_POINT` (the other CI matrix axis): `early`/`mid`/
+/// `late` confine kills to the matching third of the campaign's
+/// progress range; unset draws across the whole range.
+fn kill_at(frac: u64, horizon: u64) -> u64 {
+    let (lo, hi) = match std::env::var("MINEDIG_KILL_POINT").ok().as_deref() {
+        Some("early") => (0, horizon / 3),
+        Some("mid") => (horizon / 3, (2 * horizon) / 3),
+        Some("late") => ((2 * horizon) / 3, horizon),
+        _ => (0, horizon),
+    };
+    (lo + frac * (hi - lo) / 100).max(1)
+}
+
+/// Every campaign backend, including the poller's streaming→sharded
+/// mapping.
+const BACKENDS: [Backend; 4] = [
+    Backend::Sequential,
+    Backend::Sharded(3),
+    Backend::Streaming {
+        workers: 2,
+        capacity: 8,
+    },
+    Backend::Async { concurrency: 16 },
+];
+
+fn backend(ix: usize) -> Backend {
+    BACKENDS[ix % BACKENDS.len()]
+}
+
+/// A fresh snapshot directory under the system temp dir.
+fn tmp_store(tag: &str) -> (std::path::PathBuf, SnapshotStore) {
+    let dir =
+        std::env::temp_dir().join(format!("minedig-ckpt-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SnapshotStore::open(&dir).expect("open snapshot store");
+    (dir, store)
+}
+
+fn supervisor_with_kills(every: u64, kills: Vec<u64>) -> Supervisor {
+    Supervisor::new(CrashPolicy {
+        ckpt_every_items: every,
+        ..CrashPolicy::default()
+    })
+    .with_kills(kills)
+}
+
+// ---------------------------------------------------------------------
+// §3 scans: kill-at-item-k × backend × fault seed ≡ uninterrupted
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn zgrab_kill_and_resume_is_uninterrupted(
+        frac in 0u64..100,
+        backend_ix in 0usize..4,
+        seed_off in 0u64..3,
+    ) {
+        let kill = kill_at(frac, 59);
+        let fault_seed = base_seed().wrapping_add(seed_off);
+        let model = if fault_seed % 2 == 0 {
+            FetchModel::default()
+        } else {
+            FetchModel::outlasting(FaultPlan::transient_only(fault_seed, 0.3))
+        };
+        let pop = Population::generate(Zone::Org, 42, 40);
+        let expected = zgrab_scan_with(&pop, 9, &model);
+
+        let (dir, store) = tmp_store(&format!("zgrab-{kill}-{backend_ix}-{seed_off}"));
+        let sup = supervisor_with_kills(16, vec![kill, kill + 17]);
+        let run = sup
+            .run(
+                &store,
+                "zgrab",
+                || ZgrabCampaign::new(&pop, 9, &model, backend(backend_ix)),
+                false,
+            )
+            .unwrap();
+        prop_assert_eq!(&run.output, &expected);
+        prop_assert!(run.report.crashes >= 1, "kill at {} never fired", kill);
+        prop_assert!(run.report.balanced(), "{:?}", run.report);
+        prop_assert!(run.output.fetch.balanced(), "{:?}", run.output.fetch);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chrome_kill_and_resume_is_uninterrupted(
+        frac in 0u64..100,
+        backend_ix in 0usize..4,
+        seed_off in 0u64..3,
+    ) {
+        let kill = kill_at(frac, 49);
+        let fault_seed = base_seed().wrapping_add(seed_off);
+        let model = if fault_seed % 2 == 0 {
+            FetchModel::default()
+        } else {
+            FetchModel::outlasting(FaultPlan::transient_only(fault_seed, 0.3))
+        };
+        let pop = Population::generate(Zone::Org, 21, 30);
+        let db = build_reference_db(0.7);
+        let expected = chrome_scan_with(&pop, &db, 9, &model);
+
+        let (dir, store) = tmp_store(&format!("chrome-{kill}-{backend_ix}-{seed_off}"));
+        let sup = supervisor_with_kills(8, vec![kill]);
+        let run = sup
+            .run(
+                &store,
+                "chrome",
+                || ChromeCampaign::new(&pop, &db, 9, &model, None, backend(backend_ix)),
+                false,
+            )
+            .unwrap();
+        prop_assert_eq!(&run.output, &expected);
+        prop_assert!(run.report.crashes >= 1, "kill at {} never fired", kill);
+        prop_assert!(run.report.balanced(), "{:?}", run.report);
+        prop_assert!(run.output.fetch.balanced(), "{:?}", run.output.fetch);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------
+// §4.1 enumeration: the walk's stop rule survives kills, with faults
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn enum_walk_kill_and_resume_is_uninterrupted(
+        frac in 0u64..100,
+        backend_ix in 0usize..4,
+        seed_off in 0u64..3,
+    ) {
+        let kill = kill_at(frac, 699);
+        let service = ShortlinkService::new(LinkPopulation::generate(&ModelConfig {
+            total_links: 600,
+            users: 40,
+            seed: 11,
+        }));
+        let plan = FaultPlan::transient_only(base_seed().wrapping_add(seed_off), 0.3);
+        let policy = ProbePolicy::outlasting(&plan);
+        let prober = FaultyProber::new(&service, plan);
+        let expected = enumerate_links_with(&prober, 32, &policy);
+
+        let (dir, store) = tmp_store(&format!("enum-{kill}-{backend_ix}-{seed_off}"));
+        let sup = supervisor_with_kills(64, vec![kill]);
+        let run = sup
+            .run(
+                &store,
+                "enum",
+                || EnumCampaign::new(&prober, &policy, 32, backend(backend_ix)),
+                false,
+            )
+            .unwrap();
+        let e = &run.output.enumeration;
+        prop_assert_eq!(&e.docs, &expected.docs);
+        prop_assert_eq!(e.probed, expected.probed);
+        prop_assert_eq!(e.failed_probes, expected.failed_probes);
+        prop_assert_eq!(e.probe_retries, expected.probe_retries);
+        prop_assert!(run.report.balanced(), "{:?}", run.report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------
+// §4.2 polling: cluster state and stats survive kills, with faults
+// ---------------------------------------------------------------------
+
+fn pool_with_tip() -> Pool {
+    let pool = Pool::new(PoolConfig::default());
+    pool.announce_tip(&TipInfo {
+        height: 10,
+        prev_id: Hash32::keccak(b"prev-10"),
+        prev_timestamp: 1_000,
+        reward: 1_000_000,
+        difficulty: 100,
+        mempool: vec![Transaction::transfer(Hash32::keccak(b"m"))],
+    });
+    pool
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn poll_kill_and_resume_is_uninterrupted(
+        frac in 0u64..100,
+        backend_ix in 0usize..4,
+        seed_off in 0u64..3,
+    ) {
+        let kill = kill_at(frac, 19);
+        let pool = pool_with_tip();
+        let plan = FaultPlan::transient_only(base_seed().wrapping_add(seed_off), 0.3);
+        let policy = PollPolicy::outlasting(&plan);
+        let ticks = 20u64;
+
+        // Uninterrupted reference: one observer polling every tick.
+        let mut reference = Observer::with_source(
+            FaultyJobSource::new(pool.clone(), plan.clone()),
+            true,
+            policy.clone(),
+        );
+        for t in 0..ticks {
+            reference.poll_all(1_000 + t * 5);
+        }
+
+        let (dir, store) = tmp_store(&format!("poll-{kill}-{backend_ix}-{seed_off}"));
+        let sup = supervisor_with_kills(4, vec![kill]);
+        let run = sup
+            .run(
+                &store,
+                "poll",
+                || {
+                    let observer = Observer::with_source(
+                        FaultyJobSource::new(pool.clone(), plan.clone()),
+                        true,
+                        policy.clone(),
+                    );
+                    PollCampaign::new(observer, 1_000, 5, ticks, backend(backend_ix))
+                },
+                false,
+            )
+            .unwrap();
+        let observer = run.output;
+        prop_assert_eq!(run.report.crashes, 1);
+        prop_assert!(run.report.balanced(), "{:?}", run.report);
+        prop_assert_eq!(observer.current_prev(), reference.current_prev());
+        prop_assert_eq!(observer.current_blob_count(), reference.current_blob_count());
+        prop_assert_eq!(observer.stats(), reference.stats());
+        prop_assert!(observer.stats().balanced(), "{:?}", observer.stats());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-process resume: restart budget exhausted, then `--resume`
+// ---------------------------------------------------------------------
+
+/// A supervisor whose restart budget runs out mid-campaign leaves a
+/// valid snapshot behind; a *fresh* supervisor started with
+/// `resume = true` — the CLI's `--resume` — finishes the campaign and
+/// the result is still bit-identical to an uninterrupted run.
+#[test]
+fn resume_after_restart_budget_exhaustion_completes_the_campaign() {
+    let pop = Population::generate(Zone::Org, 42, 40);
+    let model = FetchModel::default();
+    let expected = zgrab_scan_with(&pop, 9, &model);
+    let (dir, store) = tmp_store("exhausted");
+
+    let doomed = Supervisor::new(CrashPolicy {
+        ckpt_every_items: 16,
+        max_restarts: 0,
+        ..CrashPolicy::default()
+    })
+    .with_kills(vec![20]);
+    let err = doomed
+        .run(
+            &store,
+            "zgrab",
+            || ZgrabCampaign::new(&pop, 9, &model, Backend::Sequential),
+            false,
+        )
+        .unwrap_err();
+    assert!(matches!(err, SuperviseError::RestartsExhausted(_)));
+
+    // Simulated new process: fresh supervisor, --resume.
+    let sup = Supervisor::new(CrashPolicy {
+        ckpt_every_items: 16,
+        ..CrashPolicy::default()
+    });
+    let run = sup
+        .run(
+            &store,
+            "zgrab",
+            || ZgrabCampaign::new(&pop, 9, &model, Backend::Sequential),
+            true,
+        )
+        .unwrap();
+    assert_eq!(run.output, expected);
+    assert!(run.report.balanced(), "{:?}", run.report);
+    assert!(
+        run.report.start_progress > 0,
+        "resume must continue from the snapshot, not item 0"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot integrity: damaged bytes are rejected, never restored
+// ---------------------------------------------------------------------
+
+/// Writes a checkpoint, then damages the on-disk bytes in every way the
+/// format guards against; each damaged variant must be rejected with
+/// the matching error instead of restoring a wrong campaign state.
+#[test]
+fn damaged_snapshots_are_rejected() {
+    let pop = Population::generate(Zone::Org, 42, 20);
+    let model = FetchModel::default();
+    let (dir, store) = tmp_store("damage");
+
+    let mut campaign = ZgrabCampaign::new(&pop, 9, &model, Backend::Sequential);
+    campaign.run_items(10, &AtomicU64::new(0));
+    let snap = minedig::primitives::ckpt::Checkpointable::snapshot(&campaign);
+    store.save("zgrab", &snap).expect("save");
+    let path = store.path("zgrab");
+    let pristine = std::fs::read(&path).expect("read snapshot");
+
+    // Flip one payload byte: checksum trailer must catch it.
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    std::fs::write(&path, &flipped).expect("write");
+    assert!(matches!(
+        store.load("zgrab"),
+        Err(CkptError::ChecksumMismatch)
+    ));
+
+    // Truncate at every prefix length: never a silent partial restore.
+    // Short prefixes die on the header checks; longer ones leave a
+    // plausible-looking file whose trailer no longer matches.
+    for keep in [0, 3, 7, pristine.len() / 2, pristine.len() - 1] {
+        std::fs::write(&path, &pristine[..keep]).expect("write");
+        assert!(
+            matches!(
+                store.load("zgrab"),
+                Err(CkptError::Truncated) | Err(CkptError::ChecksumMismatch)
+            ),
+            "prefix of {keep} bytes must not load"
+        );
+    }
+
+    // Foreign magic: rejected before any parsing.
+    let mut foreign = pristine.clone();
+    foreign[0] ^= 0xFF;
+    std::fs::write(&path, &foreign).expect("write");
+    assert!(matches!(store.load("zgrab"), Err(CkptError::BadMagic)));
+
+    // The supervisor surfaces the damage instead of restarting from
+    // scratch over a corrupt snapshot.
+    std::fs::write(&path, &flipped).expect("write");
+    let sup = Supervisor::new(CrashPolicy::default());
+    let err = sup
+        .run(
+            &store,
+            "zgrab",
+            || ZgrabCampaign::new(&pop, 9, &model, Backend::Sequential),
+            true,
+        )
+        .unwrap_err();
+    assert!(matches!(err, SuperviseError::Ckpt(_)), "{err:?}");
+
+    // And the pristine bytes still restore exactly.
+    std::fs::write(&path, &pristine).expect("write");
+    let expected = zgrab_scan_with(&pop, 9, &model);
+    let run = sup
+        .run(
+            &store,
+            "zgrab",
+            || ZgrabCampaign::new(&pop, 9, &model, Backend::Sequential),
+            true,
+        )
+        .unwrap();
+    assert_eq!(run.output, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A snapshot from one campaign must not restore into a campaign over
+/// different inputs (the zone guard in the scan snapshot).
+#[test]
+fn snapshot_for_another_population_is_rejected() {
+    let org = Population::generate(Zone::Org, 7, 10);
+    let net = Population::generate(Zone::Net, 7, 10);
+    let model = FetchModel::default();
+    let mut source = ZgrabCampaign::new(&org, 9, &model, Backend::Sequential);
+    source.run_items(5, &AtomicU64::new(0));
+    let snap = minedig::primitives::ckpt::Checkpointable::snapshot(&source);
+    let mut target = ZgrabCampaign::new(&net, 9, &model, Backend::Sequential);
+    assert!(matches!(
+        minedig::primitives::ckpt::Checkpointable::restore(&mut target, &snap),
+        Err(CkptError::Corrupt(_))
+    ));
+}
