@@ -587,6 +587,76 @@ impl<S: JobSource> Observer<S> {
     pub fn stats(&self) -> &PollStats {
         &self.stats
     }
+
+    /// Appends the observer's complete cross-sweep state to a snapshot
+    /// payload: [`PollStats`], the current prev pointer with its root
+    /// and blob clusters, and the source's per-endpoint connection-down
+    /// flags. [`PollCampaign`] and the §4.2 scenario campaign both
+    /// checkpoint through this, so the two formats cannot drift.
+    pub fn write_state(&self, w: &mut SnapWriter) {
+        let s = &self.stats;
+        w.u64(s.polls);
+        w.u64(s.answered);
+        w.u64(s.offline);
+        w.u64(s.other_errors);
+        w.u64(s.parse_failures);
+        w.u64(s.endpoints_down);
+        w.u64(s.retries);
+        w.u64(s.reconnects);
+        w.len(s.max_blobs_per_prev);
+        w.opt(self.current_prev.as_ref(), |w, h| w.hash(h));
+        w.len(self.current_roots.len());
+        for root in &self.current_roots {
+            w.hash(root);
+        }
+        w.len(self.current_blobs.len());
+        for blob in &self.current_blobs {
+            w.bytes(blob);
+        }
+        let down = self.source.connections_down();
+        w.len(down.len());
+        for d in down {
+            w.bool(d);
+        }
+    }
+
+    /// Restores state written by [`write_state`](Observer::write_state)
+    /// onto a freshly-initialized observer.
+    pub fn read_state(&mut self, r: &mut SnapReader) -> Result<(), CkptError> {
+        let stats = PollStats {
+            polls: r.u64()?,
+            answered: r.u64()?,
+            offline: r.u64()?,
+            other_errors: r.u64()?,
+            parse_failures: r.u64()?,
+            endpoints_down: r.u64()?,
+            retries: r.u64()?,
+            reconnects: r.u64()?,
+            max_blobs_per_prev: r.len()?,
+        };
+        let current_prev = r.opt(|r| r.hash())?;
+        let n = r.len()?;
+        let mut current_roots = BTreeSet::new();
+        for _ in 0..n {
+            current_roots.insert(r.hash()?);
+        }
+        let n = r.len()?;
+        let mut current_blobs = BTreeSet::new();
+        for _ in 0..n {
+            current_blobs.insert(r.bytes()?);
+        }
+        let n = r.len()?;
+        let mut down = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            down.push(r.bool()?);
+        }
+        self.stats = stats;
+        self.current_prev = current_prev;
+        self.current_roots = current_roots;
+        self.current_blobs = current_blobs;
+        self.source.set_connections_down(&down);
+        Ok(())
+    }
 }
 
 /// One endpoint's in-flight fetch attempt as an executor I/O source.
@@ -881,33 +951,9 @@ impl<S: AsyncJobSource> Checkpointable for PollCampaign<S> {
     }
 
     fn snapshot(&self) -> Snapshot {
-        let o = &self.observer;
         let mut w = SnapWriter::new();
         w.u64(self.next_tick);
-        let s = &o.stats;
-        w.u64(s.polls);
-        w.u64(s.answered);
-        w.u64(s.offline);
-        w.u64(s.other_errors);
-        w.u64(s.parse_failures);
-        w.u64(s.endpoints_down);
-        w.u64(s.retries);
-        w.u64(s.reconnects);
-        w.len(s.max_blobs_per_prev);
-        w.opt(o.current_prev.as_ref(), |w, h| w.hash(h));
-        w.len(o.current_roots.len());
-        for root in &o.current_roots {
-            w.hash(root);
-        }
-        w.len(o.current_blobs.len());
-        for blob in &o.current_blobs {
-            w.bytes(blob);
-        }
-        let down = o.source.connections_down();
-        w.len(down.len());
-        for d in down {
-            w.bool(d);
-        }
+        self.observer.write_state(&mut w);
         Snapshot::new(self.next_tick, w.finish())
     }
 
@@ -917,40 +963,9 @@ impl<S: AsyncJobSource> Checkpointable for PollCampaign<S> {
         if next_tick > self.ticks {
             return Err(CkptError::Corrupt("tick cursor beyond campaign"));
         }
-        let stats = PollStats {
-            polls: r.u64()?,
-            answered: r.u64()?,
-            offline: r.u64()?,
-            other_errors: r.u64()?,
-            parse_failures: r.u64()?,
-            endpoints_down: r.u64()?,
-            retries: r.u64()?,
-            reconnects: r.u64()?,
-            max_blobs_per_prev: r.len()?,
-        };
-        let current_prev = r.opt(|r| r.hash())?;
-        let n = r.len()?;
-        let mut current_roots = BTreeSet::new();
-        for _ in 0..n {
-            current_roots.insert(r.hash()?);
-        }
-        let n = r.len()?;
-        let mut current_blobs = BTreeSet::new();
-        for _ in 0..n {
-            current_blobs.insert(r.bytes()?);
-        }
-        let n = r.len()?;
-        let mut down = Vec::with_capacity(n.min(1024));
-        for _ in 0..n {
-            down.push(r.bool()?);
-        }
+        self.observer.read_state(&mut r)?;
         r.expect_end()?;
         self.next_tick = next_tick;
-        self.observer.stats = stats;
-        self.observer.current_prev = current_prev;
-        self.observer.current_roots = current_roots;
-        self.observer.current_blobs = current_blobs;
-        self.observer.source.set_connections_down(&down);
         Ok(())
     }
 }

@@ -7,11 +7,17 @@ use crate::poller::{AsyncJobSource, FaultyJobSource, Observer, PollPolicy, PollS
 use minedig_chain::netsim::{Actor, MinedEvent, NetSim, NetSimConfig, SoloSource};
 use minedig_pool::pool::{Pool, PoolConfig};
 use minedig_primitives::aexec::{AsyncExecutor, AsyncStats};
+use minedig_primitives::ckpt::{
+    Checkpointable, CkptError, SnapReader, SnapWriter, Snapshot, SnapshotStore,
+};
 use minedig_primitives::fault::FaultPlan;
 use minedig_primitives::par::ParallelExecutor;
 use minedig_primitives::retry::RetryPolicy;
+use minedig_primitives::supervise::{Campaign, SuperviseError, SupervisedRun, Supervisor};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A piecewise-constant rate segment.
 #[derive(Clone, Copy, Debug)]
@@ -25,6 +31,7 @@ pub struct RateSegment {
 }
 
 /// Scenario configuration. Defaults model the Figure 5 window.
+#[derive(Clone)]
 pub struct ScenarioConfig {
     /// Observation start (default 2018-04-26 00:00 UTC).
     pub start_time: u64,
@@ -142,6 +149,7 @@ impl ScenarioConfig {
 }
 
 /// Scenario output.
+#[derive(Debug)]
 pub struct ScenarioResult {
     /// Blocks the methodology attributed to the pool.
     pub attributed: Vec<AttributedBlock>,
@@ -212,113 +220,372 @@ fn run_scenario_with<S: AsyncJobSource + Send + 'static>(
     pool: Pool,
     observer: Observer<S>,
 ) -> ScenarioResult {
-    let observer = Arc::new(Mutex::new(observer));
-    let end_time = config.start_time + config.duration_days * 86_400;
-    let async_stats: Arc<Mutex<AsyncStats>> = Arc::new(Mutex::new(AsyncStats::default()));
+    let mut campaign = ScenarioCampaign::new(config, pool, observer);
+    let heartbeat = AtomicU64::new(0);
+    while !campaign.is_done() {
+        campaign.run_items(u64::MAX, &heartbeat);
+    }
+    campaign.finish()
+}
 
-    let config = Arc::new(config);
-    let pool_actor = Actor {
-        name: "coinhive".to_string(),
-        profile: {
+/// The §4.2 scenario as a killable, resumable [`Campaign`]: one item =
+/// one accepted block event (one [`NetSim::step`], including its poll
+/// sweeps over the inter-block interval).
+///
+/// The simulator itself is not serialized. Its whole trajectory — block
+/// times, winners, templates, difficulties — is a pure function of the
+/// config and seed, and the observation hook only *reads* the pool, so
+/// the snapshot carries just the step cursor plus the state that folds
+/// across steps: the attributor's verdicts, the observer's cross-sweep
+/// state (via [`Observer::write_state`]) and the aggregated async
+/// executor counters. `restore` rebuilds the simulator by replaying the
+/// first `steps` events with polling suppressed (outage toggles still
+/// applied), recomputing `difficulties`/`ground_truth`/`total_blocks`
+/// along the way, then overlays the snapshot state — so a
+/// killed-and-resumed run reproduces the uninterrupted scenario bit for
+/// bit, for any sweep backend and fault schedule.
+pub struct ScenarioCampaign<S: AsyncJobSource + Send + 'static> {
+    config: Arc<ScenarioConfig>,
+    observer: Arc<Mutex<Observer<S>>>,
+    async_stats: Arc<Mutex<AsyncStats>>,
+    /// When set, the interval hook skips poll sweeps (restore replay).
+    replaying: Arc<AtomicBool>,
+    sim: NetSim,
+    end_time: u64,
+    attributor: Attributor,
+    difficulties: Vec<u64>,
+    ground_truth: Vec<MinedEvent>,
+    total_blocks: u64,
+    /// Count of `sim.step()` calls performed — the progress key.
+    steps: u64,
+    done: bool,
+}
+
+impl<S: AsyncJobSource + Send + 'static> ScenarioCampaign<S> {
+    /// Builds the simulator, actors and observation hook for one
+    /// scenario run over a freshly-initialized observer.
+    pub fn new(config: ScenarioConfig, pool: Pool, observer: Observer<S>) -> ScenarioCampaign<S> {
+        let observer = Arc::new(Mutex::new(observer));
+        let end_time = config.start_time + config.duration_days * 86_400;
+        let async_stats: Arc<Mutex<AsyncStats>> = Arc::new(Mutex::new(AsyncStats::default()));
+        let replaying = Arc::new(AtomicBool::new(false));
+
+        let config = Arc::new(config);
+        let pool_actor = Actor {
+            name: "coinhive".to_string(),
+            profile: {
+                let config = config.clone();
+                Box::new(move |t| config.pool_rate(t))
+            },
+            source: Box::new(pool.template_source()),
+        };
+        let network_actor = Actor {
+            name: "rest-of-network".to_string(),
+            profile: {
+                let config = config.clone();
+                Box::new(move |t| config.segment_at(t).network)
+            },
+            source: Box::new(SoloSource::new("rest-of-network")),
+        };
+
+        let mut sim = NetSim::new(
+            NetSimConfig {
+                start_time: config.start_time,
+                initial_difficulty: config.initial_difficulty,
+                mean_txs_per_block: config.mean_txs_per_block,
+                seed: config.seed,
+                ..NetSimConfig::default()
+            },
+            vec![network_actor, pool_actor],
+        );
+
+        // The observation hook: poll all endpoints across each
+        // inter-block interval, toggling pool availability per the
+        // outage schedule. During a restore replay the sweeps are
+        // skipped (the observer's state comes from the snapshot) but
+        // the outage toggles still run, so the pool traverses the same
+        // state sequence as the original run.
+        {
+            let observer = observer.clone();
+            let pool = pool.clone();
             let config = config.clone();
-            Box::new(move |t| config.pool_rate(t))
-        },
-        source: Box::new(pool.template_source()),
-    };
-    let network_actor = Actor {
-        name: "rest-of-network".to_string(),
-        profile: {
-            let config = config.clone();
-            Box::new(move |t| config.segment_at(t).network)
-        },
-        source: Box::new(SoloSource::new("rest-of-network")),
-    };
-
-    let mut sim = NetSim::new(
-        NetSimConfig {
-            start_time: config.start_time,
-            initial_difficulty: config.initial_difficulty,
-            mean_txs_per_block: config.mean_txs_per_block,
-            seed: config.seed,
-            ..NetSimConfig::default()
-        },
-        vec![network_actor, pool_actor],
-    );
-
-    // The observation hook: poll all endpoints across each inter-block
-    // interval, toggling pool availability per the outage schedule.
-    {
-        let observer = observer.clone();
-        let pool = pool.clone();
-        let config = config.clone();
-        let interval = config.poll_interval_secs.max(1);
-        let executor = ParallelExecutor::new(config.poll_shards);
-        let async_exec = config.poll_async.map(AsyncExecutor::new);
-        let async_stats = async_stats.clone();
-        sim.set_interval_hook(Box::new(move |from, to| {
-            let mut obs = observer.lock();
-            // Sharded and async sweeps are bit-identical; the async path
-            // additionally aggregates its executor stats for the report.
-            let sweep = |obs: &mut Observer<S>, t: u64| match &async_exec {
-                Some(aexec) => {
-                    let s = obs.poll_all_async(t, aexec);
-                    async_stats.lock().absorb(&s);
+            let replaying = replaying.clone();
+            let interval = config.poll_interval_secs.max(1);
+            let executor = ParallelExecutor::new(config.poll_shards);
+            let async_exec = config.poll_async.map(AsyncExecutor::new);
+            let async_stats = async_stats.clone();
+            sim.set_interval_hook(Box::new(move |from, to| {
+                let replay = replaying.load(Ordering::Relaxed);
+                let mut obs = observer.lock();
+                // Sharded and async sweeps are bit-identical; the async
+                // path additionally aggregates its executor stats for
+                // the report.
+                let sweep = |obs: &mut Observer<S>, t: u64| match &async_exec {
+                    Some(aexec) => {
+                        let s = obs.poll_all_async(t, aexec);
+                        async_stats.lock().absorb(&s);
+                    }
+                    None => {
+                        obs.poll_all_sharded(t, &executor);
+                    }
+                };
+                let mut t = from - from % interval + interval;
+                let mut polled_end = false;
+                while t <= to {
+                    pool.set_online(!config.in_outage(t));
+                    if !replay {
+                        sweep(&mut obs, t);
+                    }
+                    polled_end = t == to;
+                    t += interval;
                 }
-                None => {
-                    obs.poll_all_sharded(t, &executor);
+                // Always sample the interval end: the paper's 500 ms
+                // cadence is far finer than the pool's template refresh,
+                // so the version active at block-discovery time was
+                // always observed.
+                pool.set_online(!config.in_outage(to));
+                if !polled_end && !config.in_outage(to) && !replay {
+                    sweep(&mut obs, to);
                 }
-            };
-            let mut t = from - from % interval + interval;
-            let mut polled_end = false;
-            while t <= to {
-                pool.set_online(!config.in_outage(t));
-                sweep(&mut obs, t);
-                polled_end = t == to;
-                t += interval;
-            }
-            // Always sample the interval end: the paper's 500 ms cadence
-            // is far finer than the pool's template refresh, so the
-            // version active at block-discovery time was always observed.
-            pool.set_online(!config.in_outage(to));
-            if !polled_end && !config.in_outage(to) {
-                sweep(&mut obs, to);
-            }
-        }));
+            }));
+        }
+
+        ScenarioCampaign {
+            config,
+            observer,
+            async_stats,
+            replaying,
+            sim,
+            end_time,
+            attributor: Attributor::new(),
+            difficulties: Vec::new(),
+            ground_truth: Vec::new(),
+            total_blocks: 0,
+            steps: 0,
+            done: false,
+        }
     }
 
-    let mut attributor = Attributor::new();
-    let mut difficulties = Vec::new();
-    let mut ground_truth = Vec::new();
-    let mut total_blocks = 0u64;
-    while sim.now() < end_time {
-        let Some(ev) = sim.step() else { break };
-        if ev.found_at >= end_time {
-            break;
-        }
-        total_blocks += 1;
-        difficulties.push(ev.difficulty);
-        let block = sim
+    /// Folds one in-window block event into the campaign state.
+    fn apply_event(&mut self, ev: MinedEvent) {
+        self.total_blocks += 1;
+        self.difficulties.push(ev.difficulty);
+        let block = self
+            .sim
             .chain()
             .block_at(ev.height)
             .expect("event height exists")
             .clone();
-        let cluster = observer.lock().take_cluster(&block.header.prev_id);
-        attributor.judge(&block, ev.found_at, cluster.as_ref());
+        let cluster = self.observer.lock().take_cluster(&block.header.prev_id);
+        self.attributor.judge(&block, ev.found_at, cluster.as_ref());
         if ev.actor_name == "coinhive" {
-            ground_truth.push(ev);
+            self.ground_truth.push(ev);
+        }
+    }
+}
+
+impl<S: AsyncJobSource + Send + 'static> Checkpointable for ScenarioCampaign<S> {
+    fn progress_key(&self) -> u64 {
+        self.steps
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut w = SnapWriter::new();
+        w.u64(self.steps);
+        w.bool(self.done);
+        let a = &self.attributor;
+        w.len(a.attributed.len());
+        for b in &a.attributed {
+            w.u64(b.height);
+            w.hash(&b.block_id);
+            w.u64(b.timestamp);
+            w.u64(b.found_at);
+            w.u64(b.reward);
+        }
+        w.u64(a.unmatched);
+        w.u64(a.gaps);
+        {
+            let s = self.async_stats.lock();
+            w.len(s.concurrency);
+            w.u64(s.tasks);
+            w.u64(s.completed);
+            w.u64(s.in_flight_high_water);
+            w.u64(s.polls);
+            w.u64(s.wakeups);
+            w.u64(s.timer_fires);
+            w.u64(s.io_repolls);
+            w.u64(s.virtual_ms);
+            w.u64(s.elapsed.as_nanos() as u64);
+        }
+        self.observer.lock().write_state(&mut w);
+        Snapshot::new(self.steps, w.finish())
+    }
+
+    fn restore(&mut self, snap: &Snapshot) -> Result<(), CkptError> {
+        let mut r = SnapReader::new(&snap.payload);
+        let steps = r.u64()?;
+        let done = r.bool()?;
+        let n = r.len()?;
+        let mut attributed = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            attributed.push(AttributedBlock {
+                height: r.u64()?,
+                block_id: r.hash()?,
+                timestamp: r.u64()?,
+                found_at: r.u64()?,
+                reward: r.u64()?,
+            });
+        }
+        let unmatched = r.u64()?;
+        let gaps = r.u64()?;
+        let async_stats = AsyncStats {
+            concurrency: r.len()?,
+            tasks: r.u64()?,
+            completed: r.u64()?,
+            in_flight_high_water: r.u64()?,
+            polls: r.u64()?,
+            wakeups: r.u64()?,
+            timer_fires: r.u64()?,
+            io_repolls: r.u64()?,
+            virtual_ms: r.u64()?,
+            elapsed: Duration::from_nanos(r.u64()?),
+        };
+        self.observer.lock().read_state(&mut r)?;
+        r.expect_end()?;
+
+        // Fast-forward: re-run the simulator through the first `steps`
+        // events with polling suppressed, re-deriving the event-fold
+        // state the snapshot deliberately omits.
+        self.replaying.store(true, Ordering::Relaxed);
+        for _ in 0..steps {
+            if self.sim.now() >= self.end_time {
+                self.replaying.store(false, Ordering::Relaxed);
+                return Err(CkptError::Corrupt("replay ran past the window"));
+            }
+            let Some(ev) = self.sim.step() else {
+                self.replaying.store(false, Ordering::Relaxed);
+                return Err(CkptError::Corrupt("simulator exhausted during replay"));
+            };
+            if ev.found_at >= self.end_time {
+                // The breaking event: observed but never folded.
+                continue;
+            }
+            self.total_blocks += 1;
+            self.difficulties.push(ev.difficulty);
+            if ev.actor_name == "coinhive" {
+                self.ground_truth.push(ev);
+            }
+        }
+        self.replaying.store(false, Ordering::Relaxed);
+
+        self.steps = steps;
+        self.done = done;
+        self.attributor = Attributor {
+            attributed,
+            unmatched,
+            gaps,
+        };
+        *self.async_stats.lock() = async_stats;
+        Ok(())
+    }
+}
+
+impl<S: AsyncJobSource + Send + 'static> Campaign for ScenarioCampaign<S> {
+    type Output = ScenarioResult;
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn run_items(&mut self, budget: u64, heartbeat: &AtomicU64) {
+        for _ in 0..budget {
+            if self.done {
+                return;
+            }
+            if self.sim.now() >= self.end_time {
+                self.done = true;
+                return;
+            }
+            let Some(ev) = self.sim.step() else {
+                self.done = true;
+                return;
+            };
+            self.steps += 1;
+            heartbeat.fetch_add(1, Ordering::Relaxed);
+            if ev.found_at >= self.end_time {
+                // The step ran (and polled) but its block falls outside
+                // the window — the uninterrupted loop's break point.
+                self.done = true;
+                return;
+            }
+            self.apply_event(ev);
         }
     }
 
-    let network = network_estimate(&mut difficulties);
-    let poll_stats = observer.lock().stats().clone();
-    ScenarioResult {
-        attributed: attributor.attributed,
-        ground_truth,
-        total_blocks,
-        network,
-        poll_stats,
-        poll_async_stats: config.poll_async.map(|_| async_stats.lock().clone()),
-        window: (config.start_time, end_time),
+    fn virtual_now_ms(&self) -> u64 {
+        self.sim.now().saturating_mul(1_000)
+    }
+
+    fn finish(mut self) -> ScenarioResult {
+        let network = network_estimate(&mut self.difficulties);
+        let poll_stats = self.observer.lock().stats().clone();
+        ScenarioResult {
+            attributed: self.attributor.attributed,
+            ground_truth: self.ground_truth,
+            total_blocks: self.total_blocks,
+            network,
+            poll_stats,
+            poll_async_stats: self
+                .config
+                .poll_async
+                .map(|_| self.async_stats.lock().clone()),
+            window: (self.config.start_time, self.end_time),
+        }
+    }
+}
+
+/// Runs the full scenario under a [`Supervisor`]: checkpointed into
+/// `store` every `CrashPolicy` interval, killable at any block event,
+/// resumable with `resume` — and bit-identical to [`run_scenario`] on
+/// the same config (the unsupervised path drives the very same
+/// [`ScenarioCampaign`]).
+pub fn run_scenario_supervised(
+    config: &ScenarioConfig,
+    store: &SnapshotStore,
+    name: &str,
+    supervisor: &Supervisor,
+    resume: bool,
+) -> Result<SupervisedRun<ScenarioResult>, SuperviseError> {
+    match config.poll_faults.clone() {
+        None => supervisor.run(
+            store,
+            name,
+            || {
+                let pool = Pool::new(config.pool.clone());
+                let policy = PollPolicy {
+                    retry: config.poll_retry.clone(),
+                    jitter_seed: config.seed,
+                };
+                let observer = Observer::with_source(pool.clone(), true, policy);
+                ScenarioCampaign::new(config.clone(), pool, observer)
+            },
+            resume,
+        ),
+        Some(plan) => supervisor.run(
+            store,
+            name,
+            || {
+                let pool = Pool::new(config.pool.clone());
+                let policy = PollPolicy {
+                    retry: config.poll_retry.clone(),
+                    jitter_seed: plan.seed(),
+                };
+                let source = FaultyJobSource::new(pool.clone(), plan.clone());
+                let observer = Observer::with_source(source, true, policy);
+                ScenarioCampaign::new(config.clone(), pool, observer)
+            },
+            resume,
+        ),
     }
 }
 
@@ -480,6 +747,118 @@ mod tests {
         assert_eq!(asy.poll_stats.retries, seq.poll_stats.retries);
         assert_eq!(asy.poll_stats.reconnects, seq.poll_stats.reconnects);
         assert!(asy.poll_stats.balanced());
+    }
+
+    fn assert_results_eq(a: &ScenarioResult, b: &ScenarioResult, ctx: &str) {
+        assert_eq!(a.attributed, b.attributed, "{ctx}");
+        assert_eq!(a.total_blocks, b.total_blocks, "{ctx}");
+        assert_eq!(
+            a.ground_truth
+                .iter()
+                .map(|e| e.block_id)
+                .collect::<Vec<_>>(),
+            b.ground_truth
+                .iter()
+                .map(|e| e.block_id)
+                .collect::<Vec<_>>(),
+            "{ctx}"
+        );
+        assert_eq!(a.poll_stats, b.poll_stats, "{ctx}");
+        assert_eq!(
+            a.network.median_difficulty, b.network.median_difficulty,
+            "{ctx}"
+        );
+        assert_eq!(a.window, b.window, "{ctx}");
+    }
+
+    fn sup_store(tag: &str) -> (std::path::PathBuf, SnapshotStore) {
+        let dir =
+            std::env::temp_dir().join(format!("minedig-scenario-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (dir.clone(), SnapshotStore::open(dir).unwrap())
+    }
+
+    #[test]
+    fn supervised_scenario_with_kills_matches_uninterrupted() {
+        use minedig_primitives::supervise::CrashPolicy;
+        let reference = short_scenario(2, 9);
+        let config = ScenarioConfig {
+            duration_days: 2,
+            seed: 9,
+            ..ScenarioConfig::default()
+        };
+        let (dir, store) = sup_store("kills");
+        let sup = Supervisor::new(CrashPolicy {
+            ckpt_every_items: 4,
+            ..CrashPolicy::default()
+        })
+        .with_kills(vec![3, 11]);
+        let run = run_scenario_supervised(&config, &store, "attr", &sup, false).unwrap();
+        assert_results_eq(&run.output, &reference, "killed at 3 and 11");
+        assert_eq!(run.report.crashes, 2);
+        assert!(run.report.items_lost > 0, "kills must discard work");
+        assert!(run.report.balanced(), "{:?}", run.report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn supervised_scenario_resumes_across_processes() {
+        use minedig_primitives::supervise::{CrashPolicy, SuperviseError};
+        let reference = short_scenario(2, 5);
+        let config = ScenarioConfig {
+            duration_days: 2,
+            seed: 5,
+            ..ScenarioConfig::default()
+        };
+        let (dir, store) = sup_store("resume");
+        // First process dies at every step after the first checkpoint…
+        let doomed = Supervisor::new(CrashPolicy {
+            ckpt_every_items: 4,
+            max_restarts: 1,
+            ..CrashPolicy::default()
+        })
+        .with_kills((5..10_000).collect());
+        let err = run_scenario_supervised(&config, &store, "attr", &doomed, false).unwrap_err();
+        assert!(matches!(err, SuperviseError::RestartsExhausted(_)));
+        // …and a fresh supervisor resumes from its surviving snapshot.
+        let sup = Supervisor::new(CrashPolicy::default());
+        let run = run_scenario_supervised(&config, &store, "attr", &sup, true).unwrap();
+        assert!(run.report.start_progress > 0, "must resume mid-way");
+        assert_results_eq(&run.output, &reference, "resumed run");
+        assert!(run.report.balanced(), "{:?}", run.report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn supervised_scenario_matches_under_poll_faults_and_async_sweeps() {
+        use minedig_primitives::supervise::CrashPolicy;
+        let plan = FaultPlan::transient_only(77, 0.4);
+        let config = ScenarioConfig {
+            duration_days: 2,
+            seed: 9,
+            poll_retry: RetryPolicy::attempts(plan.attempts_to_clear()),
+            poll_faults: Some(plan),
+            poll_async: Some(64),
+            ..ScenarioConfig::default()
+        };
+        let reference = run_scenario(config.clone());
+        assert!(reference.poll_stats.retries > 0, "p=0.4 must force retries");
+        let (dir, store) = sup_store("faulty");
+        let sup = Supervisor::new(CrashPolicy {
+            ckpt_every_items: 4,
+            ..CrashPolicy::default()
+        })
+        .with_kills(vec![2, 9]);
+        let run = run_scenario_supervised(&config, &store, "attr", &sup, false).unwrap();
+        assert_results_eq(&run.output, &reference, "faulty async supervised");
+        let (sa, sb) = (
+            run.output.poll_async_stats.as_ref().expect("async stats"),
+            reference.poll_async_stats.as_ref().expect("async stats"),
+        );
+        assert_eq!(sa.tasks, sb.tasks);
+        assert_eq!(sa.in_flight_high_water, sb.in_flight_high_water);
+        assert!(run.report.balanced(), "{:?}", run.report);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,16 +13,46 @@ use minedig_bench::env_u64;
 use minedig_core::exec::{chrome_scan_streaming, zgrab_scan_streaming, ScanExecutor};
 use minedig_core::scan::{build_reference_db, FetchModel};
 use minedig_core::shortlink_study::{run_study, run_study_streaming, StudyConfig};
-use minedig_primitives::pipeline::{PipelineExecutor, PipelineStats};
+use minedig_primitives::pipeline::{PipelineExecutor, PipelineStage, PipelineStats};
 use minedig_shortlink::model::ModelConfig;
 use minedig_wasm::cache::FingerprintCache;
 use minedig_web::universe::Population;
 use minedig_web::zone::Zone;
 use std::hint::black_box;
+use std::ops::ControlFlow;
 use std::time::Instant;
 
 const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
 const CAPACITY: usize = 128;
+
+/// Batch sizes for the channel-hop amortization sweep.
+const SWEEP_BATCHES: [usize; 4] = [1, 8, 64, 256];
+/// Items in the sweep — enough that per-message overhead dominates a
+/// deliberately tiny kernel.
+const SWEEP_ITEMS: u64 = 100_000;
+
+/// A near-free stage: the sweep measures the channel hop, not the work.
+struct HopStage;
+
+impl PipelineStage for HopStage {
+    type In = u64;
+    type Out = u64;
+    type Scratch = ();
+
+    fn scratch(&self) {}
+
+    fn process(&self, i: u64, _scratch: &mut ()) -> u64 {
+        i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+    }
+}
+
+struct SweepRun {
+    batch: usize,
+    secs: f64,
+    messages: u64,
+    items_per_message: f64,
+    hop_ms_saved: f64,
+}
 
 struct StreamRun {
     workers: usize,
@@ -123,8 +153,8 @@ fn main() {
         let (streamed, secs) = time(|| run_study_streaming(&config, seed, &pipe));
         black_box(&streamed.result);
         let mut run = stream_run(workers, secs, &streamed.enum_stats);
-        // The resolver rides outside the enumeration pipeline; its
-        // overlap evidence is the streaming headline here.
+        // The resolver is the pipeline's second stage; the headline is
+        // whether resolution began before the last probe.
         run.overlapped = streamed.overlapped();
         streaming.push(run);
     }
@@ -134,6 +164,31 @@ fn main() {
         barrier_secs,
         streaming,
     });
+
+    // Channel-hop amortization: the same 100k-item walk through a
+    // near-free stage at increasing batch sizes. Messages shrink ~1/batch
+    // while the folded outcome is bit-identical (the sweep asserts it).
+    let mut sweep = Vec::new();
+    let mut reference = None;
+    for batch in SWEEP_BATCHES {
+        let pipe = PipelineExecutor::new(4, CAPACITY).with_batch(batch);
+        let (run, secs) = time(|| {
+            pipe.run(0..SWEEP_ITEMS, &HopStage, 0u64, |acc, v| {
+                *acc = acc.wrapping_add(v);
+                ControlFlow::Continue(())
+            })
+        });
+        let outcome = *reference.get_or_insert(run.outcome);
+        assert_eq!(run.outcome, outcome, "batching changed the fold");
+        black_box(run.outcome);
+        sweep.push(SweepRun {
+            batch,
+            secs,
+            messages: run.stats.messages,
+            items_per_message: run.stats.items_per_message(),
+            hop_ms_saved: run.stats.hop_ns_saved() as f64 / 1e6,
+        });
+    }
 
     // Human summary…
     for w in &workloads {
@@ -165,6 +220,19 @@ fn main() {
         cache.hit_rate() * 100.0,
         cache.entries()
     );
+    println!("batch sweep ({SWEEP_ITEMS} items, 4 workers):");
+    let base_messages = sweep[0].messages;
+    for r in &sweep {
+        println!(
+            "  batch {:>3}: {:.3}s, {:>7} messages ({:.1}x fewer), {:.1} items/msg, ~{:.1}ms hop time saved",
+            r.batch,
+            r.secs,
+            r.messages,
+            base_messages as f64 / r.messages as f64,
+            r.items_per_message,
+            r.hop_ms_saved,
+        );
+    }
 
     // …and the machine-readable map.
     let mut json = String::from("{\n  \"workloads\": [\n");
@@ -197,8 +265,22 @@ fn main() {
             if i + 1 == workloads.len() { "" } else { "," }
         ));
     }
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"batch\": {}, \"secs\": {:.6}, \"messages\": {}, \"items_per_message\": {:.2}, \"hop_ms_saved\": {:.3}}}",
+                r.batch, r.secs, r.messages, r.items_per_message, r.hop_ms_saved
+            )
+        })
+        .collect();
     json.push_str(&format!(
-        "  ],\n  \"fingerprint_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"entries\": {}}}\n}}\n",
+        "  ],\n  \"batch_sweep\": {{\"items\": {}, \"workers\": 4, \"runs\": [{}]}},\n",
+        SWEEP_ITEMS,
+        sweep_json.join(", ")
+    ));
+    json.push_str(&format!(
+        "  \"fingerprint_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"entries\": {}}}\n}}\n",
         cache.hits(),
         cache.misses(),
         cache.hit_rate(),

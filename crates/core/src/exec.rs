@@ -474,6 +474,7 @@ pub fn zgrab_scan_range(
             };
             let stage = ZgrabStage { ctx: &ctx };
             PipelineExecutor::new(workers, capacity)
+                .with_env_batch()
                 .run(
                     slice_items(art, clean),
                     &stage,
@@ -552,6 +553,7 @@ pub fn chrome_scan_range(
             let fetch = ChromeFetchStage { ctx: &ctx };
             let classify = ChromeClassifyStage { ctx: &ctx };
             PipelineExecutor::new(workers, capacity)
+                .with_env_batch()
                 .run2(
                     slice_items(art, clean),
                     &fetch,

@@ -268,10 +268,12 @@ pub fn degradation_summary(rows: &[CampaignHealth]) -> String {
 }
 
 /// Renders a streaming run's [`PipelineStats`] as a summary line plus a
-/// per-stage breakdown with occupancy, steals and backpressure, e.g.
+/// per-stage breakdown with occupancy, steals and backpressure, and the
+/// hop/batch accounting, e.g.
 ///
 /// ```text
 /// enumerate: 4 workers ×1 stage, 50256 items in 0.42s (119657 items/s), overlapped
+///   batch 16: 6303 messages, 16.0 items/msg, ~14.2ms hop time saved
 ///   stage 0: 50412 items, occupancy 63%, 118 steals, 2 backpressure waits
 ///   sink:    50256 items, occupancy 22%
 /// ```
@@ -291,6 +293,13 @@ pub fn pipeline_stats(label: &str, stats: &PipelineStats) -> String {
             "serialized"
         },
     );
+    out.push_str(&format!(
+        "  batch {}: {} messages, {:.1} items/msg, ~{:.1}ms hop time saved\n",
+        stats.batch,
+        stats.messages,
+        stats.items_per_message(),
+        stats.hop_ns_saved() as f64 / 1e6,
+    ));
     for s in &stats.stages {
         out.push_str(&format!(
             "  stage {}: {} items, occupancy {:.0}%, {} steals, {} backpressure waits\n",
@@ -579,12 +588,15 @@ mod tests {
         let stats = PipelineStats {
             workers: 4,
             capacity: 64,
+            batch: 16,
             items: 1_000,
             elapsed: Duration::from_millis(500),
+            messages: 128,
             stages: vec![StageStats {
                 stage: 0,
                 workers: 4,
                 items: 1_010,
+                messages: 64,
                 steals: 7,
                 backpressure_waits: 2,
                 busy: Duration::from_millis(900),
@@ -596,6 +608,7 @@ mod tests {
                 stage: 1,
                 workers: 1,
                 items: 1_000,
+                messages: 64,
                 steals: 0,
                 backpressure_waits: 0,
                 busy: Duration::from_millis(100),
@@ -608,6 +621,7 @@ mod tests {
         let text = pipeline_stats("enumerate", &stats);
         assert!(text.contains("4 workers ×1 stage"));
         assert!(text.contains("overlapped"));
+        assert!(text.contains("batch 16: 128 messages"));
         assert!(text.contains("stage 0: 1010 items"));
         assert!(text.contains("7 steals"));
         assert!(text.contains("sink:    1000 items"));

@@ -4,21 +4,19 @@
 use minedig_primitives::aexec::{AsyncExecutor, AsyncStats};
 use minedig_primitives::ckpt::SnapshotStore;
 use minedig_primitives::par::ParallelExecutor;
-use minedig_primitives::pipeline::{PipelineExecutor, PipelineStats, StageStats};
+use minedig_primitives::pipeline::{PipelineExecutor, PipelineStage, PipelineStats, StageStats};
 use minedig_primitives::stats::{top1_share, top_k_for_share, Ecdf, Pow2Histogram};
 use minedig_primitives::supervise::{Backend, SuperviseError, SuperviseReport, Supervisor};
 use minedig_primitives::DetRng;
 use minedig_shortlink::enumerate::{
-    enumerate_links_async_with, enumerate_links_sharded, enumerate_links_streaming_with,
-    Enumeration,
+    enumerate_links_async_with, enumerate_links_sharded, Enumeration, ProbeOut, ProbeStage,
 };
 use minedig_shortlink::model::{LinkPopulation, ModelConfig};
 use minedig_shortlink::probe::ProbePolicy;
-use minedig_shortlink::resolve::{resolve_accounted, resolve_step, ResolveReport};
+use minedig_shortlink::resolve::{resolve_accounted, ResolveReport};
 use minedig_shortlink::service::ShortlinkService;
 use minedig_web::category::Category;
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
 
 /// Study configuration.
 #[derive(Clone, Debug)]
@@ -169,24 +167,25 @@ pub fn run_study(config: &StudyConfig, seed: u64) -> StudyResult {
 }
 
 /// A [`StudyResult`] produced by [`run_study_streaming`], plus the
-/// evidence that resolution overlapped enumeration: the enumeration
-/// pipeline's stats and the resolver thread's synthesized stage stats.
+/// evidence that resolution overlapped enumeration: the two-stage
+/// probe→resolve pipeline's stats.
 pub struct StreamingStudy {
     /// The study outputs — bit-identical to [`run_study`].
     pub result: StudyResult,
-    /// The enumeration pipeline's stats (probe stage + dead-run sink).
+    /// The probe→resolve pipeline's stats: stage 0 probes IDs, stage 1
+    /// prefetches resolutions across the same worker pool, the sink
+    /// replays the dead-run walk and folds the resolve report.
     pub enum_stats: PipelineStats,
-    /// The resolver thread, presented as one more pipeline stage: it
-    /// consumes codes the enumeration sink emits and resolves them FIFO.
+    /// The resolve stage (a clone of `enum_stats.stages[1]`): a true
+    /// pipeline stage fanned across the worker pool, no longer a single
+    /// out-of-pipeline thread.
     pub resolver: StageStats,
 }
 
 impl StreamingStudy {
-    /// True when resolution demonstrably began before the enumeration's
-    /// probe stage finished its last probe. The resolver clock starts
-    /// *before* the pipeline's internal clock, so its offsets are
-    /// overestimates — a `true` here is conservative evidence of
-    /// overlap, never an artifact of clock skew.
+    /// True when resolution demonstrably began before the probe stage
+    /// finished its last probe — both offsets come from the same
+    /// pipeline clock, so this is a direct read of stage overlap.
     pub fn overlapped(&self) -> bool {
         match (
             self.resolver.first_input,
@@ -198,13 +197,47 @@ impl StreamingStudy {
     }
 }
 
-/// [`run_study`] with the enumerate→resolve edge streamed: link probes
-/// fan across `pipe`'s workers, the dead-run sink replays the sequential
-/// walk in ID order, and every document that passes the unbiased-tail
-/// filter is handed to a resolver thread *while enumeration is still
-/// probing*. The resolver applies [`resolve_step`] FIFO, so the resolve
-/// sequence — and with it every ledger write, budget cut-off and study
-/// statistic — matches the batch run exactly.
+/// The study's resolver as a true [`PipelineStage`]: prefetches the
+/// destination of every under-budget live document — the pure half of a
+/// redeem ([`ShortlinkService::peek_target`]) — on the pipeline's worker
+/// pool, while the dead-run sink decides, in strict ID order, which of
+/// those prefetches actually enter the report. Prefetching past the stop
+/// point or for duplicate `(token, requirement)` pairs is harmless
+/// speculation: the sink simply discards it, so no observable result can
+/// depend on worker count, capacity, or batch size.
+struct ResolveStage<'a> {
+    service: &'a ShortlinkService,
+    budget: u64,
+}
+
+impl PipelineStage for ResolveStage<'_> {
+    type In = ProbeOut;
+    type Out = (ProbeOut, Option<String>);
+    type Scratch = ();
+
+    fn scratch(&self) {}
+
+    fn process(&self, probe: ProbeOut, _scratch: &mut ()) -> Self::Out {
+        let target = match &probe.0 {
+            Ok(Some(doc)) if doc.required_hashes < self.budget => {
+                self.service.peek_target(&doc.code)
+            }
+            _ => None,
+        };
+        (probe, target)
+    }
+}
+
+/// [`run_study`] with the enumerate→resolve edge streamed as a two-stage
+/// pipeline: link probes fan across `pipe`'s workers (stage 0), every
+/// probe's resolution is prefetched across the same pool (stage 1,
+/// [`ResolveStage`]) *while enumeration is still probing*, and the sink
+/// replays the sequential dead-run walk in strict ID order — applying
+/// the unbiased-tail filter and folding the prefetched resolutions into
+/// the report exactly as [`resolve_accounted`] would have. The resolve
+/// sequence — every ledger write, budget cut-off and study statistic —
+/// therefore matches the batch run bit-identically for any worker
+/// count, channel capacity, and batch size.
 pub fn run_study_streaming(
     config: &StudyConfig,
     seed: u64,
@@ -213,57 +246,68 @@ pub fn run_study_streaming(
     let population = LinkPopulation::generate(&config.model);
     let service = ShortlinkService::new(population);
     let budget = config.resolve_budget;
+    let policy = ProbePolicy::default();
+    let probe = ProbeStage {
+        prober: &service,
+        policy: &policy,
+    };
+    let resolve = ResolveStage {
+        service: &service,
+        budget,
+    };
 
-    let t0 = Instant::now();
-    let (tx, rx) = std::sync::mpsc::channel::<String>();
-    let (enum_run, tail_report, resolver) = std::thread::scope(|scope| {
-        let service_ref = &service;
-        let resolver = scope.spawn(move || {
-            let mut report = ResolveReport::default();
-            let mut stats = StageStats {
-                stage: 1,
-                workers: 1,
-                items: 0,
-                steals: 0,
-                backpressure_waits: 0,
-                busy: Duration::ZERO,
-                first_input: None,
-                last_output: None,
-                per_worker: vec![0],
-            };
-            while let Ok(code) = rx.recv() {
-                let started = t0.elapsed();
-                stats.first_input.get_or_insert(started);
-                resolve_step(service_ref, &mut report, &code, budget);
-                let finished = t0.elapsed();
-                stats.last_output = Some(finished);
-                stats.busy += finished.saturating_sub(started);
-                stats.items += 1;
-                stats.per_worker[0] += 1;
+    let empty = Enumeration {
+        docs: Vec::new(),
+        probed: 0,
+        failed_probes: 0,
+        probe_retries: 0,
+    };
+    let mut seen = std::collections::HashSet::new();
+    let run = pipe.run2(
+        0u64..,
+        &probe,
+        &resolve,
+        (empty, 0u64, ResolveReport::default()),
+        |(e, dead_run, report), ((result, retries), target)| {
+            // Mirrors the sequential `while dead_run < limit` guard: the
+            // walk ends before consuming the probe that follows a full
+            // dead run. Workers overshoot past the stop; the overshoot
+            // (and its prefetched resolutions) is discarded.
+            if *dead_run >= STUDY_DEAD_RUN_LIMIT {
+                return std::ops::ControlFlow::Break(());
             }
-            (report, stats)
-        });
-        let mut seen = std::collections::HashSet::new();
-        let enum_run = enumerate_links_streaming_with(
-            &service,
-            STUDY_DEAD_RUN_LIMIT,
-            pipe,
-            &ProbePolicy::default(),
-            |doc| {
-                if tail_filter(&mut seen, doc, budget) {
-                    let _ = tx.send(doc.code.clone());
+            e.probed += 1;
+            e.probe_retries += u64::from(retries);
+            match result {
+                Ok(Some(doc)) => {
+                    *dead_run = 0;
+                    if tail_filter(&mut seen, &doc, budget) {
+                        // The fold half of `resolve_step`, consuming the
+                        // stage's prefetch: tail docs are live and under
+                        // budget, so the visit cannot fail and the budget
+                        // cut-off cannot trigger.
+                        let url = target.expect("stage 1 prefetches every under-budget live doc");
+                        report.hashes_spent =
+                            report.hashes_spent.saturating_add(doc.required_hashes);
+                        service.credit_creator(doc.token_id, doc.required_hashes);
+                        report.resolved.push((doc.code.clone(), url));
+                    }
+                    e.docs.push(doc);
                 }
-            },
-        );
-        drop(tx);
-        let (report, stats) = resolver.join().expect("resolver thread");
-        (enum_run, report, stats)
-    });
+                Ok(None) => *dead_run += 1,
+                // Neutral: not evidence of a dead ID, not a live link.
+                Err(_) => e.failed_probes += 1,
+            }
+            std::ops::ControlFlow::Continue(())
+        },
+    );
 
-    let result = finish_study(&service, enum_run.outcome, tail_report, config, seed);
+    let (enumeration, _, tail_report) = run.outcome;
+    let result = finish_study(&service, enumeration, tail_report, config, seed);
+    let resolver = run.stats.stages[1].clone();
     StreamingStudy {
         result,
-        enum_stats: enum_run.stats,
+        enum_stats: run.stats,
         resolver,
     }
 }

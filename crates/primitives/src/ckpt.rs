@@ -162,22 +162,105 @@ impl Snapshot {
     }
 }
 
-/// A directory of named snapshots with atomic replace semantics.
+/// Environment variable overriding how many snapshots per name a
+/// [`SnapshotStore`] retains (default [`DEFAULT_KEEP`]).
+pub const CKPT_KEEP_ENV: &str = "MINEDIG_CKPT_KEEP";
+
+/// Snapshots retained per name when [`CKPT_KEEP_ENV`] is unset.
+pub const DEFAULT_KEEP: usize = 2;
+
+/// A directory of named, versioned snapshots with atomic writes and
+/// bounded retention.
+///
+/// Every save lands in a fresh `{name}.{seq}.{progress_key}.ckpt` file
+/// (the write-sequence number `seq` orders saves; the progress key is
+/// readable from the filename without decoding). After the atomic
+/// rename the store prunes the oldest versions so at most `keep` remain
+/// — the newest is the live snapshot, the rest are insurance an
+/// operator can fall back to by hand if the newest is ever damaged.
+/// Pre-retention single-file snapshots (`{name}.ckpt`) still load and
+/// are superseded (and removed) by the first versioned save.
 pub struct SnapshotStore {
     dir: PathBuf,
+    keep: usize,
 }
 
 impl SnapshotStore {
-    /// Opens (creating if needed) a snapshot directory.
+    /// Opens (creating if needed) a snapshot directory, with the
+    /// retention depth taken from [`CKPT_KEEP_ENV`] when that parses to
+    /// a positive count.
     pub fn open(dir: impl Into<PathBuf>) -> Result<SnapshotStore, CkptError> {
-        let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        Ok(SnapshotStore { dir })
+        let keep = std::env::var(CKPT_KEEP_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_KEEP);
+        SnapshotStore::open_with_keep(dir, keep)
     }
 
-    /// Path of the snapshot named `name`.
-    pub fn path(&self, name: &str) -> PathBuf {
+    /// Opens a snapshot directory retaining the last `keep` snapshots
+    /// per name (clamped to at least 1).
+    pub fn open_with_keep(
+        dir: impl Into<PathBuf>,
+        keep: usize,
+    ) -> Result<SnapshotStore, CkptError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    /// Snapshots retained per name.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// Path of the legacy (pre-retention) snapshot file for `name`.
+    fn legacy_path(&self, name: &str) -> PathBuf {
         self.dir.join(format!("{name}.ckpt"))
+    }
+
+    /// All on-disk versions of `name` as `(seq, progress_key, path)`,
+    /// ascending by write sequence.
+    fn versions(&self, name: &str) -> Result<Vec<(u64, u64, PathBuf)>, CkptError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let fname = entry.file_name();
+            let Some(fname) = fname.to_str() else {
+                continue;
+            };
+            let Some(body) = fname
+                .strip_prefix(name)
+                .and_then(|r| r.strip_prefix('.'))
+                .and_then(|r| r.strip_suffix(".ckpt"))
+            else {
+                continue;
+            };
+            let mut parts = body.splitn(2, '.');
+            let (Some(seq), Some(key)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            let (Ok(seq), Ok(key)) = (seq.parse::<u64>(), key.parse::<u64>()) else {
+                continue;
+            };
+            out.push((seq, key, entry.path()));
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Path of the newest on-disk snapshot of `name` (the file `load`
+    /// would read), falling back to the legacy single-file path when no
+    /// versioned snapshot exists.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.versions(name)
+            .ok()
+            .and_then(|mut v| v.pop())
+            .map(|(_, _, path)| path)
+            .unwrap_or_else(|| self.legacy_path(name))
     }
 
     /// The directory this store writes into.
@@ -185,36 +268,60 @@ impl SnapshotStore {
         &self.dir
     }
 
-    /// Atomically replaces the snapshot named `name`: the encoding is
-    /// written to a temp file in the same directory and `rename`d over
-    /// the final path, so readers (and crashes mid-write) only ever
-    /// see a complete old or complete new snapshot. Returns the number
-    /// of bytes written.
+    /// Saves a new version of the snapshot named `name`: the encoding
+    /// is written to a temp file in the same directory and `rename`d
+    /// into place, so a crash mid-write leaves every previous snapshot
+    /// intact — then versions older than the retention window (and any
+    /// superseded legacy file) are deleted. Returns the number of bytes
+    /// written.
     pub fn save(&self, name: &str, snap: &Snapshot) -> Result<u64, CkptError> {
+        let older = self.versions(name)?;
+        let seq = older.last().map_or(1, |(seq, _, _)| seq + 1);
         let bytes = snap.encode();
-        let tmp = self.dir.join(format!(".{name}.ckpt.tmp"));
+        let file = format!("{name}.{seq}.{}.ckpt", snap.progress_key);
+        let tmp = self.dir.join(format!(".{file}.tmp"));
         fs::write(&tmp, &bytes)?;
-        fs::rename(&tmp, self.path(name))?;
+        fs::rename(&tmp, self.dir.join(&file))?;
+        // Retention: the rename succeeded, so older versions beyond the
+        // window — and the superseded legacy file — can go.
+        let excess = (older.len() + 1).saturating_sub(self.keep);
+        for (_, _, path) in &older[..excess.min(older.len())] {
+            remove_if_present(path)?;
+        }
+        remove_if_present(&self.legacy_path(name))?;
         Ok(bytes.len() as u64)
     }
 
-    /// Loads and verifies the snapshot named `name`; `Ok(None)` if it
-    /// has never been written.
+    /// Loads and verifies the newest snapshot of `name` (falling back
+    /// to the legacy single-file layout); `Ok(None)` if none has ever
+    /// been written. Damage to the newest version is an error, never a
+    /// silent fallback — restoring stale progress behind the campaign's
+    /// back would violate the resume contract.
     pub fn load(&self, name: &str) -> Result<Option<Snapshot>, CkptError> {
-        match fs::read(self.path(name)) {
+        if let Some((_, _, path)) = self.versions(name)?.pop() {
+            return Snapshot::decode(&fs::read(path)?).map(Some);
+        }
+        match fs::read(self.legacy_path(name)) {
             Ok(bytes) => Snapshot::decode(&bytes).map(Some),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(CkptError::Io(e)),
         }
     }
 
-    /// Deletes the snapshot named `name` if present.
+    /// Deletes every version of the snapshot named `name` if present.
     pub fn remove(&self, name: &str) -> Result<(), CkptError> {
-        match fs::remove_file(self.path(name)) {
-            Ok(()) => Ok(()),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(CkptError::Io(e)),
+        for (_, _, path) in self.versions(name)? {
+            remove_if_present(&path)?;
         }
+        remove_if_present(&self.legacy_path(name))
+    }
+}
+
+fn remove_if_present(path: &Path) -> Result<(), CkptError> {
+    match fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(CkptError::Io(e)),
     }
 }
 
@@ -472,6 +579,94 @@ mod tests {
         assert!(!dir.join(".camp.ckpt.tmp").exists());
         store.remove("camp").unwrap();
         assert!(store.load("camp").unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn ckpt_files(dir: &Path) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".ckpt"))
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn retention_keeps_only_the_last_n_versions() {
+        let dir = std::env::temp_dir().join(format!("minedig-ckpt-keep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open_with_keep(&dir, 2).unwrap();
+        assert_eq!(store.keep(), 2);
+        for key in [10u64, 20, 30, 5, 40] {
+            store
+                .save("camp", &Snapshot::new(key, vec![key as u8]))
+                .unwrap();
+            assert!(
+                ckpt_files(&dir).len() <= 2,
+                "retention must prune after every save"
+            );
+        }
+        // The newest write wins regardless of progress key ordering…
+        assert_eq!(store.load("camp").unwrap().unwrap().progress_key, 40);
+        // …and exactly `keep` files survive: the last two writes.
+        assert_eq!(
+            ckpt_files(&dir),
+            vec!["camp.4.5.ckpt".to_string(), "camp.5.40.ckpt".to_string()]
+        );
+        store.remove("camp").unwrap();
+        assert!(ckpt_files(&dir).is_empty());
+        assert!(store.load("camp").unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_restart_supersedes_a_stale_higher_key_snapshot() {
+        // A non-resume restart begins from scratch; its first (low-key)
+        // checkpoint must shadow the stale high-key one on disk, exactly
+        // like the pre-retention overwrite did.
+        let dir = std::env::temp_dir().join(format!("minedig-ckpt-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open_with_keep(&dir, 2).unwrap();
+        store.save("camp", &Snapshot::new(100, vec![1])).unwrap();
+        store.save("camp", &Snapshot::new(3, vec![2])).unwrap();
+        assert_eq!(store.load("camp").unwrap().unwrap().progress_key, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_single_file_snapshots_load_and_are_superseded() {
+        let dir = std::env::temp_dir().join(format!("minedig-ckpt-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open_with_keep(&dir, 2).unwrap();
+        let old = sample();
+        std::fs::write(dir.join("camp.ckpt"), old.encode()).unwrap();
+        assert_eq!(store.load("camp").unwrap().unwrap(), old);
+        assert_eq!(store.path("camp"), dir.join("camp.ckpt"));
+        // The first versioned save replaces the legacy layout wholesale.
+        let new = Snapshot::new(99, vec![9]);
+        store.save("camp", &new).unwrap();
+        assert!(!dir.join("camp.ckpt").exists());
+        assert_eq!(store.load("camp").unwrap().unwrap(), new);
+        assert_eq!(store.path("camp"), dir.join("camp.1.99.ckpt"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sibling_names_do_not_cross_prune() {
+        // "camp" and "camp2" share a prefix; retention and removal for
+        // one must never touch the other's files.
+        let dir = std::env::temp_dir().join(format!("minedig-ckpt-sib-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open_with_keep(&dir, 1).unwrap();
+        store.save("camp", &Snapshot::new(1, vec![1])).unwrap();
+        store.save("camp2", &Snapshot::new(2, vec![2])).unwrap();
+        store.save("camp", &Snapshot::new(3, vec![3])).unwrap();
+        assert_eq!(store.load("camp2").unwrap().unwrap().progress_key, 2);
+        assert_eq!(store.load("camp").unwrap().unwrap().progress_key, 3);
+        store.remove("camp").unwrap();
+        assert!(store.load("camp").unwrap().is_none());
+        assert_eq!(store.load("camp2").unwrap().unwrap().progress_key, 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -11,35 +11,58 @@
 //! consumers, and a sequence-numbered reorder buffer at the sink releases
 //! outputs in submission order.
 //!
+//! ## Batched hops
+//!
+//! Each channel message carries a `Vec`-batch of consecutive items, not a
+//! single item: with cheap kernels the per-item channel hop (send +
+//! wakeup + recv) costs more than the work it transports, so the feeder
+//! packs up to [`PipelineExecutor::batch`] items per message and every
+//! hop's cost is amortized across the batch. Batching is *pure
+//! transport*: batches are contiguous sequence ranges, workers process
+//! them item-by-item with the same per-worker scratch, and the sink
+//! unpacks them back into the per-item fold — so no observable result
+//! can depend on the batch size (see the determinism contract below).
+//! The default batch is `max(1, capacity / workers)`: deep channels and
+//! few workers leave room for fat batches, many workers need finer
+//! batches to keep the pool fed.
+//!
 //! ## Determinism contract
 //!
-//! The sink observes **exactly the sequential fold** for any worker count
-//! and any channel capacity, provided the stages satisfy the same
-//! contract [`crate::par::ShardedTask`] established:
+//! The sink observes **exactly the sequential fold** for any worker
+//! count, any channel capacity, and any batch size, provided the stages
+//! satisfy the same contract [`crate::par::ShardedTask`] established:
 //!
 //! 1. [`PipelineStage::process`] is a pure function of the item (all
 //!    per-item randomness keyed by item identity, never by processing
 //!    order or worker identity), and
 //! 2. the fold consumes outputs in sequence order — which the reorder
-//!    buffer guarantees structurally.
+//!    buffer guarantees structurally, batch boundaries included: a batch
+//!    is a contiguous seq range, so folding a batch in element order *is*
+//!    folding the items in seq order.
 //!
 //! Early termination composes with this: the fold can return
 //! [`ControlFlow::Break`], which stops the pipeline at exactly the item
 //! the sequential loop would have stopped at. Items already in flight
-//! past the break point are discarded (bounded by the channel capacities
-//! plus one in-flight item per worker), mirroring the windowed
+//! past the break point — including the unconsumed remainder of the
+//! breaking batch — are discarded (bounded by the channel capacities
+//! plus one in-flight batch per worker), mirroring the windowed
 //! enumerator's discarded overshoot.
 //!
 //! ## Observability
 //!
-//! Each stage (and the sink) reports [`StageStats`]: items, per-worker
-//! spread, *steals* (items processed off a worker's round-robin affinity
-//! — evidence the shared channel rebalanced load), *backpressure waits*
-//! (sends that found the downstream channel full), busy time, and
-//! first-input/last-output offsets from the run start. The offsets make
-//! stage overlap measurable even on a single core: if stage *k+1*'s
-//! first input precedes stage *k*'s last output, the stages genuinely
-//! interleaved rather than running as barriers.
+//! Each stage (and the sink) reports [`StageStats`]: items, *messages*
+//! (channel receives — items ÷ messages is the realized batching),
+//! per-worker spread, *steals* (batches processed off a worker's
+//! round-robin affinity — evidence the shared channel rebalanced load),
+//! *backpressure waits* (sends that found the downstream channel full),
+//! busy time, and first-input/last-output offsets from the run start.
+//! The offsets make stage overlap measurable even on a single core: if
+//! stage *k+1*'s first input precedes stage *k*'s last output, the
+//! stages genuinely interleaved rather than running as barriers.
+//! [`PipelineStats`] aggregates the hop accounting:
+//! [`PipelineStats::messages`], [`PipelineStats::items_per_message`] and
+//! the [`PipelineStats::hop_ns_saved`] proxy make the batching win
+//! observable rather than asserted.
 
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
@@ -56,7 +79,8 @@ pub trait PipelineStage: Sync {
     /// Item produced by this stage.
     type Out: Send;
     /// Per-worker reusable state (buffers, caches); created once per
-    /// worker, threaded through every `process` call on that worker.
+    /// worker, threaded through every `process` call on that worker —
+    /// across items *and* across batches.
     type Scratch;
 
     /// Allocates one worker's scratch state.
@@ -69,7 +93,7 @@ pub trait PipelineStage: Sync {
 }
 
 /// Per-stage counters, read back after a run completes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StageStats {
     /// Stage index (0-based; the sink reports separately).
     pub stage: usize,
@@ -77,9 +101,12 @@ pub struct StageStats {
     pub workers: usize,
     /// Items the stage processed.
     pub items: u64,
-    /// Items a worker processed off its round-robin affinity
-    /// (`seq % workers != worker`): the shared channel handing work to
-    /// whichever worker was free, i.e. load actually rebalanced.
+    /// Channel messages (batches) the stage received. `items / messages`
+    /// is the realized batch size at this hop.
+    pub messages: u64,
+    /// Items a worker processed off its round-robin batch affinity
+    /// (`batch_index % workers != worker`): the shared channel handing
+    /// work to whichever worker was free, i.e. load actually rebalanced.
     pub steals: u64,
     /// Downstream sends that found the channel full and had to block —
     /// backpressure events, not deadlocks.
@@ -115,17 +142,30 @@ impl StageStats {
     }
 }
 
+/// Ballpark cost of one bounded-channel hop (send + wakeup + recv) for a
+/// single message, in nanoseconds — the quantity batching amortizes.
+/// Used only by the [`PipelineStats::hop_ns_saved`] proxy; nothing
+/// behavioral depends on it.
+pub const HOP_COST_NS: u64 = 150;
+
 /// Observability for one pipeline run: the per-stage streaming analog of
 /// [`crate::par::ExecStats`].
 #[derive(Clone, Debug)]
 pub struct PipelineStats {
     /// Workers per processing stage.
     pub workers: usize,
-    /// Capacity of each inter-stage channel.
+    /// Capacity of each inter-stage channel, denominated in items (a
+    /// channel holds `ceil(capacity / batch)` messages).
     pub capacity: usize,
+    /// Items per channel message the feeder packed.
+    pub batch: usize,
     /// Items the sink folded (the sequential-equivalent item count;
     /// stages may process more when an early stop discards overshoot).
     pub items: u64,
+    /// Channel messages received across every hop (each stage plus the
+    /// sink). At batch 1 this equals the per-hop item totals; larger
+    /// batches shrink it proportionally.
+    pub messages: u64,
     /// End-to-end wall time.
     pub elapsed: Duration,
     /// Processing stages, in pipeline order.
@@ -145,6 +185,32 @@ impl PipelineStats {
         } else {
             0.0
         }
+    }
+
+    /// Items transported across all hops (stage receipts plus sink
+    /// receipts) — the message count a batch-1 run would have needed.
+    pub fn hop_items(&self) -> u64 {
+        self.stages.iter().map(|s| s.items).sum::<u64>() + self.sink.items
+    }
+
+    /// Realized items per channel message across all hops: the measured
+    /// amortization factor (1.0 means every item paid a full hop).
+    pub fn items_per_message(&self) -> f64 {
+        if self.messages > 0 {
+            self.hop_items() as f64 / self.messages as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Proxy for the channel-hop time batching saved: the hops *not*
+    /// paid (item transports minus actual messages) times the
+    /// [`HOP_COST_NS`] ballpark. A proxy, not a measurement — it makes
+    /// the amortization visible in reports without claiming precision.
+    pub fn hop_ns_saved(&self) -> u64 {
+        self.hop_items()
+            .saturating_sub(self.messages)
+            .saturating_mul(HOP_COST_NS)
     }
 
     /// True when every consecutive stage pair (including the sink)
@@ -167,7 +233,7 @@ impl PipelineStats {
 #[derive(Clone, Debug)]
 pub struct PipelineRun<A> {
     /// The sink's final accumulator, bit-identical to the sequential
-    /// fold for any worker count and channel capacity.
+    /// fold for any worker count, channel capacity, and batch size.
     pub outcome: A,
     /// How the work streamed and how fast it went.
     pub stats: PipelineStats,
@@ -177,9 +243,19 @@ pub struct PipelineRun<A> {
 /// item-cost variance, shallow enough to bound memory and overshoot.
 pub const DEFAULT_CAPACITY: usize = 256;
 
+/// Batch size from `MINEDIG_PIPE_BATCH`; `None` when unset, unparsable,
+/// or 0 (all meaning "auto": `max(1, capacity / workers)`).
+pub fn batch_from_env() -> Option<usize> {
+    std::env::var("MINEDIG_PIPE_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&b: &usize| b > 0)
+}
+
 /// Shared atomic counters one stage's workers write into.
 struct StageMetrics {
     items: AtomicU64,
+    messages: AtomicU64,
     steals: AtomicU64,
     backpressure: AtomicU64,
     busy_nanos: AtomicU64,
@@ -194,6 +270,7 @@ impl StageMetrics {
     fn new(workers: usize) -> StageMetrics {
         StageMetrics {
             items: AtomicU64::new(0),
+            messages: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             backpressure: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
@@ -211,6 +288,7 @@ impl StageMetrics {
             stage,
             workers: self.per_worker.len(),
             items,
+            messages: self.messages.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             backpressure_waits: self.backpressure.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
@@ -239,30 +317,42 @@ fn send_counted<T>(tx: &Sender<T>, msg: T, backpressure: &AtomicU64) -> bool {
     }
 }
 
-/// One stage worker: pull from the shared channel (work stealing), run
-/// the stage, push downstream. Exits when the input drains or the
-/// downstream disconnects (early stop cascading backwards).
+/// One stage worker: pull a batch from the shared channel (work
+/// stealing), run the stage over every item with one reused scratch,
+/// push the output batch downstream under the same base sequence. Exits
+/// when the input drains or the downstream disconnects (early stop
+/// cascading backwards).
+#[allow(clippy::too_many_arguments)]
 fn stage_worker<S: PipelineStage>(
     stage: &S,
-    rx: Receiver<(u64, S::In)>,
-    tx: Sender<(u64, S::Out)>,
+    rx: Receiver<(u64, Vec<S::In>)>,
+    tx: Sender<(u64, Vec<S::Out>)>,
     metrics: &StageMetrics,
     worker: usize,
     workers: usize,
+    batch: usize,
     t0: Instant,
 ) {
     let mut scratch = stage.scratch();
-    while let Ok((seq, item)) = rx.recv() {
+    while let Ok((base, items)) = rx.recv() {
         let began = t0.elapsed();
         metrics
             .first_input
             .fetch_min(began.as_nanos() as u64, Ordering::Relaxed);
-        let out = stage.process(item, &mut scratch);
+        let n = items.len() as u64;
+        let mut outs = Vec::with_capacity(items.len());
+        for item in items {
+            outs.push(stage.process(item, &mut scratch));
+        }
         let ended = t0.elapsed();
-        metrics.items.fetch_add(1, Ordering::Relaxed);
-        metrics.per_worker[worker].fetch_add(1, Ordering::Relaxed);
-        if seq % workers as u64 != worker as u64 {
-            metrics.steals.fetch_add(1, Ordering::Relaxed);
+        metrics.items.fetch_add(n, Ordering::Relaxed);
+        metrics.messages.fetch_add(1, Ordering::Relaxed);
+        metrics.per_worker[worker].fetch_add(n, Ordering::Relaxed);
+        // Batches are contiguous seq ranges of `batch` items (only the
+        // final one may be short), so `base / batch` is the batch index
+        // the round-robin affinity is defined over.
+        if (base / batch as u64) % workers as u64 != worker as u64 {
+            metrics.steals.fetch_add(n, Ordering::Relaxed);
         }
         metrics
             .busy_nanos
@@ -270,53 +360,82 @@ fn stage_worker<S: PipelineStage>(
         metrics
             .last_output
             .fetch_max(ended.as_nanos() as u64, Ordering::Relaxed);
-        if !send_counted(&tx, (seq, out), &metrics.backpressure) {
+        if !send_counted(&tx, (base, outs), &metrics.backpressure) {
             break;
         }
     }
 }
 
-/// The feeder: assigns sequence numbers and pushes the source into the
-/// first channel, stopping when the pipeline disconnects (early stop) or
-/// the source ends.
-fn feed<T: Send>(source: impl Iterator<Item = T>, tx: Sender<(u64, T)>, waits: &AtomicU64) {
-    for (seq, item) in (0u64..).zip(source) {
-        if !send_counted(&tx, (seq, item), waits) {
-            break;
+/// The feeder: packs the source into contiguous `batch`-item messages
+/// tagged with the base sequence number, stopping when the pipeline
+/// disconnects (early stop) or the source ends (the final batch may be
+/// short).
+fn feed<T: Send>(
+    source: impl Iterator<Item = T>,
+    tx: Sender<(u64, Vec<T>)>,
+    batch: usize,
+    waits: &AtomicU64,
+) {
+    let mut base = 0u64;
+    let mut buf: Vec<T> = Vec::with_capacity(batch);
+    for item in source {
+        buf.push(item);
+        if buf.len() == batch {
+            let full = std::mem::replace(&mut buf, Vec::with_capacity(batch));
+            if !send_counted(&tx, (base, full), waits) {
+                return;
+            }
+            base += batch as u64;
         }
+    }
+    if !buf.is_empty() {
+        let _ = send_counted(&tx, (base, buf), waits);
     }
 }
 
-/// The sink: reorders outputs into sequence order and folds them. On
-/// `Break` it simply returns — dropping its receiver unblocks and
-/// terminates every upstream worker and the feeder.
+/// The sink: reorders output batches into sequence order and folds them
+/// item-by-item. Because every batch is a contiguous seq range, folding
+/// the batch at key `next_seq` in element order is exactly the per-item
+/// sequential fold. On `Break` it simply returns — dropping its receiver
+/// unblocks and terminates every upstream worker and the feeder, and the
+/// unconsumed tail of the breaking batch is discarded with the rest of
+/// the in-flight overshoot.
 fn run_sink<Out, A>(
-    rx: Receiver<(u64, Out)>,
+    rx: Receiver<(u64, Vec<Out>)>,
     acc: &mut A,
     mut fold: impl FnMut(&mut A, Out) -> ControlFlow<()>,
     metrics: &StageMetrics,
     t0: Instant,
 ) {
-    let mut reorder: BTreeMap<u64, Out> = BTreeMap::new();
+    let mut reorder: BTreeMap<u64, Vec<Out>> = BTreeMap::new();
     let mut next_seq = 0u64;
-    'pipeline: while let Ok((seq, out)) = rx.recv() {
-        reorder.insert(seq, out);
-        while let Some(out) = reorder.remove(&next_seq) {
+    'pipeline: while let Ok((base, outs)) = rx.recv() {
+        metrics.messages.fetch_add(1, Ordering::Relaxed);
+        reorder.insert(base, outs);
+        while let Some(outs) = reorder.remove(&next_seq) {
             let began = t0.elapsed();
             metrics
                 .first_input
                 .fetch_min(began.as_nanos() as u64, Ordering::Relaxed);
-            let flow = fold(acc, out);
+            let mut consumed = 0u64;
+            let mut flow = ControlFlow::Continue(());
+            for out in outs {
+                consumed += 1;
+                flow = fold(acc, out);
+                if flow.is_break() {
+                    break;
+                }
+            }
             let ended = t0.elapsed();
-            metrics.items.fetch_add(1, Ordering::Relaxed);
-            metrics.per_worker[0].fetch_add(1, Ordering::Relaxed);
+            metrics.items.fetch_add(consumed, Ordering::Relaxed);
+            metrics.per_worker[0].fetch_add(consumed, Ordering::Relaxed);
             metrics
                 .busy_nanos
                 .fetch_add((ended - began).as_nanos() as u64, Ordering::Relaxed);
             metrics
                 .last_output
                 .fetch_max(ended.as_nanos() as u64, Ordering::Relaxed);
-            next_seq += 1;
+            next_seq += consumed;
             if flow.is_break() {
                 break 'pipeline;
             }
@@ -324,21 +443,45 @@ fn run_sink<Out, A>(
     }
 }
 
-/// Runs streaming pipelines with a fixed worker count per stage and a
-/// fixed inter-stage channel capacity.
+/// Runs streaming pipelines with a fixed worker count per stage, a fixed
+/// inter-stage channel capacity (denominated in items), and a fixed
+/// items-per-message batch size.
 #[derive(Clone, Copy, Debug)]
 pub struct PipelineExecutor {
     workers: usize,
     capacity: usize,
+    batch: usize,
 }
 
 impl PipelineExecutor {
     /// Executor with `workers` consumers per stage and channels holding
-    /// `capacity` in-flight items (both clamped to at least 1).
+    /// `capacity` in-flight items (both clamped to at least 1). The
+    /// batch size defaults to auto — `max(1, capacity / workers)` — and
+    /// can be overridden with [`with_batch`](PipelineExecutor::with_batch).
     pub fn new(workers: usize, capacity: usize) -> PipelineExecutor {
+        let workers = workers.max(1);
+        let capacity = capacity.max(1);
         PipelineExecutor {
-            workers: workers.max(1),
-            capacity: capacity.max(1),
+            workers,
+            capacity,
+            batch: (capacity / workers).max(1),
+        }
+    }
+
+    /// Overrides the items-per-message batch size (clamped to at least
+    /// 1). Results are bit-identical for every value; only the hop
+    /// amortization changes.
+    pub fn with_batch(mut self, batch: usize) -> PipelineExecutor {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Applies the `MINEDIG_PIPE_BATCH` override when set (0/unset keep
+    /// the auto default).
+    pub fn with_env_batch(self) -> PipelineExecutor {
+        match batch_from_env() {
+            Some(batch) => self.with_batch(batch),
+            None => self,
         }
     }
 
@@ -350,7 +493,8 @@ impl PipelineExecutor {
 
     /// Worker count from `MINEDIG_SHARDS` (default: available
     /// parallelism), capacity from `MINEDIG_PIPE_CAP` (default
-    /// [`DEFAULT_CAPACITY`]).
+    /// [`DEFAULT_CAPACITY`]), batch from `MINEDIG_PIPE_BATCH` (default
+    /// auto).
     pub fn from_env() -> PipelineExecutor {
         let workers = std::env::var("MINEDIG_SHARDS")
             .ok()
@@ -364,7 +508,7 @@ impl PipelineExecutor {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(DEFAULT_CAPACITY);
-        PipelineExecutor::new(workers, capacity)
+        PipelineExecutor::new(workers, capacity).with_env_batch()
     }
 
     /// Configured workers per stage.
@@ -372,18 +516,31 @@ impl PipelineExecutor {
         self.workers
     }
 
-    /// Configured channel capacity.
+    /// Configured channel capacity (in items).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Configured items per channel message.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Channel capacity in messages: the item-denominated capacity
+    /// divided by the batch size, rounded up so one full batch always
+    /// fits.
+    fn message_capacity(&self) -> usize {
+        self.capacity.div_ceil(self.batch).max(1)
     }
 
     /// Streams `source` through one stage into an in-order fold.
     ///
     /// Equivalent to `for item in source { fold(&mut acc, stage(item)) }`
-    /// — bit-identically, for any worker count and capacity — but with
-    /// the stage running concurrently with both the source iterator and
-    /// the fold. `fold` returning [`ControlFlow::Break`] stops the
-    /// pipeline exactly where the sequential loop would have stopped.
+    /// — bit-identically, for any worker count, capacity, and batch size
+    /// — but with the stage running concurrently with both the source
+    /// iterator and the fold. `fold` returning [`ControlFlow::Break`]
+    /// stops the pipeline exactly where the sequential loop would have
+    /// stopped.
     pub fn run<S, I, A, F>(&self, source: I, stage: &S, mut acc: A, fold: F) -> PipelineRun<A>
     where
         S: PipelineStage,
@@ -395,16 +552,19 @@ impl PipelineExecutor {
         let feed_waits = AtomicU64::new(0);
         let metrics = StageMetrics::new(self.workers);
         let sink_metrics = StageMetrics::new(1);
-        let (tx0, rx0) = bounded::<(u64, S::In)>(self.capacity);
-        let (tx1, rx1) = bounded::<(u64, S::Out)>(self.capacity);
+        let msg_cap = self.message_capacity();
+        let (tx0, rx0) = bounded::<(u64, Vec<S::In>)>(msg_cap);
+        let (tx1, rx1) = bounded::<(u64, Vec<S::Out>)>(msg_cap);
         let source = source.into_iter();
 
         std::thread::scope(|s| {
-            s.spawn(|| feed(source, tx0, &feed_waits));
+            s.spawn(|| feed(source, tx0, self.batch, &feed_waits));
             for w in 0..self.workers {
                 let (rx, tx) = (rx0.clone(), tx1.clone());
                 let metrics = &metrics;
-                s.spawn(move || stage_worker(stage, rx, tx, metrics, w, self.workers, t0));
+                s.spawn(move || {
+                    stage_worker(stage, rx, tx, metrics, w, self.workers, self.batch, t0)
+                });
             }
             drop(rx0);
             drop(tx1);
@@ -412,14 +572,17 @@ impl PipelineExecutor {
         });
 
         let sink = sink_metrics.into_stats(1);
+        let stages = vec![metrics.into_stats(0)];
         PipelineRun {
             outcome: acc,
             stats: PipelineStats {
                 workers: self.workers,
                 capacity: self.capacity,
+                batch: self.batch,
                 items: sink.items,
+                messages: stages.iter().map(|s| s.messages).sum::<u64>() + sink.messages,
                 elapsed: t0.elapsed(),
-                stages: vec![metrics.into_stats(0)],
+                stages,
                 sink,
                 feed_waits: feed_waits.load(Ordering::Relaxed),
             },
@@ -428,7 +591,9 @@ impl PipelineExecutor {
 
     /// Streams `source` through two chained stages into an in-order
     /// fold: same contract as [`run`](PipelineExecutor::run), with both
-    /// stages (and the source, and the fold) overlapping.
+    /// stages (and the source, and the fold) overlapping. Batches flow
+    /// through both hops intact: stage 2 consumes stage 1's output
+    /// batches under the same base sequence numbers.
     pub fn run2<S1, S2, I, A, F>(
         &self,
         source: I,
@@ -449,22 +614,27 @@ impl PipelineExecutor {
         let metrics1 = StageMetrics::new(self.workers);
         let metrics2 = StageMetrics::new(self.workers);
         let sink_metrics = StageMetrics::new(1);
-        let (tx0, rx0) = bounded::<(u64, S1::In)>(self.capacity);
-        let (tx1, rx1) = bounded::<(u64, S1::Out)>(self.capacity);
-        let (tx2, rx2) = bounded::<(u64, S2::Out)>(self.capacity);
+        let msg_cap = self.message_capacity();
+        let (tx0, rx0) = bounded::<(u64, Vec<S1::In>)>(msg_cap);
+        let (tx1, rx1) = bounded::<(u64, Vec<S1::Out>)>(msg_cap);
+        let (tx2, rx2) = bounded::<(u64, Vec<S2::Out>)>(msg_cap);
         let source = source.into_iter();
 
         std::thread::scope(|s| {
-            s.spawn(|| feed(source, tx0, &feed_waits));
+            s.spawn(|| feed(source, tx0, self.batch, &feed_waits));
             for w in 0..self.workers {
                 let (rx, tx) = (rx0.clone(), tx1.clone());
                 let metrics = &metrics1;
-                s.spawn(move || stage_worker(stage1, rx, tx, metrics, w, self.workers, t0));
+                s.spawn(move || {
+                    stage_worker(stage1, rx, tx, metrics, w, self.workers, self.batch, t0)
+                });
             }
             for w in 0..self.workers {
                 let (rx, tx) = (rx1.clone(), tx2.clone());
                 let metrics = &metrics2;
-                s.spawn(move || stage_worker(stage2, rx, tx, metrics, w, self.workers, t0));
+                s.spawn(move || {
+                    stage_worker(stage2, rx, tx, metrics, w, self.workers, self.batch, t0)
+                });
             }
             drop(rx0);
             drop(tx1);
@@ -474,14 +644,17 @@ impl PipelineExecutor {
         });
 
         let sink = sink_metrics.into_stats(2);
+        let stages = vec![metrics1.into_stats(0), metrics2.into_stats(1)];
         PipelineRun {
             outcome: acc,
             stats: PipelineStats {
                 workers: self.workers,
                 capacity: self.capacity,
+                batch: self.batch,
                 items: sink.items,
+                messages: stages.iter().map(|s| s.messages).sum::<u64>() + sink.messages,
                 elapsed: t0.elapsed(),
-                stages: vec![metrics1.into_stats(0), metrics2.into_stats(1)],
+                stages,
                 sink,
                 feed_waits: feed_waits.load(Ordering::Relaxed),
             },
@@ -550,50 +723,137 @@ mod tests {
     }
 
     #[test]
+    fn every_batch_size_is_bit_identical() {
+        let stage = FnStage::new(|i: u64| i.wrapping_mul(0x9E37_79B9) ^ (i << 7));
+        let expected: Vec<u64> = (0..777)
+            .map(|i: u64| i.wrapping_mul(0x9E37_79B9) ^ (i << 7))
+            .collect();
+        for workers in [1, 3, 8] {
+            for capacity in [1, 4, 64] {
+                for batch in [1, 2, 3, 16, 256] {
+                    let run = PipelineExecutor::new(workers, capacity)
+                        .with_batch(batch)
+                        .run(0..777u64, &stage, Vec::new(), collect_fold);
+                    assert_eq!(
+                        run.outcome, expected,
+                        "workers={workers} cap={capacity} batch={batch}"
+                    );
+                    assert_eq!(run.stats.items, 777);
+                    assert_eq!(run.stats.batch, batch);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batching_amortizes_channel_messages() {
+        let stage = FnStage::new(|i: u64| i);
+        let unbatched =
+            PipelineExecutor::new(2, 64)
+                .with_batch(1)
+                .run(0..10_000u64, &stage, 0u64, |acc, v| {
+                    *acc += v;
+                    ControlFlow::Continue(())
+                });
+        let batched = PipelineExecutor::new(2, 64).with_batch(100).run(
+            0..10_000u64,
+            &stage,
+            0u64,
+            |acc, v| {
+                *acc += v;
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(unbatched.outcome, batched.outcome);
+        // Batch 1: one message per item per hop (2 hops × 10k items).
+        assert_eq!(unbatched.stats.messages, 20_000);
+        assert!((unbatched.stats.items_per_message() - 1.0).abs() < 1e-9);
+        // Batch 100: exactly 100 messages per hop.
+        assert_eq!(batched.stats.messages, 200);
+        assert!((batched.stats.items_per_message() - 100.0).abs() < 1e-9);
+        assert!(batched.stats.hop_ns_saved() > unbatched.stats.hop_ns_saved());
+        assert_eq!(
+            unbatched.stats.messages / batched.stats.messages,
+            100,
+            "message amortization tracks the batch size exactly"
+        );
+    }
+
+    #[test]
+    fn auto_batch_defaults_to_capacity_over_workers() {
+        assert_eq!(PipelineExecutor::new(4, 256).batch(), 64);
+        assert_eq!(PipelineExecutor::new(8, 4).batch(), 1);
+        assert_eq!(PipelineExecutor::new(1, 256).batch(), 256);
+        assert_eq!(PipelineExecutor::new(3, 10).batch(), 3);
+        assert_eq!(PipelineExecutor::new(2, 64).with_batch(0).batch(), 1);
+    }
+
+    #[test]
+    fn short_final_batch_is_folded_completely() {
+        // 103 items at batch 25: four full batches plus a 3-item tail.
+        let stage = FnStage::new(|i: u64| i + 1);
+        let run = PipelineExecutor::new(3, 8).with_batch(25).run(
+            0..103u64,
+            &stage,
+            Vec::new(),
+            collect_fold,
+        );
+        let expected: Vec<u64> = (1..=103).collect();
+        assert_eq!(run.outcome, expected);
+        assert_eq!(run.stats.stages[0].messages, 5);
+        assert_eq!(run.stats.sink.messages, 5);
+    }
+
+    #[test]
     fn two_stage_chain_composes_in_order() {
         let double = FnStage::new(|i: u64| i * 2);
         let stringify = FnStage::new(|i: u64| format!("#{i}"));
         let expected: Vec<String> = (0..200).map(|i| format!("#{}", i * 2)).collect();
         for workers in [1, 4] {
-            let run = PipelineExecutor::new(workers, 8).run2(
-                0..200u64,
-                &double,
-                &stringify,
-                Vec::new(),
-                collect_fold,
-            );
-            assert_eq!(run.outcome, expected, "workers={workers}");
-            assert_eq!(run.stats.stages.len(), 2);
-            assert_eq!(run.stats.stages[1].items, 200);
+            for batch in [1, 7, 64] {
+                let run = PipelineExecutor::new(workers, 8).with_batch(batch).run2(
+                    0..200u64,
+                    &double,
+                    &stringify,
+                    Vec::new(),
+                    collect_fold,
+                );
+                assert_eq!(run.outcome, expected, "workers={workers} batch={batch}");
+                assert_eq!(run.stats.stages.len(), 2);
+                assert_eq!(run.stats.stages[1].items, 200);
+            }
         }
     }
 
     #[test]
     fn early_break_stops_at_the_sequential_item() {
         // Infinite source: only an early stop can end this run, and the
-        // fold must see exactly 0..=42 like the sequential loop.
+        // fold must see exactly 0..=42 like the sequential loop — even
+        // when the break lands mid-batch and the batch tail is discarded.
         let stage = FnStage::new(|i: u64| i);
         for workers in [1, 3, 8] {
-            let run = PipelineExecutor::new(workers, 4).run(
-                0u64..,
-                &stage,
-                Vec::new(),
-                |acc: &mut Vec<u64>, i| {
-                    acc.push(i);
-                    if i == 42 {
-                        ControlFlow::Break(())
-                    } else {
-                        ControlFlow::Continue(())
-                    }
-                },
-            );
-            let expected: Vec<u64> = (0..=42).collect();
-            assert_eq!(run.outcome, expected, "workers={workers}");
-            assert_eq!(run.stats.items, 43);
-            // The stage overshoots (bounded in-flight work past the
-            // break), but everything past the break is discarded: the
-            // fold saw exactly the sequential prefix.
-            assert!(run.stats.stages[0].items >= 43);
+            for batch in [1, 4, 100] {
+                let run = PipelineExecutor::new(workers, 4).with_batch(batch).run(
+                    0u64..,
+                    &stage,
+                    Vec::new(),
+                    |acc: &mut Vec<u64>, i| {
+                        acc.push(i);
+                        if i == 42 {
+                            ControlFlow::Break(())
+                        } else {
+                            ControlFlow::Continue(())
+                        }
+                    },
+                );
+                let expected: Vec<u64> = (0..=42).collect();
+                assert_eq!(run.outcome, expected, "workers={workers} batch={batch}");
+                assert_eq!(run.stats.items, 43);
+                // The stage overshoots (bounded in-flight work past the
+                // break), but everything past the break is discarded: the
+                // fold saw exactly the sequential prefix.
+                assert!(run.stats.stages[0].items >= 43);
+            }
         }
     }
 
@@ -604,6 +864,7 @@ mod tests {
             PipelineExecutor::new(4, 8).run(std::iter::empty(), &stage, Vec::new(), collect_fold);
         assert!(run.outcome.is_empty());
         assert_eq!(run.stats.items, 0);
+        assert_eq!(run.stats.messages, 0);
         assert_eq!(run.stats.sink.first_input, None);
     }
 
@@ -637,7 +898,7 @@ mod tests {
         assert_eq!(
             stage.allocations.load(Ordering::Relaxed),
             3,
-            "one scratch per worker, not per item"
+            "one scratch per worker, not per item or per batch"
         );
     }
 
@@ -701,6 +962,7 @@ mod tests {
         let exec = PipelineExecutor::new(0, 0);
         assert_eq!(exec.workers(), 1);
         assert_eq!(exec.capacity(), 1);
+        assert_eq!(exec.batch(), 1);
         assert_eq!(PipelineExecutor::sequential().workers(), 1);
     }
 

@@ -190,6 +190,7 @@ fn probe_range<P: LinkProber + Sync>(
         Backend::Streaming { workers, capacity } => {
             let stage = RangeProbeStage { prober, policy };
             PipelineExecutor::new(workers, capacity)
+                .with_env_batch()
                 .run(range, &stage, Vec::new(), |acc: &mut Vec<Probed>, out| {
                     acc.push(out);
                     ControlFlow::Continue(())

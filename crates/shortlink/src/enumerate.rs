@@ -399,16 +399,25 @@ pub fn enumerate_links_windowed_with<P: LinkProber>(
     }
 }
 
+/// One probe's outcome as it travels between pipeline stages: the probe
+/// result plus the retries it took.
+pub type ProbeOut = (Result<Option<VisitDoc>, ProbeError>, u32);
+
 /// The ID-space probe as a [`PipelineStage`]: items are global indices,
-/// outputs carry the probe result plus the retries it took.
-struct ProbeStage<'a, P: LinkProber> {
-    prober: &'a P,
-    policy: &'a ProbePolicy,
+/// outputs carry the probe result plus the retries it took. Public so
+/// drivers can chain their own downstream stage behind it with
+/// [`PipelineExecutor::run2`] — the streaming study hangs its resolver
+/// stage here.
+pub struct ProbeStage<'a, P: LinkProber> {
+    /// The prober each worker probes through.
+    pub prober: &'a P,
+    /// Retry policy applied per probe.
+    pub policy: &'a ProbePolicy,
 }
 
 impl<P: LinkProber + Sync> PipelineStage for ProbeStage<'_, P> {
     type In = u64;
-    type Out = (Result<Option<VisitDoc>, ProbeError>, u32);
+    type Out = ProbeOut;
     type Scratch = ();
 
     fn scratch(&self) {}

@@ -18,15 +18,16 @@
 //! 256) await their simulated network latency at once on a single
 //! thread — same outputs for any concurrency, plus executor stats.
 //!
-//! `MINEDIG_CKPT_DIR=<dir>` runs `scan` and `shortlink` supervised:
-//! progress checkpoints land in `<dir>` every `MINEDIG_CKPT_EVERY`
-//! items (default 64), the Chrome scan's fingerprint memo persists
+//! `MINEDIG_CKPT_DIR=<dir>` runs `scan`, `attribute` and `shortlink`
+//! supervised: progress checkpoints land in `<dir>` every
+//! `MINEDIG_CKPT_EVERY` items (default 64, last `MINEDIG_CKPT_KEEP`
+//! snapshots retained), the Chrome scan's fingerprint memo persists
 //! across runs, and `--resume` continues a killed campaign from its
 //! latest snapshot — with results bit-identical to an uninterrupted
 //! run.
 
 use minedig::analysis::economics::{pool_revenue, ExchangeRate};
-use minedig::analysis::scenario::{run_scenario, ScenarioConfig};
+use minedig::analysis::scenario::{run_scenario, run_scenario_supervised, ScenarioConfig};
 use minedig::core::campaign::{ChromeCampaign, ZgrabCampaign};
 use minedig::core::exec::{chrome_scan_async, zgrab_scan_async, ScanExecutor};
 use minedig::core::report::{
@@ -59,7 +60,7 @@ fn main() {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "scan" => cmd_scan(&args[1..], resume),
-        "attribute" => cmd_attribute(&args[1..]),
+        "attribute" => cmd_attribute(&args[1..], resume),
         "shortlink" => cmd_shortlink(&args[1..], resume),
         "hashrate" => cmd_hashrate(),
         _ => {
@@ -67,11 +68,12 @@ fn main() {
                 "minedig — reproduction of 'Digging into Browser-based Crypto Mining' (IMC'18)\n\n\
                  usage:\n  \
                  minedig scan <alexa|com|net|org> [seed] [--resume]\n  \
-                 minedig attribute [days] [seed]\n  \
+                 minedig attribute [days] [seed] [--resume]\n  \
                  minedig shortlink [links] [seed] [--resume]\n  \
                  minedig hashrate\n\n\
-                 MINEDIG_CKPT_DIR=<dir> checkpoints scan/shortlink campaigns every\n\
-                 MINEDIG_CKPT_EVERY items (default 64); --resume continues from the\n\
+                 MINEDIG_CKPT_DIR=<dir> checkpoints scan/attribute/shortlink campaigns\n\
+                 every MINEDIG_CKPT_EVERY items (default 64), retaining the last\n\
+                 MINEDIG_CKPT_KEEP snapshots (default 2); --resume continues from the\n\
                  latest snapshot."
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
@@ -327,7 +329,7 @@ fn supervised_scan(
     print!("{}", degradation_summary(&health));
 }
 
-fn cmd_attribute(args: &[String]) {
+fn cmd_attribute(args: &[String], resume: bool) {
     let days = arg_u64(args, 0, 7);
     let seed = arg_u64(args, 1, 2018);
     // MINEDIG_SHARDS fans each poll sweep across endpoints;
@@ -363,7 +365,29 @@ fn cmd_attribute(args: &[String]) {
         config.poll_faults = Some(plan);
     }
     let endpoints = (config.pool.backends * config.pool.endpoints_per_backend) as u64;
-    let result = run_scenario(config);
+    // MINEDIG_CKPT_DIR runs the §4.2 poll loop supervised: one item =
+    // one block event, checkpoints every MINEDIG_CKPT_EVERY events,
+    // --resume continues from the latest snapshot — bit-identical to
+    // the unsupervised scenario.
+    let result = if let Some(store) = ckpt_store() {
+        let supervisor = supervisor_from_env();
+        println!(
+            "checkpointing to {} every {} block events{}",
+            store.dir().display(),
+            supervisor.policy().ckpt_every_items,
+            if resume { ", resuming" } else { "" },
+        );
+        let name = format!("attribute-{days}-{seed}");
+        let run = run_scenario_supervised(&config, &store, &name, &supervisor, resume)
+            .unwrap_or_else(|e| {
+                eprintln!("attribution campaign failed: {e}");
+                std::process::exit(1);
+            });
+        print!("{}", checkpoint_summary("attribute", &run.report));
+        run.output
+    } else {
+        run_scenario(config)
+    };
     let ps = &result.poll_stats;
     println!(
         "polls: {} issued, {} answered, {} offline, {} retries, {} endpoint-sweeps down",

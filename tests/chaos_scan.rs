@@ -32,11 +32,13 @@ fn base_seed() -> u64 {
 }
 
 /// When `MINEDIG_STREAM` is set (the chaos job's streaming axis), a
-/// pipeline to replay each property through the streaming backend.
+/// pipeline to replay each property through the streaming backend —
+/// honoring `MINEDIG_PIPE_BATCH` so the CI matrix also varies the
+/// channel-message framing.
 fn stream_pipe(workers: usize) -> Option<PipelineExecutor> {
     std::env::var("MINEDIG_STREAM")
         .is_ok()
-        .then(|| PipelineExecutor::new(workers, 16))
+        .then(|| PipelineExecutor::new(workers, 16).with_env_batch())
 }
 
 fn zone(ix: u8) -> Zone {

@@ -1,8 +1,11 @@
 //! Property tests of the streaming pipeline's determinism contract: for
-//! any worker count (1–16), any channel capacity, and any fault
-//! schedule, the streaming execution of a workload is **bit-identical**
-//! to the sequential run — and to the sharded executor, since both
-//! reduce to the same per-item kernels folded in the same order.
+//! any worker count (1–16), any channel capacity, any message batch
+//! size, and any fault schedule, the streaming execution of a workload
+//! is **bit-identical** to the sequential run — and to the sharded
+//! executor, since both reduce to the same per-item kernels folded in
+//! the same order. Batching only changes how many items ride each
+//! channel message, never which items exist or the order the sink
+//! folds them.
 //!
 //! `MINEDIG_FAULT_SEED` offsets every fault-plan seed, so the CI chaos
 //! matrix exercises a different schedule per job without touching the
@@ -58,6 +61,20 @@ fn mixed_plan(offset: u64, permanent: f64) -> FaultPlan {
 
 const CAPACITIES: [usize; 4] = [1, 4, 64, 256];
 
+/// Batch sizes spanning the degenerate (1 item per message), awkward
+/// (primes that never divide the workload), and coarse (more than the
+/// whole workload in one message) regimes.
+const BATCHES: [usize; 5] = [1, 2, 3, 16, 256];
+
+/// Message-accounting invariants that hold for every run: the recorded
+/// batch matches the executor's, no message carries more than `batch`
+/// items, and a non-empty run sends at least one message.
+fn check_batching(stats: &minedig::primitives::pipeline::PipelineStats, batch: usize) -> bool {
+    stats.batch == batch
+        && stats.messages.saturating_mul(batch as u64) >= stats.hop_items()
+        && (stats.hop_items() == 0 || stats.messages > 0)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -70,17 +87,20 @@ proptest! {
         permanent in 0.0f64..0.6,
         workers in 1usize..=16,
         cap_ix in 0usize..CAPACITIES.len(),
+        batch_ix in 0usize..BATCHES.len(),
         shards in 1usize..=8,
     ) {
         let pop = Population::generate(Zone::Org, seed, clean);
         let model = FetchModel::outlasting(mixed_plan(fault_off, permanent));
         let sequential = zgrab_scan_with(&pop, seed, &model);
-        let pipe = PipelineExecutor::new(workers, CAPACITIES[cap_ix]);
+        let pipe = PipelineExecutor::new(workers, CAPACITIES[cap_ix])
+            .with_batch(BATCHES[batch_ix]);
         let streamed = zgrab_scan_streaming(&pop, seed, &model, &pipe);
         prop_assert_eq!(
             &streamed.outcome, &sequential,
-            "workers={} cap={}", workers, CAPACITIES[cap_ix]
+            "workers={} cap={} batch={}", workers, CAPACITIES[cap_ix], BATCHES[batch_ix]
         );
+        prop_assert!(check_batching(&streamed.stats, BATCHES[batch_ix]));
         let sharded = ScanExecutor::new(shards).zgrab_with(&pop, seed, &model);
         prop_assert_eq!(&sharded.outcome, &sequential, "shards={}", shards);
     }
@@ -99,18 +119,21 @@ proptest! {
         permanent in 0.0f64..0.5,
         workers in 1usize..=16,
         cap_ix in 0usize..CAPACITIES.len(),
+        batch_ix in 0usize..BATCHES.len(),
         shards in 1usize..=8,
     ) {
         let pop = Population::generate(Zone::Org, seed, clean);
         let model = FetchModel::outlasting(mixed_plan(fault_off, permanent));
         let sequential = chrome_scan_with(&pop, db(), seed, &model);
         let cache = FingerprintCache::new();
-        let pipe = PipelineExecutor::new(workers, CAPACITIES[cap_ix]);
+        let pipe = PipelineExecutor::new(workers, CAPACITIES[cap_ix])
+            .with_batch(BATCHES[batch_ix]);
         let streamed = chrome_scan_streaming(&pop, db(), seed, &model, Some(&cache), &pipe);
         prop_assert_eq!(
             &streamed.outcome, &sequential,
-            "workers={} cap={}", workers, CAPACITIES[cap_ix]
+            "workers={} cap={} batch={}", workers, CAPACITIES[cap_ix], BATCHES[batch_ix]
         );
+        prop_assert!(check_batching(&streamed.stats, BATCHES[batch_ix]));
         let sharded = ScanExecutor::new(shards).chrome_with(&pop, db(), seed, &model);
         prop_assert_eq!(&sharded.outcome, &sequential, "shards={}", shards);
     }
@@ -131,6 +154,7 @@ proptest! {
         budget in 256u64..20_000,
         workers in 1usize..=16,
         cap_ix in 0usize..CAPACITIES.len(),
+        batch_ix in 0usize..BATCHES.len(),
         shards in 1usize..=8,
     ) {
         let service = ShortlinkService::new(LinkPopulation::generate(&ModelConfig {
@@ -150,7 +174,8 @@ proptest! {
 
         // Streaming: resolve each doc the moment the sink folds it.
         let mut streamed_report = ResolveReport::default();
-        let pipe = PipelineExecutor::new(workers, CAPACITIES[cap_ix]);
+        let pipe = PipelineExecutor::new(workers, CAPACITIES[cap_ix])
+            .with_batch(BATCHES[batch_ix]);
         let streamed = enumerate_links_streaming_with(
             &prober,
             limit,
@@ -162,6 +187,7 @@ proptest! {
         prop_assert_eq!(streamed.outcome.probed, sequential.probed);
         prop_assert_eq!(streamed.outcome.failed_probes, sequential.failed_probes);
         prop_assert_eq!(streamed.outcome.probe_retries, sequential.probe_retries);
+        prop_assert!(check_batching(&streamed.stats, BATCHES[batch_ix]));
         prop_assert_eq!(streamed_report.resolved, batch_report.resolved);
         prop_assert_eq!(streamed_report.hashes_spent, batch_report.hashes_spent);
         prop_assert_eq!(
@@ -186,13 +212,16 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
     // The whole §4.1 study through the streaming pipeline equals the
-    // batch study, for any worker count and capacity.
+    // batch study, for any worker count, capacity, and batch size —
+    // including the resolver running as a true second pipeline stage:
+    // its speculative prefetches never leak into the result.
     #[test]
     fn streaming_study_is_bit_identical(
         links in 1_000u64..6_000,
         study_seed in 0u64..1_000_000,
         workers in 1usize..=16,
         cap_ix in 0usize..CAPACITIES.len(),
+        batch_ix in 0usize..BATCHES.len(),
     ) {
         let config = StudyConfig {
             model: ModelConfig {
@@ -204,7 +233,8 @@ proptest! {
             ..StudyConfig::default()
         };
         let batch = run_study(&config, study_seed);
-        let pipe = PipelineExecutor::new(workers, CAPACITIES[cap_ix]);
+        let pipe = PipelineExecutor::new(workers, CAPACITIES[cap_ix])
+            .with_batch(BATCHES[batch_ix]);
         let streamed = run_study_streaming(&config, study_seed, &pipe);
         prop_assert_eq!(
             streamed.result.enumeration.docs,
@@ -214,5 +244,14 @@ proptest! {
         prop_assert_eq!(streamed.result.hashes_spent, batch.hashes_spent);
         prop_assert_eq!(streamed.result.top10_domains, batch.top10_domains);
         prop_assert_eq!(streamed.result.tail_categories, batch.tail_categories);
+        prop_assert!(check_batching(&streamed.enum_stats, BATCHES[batch_ix]));
+        // The resolver really ran as the pipeline's second stage: its
+        // published stats are that stage's, it processed work, and it
+        // never saw more probes than stage 0 emitted (it can see fewer:
+        // once the sink stops the walk, in-flight stage-0 overshoot is
+        // dropped before reaching stage 1).
+        prop_assert_eq!(&streamed.resolver, &streamed.enum_stats.stages[1]);
+        prop_assert!(streamed.resolver.items > 0);
+        prop_assert!(streamed.resolver.items <= streamed.enum_stats.stages[0].items);
     }
 }
