@@ -21,6 +21,9 @@ use minedig_pool::protocol::{ClientMsg, Job, ServerMsg};
 use minedig_primitives::aexec::{AsyncExecutor, AsyncStats, IdleWait, IoPoll, YieldBackoff};
 use minedig_primitives::ckpt::{Checkpointable, CkptError, SnapReader, SnapWriter, Snapshot};
 use minedig_primitives::fault::{Fault, FaultPlan};
+use minedig_primitives::health::{
+    EndpointHealth, HealthConfig, HealthStats, ProbeOutcome, ProbePlan,
+};
 use minedig_primitives::par::{ExecStats, ParallelExecutor, ShardedTask};
 use minedig_primitives::retry::{retry, Clock, ErrorClass, RetryPolicy, Retryable, VirtualClock};
 use minedig_primitives::rng::DetRng;
@@ -53,13 +56,20 @@ pub enum FetchError {
     Closed,
     /// The response arrived corrupted. Transport; transient.
     Garbled,
+    /// The server shed the request under load (admission control). The
+    /// connection stays up and a later attempt may be admitted, so this
+    /// is transient — the one refusal that is *about* the request rate,
+    /// not the request.
+    Shed,
 }
 
 impl Retryable for FetchError {
     fn error_class(&self) -> ErrorClass {
         match self {
             FetchError::Offline | FetchError::Refused => ErrorClass::Permanent,
-            FetchError::Timeout | FetchError::Closed | FetchError::Garbled => ErrorClass::Transient,
+            FetchError::Timeout | FetchError::Closed | FetchError::Garbled | FetchError::Shed => {
+                ErrorClass::Transient
+            }
         }
     }
 }
@@ -288,6 +298,9 @@ impl<T: Transport> WireJobSource<T> {
                     Err(FetchError::Refused)
                 }
             }
+            // A shed is a well-formed, in-protocol refusal: the
+            // connection stays up and the retry loop backs off.
+            Ok(ServerMsg::Shed { .. }) => Err(FetchError::Shed),
             Ok(_) | Err(_) => {
                 *slot = None;
                 Err(FetchError::Garbled)
@@ -435,6 +448,14 @@ pub struct PollStats {
     pub retries: u64,
     /// Reconnects performed after torn-down connections.
     pub reconnects: u64,
+    /// Polls skipped because the endpoint's circuit breaker was open —
+    /// a counted observation gap that cost no retry budget. Zero unless
+    /// the health layer is enabled *and* endpoints failed enough to
+    /// trip, so fault-free runs are unaffected either way.
+    pub quarantined: u64,
+    /// Shed replies received from the server's admission control across
+    /// all attempts (the retry loop may see several per poll).
+    pub sheds: u64,
     /// Maximum distinct blobs observed for a single prev pointer.
     pub max_blobs_per_prev: usize,
 }
@@ -442,7 +463,12 @@ pub struct PollStats {
 impl PollStats {
     /// Every poll lands in exactly one outcome counter.
     pub fn balanced(&self) -> bool {
-        self.polls == self.answered + self.offline + self.other_errors + self.endpoints_down
+        self.polls
+            == self.answered
+                + self.offline
+                + self.other_errors
+                + self.endpoints_down
+                + self.quarantined
     }
 
     /// Folds another run's counters into this one. Additive counters
@@ -458,6 +484,8 @@ impl PollStats {
         self.endpoints_down += other.endpoints_down;
         self.retries += other.retries;
         self.reconnects += other.reconnects;
+        self.quarantined += other.quarantined;
+        self.sheds += other.sheds;
         self.max_blobs_per_prev = self.max_blobs_per_prev.max(other.max_blobs_per_prev);
     }
 }
@@ -475,6 +503,10 @@ pub struct Observer<S: JobSource = Pool> {
     /// paper's "at most 128 different PoW inputs per block").
     current_blobs: BTreeSet<Vec<u8>>,
     stats: PollStats,
+    /// Optional endpoint-health layer: circuit breakers, adaptive
+    /// deadlines, and hedge planning. `None` reproduces the pre-health
+    /// observer exactly.
+    health: Option<EndpointHealth>,
 }
 
 impl Observer<Pool> {
@@ -497,6 +529,46 @@ impl<S: JobSource> Observer<S> {
             current_roots: BTreeSet::new(),
             current_blobs: BTreeSet::new(),
             stats: PollStats::default(),
+            health: None,
+        }
+    }
+
+    /// Enables the endpoint-health layer (circuit breakers, adaptive
+    /// deadlines, hedged probes) with the given configuration. Must be
+    /// called before the first sweep; a restored campaign must enable it
+    /// with the same configuration it ran with.
+    pub fn with_health(mut self, config: HealthConfig) -> Observer<S> {
+        let endpoints = self.source.endpoint_count();
+        self.health = Some(EndpointHealth::new(config, endpoints));
+        self
+    }
+
+    /// The health layer, when enabled.
+    pub fn health(&self) -> Option<&EndpointHealth> {
+        self.health.as_ref()
+    }
+
+    /// Aggregated health-layer counters, when enabled.
+    pub fn health_stats(&self) -> Option<HealthStats> {
+        self.health.as_ref().map(EndpointHealth::stats)
+    }
+
+    /// The per-endpoint plans for a sweep at `now`: breaker decisions
+    /// when the health layer is on, pass-through plans otherwise. Must
+    /// run strictly before the fan-out so every backend sees identical
+    /// decisions (breaker state advances only in
+    /// [`record_health`](Observer::record_health), after the merge).
+    fn sweep_plans(&mut self, now: u64) -> Vec<ProbePlan> {
+        match self.health.as_mut() {
+            Some(h) => h.plan_sweep(now),
+            None => vec![ProbePlan::pass(); self.source.endpoint_count()],
+        }
+    }
+
+    /// Folds a sweep's merged probe outcomes back into the health layer.
+    fn record_health(&mut self, now: u64, plans: &[ProbePlan], outcomes: &[ProbeOutcome]) {
+        if let Some(h) = self.health.as_mut() {
+            h.record_sweep(now, plans, outcomes);
         }
     }
 
@@ -520,19 +592,23 @@ impl<S: JobSource> Observer<S> {
     /// to the sequential [`poll_all`](Observer::poll_all) for any shard
     /// count. Returns the executor stats (`items` counts endpoint polls).
     pub fn poll_all_sharded(&mut self, now: u64, executor: &ParallelExecutor) -> ExecStats {
+        let plans = self.sweep_plans(now);
         let run = executor.execute(&PollTask {
             source: &self.source,
             now,
             deobfuscate: self.deobfuscate,
             policy: &self.policy,
+            plans: &plans,
         });
-        self.absorb_delta(run.outcome);
+        let outcomes = self.absorb_delta(run.outcome);
+        self.record_health(now, &plans, &outcomes);
         run.stats
     }
 
     /// Applies one sweep's merged delta: counters add, observations run
-    /// through [`record`](Observer::record) in endpoint order.
-    fn absorb_delta(&mut self, delta: PollDelta) {
+    /// through [`record`](Observer::record) in endpoint order. Returns
+    /// the per-endpoint probe outcomes for the health layer.
+    fn absorb_delta(&mut self, delta: PollDelta) -> Vec<ProbeOutcome> {
         self.stats.polls += delta.polls;
         self.stats.answered += delta.answered;
         self.stats.offline += delta.offline;
@@ -541,9 +617,12 @@ impl<S: JobSource> Observer<S> {
         self.stats.endpoints_down += delta.endpoints_down;
         self.stats.retries += delta.retries;
         self.stats.reconnects += delta.reconnects;
+        self.stats.quarantined += delta.quarantined;
+        self.stats.sheds += delta.sheds;
         for (bytes, blob) in delta.observations {
             self.record(bytes, blob);
         }
+        delta.probe_outcomes
     }
 
     fn record(&mut self, bytes: Vec<u8>, blob: HashingBlob) {
@@ -603,6 +682,8 @@ impl<S: JobSource> Observer<S> {
         w.u64(s.endpoints_down);
         w.u64(s.retries);
         w.u64(s.reconnects);
+        w.u64(s.quarantined);
+        w.u64(s.sheds);
         w.len(s.max_blobs_per_prev);
         w.opt(self.current_prev.as_ref(), |w, h| w.hash(h));
         w.len(self.current_roots.len());
@@ -618,6 +699,13 @@ impl<S: JobSource> Observer<S> {
         for d in down {
             w.bool(d);
         }
+        // The health layer's breaker/tracker state is cross-sweep state
+        // like the down flags: a resumed campaign that dropped it would
+        // re-spend retry budget a quarantine had already saved.
+        w.bool(self.health.is_some());
+        if let Some(h) = &self.health {
+            h.write_state(w);
+        }
     }
 
     /// Restores state written by [`write_state`](Observer::write_state)
@@ -632,6 +720,8 @@ impl<S: JobSource> Observer<S> {
             endpoints_down: r.u64()?,
             retries: r.u64()?,
             reconnects: r.u64()?,
+            quarantined: r.u64()?,
+            sheds: r.u64()?,
             max_blobs_per_prev: r.len()?,
         };
         let current_prev = r.opt(|r| r.hash())?;
@@ -649,6 +739,12 @@ impl<S: JobSource> Observer<S> {
         let mut down = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
             down.push(r.bool()?);
+        }
+        if r.bool()? != self.health.is_some() {
+            return Err(CkptError::Corrupt("health layer presence mismatch"));
+        }
+        if let Some(h) = self.health.as_mut() {
+            h.read_state(r)?;
         }
         self.stats = stats;
         self.current_prev = current_prev;
@@ -702,15 +798,29 @@ impl<S: AsyncJobSource> Observer<S> {
         executor: &AsyncExecutor,
         idle: &mut dyn IdleWait,
     ) -> AsyncStats {
+        let plans = self.sweep_plans(now);
         let source = &self.source;
         let policy = &self.policy;
         let deobfuscate = self.deobfuscate;
+        let plans_ref: &[ProbePlan] = &plans;
         let run = executor.run_ordered_with(
             0..source.endpoint_count(),
             |ctx, endpoint| async move {
                 let mut delta = PollDelta {
                     polls: 1,
                     ..PollDelta::default()
+                };
+                let plan = plans_ref[endpoint];
+                if !plan.admit {
+                    // Quarantined: no request, no rng draws, no retry
+                    // budget — identical to the sharded sweep's skip.
+                    delta.quarantined += 1;
+                    delta.probe_outcomes.push(ProbeOutcome::default());
+                    return delta;
+                }
+                let retry_policy = match plan.deadline_ms {
+                    Some(d) => policy.retry.tightened(d),
+                    None => policy.retry.clone(),
                 };
                 // Async mirror of `retry()` over the same per-endpoint
                 // virtual clock and jitter stream as `run_shard`: the
@@ -719,7 +829,7 @@ impl<S: AsyncJobSource> Observer<S> {
                 let mut clock = VirtualClock::new();
                 let mut rng = DetRng::seed(policy.jitter_seed)
                     .derive(&format!("poll.jitter.{endpoint}.{now}"));
-                let max_attempts = policy.retry.max_attempts.max(1);
+                let max_attempts = retry_policy.max_attempts.max(1);
                 let mut attempts = 0u32;
                 let outcome = loop {
                     let result = match source.begin_fetch(endpoint, now, attempts) {
@@ -737,6 +847,9 @@ impl<S: AsyncJobSource> Observer<S> {
                     if matches!(result, Err(FetchError::Closed)) && source.reconnect(endpoint) {
                         delta.reconnects += 1;
                     }
+                    if matches!(result, Err(FetchError::Shed)) {
+                        delta.sheds += 1;
+                    }
                     attempts += 1;
                     let error = match result {
                         Ok(job) => break Ok(job),
@@ -745,8 +858,8 @@ impl<S: AsyncJobSource> Observer<S> {
                     if error.error_class() == ErrorClass::Permanent || attempts >= max_attempts {
                         break Err(error);
                     }
-                    let backoff = policy.retry.backoff_ms(attempts, &mut rng);
-                    if let Some(deadline) = policy.retry.deadline_ms {
+                    let backoff = retry_policy.backoff_ms(attempts, &mut rng);
+                    if let Some(deadline) = retry_policy.deadline_ms {
                         if clock.now_ms().saturating_add(backoff) > deadline {
                             break Err(error);
                         }
@@ -754,9 +867,16 @@ impl<S: AsyncJobSource> Observer<S> {
                     clock.sleep_ms(backoff);
                 };
                 delta.retries += u64::from(attempts.saturating_sub(1));
+                delta.probe_outcomes.push(ProbeOutcome {
+                    attempted: true,
+                    success: outcome.is_ok(),
+                    waited_ms: clock.now_ms(),
+                });
                 match outcome {
                     Err(FetchError::Offline) => delta.offline += 1,
-                    Err(FetchError::Refused) => delta.other_errors += 1,
+                    // A final shed is a server-side refusal, not an
+                    // endpoint death: the endpoint is up, just loaded.
+                    Err(FetchError::Refused) | Err(FetchError::Shed) => delta.other_errors += 1,
                     Err(FetchError::Timeout)
                     | Err(FetchError::Closed)
                     | Err(FetchError::Garbled) => delta.endpoints_down += 1,
@@ -788,12 +908,16 @@ impl<S: AsyncJobSource> Observer<S> {
                 acc.endpoints_down += next.endpoints_down;
                 acc.retries += next.retries;
                 acc.reconnects += next.reconnects;
+                acc.quarantined += next.quarantined;
+                acc.sheds += next.sheds;
                 acc.observations.append(&mut next.observations);
+                acc.probe_outcomes.append(&mut next.probe_outcomes);
                 ControlFlow::Continue(())
             },
             idle,
         );
-        self.absorb_delta(run.outcome);
+        let outcomes = self.absorb_delta(run.outcome);
+        self.record_health(now, &plans, &outcomes);
         run.stats
     }
 }
@@ -810,7 +934,13 @@ struct PollDelta {
     endpoints_down: u64,
     retries: u64,
     reconnects: u64,
+    quarantined: u64,
+    sheds: u64,
     observations: Vec<(Vec<u8>, HashingBlob)>,
+    /// One outcome per polled endpoint, in endpoint order (the merge
+    /// concatenates contiguous shards), fed to the health layer's
+    /// record phase after the merge.
+    probe_outcomes: Vec<ProbeOutcome>,
 }
 
 /// One poll sweep as a [`ShardedTask`] over the endpoint index space.
@@ -821,6 +951,8 @@ struct PollTask<'a, S: JobSource> {
     now: u64,
     deobfuscate: bool,
     policy: &'a PollPolicy,
+    /// Per-endpoint health plans, computed before the fan-out.
+    plans: &'a [ProbePlan],
 }
 
 impl<S: JobSource> ShardedTask for PollTask<'_, S> {
@@ -835,25 +967,49 @@ impl<S: JobSource> ShardedTask for PollTask<'_, S> {
         for endpoint in range {
             progress.fetch_add(1, Ordering::Relaxed);
             delta.polls += 1;
+            let plan = self.plans[endpoint];
+            if !plan.admit {
+                // Quarantined by the circuit breaker: no request, no
+                // rng draws, no retry budget — a counted gap.
+                delta.quarantined += 1;
+                delta.probe_outcomes.push(ProbeOutcome::default());
+                continue;
+            }
+            let retry_policy = match plan.deadline_ms {
+                Some(d) => self.policy.retry.tightened(d),
+                None => self.policy.retry.clone(),
+            };
             let mut clock = VirtualClock::new();
             let mut rng = DetRng::seed(self.policy.jitter_seed)
                 .derive(&format!("poll.jitter.{endpoint}.{}", self.now));
             let mut reconnects = 0u64;
-            let outcome = retry(&self.policy.retry, &mut clock, &mut rng, |attempt| {
+            let mut sheds = 0u64;
+            let outcome = retry(&retry_policy, &mut clock, &mut rng, |attempt| {
                 let r = self.source.fetch_job(endpoint, self.now, attempt);
                 // Reconnect eagerly on every teardown, even a final one,
                 // so the next sweep starts on a fresh connection.
                 if matches!(r, Err(FetchError::Closed)) && self.source.reconnect(endpoint) {
                     reconnects += 1;
                 }
+                if matches!(r, Err(FetchError::Shed)) {
+                    sheds += 1;
+                }
                 r
             });
             delta.retries += u64::from(outcome.retries());
             delta.reconnects += reconnects;
+            delta.sheds += sheds;
+            delta.probe_outcomes.push(ProbeOutcome {
+                attempted: true,
+                success: outcome.result.is_ok(),
+                waited_ms: outcome.waited_ms,
+            });
             match outcome.result {
                 Err(e) => match e.error {
                     FetchError::Offline => delta.offline += 1,
-                    FetchError::Refused => delta.other_errors += 1,
+                    // A final shed is a server-side refusal, not an
+                    // endpoint death: the endpoint is up, just loaded.
+                    FetchError::Refused | FetchError::Shed => delta.other_errors += 1,
                     // The transport never recovered within the policy:
                     // the endpoint is down for this sweep.
                     FetchError::Timeout | FetchError::Closed | FetchError::Garbled => {
@@ -889,7 +1045,10 @@ impl<S: JobSource> ShardedTask for PollTask<'_, S> {
         acc.endpoints_down += next.endpoints_down;
         acc.retries += next.retries;
         acc.reconnects += next.reconnects;
+        acc.quarantined += next.quarantined;
+        acc.sheds += next.sheds;
         acc.observations.append(&mut next.observations);
+        acc.probe_outcomes.append(&mut next.probe_outcomes);
     }
 }
 
@@ -1540,6 +1699,338 @@ mod tests {
             assert!(run.output.stats.balanced(), "{:?}", run.output.stats);
             assert!(run.report.balanced(), "{:?}", run.report);
             let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    /// A source whose `dead` endpoint times out on every attempt —
+    /// the permanently-dead-endpoint scenario the breaker exists for.
+    struct DeadEndpoint<S: JobSource> {
+        inner: S,
+        dead: usize,
+    }
+
+    impl<S: JobSource> JobSource for DeadEndpoint<S> {
+        fn endpoint_count(&self) -> usize {
+            self.inner.endpoint_count()
+        }
+
+        fn fetch_job(&self, endpoint: usize, now: u64, attempt: u32) -> Result<Job, FetchError> {
+            if endpoint == self.dead {
+                Err(FetchError::Timeout)
+            } else {
+                self.inner.fetch_job(endpoint, now, attempt)
+            }
+        }
+    }
+
+    impl<S: AsyncJobSource> AsyncJobSource for DeadEndpoint<S> {
+        fn begin_fetch(&self, endpoint: usize, now: u64, attempt: u32) -> Result<(), FetchError> {
+            if endpoint == self.dead {
+                Err(FetchError::Timeout)
+            } else {
+                self.inner.begin_fetch(endpoint, now, attempt)
+            }
+        }
+
+        fn poll_fetch(
+            &self,
+            endpoint: usize,
+            now: u64,
+            attempt: u32,
+        ) -> Poll<Result<Job, FetchError>> {
+            self.inner.poll_fetch(endpoint, now, attempt)
+        }
+    }
+
+    #[test]
+    fn health_layer_is_bit_identical_without_faults() {
+        use minedig_primitives::health::HedgeConfig;
+        let times: Vec<u64> = (1_000..1_150).step_by(5).collect();
+        let pool = pool_with_tip();
+        let mut off = Observer::new(pool.clone(), true);
+        for &t in &times {
+            off.poll_all(t);
+        }
+        // Aggressive adaptive/hedge settings: warmed-up deadlines bind
+        // tightly and hedging starts early — none of it may perturb the
+        // fault-free result on any backend.
+        let cfg = HealthConfig {
+            seed: 0x4ea1,
+            adaptive: minedig_primitives::health::AdaptiveConfig {
+                warmup: 1,
+                multiplier: 1.0,
+                floor_ms: 0,
+                ..Default::default()
+            },
+            hedge: HedgeConfig {
+                min_tracked: 2,
+                slow_fraction: 0.3,
+                ..HedgeConfig::default()
+            },
+            ..HealthConfig::default()
+        };
+        let mut seq = Observer::new(pool.clone(), true).with_health(cfg.clone());
+        let mut par = Observer::new(pool.clone(), true).with_health(cfg.clone());
+        let mut asy = Observer::new(pool, true).with_health(cfg);
+        let sharded = ParallelExecutor::new(4);
+        let aexec = AsyncExecutor::new(8);
+        for &t in &times {
+            seq.poll_all(t);
+            par.poll_all_sharded(t, &sharded);
+            asy.poll_all_async(t, &aexec);
+        }
+        for (on, label) in [(&seq, "seq"), (&par, "sharded"), (&asy, "async")] {
+            assert_eq!(on.stats, off.stats, "{label}");
+            assert_eq!(on.current_prev, off.current_prev, "{label}");
+            assert_eq!(on.current_roots, off.current_roots, "{label}");
+            assert_eq!(on.current_blobs, off.current_blobs, "{label}");
+            let hs = on.health_stats().unwrap();
+            assert!(hs.balanced(), "{label}: {hs:?}");
+            assert_eq!(hs.breaker.trips, 0, "{label}: fault-free never trips");
+            assert!(hs.hedges > 0, "{label}: hedging must have activated");
+        }
+        assert_eq!(seq.health_stats(), asy.health_stats());
+        assert_eq!(seq.health_stats(), par.health_stats());
+    }
+
+    #[test]
+    fn dead_endpoint_quarantine_bounds_retry_budget() {
+        let times: Vec<u64> = (1_000..2_000).step_by(5).collect(); // 200 sweeps
+        let dead = 7usize;
+        let make = || DeadEndpoint {
+            inner: pool_with_tip(),
+            dead,
+        };
+        // Without the breaker every sweep pays the full retry budget
+        // against the dead endpoint.
+        let mut off = Observer::with_source(make(), true, PollPolicy::default());
+        for &t in &times {
+            off.poll_all(t);
+        }
+        assert_eq!(off.stats.retries, times.len() as u64 * 3);
+        assert_eq!(off.stats.quarantined, 0);
+
+        let cfg = HealthConfig::default(); // open_for 60(+≤15 jitter)
+        let mut seq =
+            Observer::with_source(make(), true, PollPolicy::default()).with_health(cfg.clone());
+        let mut par =
+            Observer::with_source(make(), true, PollPolicy::default()).with_health(cfg.clone());
+        let mut asy =
+            Observer::with_source(make(), true, PollPolicy::default()).with_health(cfg.clone());
+        let sharded = ParallelExecutor::new(3);
+        let aexec = AsyncExecutor::new(16);
+        for &t in &times {
+            seq.poll_all(t);
+            par.poll_all_sharded(t, &sharded);
+            asy.poll_all_async(t, &aexec);
+        }
+        // The acceptance bound: the window fill to trip, then at most
+        // one probe per open interval across the 1000-unit span.
+        let span = times.last().unwrap() - times.first().unwrap();
+        let max_attempts = cfg.breaker.min_samples as u64 + span / cfg.breaker.open_for + 2;
+        let s = seq.stats();
+        assert!(s.balanced(), "{s:?}");
+        let attempts = times.len() as u64 - s.quarantined;
+        assert!(
+            attempts <= max_attempts,
+            "attempts {attempts} > bound {max_attempts}"
+        );
+        assert_eq!(s.retries, attempts * 3, "only probed sweeps spend retries");
+        assert_eq!(
+            s.answered,
+            31 * times.len() as u64,
+            "healthy endpoints poll"
+        );
+        let hs = seq.health_stats().unwrap();
+        assert!(hs.balanced(), "{hs:?}");
+        assert_eq!(hs.breaker.quarantined, s.quarantined);
+        // All backends agree bit for bit, quarantine decisions included.
+        assert_eq!(par.stats, seq.stats);
+        assert_eq!(asy.stats, seq.stats);
+        assert_eq!(par.health_stats(), seq.health_stats());
+        assert_eq!(asy.health_stats(), seq.health_stats());
+        assert_eq!(par.current_roots, seq.current_roots);
+        assert_eq!(asy.current_roots, seq.current_roots);
+    }
+
+    #[test]
+    fn health_backends_match_under_faults() {
+        let plan = FaultPlan::with_config(
+            13,
+            FaultConfig {
+                fault_prob: 0.5,
+                permanent_prob: 0.3,
+                ..FaultConfig::default()
+            },
+        );
+        // Short open windows so breakers trip *and* probe within the run.
+        let cfg = HealthConfig {
+            breaker: minedig_primitives::health::BreakerConfig {
+                open_for: 20,
+                probe_jitter: 7,
+                ..Default::default()
+            },
+            ..HealthConfig::default()
+        };
+        let pool = pool_with_tip();
+        let make = || {
+            Observer::with_source(
+                FaultyJobSource::new(pool.clone(), plan.clone()),
+                true,
+                PollPolicy::default(),
+            )
+            .with_health(cfg.clone())
+        };
+        let mut seq = make();
+        let mut par = make();
+        let mut asy = make();
+        let sharded = ParallelExecutor::new(5);
+        let aexec = AsyncExecutor::new(8);
+        for t in (1_000..1_400).step_by(5) {
+            seq.poll_all(t);
+            par.poll_all_sharded(t, &sharded);
+            asy.poll_all_async(t, &aexec);
+        }
+        assert!(seq.stats.quarantined > 0, "faults must trip breakers");
+        assert!(seq.stats.balanced(), "{:?}", seq.stats);
+        assert!(seq.health_stats().unwrap().balanced());
+        assert_eq!(par.stats, seq.stats);
+        assert_eq!(asy.stats, seq.stats);
+        assert_eq!(par.health_stats(), seq.health_stats());
+        assert_eq!(asy.health_stats(), seq.health_stats());
+        assert_eq!(par.current_roots, seq.current_roots);
+        assert_eq!(asy.current_roots, seq.current_roots);
+        assert_eq!(par.current_blobs, seq.current_blobs);
+        assert_eq!(asy.current_blobs, seq.current_blobs);
+    }
+
+    #[test]
+    fn supervised_poll_with_health_restores_breaker_state() {
+        use minedig_primitives::ckpt::SnapshotStore;
+        use minedig_primitives::supervise::{CrashPolicy, Supervisor};
+        let plan = FaultPlan::with_config(
+            33,
+            FaultConfig {
+                fault_prob: 0.8,
+                permanent_prob: 0.8,
+                ..FaultConfig::default()
+            },
+        );
+        let cfg = HealthConfig {
+            breaker: minedig_primitives::health::BreakerConfig {
+                open_for: 20,
+                probe_jitter: 5,
+                ..Default::default()
+            },
+            ..HealthConfig::default()
+        };
+        let pool = pool_with_tip();
+        let policy = PollPolicy {
+            retry: RetryPolicy::attempts(3),
+            jitter_seed: plan.seed(),
+        };
+        let make = || {
+            Observer::with_source(
+                FaultyJobSource::new(pool.clone(), plan.clone()),
+                true,
+                policy.clone(),
+            )
+            .with_health(cfg.clone())
+        };
+        let mut reference = make();
+        for tick in 0..24u64 {
+            reference.poll_all(1_000 + tick * 5);
+        }
+        assert!(
+            reference.stats.quarantined > 0,
+            "plan must trip breakers mid-run: {:?}",
+            reference.stats
+        );
+        for backend in CAMPAIGN_BACKENDS {
+            let dir = ckpt_dir(&format!("health-{}", backend.label()));
+            let store = SnapshotStore::open(&dir).unwrap();
+            let sup = Supervisor::new(CrashPolicy {
+                ckpt_every_items: 4,
+                ..CrashPolicy::default()
+            })
+            .with_kills(vec![5, 13]);
+            let run = sup
+                .run(
+                    &store,
+                    "poll-health",
+                    || PollCampaign::new(make(), 1_000, 5, 24, backend),
+                    false,
+                )
+                .unwrap();
+            assert_observer_eq(&run.output, &reference, backend.label());
+            assert_eq!(
+                run.output.health_stats(),
+                reference.health_stats(),
+                "backend={}",
+                backend.label()
+            );
+            assert!(run.output.stats.balanced(), "{:?}", run.output.stats);
+            assert!(run.report.balanced(), "{:?}", run.report);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+        #[test]
+        fn health_on_is_bit_identical_fault_free_for_any_config(
+            seed in proptest::prelude::any::<u64>(),
+            window in 1usize..12,
+            min_samples in 1usize..6,
+            open_for in 1u64..100,
+            probe_jitter in 0u64..40,
+            warmup in 1u64..6,
+            multiplier in 1.0f64..8.0,
+            floor_ms in 0u64..400,
+            span in 1u64..100,
+            hedge_enabled in proptest::prelude::any::<bool>(),
+            slow_fraction in 0.0f64..0.9,
+            delay_ms in 0u64..40,
+            min_tracked in 1usize..8,
+        ) {
+            use minedig_primitives::health::{AdaptiveConfig, BreakerConfig, HedgeConfig};
+            let cfg = HealthConfig {
+                seed,
+                breaker: BreakerConfig {
+                    window,
+                    min_samples,
+                    failure_threshold: 0.5,
+                    open_for,
+                    probe_jitter,
+                },
+                adaptive: AdaptiveConfig {
+                    warmup,
+                    multiplier,
+                    floor_ms,
+                    synthetic_span_ms: span,
+                    ..AdaptiveConfig::default()
+                },
+                hedge: HedgeConfig {
+                    enabled: hedge_enabled,
+                    slow_fraction,
+                    delay_ms,
+                    min_tracked,
+                },
+            };
+            let pool = pool_with_tip();
+            let mut off = Observer::new(pool.clone(), true);
+            let mut on = Observer::new(pool, true).with_health(cfg);
+            for t in (1_000..1_100).step_by(5) {
+                off.poll_all(t);
+                on.poll_all(t);
+            }
+            proptest::prop_assert_eq!(&on.stats, &off.stats);
+            proptest::prop_assert_eq!(on.current_prev, off.current_prev);
+            proptest::prop_assert_eq!(&on.current_roots, &off.current_roots);
+            proptest::prop_assert_eq!(&on.current_blobs, &off.current_blobs);
+            let hs = on.health_stats().unwrap();
+            proptest::prop_assert!(hs.balanced(), "{:?}", hs);
+            proptest::prop_assert_eq!(hs.breaker.trips, 0);
         }
     }
 

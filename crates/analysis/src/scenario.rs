@@ -11,6 +11,7 @@ use minedig_primitives::ckpt::{
     Checkpointable, CkptError, SnapReader, SnapWriter, Snapshot, SnapshotStore,
 };
 use minedig_primitives::fault::FaultPlan;
+use minedig_primitives::health::{HealthConfig, HealthStats};
 use minedig_primitives::par::ParallelExecutor;
 use minedig_primitives::retry::RetryPolicy;
 use minedig_primitives::supervise::{Campaign, SuperviseError, SupervisedRun, Supervisor};
@@ -65,6 +66,11 @@ pub struct ScenarioConfig {
     pub poll_faults: Option<FaultPlan>,
     /// Per-endpoint retry budget within each poll sweep.
     pub poll_retry: RetryPolicy,
+    /// When set, the observer runs behind the endpoint-health layer
+    /// (circuit breakers, adaptive deadlines, hedged probes). Fault-free
+    /// runs are bit-identical with the layer on or off; under faults it
+    /// trades accounted `quarantined` polls for saved retry budget.
+    pub poll_health: Option<HealthConfig>,
     /// Initial network difficulty.
     pub initial_difficulty: u64,
     /// Mean transfer transactions per block.
@@ -104,6 +110,7 @@ impl Default for ScenarioConfig {
             poll_async: None,
             poll_faults: None,
             poll_retry: RetryPolicy::default(),
+            poll_health: None,
             initial_difficulty: 55_400_000_000,
             mean_txs_per_block: 12.0,
             pool: PoolConfig::default(),
@@ -164,6 +171,9 @@ pub struct ScenarioResult {
     /// Aggregate async-executor statistics across all poll sweeps, when
     /// `poll_async` was set.
     pub poll_async_stats: Option<AsyncStats>,
+    /// Endpoint-health counters (breaker trips, quarantines, hedges),
+    /// when `poll_health` was set.
+    pub poll_health_stats: Option<HealthStats>,
     /// Scenario window `[start, end)`.
     pub window: (u64, u64),
 }
@@ -196,7 +206,10 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
                 retry: config.poll_retry.clone(),
                 jitter_seed: config.seed,
             };
-            let observer = Observer::with_source(pool.clone(), true, policy);
+            let mut observer = Observer::with_source(pool.clone(), true, policy);
+            if let Some(health) = config.poll_health.clone() {
+                observer = observer.with_health(health);
+            }
             run_scenario_with(config, pool, observer)
         }
         Some(plan) => {
@@ -205,7 +218,10 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
                 jitter_seed: plan.seed(),
             };
             let source = FaultyJobSource::new(pool.clone(), plan);
-            let observer = Observer::with_source(source, true, policy);
+            let mut observer = Observer::with_source(source, true, policy);
+            if let Some(health) = config.poll_health.clone() {
+                observer = observer.with_health(health);
+            }
             run_scenario_with(config, pool, observer)
         }
     }
@@ -528,13 +544,17 @@ impl<S: AsyncJobSource + Send + 'static> Campaign for ScenarioCampaign<S> {
 
     fn finish(mut self) -> ScenarioResult {
         let network = network_estimate(&mut self.difficulties);
-        let poll_stats = self.observer.lock().stats().clone();
+        let observer = self.observer.lock();
+        let poll_stats = observer.stats().clone();
+        let poll_health_stats = observer.health_stats();
+        drop(observer);
         ScenarioResult {
             attributed: self.attributor.attributed,
             ground_truth: self.ground_truth,
             total_blocks: self.total_blocks,
             network,
             poll_stats,
+            poll_health_stats,
             poll_async_stats: self
                 .config
                 .poll_async
@@ -566,7 +586,10 @@ pub fn run_scenario_supervised(
                     retry: config.poll_retry.clone(),
                     jitter_seed: config.seed,
                 };
-                let observer = Observer::with_source(pool.clone(), true, policy);
+                let mut observer = Observer::with_source(pool.clone(), true, policy);
+                if let Some(health) = config.poll_health.clone() {
+                    observer = observer.with_health(health);
+                }
                 ScenarioCampaign::new(config.clone(), pool, observer)
             },
             resume,
@@ -581,7 +604,10 @@ pub fn run_scenario_supervised(
                     jitter_seed: plan.seed(),
                 };
                 let source = FaultyJobSource::new(pool.clone(), plan.clone());
-                let observer = Observer::with_source(source, true, policy);
+                let mut observer = Observer::with_source(source, true, policy);
+                if let Some(health) = config.poll_health.clone() {
+                    observer = observer.with_health(health);
+                }
                 ScenarioCampaign::new(config.clone(), pool, observer)
             },
             resume,
@@ -857,6 +883,60 @@ mod tests {
         );
         assert_eq!(sa.tasks, sb.tasks);
         assert_eq!(sa.in_flight_high_water, sb.in_flight_high_water);
+        assert!(run.report.balanced(), "{:?}", run.report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn health_layer_does_not_change_the_scenario() {
+        let off = short_scenario(2, 9);
+        let on = run_scenario(ScenarioConfig {
+            duration_days: 2,
+            seed: 9,
+            poll_health: Some(HealthConfig::default()),
+            ..ScenarioConfig::default()
+        });
+        assert_eq!(on.attributed, off.attributed);
+        assert_eq!(on.total_blocks, off.total_blocks);
+        assert_eq!(on.poll_stats, off.poll_stats, "fault-free ⇒ bit-identical");
+        assert!(off.poll_health_stats.is_none());
+        let stats = on.poll_health_stats.expect("health stats reported");
+        assert_eq!(stats.breaker.trips, 0, "no faults, no trips");
+        assert_eq!(stats.breaker.quarantined, 0);
+        assert!(stats.balanced(), "{stats:?}");
+    }
+
+    #[test]
+    fn health_layer_survives_supervision_under_faults() {
+        use minedig_primitives::supervise::CrashPolicy;
+        let plan = FaultPlan::transient_only(77, 0.4);
+        let config = ScenarioConfig {
+            duration_days: 2,
+            seed: 9,
+            poll_retry: RetryPolicy::attempts(plan.attempts_to_clear()),
+            poll_faults: Some(plan),
+            poll_health: Some(HealthConfig::default()),
+            ..ScenarioConfig::default()
+        };
+        let reference = run_scenario(config.clone());
+        assert!(reference.poll_stats.retries > 0, "p=0.4 must force retries");
+        assert!(reference.poll_stats.balanced());
+        let ref_health = reference.poll_health_stats.expect("health stats");
+        assert!(ref_health.balanced(), "{ref_health:?}");
+
+        let (dir, store) = sup_store("health");
+        let sup = Supervisor::new(CrashPolicy {
+            ckpt_every_items: 4,
+            ..CrashPolicy::default()
+        })
+        .with_kills(vec![3, 11]);
+        let run = run_scenario_supervised(&config, &store, "attr", &sup, false).unwrap();
+        assert_results_eq(&run.output, &reference, "health-on killed run");
+        assert_eq!(
+            run.output.poll_health_stats.as_ref().expect("health stats"),
+            &ref_health,
+            "breaker/hedge accounting must survive kill-and-resume"
+        );
         assert!(run.report.balanced(), "{:?}", run.report);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -4,6 +4,7 @@ use crate::exec::ScanStats;
 use crate::scan::FetchStats;
 use minedig_analysis::poller::PollStats;
 use minedig_primitives::aexec::AsyncStats;
+use minedig_primitives::health::{HealthStats, ShedStats};
 use minedig_primitives::pipeline::PipelineStats;
 use minedig_primitives::supervise::SuperviseReport;
 use minedig_shortlink::enumerate::Enumeration;
@@ -187,6 +188,9 @@ pub struct CampaignHealth {
     pub retries: u64,
     /// Connections re-established after teardowns.
     pub reconnects: u64,
+    /// Units refused up front by a tripped circuit breaker (no budget
+    /// spent); only pool polling runs behind the health layer today.
+    pub quarantined: u64,
 }
 
 impl CampaignHealth {
@@ -199,6 +203,7 @@ impl CampaignHealth {
             lost: stats.unreachable,
             retries: stats.retries,
             reconnects: 0,
+            quarantined: 0,
         }
     }
 
@@ -211,6 +216,7 @@ impl CampaignHealth {
             lost: e.failed_probes,
             retries: e.probe_retries,
             reconnects: 0,
+            quarantined: 0,
         }
     }
 
@@ -223,6 +229,7 @@ impl CampaignHealth {
             lost: stats.offline + stats.endpoints_down,
             retries: stats.retries,
             reconnects: stats.reconnects,
+            quarantined: stats.quarantined,
         }
     }
 
@@ -249,18 +256,26 @@ pub fn degradation_summary(rows: &[CampaignHealth]) -> String {
         .unwrap_or(8)
         .max(8);
     out.push_str(&format!(
-        "{:<width$} {:>10} {:>10} {:>8} {:>8} {:>10} {:>7}\n",
-        "campaign", "attempted", "succeeded", "lost", "retries", "reconnects", "loss"
+        "{:<width$} {:>10} {:>10} {:>8} {:>8} {:>10} {:>11} {:>7}\n",
+        "campaign",
+        "attempted",
+        "succeeded",
+        "lost",
+        "retries",
+        "reconnects",
+        "quarantined",
+        "loss"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<width$} {:>10} {:>10} {:>8} {:>8} {:>10} {:>6.2}%\n",
+            "{:<width$} {:>10} {:>10} {:>8} {:>8} {:>10} {:>11} {:>6.2}%\n",
             r.campaign,
             r.attempted,
             r.succeeded,
             r.lost,
             r.retries,
             r.reconnects,
+            r.quarantined,
             r.loss_rate() * 100.0
         ));
     }
@@ -387,6 +402,60 @@ pub fn checkpoint_summary(label: &str, report: &SuperviseReport) -> String {
         },
     ));
     out
+}
+
+/// Renders the endpoint-health layer's breaker and hedge accounting, e.g.
+///
+/// ```text
+/// pool health: 13440 breaker checks, 310 quarantined, 8 trips, 9 probes (7 closes, 2 reopens)
+///   now: 1 open, 0 half-open; hedges: 86 launched, 31 won [balanced]
+/// ```
+pub fn health_summary(label: &str, stats: &HealthStats) -> String {
+    let b = &stats.breaker;
+    let mut out = format!(
+        "{label}: {} breaker checks, {} quarantined, {} trips, {} probes ({} closes, {} reopens)\n",
+        b.checks, b.quarantined, b.trips, b.probes, b.closes, b.reopens,
+    );
+    out.push_str(&format!(
+        "  now: {} open, {} half-open; hedges: {} launched, {} won [{}]\n",
+        stats.open_now,
+        stats.half_open_now,
+        stats.hedges,
+        stats.hedge_wins,
+        if stats.balanced() {
+            "balanced"
+        } else {
+            "UNBALANCED"
+        },
+    ));
+    out
+}
+
+/// Renders a server's admission-control accounting, e.g.
+///
+/// ```text
+/// pool admission: 512 offered, 480 accepted, 20 queued (high water 6), 12 shed (2.3%)
+/// ```
+pub fn shed_summary(label: &str, stats: &ShedStats) -> String {
+    let shed_pct = if stats.offered == 0 {
+        0.0
+    } else {
+        stats.shed as f64 / stats.offered as f64 * 100.0
+    };
+    format!(
+        "{label}: {} offered, {} accepted, {} queued (high water {}), {} shed ({:.1}%){}\n",
+        stats.offered,
+        stats.accepted,
+        stats.queued,
+        stats.queue_high_water,
+        stats.shed,
+        shed_pct,
+        if stats.balanced() {
+            ""
+        } else {
+            " [UNBALANCED]"
+        },
+    )
 }
 
 #[cfg(test)]
@@ -561,19 +630,71 @@ mod tests {
                 endpoints_down: 100,
                 retries: 340,
                 reconnects: 17,
+                quarantined: 25,
                 ..PollStats::default()
             },
         );
         assert_eq!(polls.lost, 300, "outages + exhausted endpoints");
         assert_eq!(polls.reconnects, 17);
+        assert_eq!(polls.quarantined, 25, "breaker-refused sweeps surface");
 
         let table = degradation_summary(&[fetch, enum_row, polls]);
         assert!(table.contains("campaign"));
         assert!(table.contains("zgrab .org"));
         assert!(table.contains("shortlink enum"));
         assert!(table.contains("pool polling"));
+        assert!(table.contains("quarantined"));
         assert!(table.contains("2.40%"));
         assert_eq!(table.lines().count(), 5, "header line + 3 rows + title");
+    }
+
+    #[test]
+    fn health_summary_renders_breaker_and_hedges() {
+        use minedig_primitives::health::BreakerStats;
+        let stats = HealthStats {
+            breaker: BreakerStats {
+                checks: 13_440,
+                allowed: 13_130,
+                quarantined: 310,
+                trips: 8,
+                probes: 9,
+                reopens: 2,
+                closes: 7,
+            },
+            hedges: 86,
+            hedge_wins: 31,
+            open_now: 1,
+            half_open_now: 0,
+        };
+        let text = health_summary("pool health", &stats);
+        assert!(text.contains("13440 breaker checks, 310 quarantined, 8 trips"));
+        assert!(text.contains("9 probes (7 closes, 2 reopens)"));
+        assert!(text.contains("now: 1 open, 0 half-open"));
+        assert!(text.contains("hedges: 86 launched, 31 won"));
+        assert!(text.contains("[balanced]"), "{text}");
+    }
+
+    #[test]
+    fn shed_summary_renders_admission_accounting() {
+        let stats = ShedStats {
+            offered: 512,
+            accepted: 480,
+            queued: 20,
+            shed: 12,
+            queue_high_water: 6,
+        };
+        let text = shed_summary("pool admission", &stats);
+        assert!(text.contains("512 offered, 480 accepted"));
+        assert!(text.contains("20 queued (high water 6)"));
+        assert!(text.contains("12 shed (2.3%)"));
+        assert!(!text.contains("UNBALANCED"), "{text}");
+        // A torn counter set is flagged, not hidden.
+        let torn = ShedStats {
+            offered: 10,
+            accepted: 3,
+            ..ShedStats::default()
+        };
+        assert!(shed_summary("x", &torn).contains("[UNBALANCED]"));
     }
 
     #[test]

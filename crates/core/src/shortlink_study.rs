@@ -99,12 +99,16 @@ pub struct SupervisedStudy {
     pub report: SuperviseReport,
 }
 
-/// Runs the §4.1 study with the enumeration walk — the long-running,
-/// crash-exposed phase — under `supervisor`, checkpointing into `store`
-/// as snapshot `name`. With `resume` the walk continues from the latest
-/// on-disk snapshot instead of index 0. The tail resolution and
-/// analysis run after the walk completes, as in [`run_study`], so the
-/// outputs are bit-identical to an uninterrupted batch study.
+/// Runs the §4.1 study with the enumeration walk *and* the unbiased-tail
+/// resolve stage — the long-running, crash-exposed phases — under
+/// `supervisor`, checkpointing into `store` as snapshot `name`. The
+/// resolve stage rides on the walk (the campaign resolves each tail doc
+/// as the fold reaches it), so its ledger is part of every snapshot and
+/// a killed study resumes resolution too instead of re-resolving from
+/// scratch. With `resume` the study continues from the latest on-disk
+/// snapshot instead of index 0. The analysis runs after the walk
+/// completes, as in [`run_study`], so the outputs are bit-identical to
+/// an uninterrupted batch study.
 pub fn run_study_supervised(
     config: &StudyConfig,
     seed: u64,
@@ -127,21 +131,18 @@ pub fn run_study_supervised(
                 STUDY_DEAD_RUN_LIMIT,
                 backend,
             )
+            .with_tail_resolver(&service, config.resolve_budget)
         },
         resume,
     )?;
-    let enumeration = run.output.enumeration;
-
-    let mut seen = std::collections::HashSet::new();
-    let unbiased_codes: Vec<String> = enumeration
-        .docs
-        .iter()
-        .filter(|d| tail_filter(&mut seen, d, config.resolve_budget))
-        .map(|d| d.code.clone())
-        .collect();
-    let tail_report = resolve_accounted(&service, &unbiased_codes, config.resolve_budget);
     Ok(SupervisedStudy {
-        result: finish_study(&service, enumeration, tail_report, config, seed),
+        result: finish_study(
+            &service,
+            run.output.enumeration,
+            run.output.resolve_report,
+            config,
+            seed,
+        ),
         report: run.report,
     })
 }
@@ -544,6 +545,58 @@ mod tests {
         assert_eq!(s.hashes_spent, batch.hashes_spent);
         assert_eq!(s.top10_domains, batch.top10_domains);
         assert_eq!(s.tail_categories, batch.tail_categories);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn supervised_streaming_study_resumes_the_resolve_stage() {
+        use minedig_primitives::supervise::CrashPolicy;
+        // The ROADMAP open item: the resolve stage is checkpointed with
+        // the walk, so kills landing mid-resolve resume resolution from
+        // the snapshot — outputs stay bit-identical to the batch study
+        // on the streaming backend.
+        let config = StudyConfig {
+            model: ModelConfig {
+                total_links: 10_000,
+                users: 800,
+                seed: 9,
+            },
+            resolve_budget: 10_000,
+            per_user_sample: 100,
+            enum_shards: 1,
+        };
+        let batch = run_study(&config, 9);
+        let dir = std::env::temp_dir().join(format!("minedig-study-tail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open(&dir).expect("open store");
+        // Kills spread across the walk: early (resolve set still
+        // growing), mid, and late (most of the tail already resolved).
+        let supervisor = Supervisor::new(CrashPolicy {
+            ckpt_every_items: 64,
+            ..CrashPolicy::default()
+        })
+        .with_kills(vec![200, 1_500, 4_000]);
+        let run = run_study_supervised(
+            &config,
+            9,
+            &store,
+            "study-tail",
+            &supervisor,
+            Backend::Streaming {
+                workers: 3,
+                capacity: 16,
+            },
+            false,
+        )
+        .expect("supervised streaming study");
+        assert_eq!(run.report.crashes, 3);
+        assert!(run.report.balanced(), "{:?}", run.report);
+        let s = &run.result;
+        assert_eq!(s.enumeration.docs, batch.enumeration.docs);
+        assert_eq!(s.hashes_spent, batch.hashes_spent);
+        assert_eq!(s.top10_domains, batch.top10_domains);
+        assert_eq!(s.tail_categories, batch.tail_categories);
+        assert_eq!(s.tail_classified_fraction, batch.tail_classified_fraction);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -223,9 +223,17 @@ impl Value {
     }
 
     /// Parses a JSON document; the whole input must be consumed (modulo
-    /// trailing whitespace).
+    /// trailing whitespace). Inputs larger than [`MAX_INPUT`] are
+    /// rejected up front — a hostile peer cannot make the parser
+    /// allocate proportionally to an unbounded document.
     pub fn parse(input: &str) -> Result<Value, ParseError> {
         let bytes = input.as_bytes();
+        if bytes.len() > MAX_INPUT {
+            return Err(ParseError {
+                offset: MAX_INPUT,
+                message: "input exceeds size cap",
+            });
+        }
         let mut p = Parser { bytes, pos: 0 };
         p.skip_ws();
         let v = p.parse_value(0)?;
@@ -256,6 +264,14 @@ fn write_escaped(out: &mut String, s: &str) {
 }
 
 const MAX_DEPTH: usize = 64;
+
+/// Hard ceiling on the size of a parseable document (1 MiB).
+///
+/// The protocol's largest legitimate messages are block templates a few
+/// kilobytes long; anything near this cap is hostile or corrupt, and
+/// rejecting it before the first byte is examined keeps peak memory
+/// bounded by what the transport already buffered.
+pub const MAX_INPUT: usize = 1 << 20;
 
 struct Parser<'a> {
     bytes: &'a [u8],
@@ -561,6 +577,21 @@ mod tests {
     }
 
     #[test]
+    fn size_cap_rejects_oversized_input_exactly_at_the_boundary() {
+        // A document of exactly MAX_INPUT bytes parses; one byte more
+        // is refused before any value is examined.
+        let at_cap = format!("{}1", " ".repeat(MAX_INPUT - 1));
+        assert_eq!(at_cap.len(), MAX_INPUT);
+        assert_eq!(Value::parse(&at_cap).unwrap(), Value::u64(1));
+
+        let over_cap = format!("{}1", " ".repeat(MAX_INPUT));
+        let err = Value::parse(&over_cap).unwrap_err();
+        assert_eq!(err.message, "input exceeds size cap");
+        assert_eq!(err.offset, MAX_INPUT);
+        assert!(err.to_string().contains("exceeds size cap"));
+    }
+
+    #[test]
     fn depth_limit_guards_stack() {
         let mut deep = String::new();
         for _ in 0..1000 {
@@ -621,6 +652,21 @@ mod tests {
         #[test]
         fn parser_never_panics(s in "\\PC{0,64}") {
             let _ = Value::parse(&s);
+        }
+
+        #[test]
+        fn size_cap_boundary_is_exact(pad in 0usize..4, under in any::<bool>()) {
+            // Whitespace-padded documents straddling the cap: accepted
+            // iff the total byte length fits, independent of content.
+            let len = if under { MAX_INPUT - pad } else { MAX_INPUT + 1 + pad };
+            let doc = format!("{}1", " ".repeat(len - 1));
+            prop_assert_eq!(doc.len(), len);
+            let result = Value::parse(&doc);
+            if under {
+                prop_assert_eq!(result.unwrap(), Value::u64(1));
+            } else {
+                prop_assert_eq!(result.unwrap_err().message, "input exceeds size cap");
+            }
         }
     }
 }

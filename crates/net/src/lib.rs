@@ -36,4 +36,4 @@ pub mod wsframe;
 pub use aio::{recv_ready, MultiParkRegistrar, MultiParkWait, RecvReady};
 pub use fault::{FaultStats, FaultyTransport};
 pub use json::Value;
-pub use transport::{channel_pair, ChannelTransport, Transport, TransportError};
+pub use transport::{channel_pair, ChannelTransport, DeadlineTransport, Transport, TransportError};

@@ -71,6 +71,55 @@ pub fn channel_pair() -> (ChannelTransport, ChannelTransport) {
     )
 }
 
+/// Bounds every blocking operation of an inner transport with a fixed
+/// deadline: plain `send`/`recv` become `send_timeout`/`recv_timeout`
+/// at the bound, and explicit timeouts are tightened to it.
+///
+/// This is what makes silently *dropped* requests survivable over a
+/// real socket: after a request is lost in flight the peer never
+/// replies, so a plain `recv()` would wedge the caller forever — under
+/// a deadline it surfaces as [`TransportError::Timeout`], which retry
+/// loops already classify as a broken attempt worth reconnecting.
+pub struct DeadlineTransport<T: Transport> {
+    inner: T,
+    deadline: Duration,
+}
+
+impl<T: Transport> DeadlineTransport<T> {
+    /// Wraps `inner`, bounding every operation by `deadline`.
+    pub fn new(inner: T, deadline: Duration) -> DeadlineTransport<T> {
+        DeadlineTransport { inner, deadline }
+    }
+
+    /// The configured bound.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// Unwraps the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for DeadlineTransport<T> {
+    fn send(&mut self, message: &[u8]) -> Result<(), TransportError> {
+        self.inner.send_timeout(message, self.deadline)
+    }
+
+    fn send_timeout(&mut self, message: &[u8], timeout: Duration) -> Result<(), TransportError> {
+        self.inner.send_timeout(message, timeout.min(self.deadline))
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        self.inner.recv_timeout(self.deadline)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        self.inner.recv_timeout(timeout.min(self.deadline))
+    }
+}
+
 impl Transport for ChannelTransport {
     fn send(&mut self, message: &[u8]) -> Result<(), TransportError> {
         self.send_timeout(message, DEFAULT_SEND_DEADLINE)
@@ -189,6 +238,39 @@ mod tests {
         a.send(b"job?").unwrap();
         assert_eq!(a.recv().unwrap(), b"job!");
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_bounds_a_silent_peer() {
+        // The failure mode that excluded Drop faults from the TCP chaos
+        // suite: a peer that never answers. Under a deadline the plain
+        // recv reports Timeout instead of wedging.
+        let (a, _b) = channel_pair();
+        let mut a = DeadlineTransport::new(a, Duration::from_millis(10));
+        assert_eq!(a.recv(), Err(TransportError::Timeout));
+    }
+
+    #[test]
+    fn deadline_is_transparent_for_live_traffic() {
+        let (a, mut b) = channel_pair();
+        let mut a = DeadlineTransport::new(a, Duration::from_secs(1));
+        a.send(b"ping").unwrap();
+        assert_eq!(b.recv().unwrap(), b"ping");
+        b.send(b"pong").unwrap();
+        assert_eq!(a.recv().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn deadline_tightens_explicit_timeouts() {
+        let (a, _b) = channel_pair();
+        let mut a = DeadlineTransport::new(a, Duration::from_millis(5));
+        let start = std::time::Instant::now();
+        // The caller asks for 10s, the bound clamps it to 5ms.
+        assert_eq!(
+            a.recv_timeout(Duration::from_secs(10)),
+            Err(TransportError::Timeout)
+        );
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

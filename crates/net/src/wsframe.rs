@@ -255,6 +255,24 @@ mod tests {
         assert!(matches!(decode_ws(&mut buf), Err(WsError::TooLarge(_))));
     }
 
+    #[test]
+    fn payload_cap_boundary_is_exact() {
+        // A header declaring exactly MAX_PAYLOAD is legal (the decoder
+        // waits for the bytes); one more byte is refused before any
+        // payload is buffered.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x82);
+        buf.put_u8(127);
+        buf.put_u64(MAX_PAYLOAD);
+        assert_eq!(decode_ws(&mut buf), Ok(None));
+
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x82);
+        buf.put_u8(127);
+        buf.put_u64(MAX_PAYLOAD + 1);
+        assert_eq!(decode_ws(&mut buf), Err(WsError::TooLarge(MAX_PAYLOAD + 1)));
+    }
+
     proptest! {
         #[test]
         fn roundtrip_any_payload(

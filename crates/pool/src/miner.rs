@@ -25,6 +25,10 @@ pub enum MinerError {
     Server(String),
     /// Server replied with something unexpected.
     Protocol(String),
+    /// The server shed the same request [`MAX_SHED_RETRIES`] times in a
+    /// row — overload outlasted the client's patience. Retryable at the
+    /// session level (a reconnect re-offers the work later).
+    Overloaded,
 }
 
 impl std::fmt::Display for MinerError {
@@ -33,9 +37,16 @@ impl std::fmt::Display for MinerError {
             MinerError::Transport(e) => write!(f, "miner transport error: {e}"),
             MinerError::Server(e) => write!(f, "pool error: {e}"),
             MinerError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            MinerError::Overloaded => f.write_str("pool shed the request repeatedly"),
         }
     }
 }
+
+/// Consecutive [`ServerMsg::Shed`] replies a client re-offers one request
+/// through before giving up with [`MinerError::Overloaded`]. Bounded so a
+/// frozen-clock server (whose bucket never refills) cannot trap the
+/// client in an infinite offer loop.
+pub const MAX_SHED_RETRIES: u32 = 64;
 
 impl std::error::Error for MinerError {}
 
@@ -81,9 +92,22 @@ impl<T: Transport> MinerClient<T> {
     }
 
     fn request(&mut self, msg: &ClientMsg) -> Result<ServerMsg, MinerError> {
-        self.transport.send(&msg.encode())?;
-        let raw = self.transport.recv()?;
-        ServerMsg::decode(&raw).map_err(|e| MinerError::Protocol(e.to_string()))
+        // A shed is the one reply that is about the request *rate*, not
+        // the request: re-offer the same message (the server's bucket
+        // refills as its clock advances), bounded so overload that never
+        // clears surfaces as an error instead of a livelock. Sheds are
+        // absorbed here so the auth/job/submit state machines above never
+        // see them — without admission control this loop runs exactly
+        // once, byte-identical to the pre-shed client.
+        for _ in 0..=MAX_SHED_RETRIES {
+            self.transport.send(&msg.encode())?;
+            let raw = self.transport.recv()?;
+            match ServerMsg::decode(&raw).map_err(|e| MinerError::Protocol(e.to_string()))? {
+                ServerMsg::Shed { .. } => continue,
+                other => return Ok(other),
+            }
+        }
+        Err(MinerError::Overloaded)
     }
 
     /// Authenticates; returns hashes already credited to the token.
@@ -174,9 +198,17 @@ impl<T: Transport> MinerClient<T> {
     /// executor's readiness sweep so other tasks run while the pool
     /// thinks.
     async fn request_io(&mut self, ctx: &Ctx, msg: &ClientMsg) -> Result<ServerMsg, MinerError> {
-        self.transport.send(&msg.encode())?;
-        let raw = ctx.io(recv_ready(&mut self.transport)).await?;
-        ServerMsg::decode(&raw).map_err(|e| MinerError::Protocol(e.to_string()))
+        // Same bounded shed re-offer as the blocking `request`, so the
+        // two clients stay step-for-step identical under load shedding.
+        for _ in 0..=MAX_SHED_RETRIES {
+            self.transport.send(&msg.encode())?;
+            let raw = ctx.io(recv_ready(&mut self.transport)).await?;
+            match ServerMsg::decode(&raw).map_err(|e| MinerError::Protocol(e.to_string()))? {
+                ServerMsg::Shed { .. } => continue,
+                other => return Ok(other),
+            }
+        }
+        Err(MinerError::Overloaded)
     }
 
     /// [`MinerClient::auth`] on the cooperative executor.
@@ -359,6 +391,120 @@ mod tests {
         assert!(matches!(err, MinerError::Server(_)));
         drop(client);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn miner_rides_out_sheds_transparently() {
+        use minedig_primitives::{Admission, AdmissionConfig};
+        use parking_lot::Mutex;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        // One template version regardless of clock, so the gated run (whose
+        // clock advances per request) grinds the same blobs as the plain
+        // frozen-clock reference run.
+        let make_pool = || {
+            let pool = Pool::new(PoolConfig {
+                share_difficulty: 4,
+                max_templates_per_height: 1,
+                ..PoolConfig::default()
+            });
+            pool.announce_tip(&TipInfo {
+                height: 1,
+                prev_id: Hash32::keccak(b"tip"),
+                prev_timestamp: 100,
+                reward: 1_000_000,
+                difficulty: 1_000,
+                mempool: vec![Transaction::transfer(Hash32::keccak(b"t"))],
+            });
+            pool
+        };
+
+        // Reference: no admission control.
+        let pool = make_pool();
+        let (client_t, mut server_t) = channel_pair();
+        let p2 = pool.clone();
+        let handle = std::thread::spawn(move || p2.serve(&mut server_t, 0, || 120));
+        let mut plain = MinerClient::new(client_t, Token::from_index(1), Variant::Test);
+        plain.auth().unwrap();
+        let reference = plain.mine_until_credited(16, 10_000).unwrap();
+        drop(plain);
+        handle.join().unwrap();
+
+        // Gated: bucket of one token refilling every other request, so
+        // roughly half the offers are shed and silently re-offered.
+        let pool = make_pool();
+        let admission = Arc::new(Mutex::new(Admission::new(AdmissionConfig {
+            burst: 1,
+            refill_per_tick: 1,
+            queue_cap: 0,
+        })));
+        let (client_t, mut server_t) = channel_pair();
+        let p2 = pool.clone();
+        let adm = admission.clone();
+        let ticks = Arc::new(AtomicU64::new(0));
+        let handle = std::thread::spawn(move || {
+            p2.serve_with_admission(
+                &mut server_t,
+                0,
+                move || ticks.fetch_add(1, Ordering::Relaxed) / 2,
+                Some(&adm),
+            );
+        });
+        let mut gated = MinerClient::new(client_t, Token::from_index(1), Variant::Test);
+        gated.auth().unwrap();
+        let report = gated.mine_until_credited(16, 10_000).unwrap();
+        drop(gated);
+        handle.join().unwrap();
+
+        assert_eq!(report, reference, "sheds must not perturb the mining run");
+        let stats = *admission.lock().stats();
+        assert!(stats.shed > 0, "the throttle must actually have fired");
+        assert!(stats.balanced(), "{stats:?}");
+        assert_eq!(
+            pool.ledger().lifetime_hashes(&Token::from_index(1)),
+            report.hashes_credited
+        );
+    }
+
+    #[test]
+    fn persistent_overload_surfaces_as_error() {
+        use minedig_primitives::{Admission, AdmissionConfig};
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+
+        let pool = Pool::new(PoolConfig::default());
+        pool.announce_tip(&TipInfo {
+            height: 1,
+            prev_id: Hash32::keccak(b"tip"),
+            prev_timestamp: 100,
+            reward: 1_000_000,
+            difficulty: 1_000,
+            mempool: vec![],
+        });
+        // Frozen clock: the bucket never refills, so after the single
+        // burst token every offer is shed and the client must give up
+        // instead of spinning forever.
+        let admission = Arc::new(Mutex::new(Admission::new(AdmissionConfig {
+            burst: 1,
+            refill_per_tick: 1,
+            queue_cap: 0,
+        })));
+        let (client_t, mut server_t) = channel_pair();
+        let p2 = pool.clone();
+        let adm = admission.clone();
+        let handle = std::thread::spawn(move || {
+            p2.serve_with_admission(&mut server_t, 0, || 120, Some(&adm));
+        });
+        let mut client = MinerClient::new(client_t, Token::from_index(1), Variant::Test);
+        client.auth().unwrap(); // consumes the only token
+        assert_eq!(client.get_job().unwrap_err(), MinerError::Overloaded);
+        drop(client);
+        handle.join().unwrap();
+        let stats = *admission.lock().stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.shed, u64::from(MAX_SHED_RETRIES) + 1);
+        assert!(stats.balanced());
     }
 
     #[test]

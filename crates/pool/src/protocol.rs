@@ -96,6 +96,15 @@ pub enum ServerMsg {
         /// Human-readable reason.
         reason: String,
     },
+    /// The server refused the request under load (admission control).
+    /// Unlike [`ServerMsg::Error`] this is not a semantic refusal: the
+    /// request was valid, the server just shed it, so clients classify
+    /// it as retryable and back off at least `retry_after_ms`.
+    Shed {
+        /// Server's hint: clock units until the request would fit the
+        /// admission rate again.
+        retry_after_ms: u64,
+    },
 }
 
 /// Encode/decode failures.
@@ -206,6 +215,10 @@ impl ServerMsg {
                 ("type", Value::str("error")),
                 ("reason", Value::str(reason)),
             ]),
+            ServerMsg::Shed { retry_after_ms } => Value::object(vec![
+                ("type", Value::str("shed")),
+                ("retry_after_ms", Value::u64(*retry_after_ms)),
+            ]),
         };
         v.encode().into_bytes()
     }
@@ -230,6 +243,9 @@ impl ServerMsg {
             }),
             "error" => Ok(ServerMsg::Error {
                 reason: need_str(&v, "reason")?,
+            }),
+            "shed" => Ok(ServerMsg::Shed {
+                retry_after_ms: need_u64(&v, "retry_after_ms")?,
             }),
             other => Err(ProtocolError(format!("unknown server message '{other}'"))),
         }
@@ -313,6 +329,7 @@ mod tests {
             ServerMsg::Error {
                 reason: "invalid share".into(),
             },
+            ServerMsg::Shed { retry_after_ms: 3 },
         ];
         for m in msgs {
             assert_eq!(ServerMsg::decode(&m.encode()).unwrap(), m, "{m:?}");

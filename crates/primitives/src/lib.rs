@@ -15,6 +15,7 @@
 pub mod aexec;
 pub mod ckpt;
 pub mod fault;
+pub mod health;
 pub mod hex;
 pub mod keccak;
 pub mod par;
@@ -29,6 +30,11 @@ pub mod varint;
 pub use aexec::{AsyncExecutor, AsyncRun, AsyncStats, IoPoll};
 pub use ckpt::{Checkpointable, CkptError, SnapReader, SnapWriter, Snapshot, SnapshotStore};
 pub use fault::{Fault, FaultConfig, FaultPlan};
+pub use health::{
+    Admission, AdmissionConfig, AdmitDecision, BreakerConfig, BreakerState, BreakerStats,
+    CircuitBreaker, EndpointHealth, HealthConfig, HealthStats, LatencyTracker, ProbeOutcome,
+    ProbePlan, ShedStats, HEALTH_ENV,
+};
 pub use hex::{from_hex, to_hex};
 pub use keccak::{keccak1600, keccak256, sha3_256};
 pub use par::{ExecRun, ExecStats, ParallelExecutor, ShardStats, ShardedTask};

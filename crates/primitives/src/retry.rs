@@ -123,6 +123,19 @@ impl RetryPolicy {
         }
     }
 
+    /// A copy of the policy whose overall deadline is tightened to at
+    /// most `deadline_ms` (an existing tighter deadline wins). This is
+    /// how the health layer's adaptive latency tracker feeds observed
+    /// virtual latencies back into retry budgets: a deadline can only
+    /// shrink, and it is consulted exclusively before a backoff sleep,
+    /// so a probe that succeeds without retrying is never affected.
+    pub fn tightened(&self, deadline_ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            deadline_ms: Some(self.deadline_ms.map_or(deadline_ms, |d| d.min(deadline_ms))),
+            ..self.clone()
+        }
+    }
+
     /// Backoff before attempt `attempt` (1-based count of attempts
     /// already made), with deterministic jitter drawn from `rng`.
     pub fn backoff_ms(&self, attempt: u32, rng: &mut DetRng) -> u64 {
@@ -405,6 +418,18 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.iter().all(|&d| (50..=150).contains(&d)), "{a:?}");
         assert!(a.iter().any(|&d| d != 100));
+    }
+
+    #[test]
+    fn tightened_deadlines_only_shrink() {
+        let open = RetryPolicy::default();
+        assert_eq!(open.tightened(500).deadline_ms, Some(500));
+        let capped = RetryPolicy {
+            deadline_ms: Some(200),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(capped.tightened(500).deadline_ms, Some(200));
+        assert_eq!(capped.tightened(50).deadline_ms, Some(50));
     }
 
     #[test]

@@ -233,6 +233,13 @@ pub struct EnumCampaign<'a, P: LinkProber + Sync> {
     /// `Some` when accounted resolution rides along: the service to
     /// redeem against and the per-link hash budget.
     resolver: Option<(&'a ShortlinkService, u64)>,
+    /// When set, only the *unbiased tail* is resolved: the first
+    /// sighting of each `(token, requirement)` pair, and only when
+    /// affordable — the §4.1 study's resolve set. The sighting state is
+    /// not snapshotted; it is rebuilt from `enumeration.docs` on
+    /// restore, since every live doc entered it exactly once.
+    tail_only: bool,
+    seen: std::collections::HashSet<(u64, u64)>,
     enumeration: Enumeration,
     resolve_report: ResolveReport,
     dead_run: u64,
@@ -263,6 +270,8 @@ impl<'a, P: LinkProber + Sync> EnumCampaign<'a, P> {
             dead_run_limit,
             backend,
             resolver: None,
+            tail_only: false,
+            seen: std::collections::HashSet::new(),
             enumeration: Enumeration {
                 docs: Vec::new(),
                 probed: 0,
@@ -285,6 +294,22 @@ impl<'a, P: LinkProber + Sync> EnumCampaign<'a, P> {
         self.resolver = Some((service, budget_per_link));
         self
     }
+
+    /// Rides *unbiased-tail* resolution on the walk — the §4.1 study's
+    /// resolve stage: only the first sighting of each
+    /// `(token, requirement)` pair is resolved, and only when under
+    /// `budget_per_link`. Because the tail [`ResolveReport`] is part of
+    /// the campaign snapshot, a killed study resumes the resolve stage
+    /// too instead of re-resolving from scratch.
+    pub fn with_tail_resolver(
+        mut self,
+        service: &'a ShortlinkService,
+        budget_per_link: u64,
+    ) -> EnumCampaign<'a, P> {
+        self.resolver = Some((service, budget_per_link));
+        self.tail_only = true;
+        self
+    }
 }
 
 impl<P: LinkProber + Sync> Checkpointable for EnumCampaign<'_, P> {
@@ -298,6 +323,7 @@ impl<P: LinkProber + Sync> Checkpointable for EnumCampaign<'_, P> {
         w.u64(self.dead_run);
         w.bool(self.resolver.is_some());
         if self.resolver.is_some() {
+            w.bool(self.tail_only);
             put_resolve_report(&mut w, &self.resolve_report);
         }
         Snapshot::new(self.enumeration.probed, w.finish())
@@ -312,6 +338,9 @@ impl<P: LinkProber + Sync> Checkpointable for EnumCampaign<'_, P> {
             return Err(CkptError::Corrupt("resolver presence mismatch"));
         }
         let resolve_report = if had_resolver {
+            if r.bool()? != self.tail_only {
+                return Err(CkptError::Corrupt("resolver mode mismatch"));
+            }
             take_resolve_report(&mut r)?
         } else {
             ResolveReport::default()
@@ -320,6 +349,17 @@ impl<P: LinkProber + Sync> Checkpointable for EnumCampaign<'_, P> {
         if dead_run > self.dead_run_limit {
             return Err(CkptError::Corrupt("dead run beyond limit"));
         }
+        // Rebuild the tail filter's sighting state: every live doc the
+        // checkpointed walk saw inserted its pair exactly once.
+        self.seen = if self.tail_only {
+            enumeration
+                .docs
+                .iter()
+                .map(|d| (d.token_id, d.required_hashes))
+                .collect()
+        } else {
+            std::collections::HashSet::new()
+        };
         self.enumeration = enumeration;
         self.dead_run = dead_run;
         self.resolve_report = resolve_report;
@@ -359,12 +399,20 @@ impl<P: LinkProber + Sync> Campaign for EnumCampaign<'_, P> {
                 Ok(Some(doc)) => {
                     self.dead_run = 0;
                     if let Some((service, budget_per_link)) = self.resolver {
-                        resolve_step(
-                            service,
-                            &mut self.resolve_report,
-                            &doc.code,
-                            budget_per_link,
-                        );
+                        // In tail mode, only the first sighting of a
+                        // (token, requirement) pair under budget joins
+                        // the resolve set — the §4.1 unbiased filter.
+                        let wanted = !self.tail_only
+                            || (self.seen.insert((doc.token_id, doc.required_hashes))
+                                && doc.required_hashes < budget_per_link);
+                        if wanted {
+                            resolve_step(
+                                service,
+                                &mut self.resolve_report,
+                                &doc.code,
+                                budget_per_link,
+                            );
+                        }
                     }
                     e.docs.push(doc);
                 }
@@ -490,6 +538,79 @@ mod tests {
             expected.hashes_spent
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tail_resolution_survives_kills_on_every_backend() {
+        // The §4.1 resolve stage riding on the walk: the checkpointed
+        // tail report must match the batch filter-then-resolve exactly,
+        // even when the campaign is killed mid-resolve.
+        let service = service();
+        let policy = ProbePolicy::default();
+        let clean = enumerate_links_with(&service, 32, &policy);
+        let budget = 10_000u64;
+        let mut seen = std::collections::HashSet::new();
+        let tail_codes: Vec<String> = clean
+            .docs
+            .iter()
+            .filter(|d| seen.insert((d.token_id, d.required_hashes)) && d.required_hashes < budget)
+            .map(|d| d.code.clone())
+            .collect();
+        let expected = resolve_accounted(&service, &tail_codes, budget);
+        assert!(!expected.resolved.is_empty(), "tail set must be non-empty");
+        for backend in [
+            Backend::Sequential,
+            Backend::Streaming {
+                workers: 3,
+                capacity: 16,
+            },
+        ] {
+            let dir = tmpdir(&format!("tail-{}", backend.label()));
+            let store = SnapshotStore::open(&dir).unwrap();
+            let sup = Supervisor::new(CrashPolicy {
+                ckpt_every_items: 32,
+                ..CrashPolicy::default()
+            })
+            .with_kills(vec![90, 300]);
+            let run = sup
+                .run(
+                    &store,
+                    "enum-tail",
+                    || {
+                        EnumCampaign::new(&service, &policy, 32, backend)
+                            .with_tail_resolver(&service, budget)
+                    },
+                    false,
+                )
+                .unwrap();
+            assert_eq!(run.report.crashes, 2, "backend={}", backend.label());
+            assert_enum_eq(&run.output.enumeration, &clean);
+            assert_eq!(
+                run.output.resolve_report.resolved,
+                expected.resolved,
+                "backend={}",
+                backend.label()
+            );
+            assert_eq!(
+                run.output.resolve_report.hashes_spent,
+                expected.hashes_spent
+            );
+            assert_eq!(run.output.resolve_report.skipped_over_budget, 0);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_tail_mode_mismatch() {
+        let service = service();
+        let policy = ProbePolicy::default();
+        let mut tail = EnumCampaign::new(&service, &policy, 8, Backend::Sequential)
+            .with_tail_resolver(&service, 10_000);
+        tail.run_items(16, &AtomicU64::new(0));
+        let snap = tail.snapshot();
+        let mut all = EnumCampaign::new(&service, &policy, 8, Backend::Sequential)
+            .with_resolver(&service, 10_000);
+        assert!(matches!(all.restore(&snap), Err(CkptError::Corrupt(_))));
     }
 
     #[test]

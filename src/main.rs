@@ -25,6 +25,12 @@
 //! across runs, and `--resume` continues a killed campaign from its
 //! latest snapshot — with results bit-identical to an uninterrupted
 //! run.
+//!
+//! `MINEDIG_HEALTH=1 minedig attribute …` puts the §4.2 poller behind
+//! the endpoint-health layer: per-endpoint circuit breakers quarantine
+//! dead pools, EWMA latency trackers tighten deadlines, and slow
+//! endpoints are hedged — with poll results bit-identical to the plain
+//! run when no faults fire, and a breaker/hedge summary either way.
 
 use minedig::analysis::economics::{pool_revenue, ExchangeRate};
 use minedig::analysis::scenario::{run_scenario, run_scenario_supervised, ScenarioConfig};
@@ -32,7 +38,7 @@ use minedig::core::campaign::{ChromeCampaign, ZgrabCampaign};
 use minedig::core::exec::{chrome_scan_async, zgrab_scan_async, ScanExecutor};
 use minedig::core::report::{
     async_poll_summary, async_stats, checkpoint_summary, comparison_table, degradation_summary,
-    fetch_stats, pipeline_stats, scan_stats, CampaignHealth, Comparison,
+    fetch_stats, health_summary, pipeline_stats, scan_stats, CampaignHealth, Comparison,
 };
 use minedig::core::scan::{build_reference_db, FetchModel};
 use minedig::core::shortlink_study::{
@@ -43,6 +49,7 @@ use minedig::pow::Variant;
 use minedig::primitives::aexec::AsyncExecutor;
 use minedig::primitives::ckpt::SnapshotStore;
 use minedig::primitives::fault::FaultPlan;
+use minedig::primitives::health::{health_from_env, HealthConfig};
 use minedig::primitives::par::ParallelExecutor;
 use minedig::primitives::pipeline::PipelineExecutor;
 use minedig::primitives::supervise::{Backend, CrashPolicy, Supervisor, CKPT_DIR_ENV};
@@ -74,7 +81,9 @@ fn main() {
                  MINEDIG_CKPT_DIR=<dir> checkpoints scan/attribute/shortlink campaigns\n\
                  every MINEDIG_CKPT_EVERY items (default 64), retaining the last\n\
                  MINEDIG_CKPT_KEEP snapshots (default 2); --resume continues from the\n\
-                 latest snapshot."
+                 latest snapshot.\n\
+                 MINEDIG_HEALTH=1 runs attribute behind the endpoint-health layer\n\
+                 (circuit breakers, adaptive deadlines, hedged probes)."
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
@@ -364,6 +373,17 @@ fn cmd_attribute(args: &[String], resume: bool) {
             minedig::primitives::retry::RetryPolicy::attempts(plan.attempts_to_clear());
         config.poll_faults = Some(plan);
     }
+    // MINEDIG_HEALTH=1 interposes the endpoint-health layer (circuit
+    // breakers, adaptive deadlines, hedged probes) between the poller
+    // and the pool endpoints; fault-free results are bit-identical to
+    // the plain run.
+    if health_from_env() {
+        println!("endpoint health layer on (breakers + adaptive deadlines + hedging)");
+        config.poll_health = Some(HealthConfig {
+            seed,
+            ..HealthConfig::default()
+        });
+    }
     let endpoints = (config.pool.backends * config.pool.endpoints_per_backend) as u64;
     // MINEDIG_CKPT_DIR runs the §4.2 poll loop supervised: one item =
     // one block event, checkpoints every MINEDIG_CKPT_EVERY events,
@@ -390,9 +410,13 @@ fn cmd_attribute(args: &[String], resume: bool) {
     };
     let ps = &result.poll_stats;
     println!(
-        "polls: {} issued, {} answered, {} offline, {} retries, {} endpoint-sweeps down",
-        ps.polls, ps.answered, ps.offline, ps.retries, ps.endpoints_down
+        "polls: {} issued, {} answered, {} offline, {} retries, {} endpoint-sweeps down, \
+         {} quarantined, {} shed",
+        ps.polls, ps.answered, ps.offline, ps.retries, ps.endpoints_down, ps.quarantined, ps.sheds
     );
+    if let Some(stats) = &result.poll_health_stats {
+        print!("{}", health_summary("pool health", stats));
+    }
     if let Some(stats) = &result.poll_async_stats {
         let sweeps = stats.tasks / endpoints.max(1);
         print!(

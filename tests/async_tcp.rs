@@ -337,6 +337,151 @@ fn multi_park_idle_strategy_watches_every_endpoint() {
     assert_eq!(asynced.stats().answered, reference.stats().answered);
 }
 
+/// Mid-run **connect**: endpoints whose eager dial is refused only come
+/// up when the sweep's retry loop redials them — after the executor
+/// already owns the idle strategy — so their parkers can only reach the
+/// watch set through the [`MultiParkRegistrar`]. The watch set must
+/// grow mid-sweep and the late endpoints must still answer.
+#[test]
+fn multi_park_watch_set_grows_for_endpoints_dialed_mid_sweep() {
+    let pool = pool_with_tip();
+    let p = pool.clone();
+    let server = TcpServer::spawn("127.0.0.1:0", move |mut t| {
+        std::thread::sleep(Duration::from_millis(20));
+        p.serve(&mut t, 0, || 160);
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let endpoints = pool.endpoint_count();
+    // Odd endpoints refuse their first dial (the eager one in
+    // `WireJobSource::new`) and start the sweep down.
+    let deferred: std::sync::Arc<Mutex<std::collections::HashSet<usize>>> =
+        std::sync::Arc::new(Mutex::new((0..endpoints).filter(|e| e % 2 == 1).collect()));
+    let late = deferred.lock().unwrap().len() as u64;
+    assert!(late > 0, "the pool must have odd endpoints to defer");
+
+    let mut idle = MultiParkWait::new(Duration::from_millis(5));
+    let registrar = idle.registrar();
+    let gate = deferred.clone();
+    let source = WireJobSource::new(endpoints, Duration::from_secs(5), move |e| {
+        if gate.lock().unwrap().remove(&e) {
+            return None;
+        }
+        let t = TcpTransport::connect(addr).ok()?;
+        if let Ok(p) = t.parker() {
+            registrar.register(p);
+        }
+        Some(t)
+    });
+    assert_eq!(
+        idle.watched() as u64,
+        endpoints as u64 - late,
+        "deferred endpoints must not be watched before the sweep"
+    );
+
+    let mut reference = Observer::new(pool.clone(), true);
+    let mut asynced = Observer::with_source(source, true, PollPolicy::default());
+    let aexec = AsyncExecutor::new(64);
+    reference.poll_all(1_000);
+    asynced.poll_all_async_idle(1_000, &aexec, &mut idle);
+
+    assert_eq!(
+        idle.watched(),
+        endpoints,
+        "every mid-sweep dial must reach the watch set through the registrar"
+    );
+    assert!(
+        idle.parks() > 0,
+        "a 20 ms quiet wire must trigger idle parking"
+    );
+    let (s, r) = (asynced.stats(), reference.stats());
+    assert_eq!(
+        s.reconnects, late,
+        "each deferred endpoint redials exactly once"
+    );
+    assert_eq!(s.answered, r.answered, "late dials still answer the sweep");
+    assert_eq!(s.endpoints_down, 0);
+    assert!(s.balanced());
+    assert_eq!(asynced.current_prev(), reference.current_prev());
+}
+
+/// Mid-run **disconnect**: one server session hangs up after its first
+/// reply, so the next sweep finds a dead socket. The fetch surfaces as
+/// `Closed`, the retry loop redials, and the replacement connection's
+/// parker joins the watch set *alongside* the dead one — a closed
+/// socket's `peek` reports ready (EOF), so a stale watch-set entry can
+/// end a park early but can never wedge one.
+#[test]
+fn multi_park_survives_an_endpoint_dying_mid_sweep() {
+    use minedig::pool::protocol::{ClientMsg, ServerMsg};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let pool = pool_with_tip();
+    let p = pool.clone();
+    let sessions = std::sync::Arc::new(AtomicUsize::new(0));
+    let order = sessions.clone();
+    let server = TcpServer::spawn("127.0.0.1:0", move |mut t| {
+        let i = order.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(20));
+        if i == 0 {
+            // Doomed session: answer exactly one probe, then hang up.
+            if let Ok(raw) = t.recv() {
+                if let Ok(ClientMsg::Peek { endpoint, now }) = ClientMsg::decode(&raw) {
+                    if let Ok(job) = p.peek_job(endpoint as usize, now) {
+                        let _ = t.send(&ServerMsg::Job(job).encode());
+                    }
+                }
+            }
+            return;
+        }
+        p.serve(&mut t, 0, || 160);
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let endpoints = pool.endpoint_count();
+    let mut idle = MultiParkWait::new(Duration::from_millis(5));
+    let registrar = idle.registrar();
+    let source = WireJobSource::new(endpoints, Duration::from_secs(5), move |_| {
+        let t = TcpTransport::connect(addr).ok()?;
+        if let Ok(p) = t.parker() {
+            registrar.register(p);
+        }
+        Some(t)
+    });
+    assert_eq!(idle.watched(), endpoints);
+
+    let mut reference = Observer::new(pool.clone(), true);
+    let mut asynced = Observer::with_source(source, true, PollPolicy::default());
+    let aexec = AsyncExecutor::new(64);
+    // Sweep one: every session answers (the doomed one for the last
+    // time). Sweep two: the dead socket fails, redials, answers.
+    for t in [1_000, 1_010] {
+        reference.poll_all(t);
+        asynced.poll_all_async_idle(t, &aexec, &mut idle);
+    }
+
+    assert_eq!(
+        idle.watched(),
+        endpoints + 1,
+        "the replacement parker joins the watch set; the dead one stays"
+    );
+    assert!(
+        idle.parks() > 0,
+        "a 20 ms quiet wire must trigger idle parking"
+    );
+    let (s, r) = (asynced.stats(), reference.stats());
+    assert_eq!(s.reconnects, 1, "exactly one endpoint died and redialed");
+    assert_eq!(
+        s.answered, r.answered,
+        "the dead endpoint recovers in-sweep"
+    );
+    assert_eq!(s.endpoints_down, 0);
+    assert!(s.balanced());
+    assert_eq!(asynced.current_prev(), reference.current_prev());
+}
+
 // ---------------------------------------------------------------------
 // Shortlink resolution: async over real TCP ≡ blocking over real TCP
 // ---------------------------------------------------------------------

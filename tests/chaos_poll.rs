@@ -17,6 +17,7 @@ use minedig::chain::netsim::TipInfo;
 use minedig::chain::tx::Transaction;
 use minedig::pool::pool::{Pool, PoolConfig};
 use minedig::primitives::fault::{FaultConfig, FaultPlan, FAULT_SEED_ENV};
+use minedig::primitives::health::{health_from_env, HealthConfig};
 use minedig::primitives::par::ParallelExecutor;
 use minedig::primitives::retry::RetryPolicy;
 use minedig::primitives::Hash32;
@@ -110,6 +111,48 @@ fn sharded_sweeps_survive_permanent_faults() {
         assert_eq!(ps.retries, ss.retries, "shards={shards}");
         assert_eq!(ps.reconnects, ss.reconnects, "shards={shards}");
         assert!(ps.balanced(), "shards={shards}");
+    }
+}
+
+/// The CI matrix's `MINEDIG_HEALTH` axis: at `1` the faulty observer
+/// runs behind the endpoint-health layer (circuit breakers, adaptive
+/// deadlines, hedged probes), at `0`/unset it runs bare — and in both
+/// cases clearing faults plus outlasting retries must reproduce the
+/// clean observation exactly. With the layer on, the breaker and hedge
+/// accounting must additionally balance, and outlasted transients must
+/// never trip a breaker (every sweep's merged outcome is a success).
+#[test]
+fn chaos_sweeps_match_clean_under_the_health_axis() {
+    let pool = pool_with_tip();
+    let mut clean = Observer::new(pool.clone(), true);
+    let plan = FaultPlan::transient_only(base_seed().wrapping_add(77), 0.4);
+    let mut faulty = Observer::with_source(
+        FaultyJobSource::new(pool, plan.clone()),
+        true,
+        PollPolicy::outlasting(&plan),
+    );
+    if health_from_env() {
+        faulty = faulty.with_health(HealthConfig {
+            seed: base_seed(),
+            ..HealthConfig::default()
+        });
+    }
+    for t in (1_000..1_150).step_by(5) {
+        clean.poll_all(t);
+        faulty.poll_all(t);
+    }
+    assert!(faulty.stats().retries > 0);
+    assert_eq!(faulty.current_prev(), clean.current_prev());
+    assert_eq!(faulty.current_blob_count(), clean.current_blob_count());
+    let (c, f) = (clean.stats(), faulty.stats());
+    assert_eq!(f.answered, c.answered);
+    assert_eq!(f.endpoints_down, 0);
+    assert_eq!(f.quarantined, 0, "outlasted transients must never trip");
+    assert!(f.balanced());
+    assert_eq!(faulty.health_stats().is_some(), health_from_env());
+    if let Some(hs) = faulty.health_stats() {
+        assert!(hs.balanced(), "{hs:?}");
+        assert_eq!(hs.breaker.trips, 0, "outlasted transients must never trip");
     }
 }
 

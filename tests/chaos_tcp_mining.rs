@@ -2,16 +2,18 @@
 //! miner client, pool protocol, frames — over real TCP sockets, with a
 //! deterministic fault schedule injected into the miner's transport.
 //!
-//! The injected kinds are delay, disconnect, garble and stall. Drops
-//! are excluded by construction: over a real socket a silently dropped
-//! *request* leaves the miner blocked in `recv()` with nothing coming
-//! back and no timeout to rescue it — the retry loop can only absorb
-//! faults that surface as errors.
+//! All five fault kinds are injected, *including drops*. A silently
+//! dropped request would leave the miner blocked in `recv()` forever —
+//! nothing is coming back — so every TCP socket here is wrapped in a
+//! [`DeadlineTransport`] first: the wedge surfaces as a transport
+//! timeout, which the retry loop already treats as a broken attempt
+//! worth reconnecting.
 
 use minedig::chain::netsim::TipInfo;
 use minedig::chain::tx::Transaction;
 use minedig::net::fault::FaultyTransport;
 use minedig::net::tcp::{TcpServer, TcpTransport};
+use minedig::net::transport::DeadlineTransport;
 use minedig::pool::pool::{Pool, PoolConfig};
 use minedig::pool::protocol::Token;
 use minedig::primitives::fault::{FaultConfig, FaultPlan};
@@ -59,16 +61,26 @@ fn spawn_server(pool: &Pool) -> TcpServer {
     .expect("bind")
 }
 
-/// Delay, disconnect, garble and stall — never drop (see module docs).
-fn tcp_safe_plan(seed: u64, fault_prob: f64) -> FaultPlan {
+/// All five kinds, drops included (survivable thanks to the deadline
+/// wrapper — see module docs).
+fn tcp_chaos_plan(seed: u64, fault_prob: f64) -> FaultPlan {
     FaultPlan::with_config(
         seed,
         FaultConfig {
             fault_prob,
-            kind_weights: [0.0, 1.0, 1.0, 1.0, 1.0],
+            kind_weights: [1.0, 1.0, 1.0, 1.0, 1.0],
             ..FaultConfig::default()
         },
     )
+}
+
+/// Bound every blocking socket operation so that a silently dropped
+/// request times out instead of wedging the attempt forever.
+const TCP_DEADLINE: std::time::Duration = std::time::Duration::from_millis(500);
+
+fn bounded_connect(addr: std::net::SocketAddr) -> Option<DeadlineTransport<TcpTransport>> {
+    let t = TcpTransport::connect(addr).ok()?;
+    Some(DeadlineTransport::new(t, TCP_DEADLINE))
 }
 
 #[test]
@@ -84,16 +96,15 @@ fn mining_over_faulty_tcp_resolves_with_reconnects() {
         resolve_with_pool(&service, &pool, t, "a", 100_000).unwrap()
     };
 
-    let plan = tcp_safe_plan(2018, 0.3);
+    let plan = tcp_chaos_plan(2018, 0.3);
     let (url, retries) = resolve_with_pool_retrying(
         &service,
         &pool,
         |attempt| {
-            let t = TcpTransport::connect(addr).ok()?;
             // Per-attempt labels give each session its own reproducible
             // fault schedule.
             Some(FaultyTransport::new(
-                t,
+                bounded_connect(addr)?,
                 plan.clone(),
                 &format!("miner-{attempt}"),
             ))
@@ -127,14 +138,13 @@ fn permanent_tcp_outage_reports_the_last_error() {
     let addr = server.addr();
 
     // Every operation faults: no attempt can complete a session.
-    let plan = tcp_safe_plan(7, 1.0);
+    let plan = tcp_chaos_plan(7, 1.0);
     let err = resolve_with_pool_retrying(
         &service,
         &pool,
         |attempt| {
-            let t = TcpTransport::connect(addr).ok()?;
             Some(FaultyTransport::new(
-                t,
+                bounded_connect(addr)?,
                 plan.clone(),
                 &format!("outage-{attempt}"),
             ))
@@ -148,6 +158,46 @@ fn permanent_tcp_outage_reports_the_last_error() {
     assert!(
         msg.contains("mining failed") || msg.contains("hashes credited"),
         "transport-level failure expected, got: {msg}"
+    );
+}
+
+#[test]
+fn dropped_requests_time_out_and_resolve_on_retry() {
+    // Drop-only schedule: the fault kind that used to be excluded from
+    // this suite. A dropped request wedges a plain recv forever; the
+    // deadline wrapper turns it into a timeout the retry loop absorbs.
+    let service = one_link_service();
+    let pool = pool_with_tip();
+    let server = spawn_server(&pool);
+    let addr = server.addr();
+
+    let plan = FaultPlan::with_config(
+        11,
+        FaultConfig {
+            fault_prob: 0.25,
+            kind_weights: [1.0, 0.0, 0.0, 0.0, 0.0],
+            ..FaultConfig::default()
+        },
+    );
+    let (url, retries) = resolve_with_pool_retrying(
+        &service,
+        &pool,
+        |attempt| {
+            Some(FaultyTransport::new(
+                bounded_connect(addr)?,
+                plan.clone(),
+                &format!("drop-{attempt}"),
+            ))
+        },
+        "a",
+        100_000,
+        32,
+    )
+    .expect("drops at p=0.25 must be survivable under a recv deadline");
+    assert_eq!(url, "https://youtu.be/dQw4w9WgXcQ");
+    assert!(
+        retries > 0,
+        "p=0.25 across whole sessions must drop at least one message"
     );
 }
 
